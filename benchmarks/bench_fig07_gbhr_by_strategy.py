@@ -1,0 +1,66 @@
+"""Figure 7: mean GBHrApp per compaction application by strategy.
+
+Paper claims (§6.1): table-level compaction is effective when tables are
+highly fragmented but each application is expensive; the hybrid
+(partition-level) approach compacts at a slower pace, with lower and more
+stable GBHrApp per application.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import bar_chart, render_table
+
+from benchmarks.harness import banner, cab_run
+
+
+def _gbhr_samples(strategy: str) -> list[float]:
+    result = cab_run(strategy)
+    return list(result.catalog.telemetry.series("engine.compaction.gbhr").values)
+
+
+def test_fig07_gbhr_by_strategy(benchmark):
+    samples = benchmark.pedantic(
+        lambda: {name: _gbhr_samples(name) for name in ("table-10", "hybrid-50", "hybrid-500")},
+        rounds=1,
+        iterations=1,
+    )
+
+    print(
+        banner(
+            "Figure 7 — mean GBHrApp per compaction application",
+            "table-scope applications cost more (whole-table rewrites); "
+            "hybrid applications are cheaper and more stable",
+        )
+    )
+    rows = []
+    means = {}
+    for name, values in samples.items():
+        mean = statistics.mean(values)
+        stdev = statistics.stdev(values) if len(values) > 1 else 0.0
+        means[name] = mean
+        rows.append(
+            [
+                name,
+                len(values),
+                f"{mean:.3f}",
+                f"{stdev:.3f}",
+                f"{stdev / mean:.2f}" if mean else "-",
+            ]
+        )
+    print(
+        render_table(
+            ["strategy", "apps", "mean GBHr/app", "stdev", "coeff. of variation"], rows
+        )
+    )
+    print()
+    print(bar_chart(list(means), list(means.values()), width=40, unit=" GBHr"))
+
+    # Shape assertions: table-scope apps are the most expensive; hybrid apps
+    # are cheaper per application and relatively more stable.
+    assert means["table-10"] > means["hybrid-500"]
+    assert means["table-10"] > means["hybrid-50"]
+    cv_table = statistics.stdev(samples["table-10"]) / means["table-10"]
+    cv_hybrid = statistics.stdev(samples["hybrid-500"]) / means["hybrid-500"]
+    assert cv_hybrid < cv_table * 1.5, "hybrid GBHr should not be wildly less stable"

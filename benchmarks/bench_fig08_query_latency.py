@@ -1,0 +1,99 @@
+"""Figure 8: impact of compaction on query latency (hourly candlesticks).
+
+Paper claims (§6.2): read-only latency is similar across strategies in
+hour 1; from hour 2 onward compaction consistently improves it, fastest
+under the aggressive table-10 strategy; execution-time variability also
+shrinks; and the no-compaction baseline overruns the 5-hour window
+(~25 minutes of extra queueing/execution).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import candlestick, render_table
+from repro.units import HOUR, MINUTE
+
+from benchmarks.harness import CAB_STRATEGIES, banner, cab_run, hourly_latencies
+
+
+def _collect():
+    out = {}
+    for name in CAB_STRATEGIES:
+        result = cab_run(name)
+        out[name] = {
+            "ro": hourly_latencies(result, "ro"),
+            "rw": hourly_latencies(result, "rw"),
+            "makespan": result.makespan_s,
+        }
+    return out
+
+
+def test_fig08_query_latency(benchmark):
+    data = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    print(
+        banner(
+            "Figure 8 — query latency per hour (candlesticks: min/p25/med/p75/max)",
+            "similar in hour 1; compaction wins from hour 2 on (table-10 "
+            "fastest); variability shrinks; no-compaction overruns the "
+            "5-hour window",
+        )
+    )
+    for label in ("ro", "rw"):
+        print(f"\n--- {label.upper()} queries ---")
+        rows = []
+        for name in CAB_STRATEGIES:
+            for hour, values in enumerate(data[name][label]):
+                if not values:
+                    continue
+                summary = candlestick(values)
+                rows.append(
+                    [
+                        name,
+                        f"h{hour + 1}",
+                        f"{summary.minimum:.2f}",
+                        f"{summary.p25:.2f}",
+                        f"{summary.median:.2f}",
+                        f"{summary.p75:.2f}",
+                        f"{summary.maximum:.2f}",
+                    ]
+                )
+        print(render_table(["strategy", "hour", "min", "p25", "med", "p75", "max"], rows))
+
+    # The paper reports ~25 min of extra end-to-end runtime for the
+    # baseline (queueing + longer queries).  Our engine model inflates
+    # latencies under contention rather than queueing, so the equivalent
+    # signal is the aggregate read-query time of the final hour (write jobs
+    # carry strategy-independent upstream-compute time and are excluded).
+    def hour5_load(name):
+        return sum(data[name]["ro"][4])
+
+    baseline_load = hour5_load("none") / MINUTE
+    compacted_load = hour5_load("table-10") / MINUTE
+    print(f"\naggregate hour-5 query time: none={baseline_load:.1f} min, "
+          f"table-10={compacted_load:.1f} min "
+          "(paper: baseline overruns the window by ~25 min)")
+
+    def hour_median(name, label, hour):
+        values = data[name][label][hour]
+        return statistics.median(values) if values else float("nan")
+
+    # (i) Hour 1 is similar across strategies (compaction hasn't run yet).
+    h1 = [hour_median(name, "ro", 0) for name in CAB_STRATEGIES]
+    assert max(h1) / min(h1) < 1.3
+    # (ii) From hour 3 on, compaction beats the baseline on RO medians.
+    for hour in (2, 3, 4):
+        assert hour_median("table-10", "ro", hour) < hour_median("none", "ro", hour)
+        assert hour_median("hybrid-500", "ro", hour) < hour_median("none", "ro", hour)
+    # (iii) The aggressive strategy improves fastest (hour-2 medians).
+    assert hour_median("table-10", "ro", 1) <= hour_median("hybrid-50", "ro", 1)
+    # (iv) Variability shrinks: last-hour spread under compaction is below
+    # the baseline's.
+    spread_none = candlestick(data["none"]["ro"][4]).spread
+    spread_comp = candlestick(data["table-10"]["ro"][4]).spread
+    assert spread_comp < spread_none
+    # (v) The baseline carries substantially more end-of-run load (the
+    # paper's ~25-minute overrun) and never finishes earlier.
+    assert baseline_load > 1.5 * compacted_load
+    assert data["none"]["makespan"] >= data["table-10"]["makespan"]

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Cross-format compaction: one AutoComp over Iceberg AND Delta (NFR3).
+
+Creates tables in both format profiles, fragments them identically, and
+runs a single AutoComp pipeline across the mixed catalog.  Also
+demonstrates the conflict-semantics difference the paper highlights in
+§4.4: concurrent rewrites of distinct partitions *conflict* on the
+Iceberg-v1.2.0 profile but *commit cleanly* on the Delta profile.
+
+Run:  python examples/multi_engine.py
+"""
+
+from repro import Catalog, Cluster, EngineSession, Schema, Simulator, openhouse_pipeline
+from repro.core import LstConnector, LstExecutionBackend, ParallelScheduler
+from repro.core.candidates import Candidate, CandidateKey, CandidateScope
+from repro.core.scheduling import CompactionTask
+from repro.engine import MisconfiguredShuffleWriter
+from repro.lst import Field, MonthTransform, PartitionField, PartitionSpec
+from repro.units import MiB
+
+
+def build_catalog():
+    catalog = Catalog()
+    catalog.create_database("lake")
+    schema = Schema.of(Field("id", "long"), Field("day", "date"))
+    spec = PartitionSpec.of(PartitionField("day", MonthTransform()))
+    iceberg = catalog.create_table("lake.ice", schema, spec=spec, table_format="iceberg")
+    delta = catalog.create_table("lake.dlt", schema, spec=spec, table_format="delta")
+    session = EngineSession(
+        Cluster("q", executors=8), telemetry=catalog.telemetry, clock=catalog.clock, seed=7
+    )
+    writer = MisconfiguredShuffleWriter(num_partitions=24)
+    for table in (iceberg, delta):
+        for month in range(2):
+            session.write(table, 96 * MiB, writer, partitions=(month,))
+    return catalog, iceberg, delta
+
+
+def partition_task(table, partition):
+    ident = table.identifier
+    key = CandidateKey(ident.database, ident.name, CandidateScope.PARTITION, partition)
+    return CompactionTask(candidate=Candidate(key=key))
+
+
+def demo_conflict_semantics(catalog, table, label):
+    """Rewrite two distinct partitions *concurrently* and report outcomes."""
+    connector = LstConnector(catalog)
+    backend = LstExecutionBackend(connector, Cluster("maint", executors=2))
+    simulator = Simulator(catalog.clock)
+    results = []
+    ParallelScheduler().schedule(
+        [partition_task(table, (0,)), partition_task(table, (1,))],
+        backend,
+        simulator=simulator,
+        on_result=results.append,
+    )
+    simulator.run()
+    succeeded = sum(1 for r in results if r.success)
+    conflicted = sum(1 for r in results if not r.success and not r.skipped)
+    print(f"  {label:<22} concurrent partition rewrites: "
+          f"{succeeded} committed, {conflicted} conflicted")
+    for result in results:
+        if result.conflict_reason:
+            print(f"    conflict: {result.conflict_reason}")
+
+
+def main() -> None:
+    # --- one pipeline over a mixed-format catalog -----------------------------
+    catalog, iceberg, delta = build_catalog()
+    catalog.clock.advance_by(2 * 3600)
+    pipeline = openhouse_pipeline(catalog, Cluster("compaction", executors=3), k=10)
+    report = pipeline.run_cycle(now=catalog.clock.now)
+    print("One AutoComp cycle over a mixed Iceberg+Delta catalog:")
+    print(f"  selected: {[str(k) for k in report.selected]}")
+    print(f"  iceberg files: {iceberg.data_file_count}, delta files: {delta.data_file_count}")
+
+    # --- the §4.4 conflict-semantics contrast ---------------------------------
+    print("\nConcurrent rewrites of DISTINCT partitions (the §4.4 quirk):")
+    catalog2, iceberg2, delta2 = build_catalog()
+    demo_conflict_semantics(catalog2, iceberg2, "Iceberg v1.2.0 profile")
+    demo_conflict_semantics(catalog2, delta2, "Delta v2.4.0 profile")
+    print("\nAutoComp's PartitionSerialScheduler exists precisely because of "
+          "the Iceberg behaviour above.")
+
+
+if __name__ == "__main__":
+    main()

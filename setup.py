@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work in offline
+environments whose setuptools lacks PEP 660 wheel support
+(``python setup.py develop`` needs no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

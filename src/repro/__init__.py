@@ -1,0 +1,91 @@
+"""AutoComp: automated data compaction for log-structured tables.
+
+A full reproduction of the SIGMOD 2025 paper "AutoComp: Automated Data
+Compaction for Log-Structured Tables in Data Lakes", including every
+substrate it runs on — a simulated distributed filesystem, Iceberg-like
+and Delta-like table formats, an OpenHouse-like catalog, a Spark-like
+engine cost model, workload generators, and a production-fleet simulator —
+all driven by one deterministic discrete-event core.
+
+Quick start::
+
+    from repro import Catalog, Cluster, openhouse_pipeline
+
+    catalog = Catalog()
+    catalog.create_database("analytics", quota_objects=100_000)
+    # ... create tables, run workloads ...
+    pipeline = openhouse_pipeline(catalog, Cluster("compaction", executors=3))
+    report = pipeline.run_cycle()
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+reproduction of every table and figure in the paper's evaluation.
+"""
+
+from repro.catalog import Catalog, DataServices, TablePolicy
+from repro.core import (
+    AutoCompPipeline,
+    AutoCompService,
+    BudgetSelector,
+    CandidateScope,
+    LstConnector,
+    LstExecutionBackend,
+    Objective,
+    OptimizeAfterWriteHook,
+    PeriodicTrigger,
+    QuotaAwareWeightedSumPolicy,
+    ThresholdPolicy,
+    TopKSelector,
+    WeightedSumPolicy,
+    openhouse_pipeline,
+)
+from repro.engine import Cluster, CostModel, EngineSession
+from repro.lst import (
+    DeltaTable,
+    Field,
+    IcebergTable,
+    MonthTransform,
+    PartitionField,
+    PartitionSpec,
+    Schema,
+    TableIdentifier,
+)
+from repro.simulation import SimClock, Simulator, Telemetry
+from repro.storage import SimulatedFileSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoCompPipeline",
+    "AutoCompService",
+    "BudgetSelector",
+    "CandidateScope",
+    "Catalog",
+    "Cluster",
+    "CostModel",
+    "DataServices",
+    "DeltaTable",
+    "EngineSession",
+    "Field",
+    "IcebergTable",
+    "LstConnector",
+    "LstExecutionBackend",
+    "MonthTransform",
+    "Objective",
+    "OptimizeAfterWriteHook",
+    "PartitionField",
+    "PartitionSpec",
+    "PeriodicTrigger",
+    "QuotaAwareWeightedSumPolicy",
+    "Schema",
+    "SimClock",
+    "SimulatedFileSystem",
+    "Simulator",
+    "TableIdentifier",
+    "TablePolicy",
+    "Telemetry",
+    "ThresholdPolicy",
+    "TopKSelector",
+    "WeightedSumPolicy",
+    "openhouse_pipeline",
+    "__version__",
+]

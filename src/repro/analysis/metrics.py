@@ -1,0 +1,52 @@
+"""Series transforms used by the production charts (Figures 10–11)."""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+
+def normalize_series(values: list[float]) -> list[float]:
+    """Min-max normalise into [0, 1] (constant series → all zeros).
+
+    The paper's production figures plot normalised values so different
+    units (file counts, TBHr, deployment size) share one y-axis.
+    """
+    if not values:
+        return []
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return [0.0] * len(values)
+    return [(v - low) / span for v in values]
+
+
+def moving_average(values: list[float], window: int) -> list[float]:
+    """Trailing moving average (window clipped at the series start).
+
+    Figure 11a plots *smoothed* normalised metrics; this is that smoothing.
+
+    Raises:
+        ValidationError: for non-positive windows.
+    """
+    if window <= 0:
+        raise ValidationError(f"window must be positive, got {window}")
+    out = []
+    acc = 0.0
+    for i, value in enumerate(values):
+        acc += value
+        if i >= window:
+            acc -= values[i - window]
+        out.append(acc / min(i + 1, window))
+    return out
+
+
+def relative_change(before: float, after: float) -> float:
+    """``(after − before) / before``.
+
+    Raises:
+        ValidationError: when ``before`` is zero.
+    """
+    if before == 0:
+        raise ValidationError("relative change from zero baseline")
+    return (after - before) / before

@@ -1,0 +1,257 @@
+"""The catalog: databases, tables, and tenant quotas.
+
+A database is a logical group of tables owned by one tenant (a LinkedIn
+line of business) and maps to one storage directory carrying an HDFS
+namespace quota — the ``UsedQuota/TotalQuota`` ratio that the paper's
+production deployment feeds into its quota-aware MOOP weight (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    NoSuchTableError,
+    TableAlreadyExistsError,
+    ValidationError,
+)
+from repro.lst.base import BaseTable, TableIdentifier
+from repro.lst.delta import DeltaTable
+from repro.lst.hudi import HudiTable
+from repro.lst.partitioning import PartitionSpec
+from repro.lst.schema import Schema
+from repro.lst.table import IcebergTable
+from repro.catalog.policies import TablePolicy
+from repro.simulation.clock import SimClock
+from repro.simulation.telemetry import Telemetry
+from repro.storage.filesystem import SimulatedFileSystem
+
+#: Table-format registry: format name -> table class.
+TABLE_FORMATS: dict[str, type[BaseTable]] = {
+    "iceberg": IcebergTable,
+    "delta": DeltaTable,
+    "hudi": HudiTable,
+}
+
+
+@dataclass
+class Database:
+    """A tenant's logical group of tables."""
+
+    name: str
+    created_at: float
+    location: str
+    quota_objects: int | None = None
+    tables: dict[str, BaseTable] = field(default_factory=dict)
+
+
+class Catalog:
+    """Declarative catalog over a shared filesystem.
+
+    Args:
+        fs: backing filesystem; a private one is created if omitted.
+        clock: simulated clock (falls back to the filesystem's).
+        telemetry: metric sink (falls back to the filesystem's).
+        warehouse: storage root under which databases live.
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedFileSystem | None = None,
+        clock: SimClock | None = None,
+        telemetry: Telemetry | None = None,
+        warehouse: str = "/data",
+    ) -> None:
+        self.fs = fs if fs is not None else SimulatedFileSystem()
+        self.clock = clock if clock is not None else self.fs.clock
+        self.telemetry = telemetry if telemetry is not None else self.fs.telemetry
+        self.warehouse = warehouse.rstrip("/") or "/data"
+        self._databases: dict[str, Database] = {}
+        self._policies: dict[str, TablePolicy] = {}
+
+    # --- databases ---------------------------------------------------------------
+
+    def create_database(self, name: str, quota_objects: int | None = None) -> Database:
+        """Create a database (tenant namespace).
+
+        Args:
+            name: database name, unique within the catalog.
+            quota_objects: optional HDFS-style namespace-object quota for the
+                database's storage subtree.
+
+        Raises:
+            ValidationError: if the database already exists.
+        """
+        if name in self._databases:
+            raise ValidationError(f"database {name!r} already exists")
+        location = f"{self.warehouse}/{name}"
+        database = Database(
+            name=name,
+            created_at=self.clock.now,
+            location=location,
+            quota_objects=quota_objects,
+        )
+        if quota_objects is not None:
+            self.fs.set_quota(location, quota_objects)
+        self._databases[name] = database
+        return database
+
+    def database(self, name: str) -> Database:
+        """Look up a database.
+
+        Raises:
+            ValidationError: if unknown.
+        """
+        database = self._databases.get(name)
+        if database is None:
+            raise ValidationError(f"no database named {name!r}")
+        return database
+
+    def list_databases(self) -> list[str]:
+        """Database names, sorted."""
+        return sorted(self._databases)
+
+    def quota_utilization(self, database_name: str) -> float:
+        """``UsedQuota / TotalQuota`` for a database (0.0 when unlimited)."""
+        database = self.database(database_name)
+        if database.quota_objects is None:
+            return 0.0
+        return self.fs.quota_utilization(database.location)
+
+    # --- tables -----------------------------------------------------------------------
+
+    def create_table(
+        self,
+        identifier: TableIdentifier | str,
+        schema: Schema,
+        spec: PartitionSpec | None = None,
+        table_format: str = "iceberg",
+        properties: dict[str, object] | None = None,
+        policy: TablePolicy | None = None,
+    ) -> BaseTable:
+        """Create and register a table.
+
+        Args:
+            identifier: ``TableIdentifier`` or ``'db.table'`` string; the
+                database must already exist.
+            schema: column definitions.
+            spec: partition spec (default unpartitioned).
+            table_format: registered format name (``iceberg``, ``delta``
+                or ``hudi``; extendable via :data:`TABLE_FORMATS`).
+            properties: table properties passed to the format.
+            policy: maintenance policy (defaults applied if omitted).
+
+        Raises:
+            TableAlreadyExistsError: on duplicate identifiers.
+            ValidationError: for unknown databases or formats.
+        """
+        if isinstance(identifier, str):
+            identifier = TableIdentifier.parse(identifier)
+        database = self.database(identifier.database)
+        if identifier.name in database.tables:
+            raise TableAlreadyExistsError(str(identifier))
+        table_cls = TABLE_FORMATS.get(table_format)
+        if table_cls is None:
+            raise ValidationError(
+                f"unknown table format {table_format!r}; registered: "
+                f"{sorted(TABLE_FORMATS)}"
+            )
+        policy = policy if policy is not None else TablePolicy()
+        merged_properties = {
+            "write.target-file-size-bytes": policy.target_file_size,
+            "snapshot.retention-s": policy.snapshot_retention_s,
+        }
+        merged_properties.update(properties or {})
+        table = table_cls(
+            identifier=identifier,
+            schema=schema,
+            spec=spec,
+            fs=self.fs,
+            location=f"{database.location}/{identifier.name}",
+            properties=merged_properties,
+            telemetry=self.telemetry,
+            clock=self.clock,
+        )
+        database.tables[identifier.name] = table
+        self._policies[str(identifier)] = policy
+        self.telemetry.increment("catalog.tables.created")
+        return table
+
+    def load_table(self, identifier: TableIdentifier | str) -> BaseTable:
+        """Look up a registered table.
+
+        Raises:
+            NoSuchTableError: if absent.
+        """
+        if isinstance(identifier, str):
+            identifier = TableIdentifier.parse(identifier)
+        database = self._databases.get(identifier.database)
+        if database is None or identifier.name not in database.tables:
+            raise NoSuchTableError(str(identifier))
+        return database.tables[identifier.name]
+
+    def drop_table(self, identifier: TableIdentifier | str) -> None:
+        """Unregister a table and physically delete its files.
+
+        Raises:
+            NoSuchTableError: if absent.
+        """
+        if isinstance(identifier, str):
+            identifier = TableIdentifier.parse(identifier)
+        database = self._databases.get(identifier.database)
+        if database is None or identifier.name not in database.tables:
+            raise NoSuchTableError(str(identifier))
+        table = database.tables.pop(identifier.name)
+        for info in self.fs.namenode.files_under(table.location):
+            self.fs.delete_file(info.path)
+        self._policies.pop(str(identifier), None)
+        self.telemetry.increment("catalog.tables.dropped")
+
+    def table_exists(self, identifier: TableIdentifier | str) -> bool:
+        """Whether a table is registered."""
+        try:
+            self.load_table(identifier)
+            return True
+        except NoSuchTableError:
+            return False
+
+    def list_tables(self, database_name: str | None = None) -> list[TableIdentifier]:
+        """Identifiers of registered tables (optionally one database), sorted."""
+        names = [database_name] if database_name is not None else self.list_databases()
+        out: list[TableIdentifier] = []
+        for name in names:
+            database = self.database(name)
+            out.extend(
+                TableIdentifier(name, table_name) for table_name in sorted(database.tables)
+            )
+        return out
+
+    def all_tables(self) -> list[BaseTable]:
+        """All registered table objects, ordered by identifier."""
+        return [self.load_table(ident) for ident in self.list_tables()]
+
+    def policy(self, identifier: TableIdentifier | str) -> TablePolicy:
+        """The maintenance policy for a table.
+
+        Raises:
+            NoSuchTableError: if the table is not registered.
+        """
+        if isinstance(identifier, str):
+            identifier = TableIdentifier.parse(identifier)
+        key = str(identifier)
+        if key not in self._policies:
+            raise NoSuchTableError(key)
+        return self._policies[key]
+
+    def set_policy(self, identifier: TableIdentifier | str, policy: TablePolicy) -> None:
+        """Replace a table's maintenance policy.
+
+        Raises:
+            NoSuchTableError: if the table is not registered.
+        """
+        if isinstance(identifier, str):
+            identifier = TableIdentifier.parse(identifier)
+        key = str(identifier)
+        if key not in self._policies:
+            raise NoSuchTableError(key)
+        self._policies[key] = policy

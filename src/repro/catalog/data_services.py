@@ -1,0 +1,94 @@
+"""Data services: reconcile observed table state with declared policies.
+
+OpenHouse's data services run retention, orphan cleanup and (since
+AutoComp) compaction on behalf of users.  This module provides the
+non-compaction maintenance — snapshot retention sweeps — plus a small
+reconciler report that surfaces which tables are out of policy, which
+examples and the fleet rollout benches use as the "observed vs desired
+state" signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.lst.base import BaseTable
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """Summary of one data-services sweep."""
+
+    tables_checked: int
+    snapshots_expired_tables: int
+    files_deleted: int
+    out_of_policy: tuple[str, ...]
+
+
+class DataServices:
+    """Periodic policy reconciliation over all catalog tables."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    def run_retention(self) -> MaintenanceReport:
+        """Expire snapshots older than each table's retention policy.
+
+        Returns:
+            A report of what the sweep touched.
+        """
+        now = self.catalog.clock.now
+        checked = 0
+        expired_tables = 0
+        files_deleted = 0
+        for table in self.catalog.all_tables():
+            checked += 1
+            policy = self.catalog.policy(table.identifier)
+            deleted = table.expire_snapshots(older_than=now - policy.snapshot_retention_s)
+            if deleted:
+                expired_tables += 1
+                files_deleted += deleted
+        return MaintenanceReport(
+            tables_checked=checked,
+            snapshots_expired_tables=expired_tables,
+            files_deleted=files_deleted,
+            out_of_policy=tuple(self.out_of_policy_tables()),
+        )
+
+    def out_of_policy_tables(self, small_file_ratio: float = 0.5) -> list[str]:
+        """Tables whose live files are mostly below their target size.
+
+        Args:
+            small_file_ratio: fraction of live files below the policy target
+                above which a table counts as out of policy.
+
+        Returns:
+            Qualified table names, sorted.
+        """
+        flagged = []
+        for table in self.catalog.all_tables():
+            count = table.data_file_count
+            if count == 0:
+                continue
+            policy = self.catalog.policy(table.identifier)
+            small = sum(
+                1 for f in table.live_files() if f.size_bytes < policy.target_file_size
+            )
+            if small / count > small_file_ratio:
+                flagged.append(str(table.identifier))
+        return sorted(flagged)
+
+    def table_health(self, table: BaseTable) -> dict[str, float]:
+        """Health metrics for one table (counts, bytes, small-file share)."""
+        files = table.live_files()
+        policy = self.catalog.policy(table.identifier)
+        small = sum(1 for f in files if f.size_bytes < policy.target_file_size)
+        return {
+            "file_count": float(len(files)),
+            "total_bytes": float(sum(f.size_bytes for f in files)),
+            "small_file_count": float(small),
+            "small_file_fraction": small / len(files) if files else 0.0,
+            "delete_file_count": float(table.delete_file_count),
+            "metadata_version": float(table.version),
+        }

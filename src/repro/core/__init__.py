@@ -1,0 +1,142 @@
+"""AutoComp core: the paper's contribution.
+
+The OODA-structured automatic-compaction framework (§3–§5):
+
+* **generate** — :mod:`repro.core.candidates` (scopes, keys, statistics);
+* **observe** — :class:`~repro.core.connectors.Connector` implementations;
+* **orient** — :mod:`repro.core.traits` (ΔF_c, file entropy, GBHr);
+* **decide** — :mod:`repro.core.ranking` (threshold & MOOP policies) and
+  :mod:`repro.core.selection` (top-k / budget);
+* **act** — :mod:`repro.core.scheduling` (backends & schedulers);
+* **triggers** — periodic and optimize-after-write (:mod:`repro.core.triggers`);
+* **auto-tuning** — :mod:`repro.core.autotune` (threshold optimisers);
+* **assembly** — :func:`~repro.core.service.openhouse_pipeline` and
+  :class:`~repro.core.service.AutoCompService`.
+"""
+
+from repro.core.candidates import (
+    Candidate,
+    CandidateKey,
+    CandidateScope,
+    CandidateStatistics,
+)
+from repro.core.connectors import Connector, LstConnector
+from repro.core.filters import (
+    CandidateFilter,
+    MaxTraitFilter,
+    MinFileCountFilter,
+    MinSmallFileCountFilter,
+    MinTableAgeFilter,
+    MinTotalBytesFilter,
+    MinTraitFilter,
+    QuiescenceFilter,
+)
+from repro.core.pipeline import AutoCompPipeline, CycleReport
+from repro.core.ranking import (
+    Objective,
+    QuotaAwareWeightedSumPolicy,
+    RankingPolicy,
+    ThresholdPolicy,
+    WeightedSumPolicy,
+    min_max_normalize,
+)
+from repro.core.autotune import (
+    CostFrugalOptimizer,
+    Parameter,
+    RandomSearchOptimizer,
+    TuningResult,
+)
+from repro.core.pareto import (
+    ParetoFrontPolicy,
+    ParetoObjective,
+    knee_point,
+    pareto_front,
+)
+from repro.core.weight_learning import WeightLearner
+from repro.core.scheduling import (
+    CompactionTask,
+    ExecutionBackend,
+    ExecutionResult,
+    LstExecutionBackend,
+    OffPeakScheduler,
+    ParallelScheduler,
+    PartitionSerialScheduler,
+    Scheduler,
+    SequentialScheduler,
+)
+from repro.core.selection import AllSelector, BudgetSelector, Selector, TopKSelector
+from repro.core.service import AutoCompService, openhouse_pipeline
+from repro.core.traits import (
+    BENEFIT,
+    COST,
+    ComputeCostTrait,
+    DeleteFileCountTrait,
+    FileCountReductionTrait,
+    FileEntropyTrait,
+    RelativeFileCountReductionTrait,
+    SmallFileBytesTrait,
+    Trait,
+    TraitRegistry,
+)
+from repro.core.triggers import OptimizeAfterWriteHook, PeriodicTrigger
+
+__all__ = [
+    "AllSelector",
+    "AutoCompPipeline",
+    "AutoCompService",
+    "BENEFIT",
+    "BudgetSelector",
+    "COST",
+    "Candidate",
+    "CandidateFilter",
+    "CandidateKey",
+    "CandidateScope",
+    "CandidateStatistics",
+    "CompactionTask",
+    "ComputeCostTrait",
+    "Connector",
+    "CostFrugalOptimizer",
+    "CycleReport",
+    "DeleteFileCountTrait",
+    "ExecutionBackend",
+    "ExecutionResult",
+    "FileCountReductionTrait",
+    "FileEntropyTrait",
+    "LstConnector",
+    "LstExecutionBackend",
+    "MaxTraitFilter",
+    "MinFileCountFilter",
+    "MinSmallFileCountFilter",
+    "MinTableAgeFilter",
+    "MinTotalBytesFilter",
+    "MinTraitFilter",
+    "Objective",
+    "OffPeakScheduler",
+    "OptimizeAfterWriteHook",
+    "ParallelScheduler",
+    "Parameter",
+    "ParetoFrontPolicy",
+    "ParetoObjective",
+    "PartitionSerialScheduler",
+    "PeriodicTrigger",
+    "QuiescenceFilter",
+    "QuotaAwareWeightedSumPolicy",
+    "RandomSearchOptimizer",
+    "RankingPolicy",
+    "RelativeFileCountReductionTrait",
+    "Scheduler",
+    "Selector",
+    "SequentialScheduler",
+    "SmallFileBytesTrait",
+    "ThresholdPolicy",
+    "TopKSelector",
+    "Trait",
+    "TraitRegistry",
+    "TuningResult",
+    "WeightLearner",
+    "WeightedSumPolicy",
+    "knee_point",
+    "min_max_normalize",
+    "openhouse_pipeline",
+    "pareto_front",
+]

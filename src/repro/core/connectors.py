@@ -1,0 +1,166 @@
+"""Connectors: AutoComp's view onto a catalog / LST platform.
+
+Cross-platform compatibility (NFR3) comes from this seam: the OODA pipeline
+only ever talks to a :class:`Connector`, which produces candidate keys and
+the standardized :class:`~repro.core.candidates.CandidateStatistics`.
+Two implementations ship with the library:
+
+* :class:`LstConnector` (here) — backed by a live
+  :class:`~repro.catalog.catalog.Catalog` of simulated Iceberg/Delta tables
+  (used by the §6 synthetic experiments); and
+* :class:`~repro.fleet.connectors.FleetConnector` — backed by the
+  vectorised fleet state (used by the §7 production-scale experiments).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.catalog.catalog import Catalog
+from repro.core.candidates import (
+    Candidate,
+    CandidateKey,
+    CandidateScope,
+    CandidateStatistics,
+    GENERATION_STRATEGIES,
+)
+from repro.errors import ValidationError
+from repro.lst.base import BaseTable
+
+
+class Connector(abc.ABC):
+    """Platform adapter feeding candidates and statistics to the pipeline."""
+
+    @abc.abstractmethod
+    def list_candidates(self, strategy: str = "table") -> list[CandidateKey]:
+        """Generate candidate keys under a generation strategy.
+
+        Args:
+            strategy: one of ``table``, ``partition``, ``hybrid``.
+        """
+
+    @abc.abstractmethod
+    def collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
+        """Observe phase: gather the standardized statistics for a key."""
+
+    def observe(self, keys: list[CandidateKey]) -> list[Candidate]:
+        """Materialise candidates with statistics for a list of keys."""
+        return [Candidate(key=key, statistics=self.collect_statistics(key)) for key in keys]
+
+
+class LstConnector(Connector):
+    """Catalog-of-live-tables connector.
+
+    Args:
+        catalog: the control plane whose tables are compaction targets.
+        include_databases: restrict candidate generation to these databases
+            (None = all).
+    """
+
+    def __init__(self, catalog: Catalog, include_databases: list[str] | None = None) -> None:
+        self.catalog = catalog
+        self.include_databases = (
+            set(include_databases) if include_databases is not None else None
+        )
+
+    def _tables(self) -> list[BaseTable]:
+        tables = []
+        for identifier in self.catalog.list_tables():
+            if (
+                self.include_databases is not None
+                and identifier.database not in self.include_databases
+            ):
+                continue
+            tables.append(self.catalog.load_table(identifier))
+        return tables
+
+    def list_candidates(self, strategy: str = "table") -> list[CandidateKey]:
+        if strategy not in GENERATION_STRATEGIES:
+            raise ValidationError(
+                f"unknown generation strategy {strategy!r}; "
+                f"expected one of {GENERATION_STRATEGIES}"
+            )
+        keys: list[CandidateKey] = []
+        for table in self._tables():
+            ident = table.identifier
+            use_partitions = strategy == "partition" or (
+                strategy == "hybrid" and table.spec.is_partitioned
+            )
+            if use_partitions and table.spec.is_partitioned:
+                for partition in table.partitions():
+                    keys.append(
+                        CandidateKey(
+                            database=ident.database,
+                            table=ident.name,
+                            scope=CandidateScope.PARTITION,
+                            partition=partition,
+                        )
+                    )
+            else:
+                keys.append(
+                    CandidateKey(
+                        database=ident.database,
+                        table=ident.name,
+                        scope=CandidateScope.TABLE,
+                    )
+                )
+        return keys
+
+    def table_for(self, key: CandidateKey) -> BaseTable:
+        """The live table object behind a candidate key."""
+        return self.catalog.load_table(key.qualified_table)
+
+    def snapshot_candidate(self, table: BaseTable, since_snapshot_id: int) -> CandidateKey:
+        """A snapshot-scope candidate: files added after a base snapshot.
+
+        §4.1: snapshot scope is beneficial when (reasonably) fresh data
+        needs more frequent access — only the recently written files are
+        considered for compaction, keeping performance objectives for the
+        fresh subset without rewriting history.
+        """
+        ident = table.identifier
+        table.snapshot(since_snapshot_id)  # validates existence
+        return CandidateKey(
+            database=ident.database,
+            table=ident.name,
+            scope=CandidateScope.SNAPSHOT,
+            snapshot_id=since_snapshot_id,
+        )
+
+    def files_for(self, key: CandidateKey):
+        """Live data files in a candidate's scope."""
+        table = self.table_for(key)
+        if key.scope is CandidateScope.PARTITION:
+            return [f for f in table.live_files() if f.partition == key.partition]
+        if key.scope is CandidateScope.SNAPSHOT:
+            base = table.snapshot(key.snapshot_id)
+            base_ids = {f.file_id for f in base.live_files}
+            return [f for f in table.live_files() if f.file_id not in base_ids]
+        return table.live_files()
+
+    def collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
+        table = self.table_for(key)
+        policy = self.catalog.policy(key.qualified_table)
+        files = self.files_for(key)
+        if key.scope is CandidateScope.PARTITION:
+            partition_count = 1
+            # Partition-scope candidates carry partition-level write
+            # recency: write-activity filters can then skip hot partitions
+            # while still compacting the table's cold ones.
+            last_modified = table.partition_last_modified(key.partition)
+        else:
+            partition_count = max(len({f.partition for f in files}), 1)
+            last_modified = table.last_modified_at
+        try:
+            quota = self.catalog.quota_utilization(key.database)
+        except ValidationError:
+            quota = 0.0
+        return CandidateStatistics.from_file_sizes(
+            [f.size_bytes for f in files],
+            target_file_size=policy.target_file_size,
+            partition_count=partition_count,
+            delete_file_count=table.delete_file_count,
+            created_at=table.created_at,
+            last_modified_at=last_modified,
+            quota_utilization=quota,
+        )

@@ -1,0 +1,169 @@
+"""Pareto-frontier candidate selection (§8 "Navigating Multi-Objective
+Trade-offs").
+
+The paper's deployed ranking collapses benefit and cost into one weighted
+score, which "inherently risks overemphasizing one metric at the expense of
+the other".  Its proposed future direction — implemented here — is to keep
+the full Pareto frontier instead:
+
+* :func:`pareto_front` computes the non-dominated set over any mix of
+  maximised and minimised traits;
+* :class:`ParetoFrontPolicy` is a drop-in :class:`RankingPolicy` that ranks
+  frontier candidates first (ordered by a tie-breaking scalarisation) and
+  can either drop dominated candidates or queue them behind the frontier;
+* :func:`knee_point` picks the frontier's balance point (the candidate
+  closest to the utopia point after normalisation) for deployments that
+  still need a single answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.candidates import Candidate
+from repro.core.ranking import Objective, RankingPolicy, _sort_scored, min_max_normalize
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ParetoObjective:
+    """One axis of the Pareto comparison."""
+
+    trait_name: str
+    maximize: bool = True
+
+
+def _dominates(a: list[float], b: list[float]) -> bool:
+    """True when point ``a`` dominates ``b`` (all >=, at least one >).
+
+    Points are pre-oriented so larger is always better.
+    """
+    at_least_as_good = all(x >= y for x, y in zip(a, b))
+    strictly_better = any(x > y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def _oriented_points(
+    candidates: list[Candidate], objectives: list[ParetoObjective]
+) -> list[list[float]]:
+    return [
+        [
+            candidate.trait(o.trait_name) * (1.0 if o.maximize else -1.0)
+            for o in objectives
+        ]
+        for candidate in candidates
+    ]
+
+
+def pareto_front(
+    candidates: list[Candidate], objectives: list[ParetoObjective]
+) -> list[Candidate]:
+    """The non-dominated subset of ``candidates``.
+
+    A candidate is on the frontier iff no other candidate is at least as
+    good on every objective and strictly better on one — improving any
+    frontier member's objective necessarily worsens another (§8).
+
+    Args:
+        candidates: candidates with all objective traits computed.
+        objectives: the axes of comparison.
+
+    Returns:
+        Frontier members in their input order.
+    """
+    if not objectives:
+        raise ValidationError("need at least one objective")
+    points = _oriented_points(candidates, objectives)
+    frontier = []
+    for i, candidate in enumerate(candidates):
+        if not any(
+            _dominates(points[j], points[i]) for j in range(len(candidates)) if j != i
+        ):
+            frontier.append(candidate)
+    return frontier
+
+
+def knee_point(
+    candidates: list[Candidate], objectives: list[ParetoObjective]
+) -> Candidate | None:
+    """The frontier candidate closest to the (normalised) utopia point.
+
+    The utopia point scores 1.0 on every (oriented, min-max-normalised)
+    objective; the knee is the frontier member with the smallest Euclidean
+    distance to it — the "best balanced" trade-off.
+
+    Returns:
+        None for an empty candidate list.
+    """
+    if not candidates:
+        return None
+    frontier = pareto_front(candidates, objectives)
+    points = _oriented_points(frontier, objectives)
+    columns = list(zip(*points))
+    normalized_columns = [min_max_normalize(list(column)) for column in columns]
+    best_candidate = None
+    best_distance = float("inf")
+    for index, candidate in enumerate(frontier):
+        distance = sum(
+            (1.0 - normalized_columns[axis][index]) ** 2
+            for axis in range(len(objectives))
+        )
+        if distance < best_distance or (
+            distance == best_distance
+            and str(candidate.key) < str(best_candidate.key)  # deterministic ties
+        ):
+            best_candidate = candidate
+            best_distance = distance
+    return best_candidate
+
+
+class ParetoFrontPolicy(RankingPolicy):
+    """Rank the Pareto frontier first; optionally keep dominated candidates.
+
+    Frontier members are ordered by a scalarised tie-break (equal-weight
+    normalised sum by default) so downstream top-k / budget selectors still
+    receive a deterministic total order; dominated candidates either follow
+    the frontier (``keep_dominated=True``) or are dropped.
+
+    Args:
+        objectives: Pareto axes.
+        keep_dominated: whether dominated candidates trail the frontier.
+    """
+
+    def __init__(
+        self, objectives: list[ParetoObjective], keep_dominated: bool = False
+    ) -> None:
+        if not objectives:
+            raise ValidationError("need at least one objective")
+        self.objectives = list(objectives)
+        self.keep_dominated = keep_dominated
+        weight = 1.0 / len(objectives)
+        self._tiebreak = [
+            Objective(o.trait_name, weight, maximize=o.maximize) for o in objectives
+        ]
+
+    def _scalarize(self, candidates: list[Candidate]) -> None:
+        if not candidates:
+            return
+        normalized: dict[str, list[float]] = {}
+        for objective in self._tiebreak:
+            raw = [c.trait(objective.trait_name) for c in candidates]
+            normalized[objective.trait_name] = min_max_normalize(raw)
+        for index, candidate in enumerate(candidates):
+            score = 0.0
+            for objective in self._tiebreak:
+                direction = 1.0 if objective.maximize else -1.0
+                score += objective.weight * normalized[objective.trait_name][index] * direction
+            candidate.score = score
+
+    def rank(self, candidates: list[Candidate]) -> list[Candidate]:
+        if not candidates:
+            return []
+        frontier = pareto_front(candidates, self.objectives)
+        frontier_keys = {str(c.key) for c in frontier}
+        self._scalarize(list(candidates))
+        ranked_front = _sort_scored(frontier)
+        if not self.keep_dominated:
+            return ranked_front
+        dominated = [c for c in candidates if str(c.key) not in frontier_keys]
+        return ranked_front + _sort_scored(dominated)

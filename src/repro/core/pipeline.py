@@ -1,0 +1,212 @@
+"""The OODA pipeline: observe → orient → decide → act (§3.3, Figure 4).
+
+One :meth:`AutoCompPipeline.run_cycle` call performs a full pass:
+
+1. **generate** candidate keys from the connector (table / partition /
+   hybrid strategy);
+2. **observe** — collect the standardized statistics for each key, then
+   apply the statistics filters;
+3. **orient** — compute every registered trait, then apply the trait
+   filters;
+4. **decide** — rank with the configured policy and select within budget;
+5. **act** — hand the selected tasks to the scheduler/backend.
+
+An optional feedback loop (act → observe) invokes registered hooks with
+each cycle's report, letting deployments adapt parameters over time —
+e.g. LinkedIn's transition from fixed to dynamic k.
+
+Every phase is deterministic given identical inputs (NFR2), and each
+component is swappable (NFR1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.candidates import Candidate, CandidateKey
+from repro.core.connectors import Connector
+from repro.core.filters import CandidateFilter, apply_filters
+from repro.core.ranking import RankingPolicy
+from repro.core.scheduling import (
+    CompactionTask,
+    ExecutionBackend,
+    ExecutionResult,
+    Scheduler,
+)
+from repro.core.selection import Selector
+from repro.core.traits import Trait, TraitRegistry
+from repro.errors import ValidationError
+from repro.simulation.simulator import Simulator
+from repro.simulation.telemetry import Telemetry
+
+
+@dataclass
+class CycleReport:
+    """What one OODA cycle saw, decided and did."""
+
+    cycle_index: int
+    started_at: float
+    candidates_generated: int = 0
+    after_stats_filters: int = 0
+    after_trait_filters: int = 0
+    ranked: int = 0
+    selected: list[CandidateKey] = field(default_factory=list)
+    #: Results land here synchronously, or asynchronously as simulated
+    #: compaction jobs complete (the list object is shared with the
+    #: scheduler's callback).
+    results: list[ExecutionResult] = field(default_factory=list)
+
+    @property
+    def successes(self) -> int:
+        """Completed compactions."""
+        return sum(1 for r in self.results if r.success)
+
+    @property
+    def conflicts(self) -> int:
+        """Cluster-side conflicts among results."""
+        return sum(1 for r in self.results if not r.success and not r.skipped)
+
+    @property
+    def total_gbhr(self) -> float:
+        """Compute spent (including wasted work on conflicted jobs)."""
+        return sum(r.gbhr for r in self.results)
+
+    @property
+    def total_files_reduced(self) -> int:
+        """Actual net file-count reduction achieved."""
+        return sum(r.actual_reduction for r in self.results)
+
+
+class AutoCompPipeline:
+    """A configured AutoComp instance.
+
+    Args:
+        connector: platform adapter (candidates + statistics).
+        backend: act-phase executor.
+        traits: orient-phase traits (list or registry).
+        policy: decide-phase ranking policy.
+        selector: decide-phase budget selection.
+        scheduler: act-phase ordering/concurrency.
+        generation: candidate-generation strategy
+            (``table`` / ``partition`` / ``hybrid``).
+        stats_filters: filters applied after observe.
+        trait_filters: filters applied after orient.
+        telemetry: metric sink for cycle statistics.
+        feedback_hooks: callables invoked with each finished
+            :class:`CycleReport` (the optional act→observe loop).
+    """
+
+    def __init__(
+        self,
+        connector: Connector,
+        backend: ExecutionBackend,
+        traits: TraitRegistry | Sequence[Trait],
+        policy: RankingPolicy,
+        selector: Selector,
+        scheduler: Scheduler,
+        generation: str = "table",
+        stats_filters: Sequence[CandidateFilter] = (),
+        trait_filters: Sequence[CandidateFilter] = (),
+        telemetry: Telemetry | None = None,
+        feedback_hooks: Sequence[Callable[[CycleReport], None]] = (),
+    ) -> None:
+        self.connector = connector
+        self.backend = backend
+        self.traits = (
+            traits if isinstance(traits, TraitRegistry) else TraitRegistry(list(traits))
+        )
+        self.policy = policy
+        self.selector = selector
+        self.scheduler = scheduler
+        self.generation = validate_generation_strategy(generation)
+        self.stats_filters = list(stats_filters)
+        self.trait_filters = list(trait_filters)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.feedback_hooks = list(feedback_hooks)
+        self._cycle_index = 0
+
+    def run_cycle(self, now: float = 0.0, simulator: Simulator | None = None) -> CycleReport:
+        """Run one full OODA pass.
+
+        Args:
+            now: current time for filters and reporting; ignored when a
+                simulator is given (its clock wins).
+            simulator: when provided, act-phase jobs are scheduled as
+                simulated events and the report's ``results`` list fills in
+                as they complete.
+
+        Returns:
+            The cycle's :class:`CycleReport`.
+        """
+        if simulator is not None:
+            now = simulator.now
+        report = CycleReport(cycle_index=self._cycle_index, started_at=now)
+        self._cycle_index += 1
+
+        # Generate + observe.
+        keys = self.connector.list_candidates(self.generation)
+        report.candidates_generated = len(keys)
+        candidates = self.connector.observe(keys)
+        candidates = apply_filters(self.stats_filters, candidates, now)
+        report.after_stats_filters = len(candidates)
+
+        # Orient.
+        self.traits.annotate_all(candidates)
+        candidates = apply_filters(self.trait_filters, candidates, now)
+        report.after_trait_filters = len(candidates)
+
+        # Decide.
+        ranked = self.policy.rank(candidates)
+        report.ranked = len(ranked)
+        selected = self.selector.select(ranked)
+        report.selected = [c.key for c in selected]
+
+        # Act.
+        tasks = [CompactionTask.from_candidate(c) for c in selected]
+
+        def on_result(result: ExecutionResult) -> None:
+            report.results.append(result)
+            self._record_result(result)
+
+        sync_results = self.scheduler.schedule(
+            tasks, self.backend, simulator=simulator, on_result=on_result
+        )
+        # Sync mode returns results directly; on_result already captured them.
+        del sync_results
+
+        self._record_cycle(report, now)
+        for hook in self.feedback_hooks:
+            hook(report)
+        return report
+
+    # --- telemetry -------------------------------------------------------------
+
+    def _record_cycle(self, report: CycleReport, now: float) -> None:
+        self.telemetry.record("autocomp.cycle.candidates", now, report.candidates_generated)
+        self.telemetry.record("autocomp.cycle.selected", now, len(report.selected))
+        self.telemetry.increment("autocomp.cycles")
+
+    def _record_result(self, result: ExecutionResult) -> None:
+        if result.skipped:
+            self.telemetry.increment("autocomp.results.skipped")
+        elif result.success:
+            self.telemetry.increment("autocomp.results.success")
+            self.telemetry.record(
+                "autocomp.files_reduced", result.finished_at, result.actual_reduction
+            )
+            self.telemetry.record("autocomp.gbhr", result.finished_at, result.gbhr)
+        else:
+            self.telemetry.increment("autocomp.results.conflict")
+
+
+def validate_generation_strategy(strategy: str) -> str:
+    """Validate a generation-strategy name, returning it unchanged."""
+    from repro.core.candidates import GENERATION_STRATEGIES
+
+    if strategy not in GENERATION_STRATEGIES:
+        raise ValidationError(
+            f"unknown generation strategy {strategy!r}; expected one of "
+            f"{GENERATION_STRATEGIES}"
+        )
+    return strategy

@@ -1,0 +1,186 @@
+"""Ranking policies: the decide phase (§4.3).
+
+Two families, matching the paper's two scenarios:
+
+* **Unconstrained resources** — :class:`ThresholdPolicy`: a decision
+  function that passes candidates whose trigger trait exceeds a threshold,
+  ordered by that trait (e.g. "compact when estimated file-count reduction
+  reaches 10%").
+* **Resource-constrained** — :class:`WeightedSumPolicy`: the MOOP
+  scalarisation.  Each trait is min-max normalised across the candidate
+  pool, then combined as ``S_c = Σᵢ wᵢ·T′ᵢ,c·dᵢ`` where ``dᵢ`` is +1 for
+  benefit traits and −1 for cost traits and ``Σ|wᵢ| = 1``.
+  :class:`QuotaAwareWeightedSumPolicy` is the production variant whose
+  benefit weight scales with the tenant's quota pressure:
+  ``w₁ = 0.5 × (1 + UsedQuota/TotalQuota)`` (§7).
+
+All policies are deterministic: equal inputs produce equal rankings, with
+ties broken by candidate key (NFR2).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.core.candidates import Candidate
+from repro.errors import ValidationError
+
+#: Weights must sum to 1 within this tolerance.
+WEIGHT_SUM_TOLERANCE = 1e-9
+
+
+def min_max_normalize(values: list[float]) -> list[float]:
+    """The paper's normalisation: ``(v − min) / (max − min)``, into [0, 1].
+
+    A constant column (max == min) normalises to all zeros, which drops the
+    trait's influence for that cycle instead of dividing by zero.
+    """
+    if not values:
+        return []
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0 or not math.isfinite(span):
+        return [0.0] * len(values)
+    return [(v - low) / span for v in values]
+
+
+def _sort_scored(candidates: list[Candidate]) -> list[Candidate]:
+    """Descending score; ties broken by candidate key string (determinism)."""
+    return sorted(candidates, key=lambda c: (-(c.score or 0.0), str(c.key)))
+
+
+class RankingPolicy(abc.ABC):
+    """Assigns scores and returns candidates in descending priority."""
+
+    @abc.abstractmethod
+    def rank(self, candidates: list[Candidate]) -> list[Candidate]:
+        """Score candidates (setting ``candidate.score``) and sort them.
+
+        Candidates a policy deems ineligible are omitted from the result.
+        """
+
+
+class ThresholdPolicy(RankingPolicy):
+    """Unconstrained-scenario decision function.
+
+    Args:
+        trait_name: trigger trait (e.g. ``relative_file_count_reduction``).
+        threshold: minimum trait value to qualify for compaction.
+    """
+
+    def __init__(self, trait_name: str, threshold: float) -> None:
+        self.trait_name = trait_name
+        self.threshold = threshold
+
+    def rank(self, candidates: list[Candidate]) -> list[Candidate]:
+        eligible = []
+        for candidate in candidates:
+            value = candidate.trait(self.trait_name)
+            if value >= self.threshold:
+                candidate.score = value
+                eligible.append(candidate)
+        return _sort_scored(eligible)
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One term of the scalarised MOOP function."""
+
+    trait_name: str
+    weight: float
+    maximize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValidationError(
+                f"weights must be non-negative (direction comes from maximize=), "
+                f"got {self.weight}"
+            )
+
+
+class WeightedSumPolicy(RankingPolicy):
+    """MOOP scalarisation with min-max-normalised traits (§4.3).
+
+    Args:
+        objectives: trait/weight/direction terms; weights must sum to 1.
+
+    Example — the paper's §6 configuration (0.7 file-count reduction,
+    0.3 compute cost)::
+
+        WeightedSumPolicy([
+            Objective("file_count_reduction", 0.7, maximize=True),
+            Objective("compute_cost_gbhr", 0.3, maximize=False),
+        ])
+    """
+
+    def __init__(self, objectives: list[Objective]) -> None:
+        if not objectives:
+            raise ValidationError("need at least one objective")
+        names = [o.trait_name for o in objectives]
+        if len(names) != len(set(names)):
+            raise ValidationError(f"duplicate objective traits: {names}")
+        total = sum(o.weight for o in objectives)
+        if abs(total - 1.0) > 1e-6:
+            raise ValidationError(f"objective weights must sum to 1, got {total}")
+        self.objectives = list(objectives)
+
+    def rank(self, candidates: list[Candidate]) -> list[Candidate]:
+        if not candidates:
+            return []
+        normalized: dict[str, list[float]] = {}
+        for objective in self.objectives:
+            raw = [c.trait(objective.trait_name) for c in candidates]
+            normalized[objective.trait_name] = min_max_normalize(raw)
+        for index, candidate in enumerate(candidates):
+            score = 0.0
+            for objective in self.objectives:
+                direction = 1.0 if objective.maximize else -1.0
+                score += objective.weight * normalized[objective.trait_name][index] * direction
+            candidate.score = score
+        return _sort_scored(list(candidates))
+
+
+class QuotaAwareWeightedSumPolicy(RankingPolicy):
+    """The LinkedIn production ranking (§7): per-candidate dynamic weights.
+
+    The benefit weight grows with the owning database's namespace-quota
+    pressure, making tenants close to quota breach jump the queue:
+
+        ``w₁ = 0.5 × (1 + UsedQuota/TotalQuota)``,  ``w₂ = 1 − w₁``
+
+    so w₁ ranges from 0.5 (idle tenant) to 1.0 (tenant at quota).
+
+    Args:
+        benefit_trait: maximised trait (default ΔF_c).
+        cost_trait: minimised trait (default GBHr).
+    """
+
+    def __init__(
+        self,
+        benefit_trait: str = "file_count_reduction",
+        cost_trait: str = "compute_cost_gbhr",
+    ) -> None:
+        self.benefit_trait = benefit_trait
+        self.cost_trait = cost_trait
+
+    @staticmethod
+    def benefit_weight(quota_utilization: float) -> float:
+        """``w₁ = 0.5 × (1 + UsedQuota/TotalQuota)``, clamped to [0.5, 1]."""
+        utilization = min(max(quota_utilization, 0.0), 1.0)
+        return 0.5 * (1.0 + utilization)
+
+    def rank(self, candidates: list[Candidate]) -> list[Candidate]:
+        if not candidates:
+            return []
+        benefit_norm = min_max_normalize([c.trait(self.benefit_trait) for c in candidates])
+        cost_norm = min_max_normalize([c.trait(self.cost_trait) for c in candidates])
+        for index, candidate in enumerate(candidates):
+            stats = candidate.statistics
+            utilization = stats.quota_utilization if stats is not None else 0.0
+            w1 = self.benefit_weight(utilization)
+            w2 = 1.0 - w1
+            candidate.score = w1 * benefit_norm[index] - w2 * cost_norm[index]
+        return _sort_scored(list(candidates))

@@ -1,0 +1,181 @@
+"""AutoComp as a standalone service, plus the OpenHouse reference wiring.
+
+:func:`openhouse_pipeline` assembles the exact configuration the paper
+deploys (§6–§7): MOOP ranking with weights 0.7 (file-count reduction) and
+0.3 (compute cost), top-k or budget selection, hybrid or table-scope
+candidate generation, recent-table filtering, and partition-serial
+scheduling on a dedicated compaction cluster.  Examples and benches build
+on it instead of re-wiring components by hand.
+
+:class:`AutoCompService` packages a pipeline with a periodic trigger and a
+notification inbox for decoupled optimize-after-write hooks (§5's "pull"
+integration shown in Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.core.candidates import CandidateKey
+from repro.core.connectors import LstConnector
+from repro.core.filters import (
+    MinSmallFileCountFilter,
+    MinTableAgeFilter,
+    QuiescenceFilter,
+)
+from repro.core.pipeline import AutoCompPipeline, CycleReport
+from repro.core.ranking import Objective, WeightedSumPolicy
+from repro.core.scheduling import (
+    LstExecutionBackend,
+    PartitionSerialScheduler,
+    Scheduler,
+    SequentialScheduler,
+)
+from repro.core.selection import BudgetSelector, Selector, TopKSelector
+from repro.core.traits import (
+    ComputeCostTrait,
+    FileCountReductionTrait,
+    FileEntropyTrait,
+    TraitRegistry,
+)
+from repro.core.triggers import PeriodicTrigger
+from repro.engine.cluster import Cluster
+from repro.engine.cost_model import CostModel
+from repro.errors import ValidationError
+from repro.simulation.simulator import Simulator
+from repro.units import HOUR
+
+#: The paper's §6 MOOP weights: 0.7 benefit (ΔF_c), 0.3 cost (GBHr).
+OPENHOUSE_BENEFIT_WEIGHT = 0.7
+OPENHOUSE_COST_WEIGHT = 0.3
+
+
+def openhouse_pipeline(
+    catalog: Catalog,
+    compaction_cluster: Cluster,
+    cost_model: CostModel | None = None,
+    generation: str = "table",
+    k: int | None = 10,
+    budget_gbhr: float | None = None,
+    benefit_weight: float = OPENHOUSE_BENEFIT_WEIGHT,
+    min_table_age_s: float = HOUR,
+    min_small_files: int = 2,
+    quiesce_s: float = 0.0,
+    scheduler: Scheduler | None = None,
+) -> AutoCompPipeline:
+    """The paper's OpenHouse AutoComp configuration, ready to run.
+
+    Args:
+        catalog: control plane holding the tables.
+        compaction_cluster: dedicated cluster for rewrite jobs.
+        cost_model: engine cost model (defaults to :class:`CostModel`).
+        generation: ``table`` (the production deployment) or ``hybrid``
+            (the §6 partition-aware variant).
+        k: fixed top-k selection; ignored when ``budget_gbhr`` is given.
+        budget_gbhr: dynamic-k budget selection (the §7 week-22 mode).
+        benefit_weight: MOOP weight on file-count reduction (cost weight is
+            its complement).
+        min_table_age_s: recent-table filter window.
+        min_small_files: minimum small files for a candidate to qualify.
+        quiesce_s: skip candidates written within this window (the §3.3
+            write-activity filter; for hybrid generation the window applies
+            per *partition*, letting AutoComp dodge hot partitions and the
+            conflicts they cause).  0 disables the filter.
+        scheduler: override the default partition-serial scheduler.
+
+    Returns:
+        A fully wired :class:`AutoCompPipeline`.
+    """
+    if not 0 < benefit_weight < 1:
+        raise ValidationError("benefit_weight must be in (0, 1)")
+    if k is None and budget_gbhr is None:
+        raise ValidationError("provide k (fixed) or budget_gbhr (dynamic)")
+    cost_model = cost_model if cost_model is not None else CostModel()
+    connector = LstConnector(catalog)
+    backend = LstExecutionBackend(connector, compaction_cluster, cost_model)
+    traits = TraitRegistry(
+        [
+            FileCountReductionTrait(),
+            FileEntropyTrait(),
+            ComputeCostTrait(
+                executor_memory_gb=compaction_cluster.total_memory_gb,
+                rewrite_bytes_per_hour=cost_model.rewrite_bytes_per_hour(
+                    compaction_cluster.executors
+                ),
+            ),
+        ]
+    )
+    policy = WeightedSumPolicy(
+        [
+            Objective("file_count_reduction", benefit_weight, maximize=True),
+            Objective("compute_cost_gbhr", 1.0 - benefit_weight, maximize=False),
+        ]
+    )
+    selector: Selector
+    if budget_gbhr is not None:
+        selector = BudgetSelector(budget_gbhr)
+    else:
+        selector = TopKSelector(k if k is not None else 10)
+    if scheduler is None:
+        scheduler = (
+            PartitionSerialScheduler() if generation == "hybrid" else SequentialScheduler()
+        )
+    stats_filters: list = [
+        MinTableAgeFilter(min_table_age_s),
+        MinSmallFileCountFilter(min_small_files),
+    ]
+    if quiesce_s > 0:
+        stats_filters.append(QuiescenceFilter(quiesce_s))
+    return AutoCompPipeline(
+        connector=connector,
+        backend=backend,
+        traits=traits,
+        policy=policy,
+        selector=selector,
+        scheduler=scheduler,
+        generation=generation,
+        stats_filters=stats_filters,
+        telemetry=catalog.telemetry,
+    )
+
+
+class AutoCompService:
+    """Standalone AutoComp service: periodic cycles plus a hook inbox.
+
+    Args:
+        pipeline: the configured pipeline.
+        interval_s: periodic cycle spacing.
+
+    Attributes:
+        reports: accumulated cycle reports.
+        notifications: candidate keys pushed by decoupled
+            optimize-after-write hooks since the last cycle; exposed so
+            deployments can prioritise or short-circuit observation for
+            recently written tables.
+    """
+
+    def __init__(self, pipeline: AutoCompPipeline, interval_s: float = 24 * HOUR) -> None:
+        self.pipeline = pipeline
+        self.interval_s = interval_s
+        self.reports: list[CycleReport] = []
+        self.notifications: list[CandidateKey] = []
+        self._trigger: PeriodicTrigger | None = None
+
+    def notify(self, key: CandidateKey) -> None:
+        """Inbox endpoint for decoupled optimize-after-write hooks."""
+        self.notifications.append(key)
+
+    def run_cycle(self, now: float = 0.0, simulator: Simulator | None = None) -> CycleReport:
+        """Run one cycle immediately, draining the notification inbox."""
+        self.notifications.clear()
+        report = self.pipeline.run_cycle(now=now, simulator=simulator)
+        self.reports.append(report)
+        return report
+
+    def attach(self, simulator: Simulator, until: float | None = None) -> "AutoCompService":
+        """Arm periodic execution on a simulator; returns self."""
+
+        def fire() -> None:
+            self.run_cycle(simulator=simulator)
+
+        simulator.every(self.interval_s, fire, name="autocomp-service", until=until)
+        return self

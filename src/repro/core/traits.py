@@ -1,0 +1,210 @@
+"""Traits: the orient phase (§4.2).
+
+A trait maps a candidate's statistics to one number describing either the
+*benefit* of compacting it or the *cost* of doing so.  Traits are defined
+independently of one another and combined only later, in the decide phase
+— which is exactly what lets AutoComp swap decision strategies (FR2)
+without touching observation code.
+
+The three traits from the paper:
+
+* :class:`FileCountReductionTrait` — ΔF_c, the estimated file-count
+  reduction: the number of files below the target size (the paper's
+  formula, which deliberately ignores partition boundaries and therefore
+  overestimates — see §7 "Model Accuracy");
+* :class:`FileEntropyTrait` — file-size entropy à la Netflix's
+  auto-optimize: we define it as the mean squared relative shortfall below
+  target, ``H = (1/N) Σ_{s<T} ((T−s)/T)²`` ∈ [0, 1), so a perfectly laid
+  out candidate scores 0 and a dust-pile of near-empty files approaches 1;
+* :class:`ComputeCostTrait` — GBHr_c = ExecutorMemoryGB × DataSize_c /
+  RewriteBytesPerHour, the paper's compute-cost estimator.
+
+Custom traits implement :class:`Trait` and can read any statistic,
+including connector-specific ``custom`` entries (NFR1 extensibility; see
+``examples/custom_strategy.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.candidates import Candidate, CandidateStatistics
+from repro.errors import ValidationError
+
+#: Trait orientation constants.
+BENEFIT = 1
+COST = -1
+
+
+class Trait(abc.ABC):
+    """One orient-phase metric over candidate statistics."""
+
+    #: Unique trait name; also the key under ``candidate.traits``.
+    name: str = "trait"
+    #: ``BENEFIT`` (+1) if larger values favour compaction, ``COST`` (−1)
+    #: if larger values argue against it.
+    direction: int = BENEFIT
+
+    @abc.abstractmethod
+    def compute(self, statistics: CandidateStatistics) -> float:
+        """The trait value for one candidate's statistics."""
+
+    def annotate(self, candidate: Candidate) -> float:
+        """Compute and store the trait on a candidate.
+
+        Raises:
+            ValidationError: if the candidate has no statistics yet.
+        """
+        if candidate.statistics is None:
+            raise ValidationError(f"candidate {candidate.key} has no statistics")
+        value = float(self.compute(candidate.statistics))
+        candidate.traits[self.name] = value
+        return value
+
+
+class FileCountReductionTrait(Trait):
+    """ΔF_c: estimated file-count reduction (paper §4.2, verbatim).
+
+    ``ΔF_c = Σ_i 1[FileSize_i,c < TargetFileSize_c]`` — simply the number of
+    small files, on the assumption that each of them disappears into a
+    target-sized output.
+    """
+
+    name = "file_count_reduction"
+    direction = BENEFIT
+
+    def compute(self, statistics: CandidateStatistics) -> float:
+        return float(statistics.small_file_count)
+
+
+class RelativeFileCountReductionTrait(Trait):
+    """ΔF_c as a fraction of the candidate's file count.
+
+    The unconstrained-scenario example in §4.3 triggers when the estimated
+    reduction reaches at least 10% — i.e. on this trait ≥ 0.1.
+    """
+
+    name = "relative_file_count_reduction"
+    direction = BENEFIT
+
+    def compute(self, statistics: CandidateStatistics) -> float:
+        if statistics.file_count == 0:
+            return 0.0
+        return statistics.small_file_count / statistics.file_count
+
+
+class FileEntropyTrait(Trait):
+    """File-size entropy: total squared relative shortfall below target.
+
+    ``H = Σ_{s_i < T} ((T − s_i)/T)²`` with ``T`` the target size — the
+    unnormalised form Netflix's auto-optimize uses, made dimensionless by
+    dividing each shortfall by the target.  0 when every file meets the
+    target; each near-empty file contributes ≈1, so H acts as a
+    *severity-weighted* small-file count (which is why entropy- and
+    count-based triggers tune to comparable behaviour in Figure 9).
+    """
+
+    name = "file_entropy"
+    direction = BENEFIT
+
+    def compute(self, statistics: CandidateStatistics) -> float:
+        if statistics.file_count == 0:
+            return 0.0
+        target = float(statistics.target_file_size)
+        total = 0.0
+        for size in statistics.file_sizes:
+            if size < target:
+                shortfall = (target - size) / target
+                total += shortfall * shortfall
+        return total
+
+
+class ComputeCostTrait(Trait):
+    """GBHr_c: estimated compute cost of compacting the candidate (§4.2).
+
+    ``GBHr_c = ExecutorMemoryGB × (DataSize_c / RewriteBytesPerHour)``
+
+    ``DataSize_c`` is the bytes a rewrite must process — the candidate's
+    small-file bytes (files already at target are not rewritten).
+
+    Args:
+        executor_memory_gb: memory allocated to the compaction executors.
+        rewrite_bytes_per_hour: system rewrite throughput.
+    """
+
+    name = "compute_cost_gbhr"
+    direction = COST
+
+    def __init__(self, executor_memory_gb: float, rewrite_bytes_per_hour: float) -> None:
+        if executor_memory_gb <= 0:
+            raise ValidationError("executor_memory_gb must be positive")
+        if rewrite_bytes_per_hour <= 0:
+            raise ValidationError("rewrite_bytes_per_hour must be positive")
+        self.executor_memory_gb = executor_memory_gb
+        self.rewrite_bytes_per_hour = rewrite_bytes_per_hour
+
+    def compute(self, statistics: CandidateStatistics) -> float:
+        return self.executor_memory_gb * (
+            statistics.small_file_bytes / self.rewrite_bytes_per_hour
+        )
+
+
+class SmallFileBytesTrait(Trait):
+    """Bytes sitting in small files — a benefit proxy for IO-bound goals."""
+
+    name = "small_file_bytes"
+    direction = BENEFIT
+
+    def compute(self, statistics: CandidateStatistics) -> float:
+        return float(statistics.small_file_bytes)
+
+
+class DeleteFileCountTrait(Trait):
+    """Merge-on-read delete files in force — read-amplification pressure."""
+
+    name = "delete_file_count"
+    direction = BENEFIT
+
+    def compute(self, statistics: CandidateStatistics) -> float:
+        return float(statistics.delete_file_count)
+
+
+class TraitRegistry:
+    """An ordered set of traits applied in the orient phase."""
+
+    def __init__(self, traits: list[Trait] | None = None) -> None:
+        self._traits: dict[str, Trait] = {}
+        for trait in traits or []:
+            self.register(trait)
+
+    def register(self, trait: Trait) -> None:
+        """Add a trait.
+
+        Raises:
+            ValidationError: on duplicate names.
+        """
+        if trait.name in self._traits:
+            raise ValidationError(f"duplicate trait name {trait.name!r}")
+        self._traits[trait.name] = trait
+
+    def get(self, name: str) -> Trait:
+        """Look up a registered trait by name.
+
+        Raises:
+            ValidationError: if unknown.
+        """
+        if name not in self._traits:
+            raise ValidationError(
+                f"no trait named {name!r}; registered: {sorted(self._traits)}"
+            )
+        return self._traits[name]
+
+    def names(self) -> list[str]:
+        """Registered trait names in registration order."""
+        return list(self._traits)
+
+    def annotate_all(self, candidates: list[Candidate]) -> None:
+        """Compute every registered trait on every candidate."""
+        for candidate in candidates:
+            for trait in self._traits.values():
+                trait.annotate(candidate)

@@ -1,0 +1,46 @@
+"""Compute-engine simulator (Spark stand-in).
+
+Models the parts of a distributed query engine that interact with small-file
+proliferation and compaction:
+
+* :class:`~repro.engine.cluster.Cluster` — executor pools with a simple
+  contention model (the paper runs a 16-node query cluster and a 3-node
+  compaction cluster side by side);
+* :class:`~repro.engine.cost_model.CostModel` — analytic latency/throughput
+  model where per-file overheads (planning entries, task startup, columnar
+  read inefficiency, MoR merge work) make many small files slow, which is
+  the causal mechanism behind Figures 3 and 8;
+* :class:`~repro.engine.writers` — writer profiles that reproduce how well
+  tuned and mis-tuned jobs fragment output (bulk writes, mis-configured
+  shuffles, trickle/CDC streams);
+* :class:`~repro.engine.session.EngineSession` — read/write execution with
+  optimistic-commit retry handling (client-side conflicts);
+* :class:`~repro.engine.jobs.CompactionJob` — rewrite execution with the
+  paper's GBHr cost accounting (cluster-side conflicts).
+"""
+
+from repro.engine.cluster import Cluster
+from repro.engine.cost_model import CostModel
+from repro.engine.jobs import CompactionJob, CompactionOutcome
+from repro.engine.session import EngineSession, QueryResult, WriteJob, WriteResult
+from repro.engine.writers import (
+    MisconfiguredShuffleWriter,
+    TrickleWriter,
+    WellTunedWriter,
+    WriterProfile,
+)
+
+__all__ = [
+    "Cluster",
+    "CompactionJob",
+    "CompactionOutcome",
+    "CostModel",
+    "EngineSession",
+    "MisconfiguredShuffleWriter",
+    "QueryResult",
+    "TrickleWriter",
+    "WellTunedWriter",
+    "WriteJob",
+    "WriteResult",
+    "WriterProfile",
+]

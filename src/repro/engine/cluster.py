@@ -1,0 +1,89 @@
+"""Compute clusters.
+
+A cluster is a pool of identical executors plus a lightweight contention
+model: queries that overlap in simulated time slow each other down once the
+number of concurrently running queries exceeds the cluster's slot count.
+This reproduces the second-order effect the paper observes in Figure 8 —
+after compaction, individual queries finish faster, overlap less, and
+latency *variability* shrinks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+@dataclass
+class Cluster:
+    """A named executor pool.
+
+    Attributes:
+        name: used in telemetry series names.
+        executors: number of executor nodes.
+        executor_memory_gb: memory per executor — the ``ExecutorMemoryGB``
+            term of the paper's GBHr formula.
+        cores_per_executor: task slots per executor.
+        query_slots: queries that can run without mutual slowdown;
+            defaults to the executor count.
+        contention_coeff: latency multiplier slope once slots are exceeded.
+    """
+
+    name: str
+    executors: int = 4
+    executor_memory_gb: float = 64.0
+    cores_per_executor: int = 8
+    query_slots: int | None = None
+    contention_coeff: float = 0.5
+    _active_ends: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.executors <= 0:
+            raise ValidationError(f"executors must be positive, got {self.executors}")
+        if self.executor_memory_gb <= 0:
+            raise ValidationError("executor_memory_gb must be positive")
+        if self.cores_per_executor <= 0:
+            raise ValidationError("cores_per_executor must be positive")
+        if self.query_slots is None:
+            self.query_slots = self.executors
+
+    @property
+    def parallelism(self) -> int:
+        """Total task slots (executors × cores)."""
+        return self.executors * self.cores_per_executor
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Total executor memory in GB."""
+        return self.executors * self.executor_memory_gb
+
+    # --- contention -----------------------------------------------------------
+
+    def active_queries(self, now: float) -> int:
+        """Queries still running at ``now`` (prunes finished entries)."""
+        cutoff = bisect.bisect_right(self._active_ends, now)
+        if cutoff:
+            del self._active_ends[:cutoff]
+        return len(self._active_ends)
+
+    def contention_multiplier(self, now: float) -> float:
+        """Latency multiplier for a query starting at ``now``.
+
+        1.0 while concurrent queries fit in ``query_slots``; grows linearly
+        with the overflow beyond that.
+        """
+        active = self.active_queries(now)
+        overflow = max(0, active + 1 - int(self.query_slots or 1))
+        return 1.0 + self.contention_coeff * (overflow / max(int(self.query_slots or 1), 1))
+
+    def register_query(self, start: float, duration: float) -> None:
+        """Record a running query for contention accounting."""
+        if duration < 0:
+            raise ValidationError(f"duration must be >= 0, got {duration}")
+        bisect.insort(self._active_ends, start + duration)
+
+    def gbhr(self, duration_s: float) -> float:
+        """GB-hours consumed by occupying the whole cluster for ``duration_s``."""
+        return self.total_memory_gb * (duration_s / 3600.0)

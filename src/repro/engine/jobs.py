@@ -1,0 +1,158 @@
+"""Compaction jobs: rewrite execution with GBHr accounting.
+
+A :class:`CompactionJob` mirrors how the paper runs compaction: a Spark app
+per candidate (each "application" is one job-level GBHrApp observation,
+§6's custom metric), started on the compaction cluster, committing its
+rewrite optimistically at completion.  Cluster-side conflicts abort the job
+— compaction is never retried in place; AutoComp simply reconsiders the
+candidate on the next cycle, as at LinkedIn.
+
+On successful commit the job optionally expires superseded snapshots per
+the table's retention property, physically deleting the replaced small
+files — without this, storage-level file counts would not drop after
+compaction (Iceberg defers physical deletion to snapshot expiration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.cluster import Cluster
+from repro.engine.cost_model import CostModel
+from repro.errors import CommitConflictError, ValidationError
+from repro.lst.base import BaseTable
+from repro.lst.maintenance import RewritePlan
+from repro.simulation.clock import SimClock
+from repro.simulation.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class CompactionOutcome:
+    """Result of one compaction application."""
+
+    table: str
+    success: bool
+    conflict_reason: str | None
+    started_at: float
+    finished_at: float
+    duration_s: float
+    gbhr: float
+    rewritten_bytes: int
+    files_before: int
+    files_after: int
+    planned_reduction: int
+    actual_reduction: int
+
+    @property
+    def wasted(self) -> bool:
+        """True when resources were spent but the commit was aborted."""
+        return not self.success
+
+
+class CompactionJob:
+    """One compaction application over a prepared rewrite plan."""
+
+    def __init__(
+        self,
+        table: BaseTable,
+        plan: RewritePlan,
+        cluster: Cluster,
+        cost_model: CostModel | None = None,
+        telemetry: Telemetry | None = None,
+        clock: SimClock | None = None,
+        cleanup_snapshots: bool = True,
+    ) -> None:
+        if plan.is_empty:
+            raise ValidationError("cannot run a compaction job on an empty plan")
+        self.table = table
+        self.plan = plan
+        self.cluster = cluster
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.telemetry = telemetry if telemetry is not None else table.telemetry
+        self.clock = clock if clock is not None else table.clock
+        self.cleanup_snapshots = cleanup_snapshots
+        self._txn = None
+        self.started_at: float | None = None
+        self.duration_s = self.cost_model.rewrite_duration(
+            plan.rewritten_bytes, cluster.executors
+        )
+        self.gbhr = cluster.total_memory_gb * (self.duration_s / 3600.0)
+
+    def start(self) -> float:
+        """Open the rewrite transaction (capturing the base version).
+
+        Returns:
+            The job's expected duration in seconds; callers running under a
+            simulator should schedule :meth:`finish` after this long.
+        """
+        if self._txn is not None:
+            raise ValidationError("compaction job already started")
+        self.started_at = self.clock.now
+        txn = self.table.new_rewrite()
+        for group in self.plan.groups:
+            txn.rewrite(list(group.sources), list(group.output_sizes))
+        self._txn = txn
+        return self.duration_s
+
+    def finish(self) -> CompactionOutcome:
+        """Commit the rewrite at the current simulated time.
+
+        Returns:
+            A :class:`CompactionOutcome`; on a cluster-side conflict the
+            outcome has ``success=False`` and the spent GBHr still recorded
+            (wasted work, as in the paper's §2 remark on retries).
+        """
+        if self._txn is None:
+            raise ValidationError("compaction job was never started")
+        files_before = self.table.data_file_count
+        now = self.clock.now
+        conflict_reason: str | None = None
+        try:
+            self._txn.commit()
+            success = True
+        except CommitConflictError as conflict:
+            success = False
+            conflict_reason = conflict.reason
+            self.telemetry.record("engine.conflicts.cluster", now, 1.0)
+
+        actual_reduction = 0
+        if success:
+            actual_reduction = files_before - self.table.data_file_count
+            if self.cleanup_snapshots:
+                retention = self.table.snapshot_retention_s
+                self.table.expire_snapshots(older_than=now - retention)
+            self.telemetry.record("engine.compaction.gbhr", now, self.gbhr)
+            self.telemetry.record(
+                "engine.compaction.files_reduced", now, float(actual_reduction)
+            )
+            self.telemetry.record(
+                "engine.compaction.rewritten_bytes", now, float(self.plan.rewritten_bytes)
+            )
+            self.telemetry.increment("engine.compaction.success")
+        else:
+            self.telemetry.increment("engine.compaction.failed")
+            self.telemetry.record("engine.compaction.wasted_gbhr", now, self.gbhr)
+
+        return CompactionOutcome(
+            table=str(self.table.identifier),
+            success=success,
+            conflict_reason=conflict_reason,
+            started_at=self.started_at if self.started_at is not None else now,
+            finished_at=now,
+            duration_s=self.duration_s,
+            gbhr=self.gbhr,
+            rewritten_bytes=self.plan.rewritten_bytes,
+            files_before=files_before,
+            files_after=self.table.data_file_count,
+            planned_reduction=self.plan.file_count_reduction,
+            actual_reduction=actual_reduction,
+        )
+
+    def run_sync(self) -> CompactionOutcome:
+        """Start and finish immediately (no concurrency window).
+
+        Convenient for examples and non-event-driven benches; the clock is
+        not advanced, so no other commit can interleave.
+        """
+        self.start()
+        return self.finish()

@@ -1,0 +1,458 @@
+"""Engine sessions: query and write execution against LST tables.
+
+A session binds a cluster, a cost model and an RNG, and exposes:
+
+* :meth:`EngineSession.execute_read` — immediate read execution (reads
+  don't mutate state, so they complete synchronously);
+* :meth:`EngineSession.start_write` / :class:`WriteJob` — two-phase writes.
+  A write job captures its transaction (and thus its base metadata version)
+  at *start* and commits at *completion*, opening the real concurrency
+  window in which compaction can race it.  Client-side conflicts are
+  retried with fresh metadata, exactly the behaviour behind the paper's
+  Table 1 "client-side conflict" column.
+
+All latencies come from the cost model and include the cluster's contention
+multiplier at start time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.cluster import Cluster
+from repro.engine.cost_model import CostModel
+from repro.engine.writers import WriterProfile
+from repro.errors import CommitConflictError, ValidationError
+from repro.lst.base import BaseTable
+from repro.simulation.clock import SimClock
+from repro.simulation.rng import derive_rng
+from repro.simulation.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of a read query."""
+
+    latency_s: float
+    files_scanned: int
+    bytes_scanned: int
+    delete_files_merged: int
+    manifests_read: int
+    cost_gbhr: float
+    started_at: float
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of a write operation."""
+
+    latency_s: float
+    files_created: int
+    bytes_written: int
+    retries: int
+    conflicts: int
+    committed: bool
+    started_at: float
+
+
+class WriteJob:
+    """A two-phase write: transaction opened at start, committed at finish."""
+
+    def __init__(
+        self,
+        session: "EngineSession",
+        table: BaseTable,
+        file_sizes: list[int],
+        partitions: list[tuple],
+        label: str,
+        extra_duration_s: float = 0.0,
+    ) -> None:
+        if len(file_sizes) != len(partitions):
+            raise ValidationError("file_sizes and partitions must align")
+        if extra_duration_s < 0:
+            raise ValidationError("extra_duration_s must be >= 0")
+        self._session = session
+        self._table = table
+        self._file_sizes = file_sizes
+        self._partitions = partitions
+        self._label = label
+        self.started_at = session.clock.now
+        total = sum(file_sizes)
+        base_latency = session.cost_model.write_latency(
+            total, len(file_sizes), session.cluster.parallelism
+        )
+        multiplier = session.cluster.contention_multiplier(self.started_at)
+        # extra_duration_s models the upstream compute of an ETL job (joins,
+        # aggregations) executed while the write transaction stays open —
+        # the window in which compaction commits cause client conflicts.
+        self.latency_s = (base_latency + extra_duration_s) * multiplier
+        session.cluster.register_query(self.started_at, self.latency_s)
+        self._txn = self._stage()
+
+    def _stage(self):
+        txn = self._table.new_append()
+        for size, partition in zip(self._file_sizes, self._partitions):
+            txn.add_file(size, partition=partition)
+        return txn
+
+    def complete(self) -> WriteResult:
+        """Commit the write, retrying client-side conflicts with fresh metadata.
+
+        Returns:
+            A :class:`WriteResult`; ``committed`` is False only when the
+            retry budget was exhausted.
+        """
+        session = self._session
+        retries = 0
+        conflicts = 0
+        txn = self._txn
+        while True:
+            try:
+                txn.commit()
+                committed = True
+                break
+            except CommitConflictError as conflict:
+                conflicts += 1
+                session.telemetry.record(
+                    f"engine.conflicts.{conflict.side}", session.clock.now, 1.0
+                )
+                if retries >= session.max_commit_retries:
+                    committed = False
+                    break
+                retries += 1
+                txn = self._stage()  # fresh base version
+        total = sum(self._file_sizes)
+        session.telemetry.record(
+            f"engine.query.{self._label}.latency", self.started_at, self.latency_s
+        )
+        session.fs_record_opens(0)
+        return WriteResult(
+            latency_s=self.latency_s,
+            files_created=len(self._file_sizes) if committed else 0,
+            bytes_written=total if committed else 0,
+            retries=retries,
+            conflicts=conflicts,
+            committed=committed,
+            started_at=self.started_at,
+        )
+
+
+class EngineSession:
+    """Read/write execution bound to one cluster.
+
+    Args:
+        cluster: executor pool used for all operations.
+        cost_model: latency model (defaults to :class:`CostModel`).
+        telemetry: metric sink (a private one if omitted).
+        clock: simulated clock (a private zero clock if omitted).
+        seed: root seed for writer-profile randomness.
+        max_commit_retries: client-conflict retries before giving up.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cost_model: CostModel | None = None,
+        telemetry: Telemetry | None = None,
+        clock: SimClock | None = None,
+        seed: int = 0,
+        max_commit_retries: int = 3,
+    ) -> None:
+        self.cluster = cluster
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.clock = clock if clock is not None else SimClock()
+        self.rng = derive_rng(seed, "engine-session", cluster.name)
+        self.max_commit_retries = max_commit_retries
+        self._fs_sinks: list = []
+
+    def fs_record_opens(self, count: int) -> None:
+        """Forward per-query open() RPC counts to attached filesystems."""
+        for fs in self._fs_sinks:
+            fs.record_opens(count)
+
+    def attach_filesystem(self, fs) -> None:
+        """Attach a filesystem whose RPC counters should see query opens."""
+        self._fs_sinks.append(fs)
+
+    # --- reads ---------------------------------------------------------------
+
+    def execute_read(
+        self,
+        scans: list[tuple[BaseTable, list[tuple] | None]],
+        label: str = "ro",
+    ) -> QueryResult:
+        """Execute a read query over one or more table scans.
+
+        Args:
+            scans: ``(table, partitions)`` pairs; ``None`` partitions means a
+                full-table scan.
+            label: telemetry label (series ``engine.query.<label>.latency``).
+
+        Returns:
+            The aggregated :class:`QueryResult`.
+        """
+        started = self.clock.now
+        latency = 0.0
+        files = bytes_scanned = deletes = manifests = 0
+        for table, partitions in scans:
+            plan = table.scan(partitions)
+            latency += self.cost_model.read_latency(plan, self.cluster.parallelism)
+            files += plan.file_count
+            bytes_scanned += plan.total_bytes
+            deletes += len(plan.delete_files)
+            manifests += plan.manifests_read
+        multiplier = self.cluster.contention_multiplier(started)
+        latency *= multiplier
+        self.cluster.register_query(started, latency)
+        cost = self.cluster.gbhr(latency)
+        self.telemetry.record(f"engine.query.{label}.latency", started, latency)
+        self.telemetry.increment("engine.queries")
+        self.fs_record_opens(files + deletes)
+        return QueryResult(
+            latency_s=latency,
+            files_scanned=files,
+            bytes_scanned=bytes_scanned,
+            delete_files_merged=deletes,
+            manifests_read=manifests,
+            cost_gbhr=cost,
+            started_at=started,
+        )
+
+    # --- writes ----------------------------------------------------------------
+
+    def start_write(
+        self,
+        table: BaseTable,
+        total_bytes: int,
+        writer: WriterProfile,
+        partitions: list[tuple] | tuple | None = None,
+        label: str = "rw",
+        extra_duration_s: float = 0.0,
+    ) -> WriteJob:
+        """Open a two-phase append of ``total_bytes`` shaped by ``writer``.
+
+        Args:
+            table: target table.
+            total_bytes: volume to write.
+            writer: profile that fragments the volume into files.
+            partitions: a single partition tuple, a list to spread files
+                across (uniformly at random), or None for unpartitioned.
+            label: telemetry label.
+            extra_duration_s: upstream-compute time of the job (the write
+                transaction stays open throughout).
+
+        Returns:
+            The in-flight :class:`WriteJob`; call :meth:`WriteJob.complete`
+            when its latency has elapsed.
+        """
+        sizes = writer.split(total_bytes, self.rng)
+        if partitions is None:
+            assigned: list[tuple] = [()] * len(sizes)
+        elif isinstance(partitions, tuple):
+            assigned = [partitions] * len(sizes)
+        else:
+            if not partitions:
+                raise ValidationError("partition list must be non-empty")
+            choices = self.rng.integers(0, len(partitions), size=len(sizes))
+            assigned = [partitions[i] for i in choices]
+        return WriteJob(self, table, sizes, assigned, label, extra_duration_s)
+
+    def write(
+        self,
+        table: BaseTable,
+        total_bytes: int,
+        writer: WriterProfile,
+        partitions: list[tuple] | tuple | None = None,
+        label: str = "rw",
+    ) -> WriteResult:
+        """One-shot write: start and complete with no concurrency window."""
+        return self.start_write(table, total_bytes, writer, partitions, label).complete()
+
+    def start_row_delta(
+        self,
+        table: BaseTable,
+        delete_fraction: float,
+        label: str = "rw",
+    ) -> "RowDeltaJob":
+        """Open a merge-on-read delete touching ``delete_fraction`` of files."""
+        return RowDeltaJob(self, table, delete_fraction, label)
+
+    def start_overwrite(
+        self,
+        table: BaseTable,
+        replace_fraction: float,
+        writer: WriterProfile,
+        partition: tuple | None = None,
+        label: str = "rw",
+        extra_duration_s: float = 0.0,
+    ) -> "OverwriteJob":
+        """Open a copy-on-write update replacing a fraction of live files.
+
+        Args:
+            table: target table.
+            replace_fraction: share of the (partition's) live files to
+                rewrite, in (0, 1].
+            writer: profile shaping the replacement files.
+            partition: restrict to one partition (None = whole table).
+            label: telemetry label.
+            extra_duration_s: upstream-compute time of the job.
+        """
+        return OverwriteJob(
+            self, table, replace_fraction, writer, partition, label, extra_duration_s
+        )
+
+
+class OverwriteJob:
+    """Two-phase copy-on-write update: targets picked at start, commit at end."""
+
+    def __init__(
+        self,
+        session: EngineSession,
+        table: BaseTable,
+        replace_fraction: float,
+        writer: WriterProfile,
+        partition: tuple | None,
+        label: str,
+        extra_duration_s: float = 0.0,
+    ) -> None:
+        if not 0 < replace_fraction <= 1:
+            raise ValidationError(
+                f"replace_fraction must be in (0, 1], got {replace_fraction}"
+            )
+        self._session = session
+        self._table = table
+        self._label = label
+        self.started_at = session.clock.now
+        files = table.live_files()
+        if partition is not None:
+            files = [f for f in files if f.partition == partition]
+        if not files:
+            raise ValidationError(
+                f"no live files to overwrite in {table.identifier} "
+                f"(partition={partition})"
+            )
+        count = max(1, round(len(files) * replace_fraction))
+        indices = session.rng.choice(len(files), size=count, replace=False)
+        self._targets = [files[i] for i in sorted(indices)]
+        total = sum(f.size_bytes for f in self._targets)
+        self._new_sizes = writer.split(total, session.rng)
+        base_latency = session.cost_model.write_latency(
+            2 * total, len(self._new_sizes), session.cluster.parallelism
+        ) + extra_duration_s
+        self.latency_s = base_latency * session.cluster.contention_multiplier(self.started_at)
+        session.cluster.register_query(self.started_at, self.latency_s)
+        # Stage the transaction now so its base version reflects job start.
+        self._txn = table.new_overwrite()
+        for target in self._targets:
+            self._txn.delete_file(target)
+        replace_partition = self._targets[0].partition
+        for size in self._new_sizes:
+            self._txn.add_file(size, partition=replace_partition)
+
+    def complete(self) -> WriteResult:
+        """Commit the overwrite; client conflicts are surfaced, not retried.
+
+        A conflicted overwrite would have to re-read its source data, so —
+        unlike appends — we report it failed after one attempt and leave the
+        retry decision to the workload (matching engine behaviour where the
+        whole query re-runs).
+        """
+        session = self._session
+        txn = self._txn
+        conflicts = 0
+        committed = True
+        try:
+            txn.commit()
+        except CommitConflictError as conflict:
+            conflicts += 1
+            committed = False
+            session.telemetry.record(
+                f"engine.conflicts.{conflict.side}", session.clock.now, 1.0
+            )
+        session.telemetry.record(
+            f"engine.query.{self._label}.latency", self.started_at, self.latency_s
+        )
+        total = sum(self._new_sizes)
+        return WriteResult(
+            latency_s=self.latency_s,
+            files_created=len(self._new_sizes) if committed else 0,
+            bytes_written=total if committed else 0,
+            retries=0,
+            conflicts=conflicts,
+            committed=committed,
+            started_at=self.started_at,
+        )
+
+
+class RowDeltaJob:
+    """Two-phase MoR delete: samples target files at start, commits at finish."""
+
+    def __init__(
+        self,
+        session: EngineSession,
+        table: BaseTable,
+        delete_fraction: float,
+        label: str,
+    ) -> None:
+        if not 0 < delete_fraction <= 1:
+            raise ValidationError(
+                f"delete_fraction must be in (0, 1], got {delete_fraction}"
+            )
+        self._session = session
+        self._table = table
+        self._label = label
+        self.started_at = session.clock.now
+        files = table.live_files()
+        if not files:
+            raise ValidationError(f"cannot delete from empty table {table.identifier}")
+        count = max(1, round(len(files) * delete_fraction))
+        indices = session.rng.choice(len(files), size=count, replace=False)
+        self._targets = [files[i] for i in sorted(indices)]
+        delete_bytes = max(1024, int(sum(f.size_bytes for f in self._targets) * 0.02))
+        self._delete_bytes = delete_bytes
+        base_latency = session.cost_model.write_latency(
+            delete_bytes, 1, session.cluster.parallelism
+        )
+        self.latency_s = base_latency * session.cluster.contention_multiplier(self.started_at)
+        session.cluster.register_query(self.started_at, self.latency_s)
+        # Stage the transaction now so its base version reflects job start —
+        # commits racing this job are genuine conflicts.
+        self._txn = table.new_row_delta()
+        by_partition: dict[tuple, list] = {}
+        for f in self._targets:
+            by_partition.setdefault(f.partition, []).append(f)
+        share = max(1, self._delete_bytes // max(len(by_partition), 1))
+        for refs in by_partition.values():
+            self._txn.add_deletes(share, refs)
+        self._partition_count = len(by_partition)
+
+    def complete(self) -> WriteResult:
+        """Commit the delta (grouped per partition into one delete file each)."""
+        session = self._session
+        txn = self._txn
+        retries = 0
+        conflicts = 0
+        committed = True
+        try:
+            txn.commit()
+        except CommitConflictError as conflict:
+            conflicts += 1
+            session.telemetry.record(
+                f"engine.conflicts.{conflict.side}", session.clock.now, 1.0
+            )
+            committed = False
+        session.telemetry.record(
+            f"engine.query.{self._label}.latency", self.started_at, self.latency_s
+        )
+        return WriteResult(
+            latency_s=self.latency_s,
+            files_created=self._partition_count if committed else 0,
+            bytes_written=self._delete_bytes if committed else 0,
+            retries=retries,
+            conflicts=conflicts,
+            committed=committed,
+            started_at=self.started_at,
+        )

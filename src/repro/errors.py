@@ -1,0 +1,79 @@
+"""Exception hierarchy shared across the library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the library can catch one base class.  Commit conflicts are
+split into *client-side* and *cluster-side* flavours because the paper's
+Table 1 reports them separately: client-side conflicts are versioning
+conflicts that terminate a user's write operation (which is then retried),
+while cluster-side conflicts abort a compaction operation running on the
+maintenance cluster.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or configuration value failed validation."""
+
+
+class StorageError(ReproError):
+    """Base class for simulated-filesystem errors."""
+
+
+class FileNotFoundInStorageError(StorageError):
+    """A path was opened, deleted or listed but does not exist."""
+
+
+class FileExistsInStorageError(StorageError):
+    """A path was created but already exists."""
+
+
+class QuotaExceededError(StorageError):
+    """A namespace quota would be exceeded by the requested operation."""
+
+    def __init__(self, directory: str, used: int, limit: int) -> None:
+        super().__init__(
+            f"namespace quota exceeded for {directory!r}: used={used} limit={limit}"
+        )
+        self.directory = directory
+        self.used = used
+        self.limit = limit
+
+
+class TableError(ReproError):
+    """Base class for log-structured-table errors."""
+
+
+class NoSuchTableError(TableError):
+    """The referenced table does not exist in the catalog."""
+
+
+class TableAlreadyExistsError(TableError):
+    """A table with the same identifier already exists."""
+
+
+class CommitConflictError(TableError):
+    """An optimistic-concurrency commit failed validation.
+
+    Attributes:
+        side: ``'client'`` for conflicts that terminate user write
+            operations, ``'cluster'`` for conflicts that abort compaction
+            (maintenance) operations — matching the two columns of Table 1
+            in the paper.
+        reason: human-readable explanation of what invalidated the commit.
+    """
+
+    def __init__(self, side: str, reason: str) -> None:
+        if side not in ("client", "cluster"):
+            raise ValidationError(f"conflict side must be client|cluster, got {side!r}")
+        super().__init__(f"{side}-side commit conflict: {reason}")
+        self.side = side
+        self.reason = reason
+
+
+class SchedulingError(ReproError):
+    """A compaction task could not be scheduled."""

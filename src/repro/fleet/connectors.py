@@ -1,0 +1,163 @@
+"""Fleet-backed connector and execution backend for the AutoComp core.
+
+These adapters let the *unchanged* OODA pipeline (traits, ranking,
+selection) drive the vectorised fleet: candidates map to table indices,
+statistics come from the model's arrays, and act-phase jobs apply
+:meth:`~repro.fleet.model.FleetModel.compact`.  Because the decision code is
+shared with the live-table backend, the §7 production experiments exercise
+exactly the logic validated by the §6 synthetic ones (NFR3 in practice).
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import (
+    CandidateKey,
+    CandidateScope,
+    CandidateStatistics,
+)
+from repro.core.connectors import Connector
+from repro.core.scheduling import (
+    CompactionTask,
+    ExecutionBackend,
+    ExecutionResult,
+    PreparedJob,
+)
+from repro.errors import ValidationError
+from repro.fleet.model import FleetModel
+from repro.units import DAY
+
+
+def _key_for_index(model: FleetModel, index: int) -> CandidateKey:
+    return CandidateKey(
+        database=f"tenant{int(model.database[index]):03d}",
+        table=f"table{index:06d}",
+        scope=CandidateScope.TABLE,
+    )
+
+
+def _index_for_key(key: CandidateKey) -> int:
+    if not key.table.startswith("table"):
+        raise ValidationError(f"not a fleet candidate key: {key}")
+    return int(key.table[len("table") :])
+
+
+class FleetConnector(Connector):
+    """Exposes fleet tables as table-scope candidates.
+
+    Args:
+        model: the fleet state.
+        min_small_files: tables with fewer small files are not even listed
+            (a cheap generation-time screen that keeps candidate volume
+            manageable at fleet scale).
+    """
+
+    def __init__(self, model: FleetModel, min_small_files: int = 1) -> None:
+        self.model = model
+        self.min_small_files = min_small_files
+
+    def list_candidates(self, strategy: str = "table") -> list[CandidateKey]:
+        if strategy != "table":
+            raise ValidationError(
+                "the fleet connector scopes candidates at table level only "
+                f"(got strategy {strategy!r})"
+            )
+        small = self.model.small_files_per_table()
+        return [
+            _key_for_index(self.model, i)
+            for i in range(self.model.count)
+            if small[i] >= self.min_small_files
+        ]
+
+    def observe(self, keys: list[CandidateKey]) -> list:
+        # One quota computation per cycle instead of per candidate: the
+        # per-database utilisation is O(fleet size) to derive.
+        quota = self.model.database_quota_utilization()
+        from repro.core.candidates import Candidate
+
+        return [
+            Candidate(key=key, statistics=self._statistics(key, quota)) for key in keys
+        ]
+
+    def collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
+        return self._statistics(key, self.model.database_quota_utilization())
+
+    def _statistics(self, key: CandidateKey, quota_by_db) -> CandidateStatistics:
+        model = self.model
+        i = _index_for_key(key)
+        if not 0 <= i < model.count:
+            raise ValidationError(f"fleet table index {i} out of range")
+        tiny = int(model.tiny_files[i])
+        mid = int(model.mid_files[i])
+        large = int(model.large_files[i])
+        tiny_b = int(model.tiny_bytes[i])
+        mid_b = int(model.mid_bytes[i])
+        large_b = int(model.large_bytes[i])
+        quota = quota_by_db[int(model.database[i])]
+        return CandidateStatistics(
+            file_count=tiny + mid + large,
+            total_bytes=tiny_b + mid_b + large_b,
+            small_file_count=tiny + mid,
+            small_file_bytes=tiny_b + mid_b,
+            target_file_size=model.config.target_file_size,
+            file_sizes=(),
+            partition_count=1,
+            created_at=float(model.created_day[i]) * DAY,
+            last_modified_at=float(model.last_write_day[i]) * DAY,
+            quota_utilization=float(quota),
+        )
+
+
+class _FleetPreparedJob(PreparedJob):
+    def __init__(self, model: FleetModel, task: CompactionTask, index: int) -> None:
+        self._model = model
+        self._task = task
+        self._index = index
+        self._started_at = 0.0
+
+    def start(self) -> float:
+        self._started_at = float(self._model.day) * DAY
+        return 0.0
+
+    def finish(self) -> ExecutionResult:
+        model = self._model
+        files_before = int(
+            model.tiny_files[self._index]
+            + model.mid_files[self._index]
+            + model.large_files[self._index]
+        )
+        application = model.compact(self._index)
+        files_after = int(
+            model.tiny_files[self._index]
+            + model.mid_files[self._index]
+            + model.large_files[self._index]
+        )
+        return ExecutionResult(
+            candidate=self._task.candidate.key,
+            success=application.actual_reduction > 0,
+            skipped=application.actual_reduction == 0,
+            conflict_reason=None,
+            started_at=self._started_at,
+            finished_at=self._started_at,
+            duration_s=0.0,
+            gbhr=application.actual_gbhr,
+            files_before=files_before,
+            files_after=files_after,
+            estimated_reduction=application.estimated_reduction,
+            actual_reduction=application.actual_reduction,
+            rewritten_bytes=application.rewritten_bytes,
+            estimated_gbhr=application.estimated_gbhr,
+        )
+
+
+class FleetBackend(ExecutionBackend):
+    """Applies selected candidates to the fleet model."""
+
+    def __init__(self, model: FleetModel) -> None:
+        self.model = model
+
+    def prepare(self, task: CompactionTask) -> PreparedJob | None:
+        index = _index_for_key(task.candidate.key)
+        small = int(self.model.tiny_files[index] + self.model.mid_files[index])
+        if small < 2:
+            return None
+        return _FleetPreparedJob(self.model, task, index)

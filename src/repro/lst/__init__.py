@@ -1,0 +1,66 @@
+"""Log-structured table (LST) substrate.
+
+A from-scratch simulation of the table-format machinery AutoComp operates
+on: immutable data files, partition specs, snapshots, manifests, optimistic
+transactions with conflict validation, bin-packing rewrite (compaction)
+planning, and snapshot expiration.
+
+Two format profiles are provided, mirroring the paper's deployments:
+
+* :class:`~repro.lst.table.IcebergTable` — Apache-Iceberg-v1.2.0-like:
+  manifest/manifest-list/metadata-json layout, and the quirk documented in
+  §4.4 where *concurrent rewrites of distinct partitions still conflict*;
+* :class:`~repro.lst.delta.DeltaTable` — Delta-Lake-v2.4.0-like: JSON commit
+  log with periodic checkpoints and file-granularity conflict detection;
+* :class:`~repro.lst.hudi.HudiTable` — Apache-Hudi-like: timeline commits
+  that compaction collapses, MVCC-light conflict rules.
+
+All expose one :class:`~repro.lst.base.BaseTable` interface so AutoComp's
+connectors are format-agnostic (the paper's NFR3).
+"""
+
+from repro.lst.files import DataFile, DeleteFile, FileContent
+from repro.lst.partitioning import (
+    BucketTransform,
+    DayTransform,
+    IdentityTransform,
+    MonthTransform,
+    PartitionField,
+    PartitionSpec,
+)
+from repro.lst.schema import Field, Schema
+from repro.lst.snapshot import Snapshot
+from repro.lst.base import BaseTable, ConflictSemantics, ScanPlan, TableIdentifier
+from repro.lst.table import IcebergTable
+from repro.lst.delta import DeltaTable
+from repro.lst.hudi import HudiTable
+from repro.lst.maintenance import PartitionRewrite, RewritePlan, plan_rewrite
+from repro.lst.zorder import plan_zorder_rewrite, z_order_files, z_value
+
+__all__ = [
+    "BaseTable",
+    "BucketTransform",
+    "ConflictSemantics",
+    "DataFile",
+    "DayTransform",
+    "DeleteFile",
+    "DeltaTable",
+    "Field",
+    "FileContent",
+    "HudiTable",
+    "IcebergTable",
+    "IdentityTransform",
+    "MonthTransform",
+    "PartitionField",
+    "PartitionRewrite",
+    "PartitionSpec",
+    "RewritePlan",
+    "ScanPlan",
+    "Schema",
+    "Snapshot",
+    "TableIdentifier",
+    "plan_rewrite",
+    "plan_zorder_rewrite",
+    "z_order_files",
+    "z_value",
+]

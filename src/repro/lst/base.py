@@ -1,0 +1,829 @@
+"""Base table: transactions, optimistic concurrency, and conflict semantics.
+
+This module implements the commit protocol shared by both format profiles.
+A transaction captures the table's metadata version when it *starts*; at
+commit time, if other transactions committed in between, validation decides
+whether the commit can proceed — and validation is where the two format
+profiles (Iceberg-like, Delta-like) differ, expressed as a
+:class:`ConflictSemantics` value rather than subclass spaghetti.
+
+Conflicts carry a *side* matching the paper's Table 1:
+
+* ``client`` — a user write (append / overwrite / row-delta) terminated by a
+  versioning conflict; engines retry these;
+* ``cluster`` — a compaction (rewrite) aborted on the maintenance cluster;
+  AutoComp treats these as lost work.
+
+The Iceberg-v1.2.0 profile reproduces the counterintuitive behaviour the
+paper reports in §4.4: two concurrent rewrites conflict *even when they
+target distinct partitions*, which is why AutoComp's hybrid scheduler runs
+partition-level compactions sequentially per table.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import CommitConflictError, ValidationError
+from repro.lst.files import DataFile, DeleteFile, FileContent
+from repro.lst.partitioning import PartitionSpec
+from repro.lst.schema import Schema
+from repro.lst.snapshot import Snapshot
+from repro.simulation.clock import SimClock
+from repro.simulation.telemetry import Telemetry
+from repro.storage.filesystem import SimulatedFileSystem
+from repro.units import DEFAULT_TARGET_FILE_SIZE, SMALL_FILE_THRESHOLD
+
+#: Assumed average row width used when writers do not supply record counts.
+DEFAULT_ROW_BYTES = 128
+
+
+@dataclass(frozen=True)
+class TableIdentifier:
+    """Fully qualified table name (``database.table``)."""
+
+    database: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.database or not self.name:
+            raise ValidationError("database and table name must be non-empty")
+        if "." in self.database or "." in self.name:
+            raise ValidationError("database/table names must not contain '.'")
+
+    @classmethod
+    def parse(cls, qualified: str) -> "TableIdentifier":
+        """Parse ``'db.table'`` into an identifier."""
+        database, sep, name = qualified.partition(".")
+        if not sep:
+            raise ValidationError(f"expected 'db.table', got {qualified!r}")
+        return cls(database, name)
+
+    def __str__(self) -> str:
+        return f"{self.database}.{self.name}"
+
+
+@dataclass(frozen=True)
+class ConflictSemantics:
+    """Format-specific commit-validation rules.
+
+    Each flag enables one conflict check applied when a transaction commits
+    against a table version newer than the one it started from.
+    """
+
+    #: Appends fail (once; a retry with fresh metadata succeeds) when a
+    #: rewrite committed concurrently — the stale-metadata client conflicts
+    #: the paper observes when compaction races user writes.
+    append_fails_on_concurrent_rewrite: bool = True
+    #: Overwrites fail when any concurrent commit touched the same partition.
+    overwrite_fails_on_same_partition_commit: bool = True
+    #: Row-deltas (MoR deletes) fail when a referenced data file vanished.
+    rowdelta_fails_on_reference_removed: bool = True
+    #: Rewrites fail when any concurrent rewrite committed — regardless of
+    #: partition overlap.  True reproduces the Iceberg v1.2.0 quirk (§4.4).
+    rewrite_fails_on_concurrent_rewrite_any_partition: bool = True
+    #: Rewrites fail when a concurrent *write* touched a partition they
+    #: rewrite (in addition to the always-on source-file liveness check).
+    rewrite_fails_on_same_partition_write: bool = True
+
+    @classmethod
+    def iceberg_v1_2(cls) -> "ConflictSemantics":
+        """Semantics observed with Apache Iceberg v1.2.0 in the paper."""
+        return cls()
+
+    @classmethod
+    def delta_v2_4(cls) -> "ConflictSemantics":
+        """Delta-Lake-like file-granularity semantics.
+
+        Disjoint rewrites commit concurrently, and appends never conflict
+        with OPTIMIZE; only genuine file-set overlaps abort.
+        """
+        return cls(
+            append_fails_on_concurrent_rewrite=False,
+            overwrite_fails_on_same_partition_commit=True,
+            rowdelta_fails_on_reference_removed=True,
+            rewrite_fails_on_concurrent_rewrite_any_partition=False,
+            rewrite_fails_on_same_partition_write=False,
+        )
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """Result of planning a read: which files a query must touch."""
+
+    files: tuple[DataFile, ...]
+    delete_files: tuple[DeleteFile, ...]
+    manifests_read: int
+
+    @property
+    def file_count(self) -> int:
+        """Number of data files scanned."""
+        return len(self.files)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total data bytes scanned."""
+        return sum(f.size_bytes for f in self.files)
+
+    @property
+    def delete_bytes(self) -> int:
+        """Total delete-file bytes that must be merged at read time."""
+        return sum(f.size_bytes for f in self.delete_files)
+
+
+@dataclass(frozen=True)
+class _PendingFile:
+    """A file staged by a transaction, materialised at commit."""
+
+    size_bytes: int
+    record_count: int
+    partition: tuple
+    content: FileContent = FileContent.DATA
+    references: frozenset[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class _CommitRecord:
+    """Internal log entry used for conflict validation."""
+
+    version: int
+    snapshot_id: int
+    operation: str
+    partitions: frozenset
+    removed_file_ids: frozenset
+    is_rewrite: bool
+    timestamp: float
+
+
+class Transaction:
+    """An in-flight optimistic transaction against one table.
+
+    Instances are created by the table's ``new_*`` factory methods; callers
+    stage changes then :meth:`commit`.  A transaction is single-use: after
+    commit or abort it cannot be reused.
+    """
+
+    #: Iceberg operation label; also selects validation rules.
+    operation = "append"
+    #: Which Table-1 column a conflict on this operation lands in.
+    conflict_side = "client"
+
+    def __init__(self, table: "BaseTable") -> None:
+        self._table = table
+        self.base_version = table.version
+        self.started_at = table.clock.now
+        self._pending: list[_PendingFile] = []
+        self._removed: list[DataFile] = []
+        self._sources: list[DataFile] = []
+        self._done = False
+
+    # --- staging -------------------------------------------------------------
+
+    def add_file(
+        self,
+        size_bytes: int,
+        partition: tuple = (),
+        record_count: int | None = None,
+    ) -> None:
+        """Stage a new data file of ``size_bytes`` in ``partition``."""
+        self._check_open()
+        if size_bytes < 0:
+            raise ValidationError(f"file size must be >= 0, got {size_bytes}")
+        records = record_count if record_count is not None else max(
+            1, size_bytes // DEFAULT_ROW_BYTES
+        )
+        self._pending.append(
+            _PendingFile(int(size_bytes), int(records), tuple(partition))
+        )
+
+    # --- lifecycle -------------------------------------------------------------
+
+    def commit(self) -> Snapshot:
+        """Validate and apply the transaction.
+
+        Returns:
+            The snapshot produced by this commit.
+
+        Raises:
+            CommitConflictError: if validation against concurrent commits
+                fails; the transaction is consumed either way.
+        """
+        self._check_open()
+        self._done = True
+        return self._table._commit_transaction(self)
+
+    def abort(self) -> None:
+        """Discard the transaction without committing."""
+        self._done = True
+
+    @property
+    def committed_or_aborted(self) -> bool:
+        """Whether the transaction has completed (successfully or not)."""
+        return self._done
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise ValidationError("transaction already committed or aborted")
+
+    # --- hooks used by the table during commit ------------------------------------
+
+    def _touched_partitions(self) -> frozenset:
+        parts = {f.partition for f in self._pending}
+        parts.update(f.partition for f in self._removed)
+        parts.update(f.partition for f in self._sources)
+        return frozenset(parts)
+
+
+class AppendTransaction(Transaction):
+    """Add new data files; never removes anything."""
+
+    operation = "append"
+    conflict_side = "client"
+
+
+class OverwriteTransaction(Transaction):
+    """Replace specific existing files with new ones (copy-on-write update)."""
+
+    operation = "overwrite"
+    conflict_side = "client"
+
+    def delete_file(self, data_file: DataFile) -> None:
+        """Stage removal of an existing live data file."""
+        self._check_open()
+        self._removed.append(data_file)
+
+
+class RowDeltaTransaction(Transaction):
+    """Add merge-on-read position-delete files (and optionally new data)."""
+
+    operation = "rowdelta"
+    conflict_side = "client"
+
+    def add_deletes(
+        self,
+        size_bytes: int,
+        references: list[DataFile],
+        record_count: int | None = None,
+    ) -> None:
+        """Stage a position-delete file covering rows of ``references``."""
+        self._check_open()
+        if not references:
+            raise ValidationError("a delete file must reference at least one data file")
+        partition = references[0].partition
+        records = record_count if record_count is not None else max(
+            1, size_bytes // DEFAULT_ROW_BYTES
+        )
+        self._pending.append(
+            _PendingFile(
+                int(size_bytes),
+                int(records),
+                partition,
+                content=FileContent.POSITION_DELETES,
+                references=frozenset(f.file_id for f in references),
+            )
+        )
+
+
+class RewriteTransaction(Transaction):
+    """Compaction: replace source files with fewer, larger outputs."""
+
+    operation = "replace"
+    conflict_side = "cluster"
+
+    def rewrite(self, sources: list[DataFile], output_sizes: list[int]) -> None:
+        """Stage one rewrite group.
+
+        Args:
+            sources: live data files to replace (all in one partition).
+            output_sizes: sizes of the replacement files; their sum should
+                equal the sources' total (validated).
+        """
+        self._check_open()
+        if not sources:
+            raise ValidationError("rewrite group needs at least one source file")
+        partitions = {f.partition for f in sources}
+        if len(partitions) != 1:
+            raise ValidationError(
+                f"rewrite group must stay within one partition, got {sorted(partitions)}"
+            )
+        total_in = sum(f.size_bytes for f in sources)
+        total_out = sum(output_sizes)
+        if total_out != total_in:
+            raise ValidationError(
+                f"rewrite must preserve bytes: in={total_in} out={total_out}"
+            )
+        partition = next(iter(partitions))
+        records = sum(f.record_count for f in sources)
+        self._sources.extend(sources)
+        remaining_records = records
+        for i, size in enumerate(output_sizes):
+            if size <= 0:
+                raise ValidationError(f"output sizes must be positive, got {size}")
+            share = (
+                remaining_records
+                if i == len(output_sizes) - 1
+                else int(records * size / total_in)
+            )
+            remaining_records -= share
+            self._pending.append(_PendingFile(int(size), max(share, 0), partition))
+
+
+class BaseTable(abc.ABC):
+    """A log-structured table: snapshots + optimistic transactions.
+
+    Subclasses supply the metadata-file layout (:meth:`_write_commit_metadata`)
+    and default :class:`ConflictSemantics`.
+
+    Args:
+        identifier: qualified table name.
+        schema: column definitions; partition sources are validated against it.
+        spec: partition spec (default unpartitioned).
+        fs: backing filesystem; a private one is created if omitted.
+        location: storage root; defaults to ``/data/<db>/<table>``.
+        properties: free-form table properties.  Recognised keys:
+            ``write.target-file-size-bytes`` (default 512 MiB) and
+            ``snapshot.retention-s`` (default 0.0 — rewrites may be
+            physically cleaned immediately).
+        telemetry: metric sink (falls back to the filesystem's).
+        clock: simulated clock (falls back to the filesystem's).
+    """
+
+    format_name = "base"
+
+    def __init__(
+        self,
+        identifier: TableIdentifier,
+        schema: Schema,
+        spec: PartitionSpec | None = None,
+        fs: SimulatedFileSystem | None = None,
+        location: str | None = None,
+        properties: dict[str, object] | None = None,
+        telemetry: Telemetry | None = None,
+        clock: SimClock | None = None,
+        conflict_semantics: ConflictSemantics | None = None,
+    ) -> None:
+        self.identifier = identifier
+        self.schema = schema
+        self.spec = spec if spec is not None else PartitionSpec.unpartitioned()
+        for part_field in self.spec.fields:
+            if not schema.has_field(part_field.source):
+                raise ValidationError(
+                    f"partition source {part_field.source!r} not in schema"
+                )
+        self.fs = fs if fs is not None else SimulatedFileSystem()
+        self.clock = clock if clock is not None else self.fs.clock
+        self.telemetry = telemetry if telemetry is not None else self.fs.telemetry
+        self.location = location or f"/data/{identifier.database}/{identifier.name}"
+        self.properties: dict[str, object] = dict(properties or {})
+        self.conflict_semantics = (
+            conflict_semantics
+            if conflict_semantics is not None
+            else self._default_conflict_semantics()
+        )
+        self.created_at = self.clock.now
+        self.last_modified_at = self.clock.now
+
+        self._version = 0
+        self._snapshots: dict[int, Snapshot] = {}
+        self._current_id: int | None = None
+        self._commit_log: list[_CommitRecord] = []
+        self._next_file_id = 1
+        self._next_snapshot_id = 1
+        self._partition_last_modified: dict[tuple, float] = {}
+
+    # --- format hooks -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def _default_conflict_semantics(self) -> ConflictSemantics:
+        """Format-default conflict rules."""
+
+    @abc.abstractmethod
+    def _write_commit_metadata(
+        self,
+        snapshot_id: int,
+        version: int,
+        added: int,
+        removed: int,
+        parent: Snapshot | None,
+        operation: str,
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Write format-specific metadata files for a commit.
+
+        Returns:
+            ``(manifest_paths, exclusive_paths)``: manifests reachable from
+            the new snapshot (drives planning cost; may be shared with
+            other snapshots), and metadata files owned solely by this
+            snapshot (physically deleted when it expires).
+        """
+
+    # --- properties -----------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Metadata version; increments with every commit."""
+        return self._version
+
+    @property
+    def target_file_size(self) -> int:
+        """Compaction target size for this table (512 MiB default)."""
+        return int(
+            self.properties.get("write.target-file-size-bytes", DEFAULT_TARGET_FILE_SIZE)
+        )
+
+    @property
+    def snapshot_retention_s(self) -> float:
+        """How long expired snapshots' files are retained before cleanup."""
+        return float(self.properties.get("snapshot.retention-s", 0.0))
+
+    def current_snapshot(self) -> Snapshot | None:
+        """The latest snapshot, or None for a never-written table."""
+        if self._current_id is None:
+            return None
+        return self._snapshots[self._current_id]
+
+    def snapshot(self, snapshot_id: int) -> Snapshot:
+        """Look up a snapshot by id.
+
+        Raises:
+            ValidationError: if unknown (possibly already expired).
+        """
+        snap = self._snapshots.get(snapshot_id)
+        if snap is None:
+            raise ValidationError(f"unknown snapshot {snapshot_id}")
+        return snap
+
+    def snapshots(self) -> list[Snapshot]:
+        """All retained snapshots, oldest first."""
+        return sorted(self._snapshots.values(), key=lambda s: s.sequence_number)
+
+    def history(self) -> list[tuple[float, int, str]]:
+        """``(timestamp, snapshot_id, operation)`` per commit, oldest first."""
+        return [(r.timestamp, r.snapshot_id, r.operation) for r in self._commit_log]
+
+    # --- convenience metrics ------------------------------------------------------
+
+    @property
+    def data_file_count(self) -> int:
+        """Live data files in the current snapshot."""
+        snap = self.current_snapshot()
+        return snap.data_file_count if snap else 0
+
+    @property
+    def delete_file_count(self) -> int:
+        """Live MoR delete files in the current snapshot."""
+        snap = self.current_snapshot()
+        return snap.delete_file_count if snap else 0
+
+    @property
+    def total_data_bytes(self) -> int:
+        """Bytes across live data files."""
+        snap = self.current_snapshot()
+        return snap.total_data_bytes if snap else 0
+
+    def live_files(self) -> list[DataFile]:
+        """Live data files (empty list for a never-written table)."""
+        snap = self.current_snapshot()
+        return sorted(snap.live_files, key=lambda f: f.file_id) if snap else []
+
+    def partitions(self) -> list[tuple]:
+        """Distinct partitions with live files."""
+        snap = self.current_snapshot()
+        return snap.partitions() if snap else []
+
+    def small_file_count(self, threshold: int = SMALL_FILE_THRESHOLD) -> int:
+        """Live data files below ``threshold`` bytes."""
+        snap = self.current_snapshot()
+        if snap is None:
+            return 0
+        return sum(1 for f in snap.live_files if f.size_bytes < threshold)
+
+    def partition_last_modified(self, partition: tuple) -> float:
+        """Last *user-write* commit time touching ``partition``.
+
+        Falls back to the table creation time for never-written partitions.
+        Partition-scope write-activity filters read this — it is what lets
+        the hybrid strategy skip hot partitions and avoid the cluster-side
+        conflicts table-scope compaction cannot dodge (Table 1).
+        """
+        return self._partition_last_modified.get(partition, self.created_at)
+
+    # --- transactions ------------------------------------------------------------------
+
+    def new_append(self) -> AppendTransaction:
+        """Start an append transaction."""
+        return AppendTransaction(self)
+
+    def new_overwrite(self) -> OverwriteTransaction:
+        """Start a copy-on-write overwrite transaction."""
+        return OverwriteTransaction(self)
+
+    def new_row_delta(self) -> RowDeltaTransaction:
+        """Start a merge-on-read row-delta transaction."""
+        return RowDeltaTransaction(self)
+
+    def new_rewrite(self) -> RewriteTransaction:
+        """Start a rewrite (compaction) transaction."""
+        return RewriteTransaction(self)
+
+    # --- scanning ------------------------------------------------------------------------
+
+    def scan(self, partitions: list[tuple] | None = None) -> ScanPlan:
+        """Plan a read of the current snapshot.
+
+        Args:
+            partitions: restrict to these partition tuples (None = full scan).
+
+        Returns:
+            A :class:`ScanPlan`; empty if the table has no snapshot.
+        """
+        snap = self.current_snapshot()
+        if snap is None:
+            return ScanPlan(files=(), delete_files=(), manifests_read=0)
+        if partitions is None:
+            files = tuple(sorted(snap.live_files, key=lambda f: f.file_id))
+        else:
+            wanted = set(partitions)
+            files = tuple(
+                sorted(
+                    (f for f in snap.live_files if f.partition in wanted),
+                    key=lambda f: f.file_id,
+                )
+            )
+        file_ids = {f.file_id for f in files}
+        deletes = tuple(
+            sorted(
+                (d for d in snap.delete_files if d.references & file_ids),
+                key=lambda d: d.file_id,
+            )
+        )
+        return ScanPlan(files=files, delete_files=deletes, manifests_read=len(snap.manifest_paths))
+
+    # --- commit protocol ------------------------------------------------------------------
+
+    def _commit_transaction(self, txn: Transaction) -> Snapshot:
+        self._validate(txn)
+
+        parent = self.current_snapshot()
+        old_files = parent.live_files if parent else frozenset()
+        old_deletes = parent.delete_files if parent else frozenset()
+
+        removed_ids = frozenset(f.file_id for f in txn._removed) | frozenset(
+            f.file_id for f in txn._sources
+        )
+        added_data, added_deletes = self._materialize(txn._pending)
+
+        new_files = frozenset(f for f in old_files if f.file_id not in removed_ids)
+        new_files |= frozenset(added_data)
+
+        # Delete files whose referenced data files were all removed are dropped
+        # (a rewrite applies MoR deletes); others carry forward.
+        live_ids = frozenset(f.file_id for f in new_files)
+        surviving_deletes = frozenset(
+            d for d in old_deletes if d.references & live_ids
+        )
+        dropped_deletes = old_deletes - surviving_deletes
+        new_deletes = surviving_deletes | frozenset(added_deletes)
+
+        snapshot_id = self._next_snapshot_id
+        self._next_snapshot_id += 1
+        version = self._version + 1
+        manifest_paths, exclusive_paths = self._write_commit_metadata(
+            snapshot_id,
+            version,
+            added=len(added_data) + len(added_deletes),
+            removed=len(removed_ids),
+            parent=parent,
+            operation=txn.operation,
+        )
+        snapshot = Snapshot(
+            snapshot_id=snapshot_id,
+            parent_id=parent.snapshot_id if parent else None,
+            sequence_number=version,
+            timestamp=self.clock.now,
+            operation=txn.operation,
+            live_files=new_files,
+            delete_files=new_deletes,
+            manifest_paths=manifest_paths,
+            exclusive_metadata_paths=exclusive_paths,
+            summary={
+                "added-data-files": len(added_data),
+                "added-delete-files": len(added_deletes),
+                "removed-data-files": len(removed_ids),
+                "dropped-delete-files": len(dropped_deletes),
+                "total-data-files": len(new_files),
+            },
+        )
+        self._snapshots[snapshot_id] = snapshot
+        self._current_id = snapshot_id
+        self._version = version
+        self._commit_log.append(
+            _CommitRecord(
+                version=version,
+                snapshot_id=snapshot_id,
+                operation=txn.operation,
+                partitions=txn._touched_partitions(),
+                removed_file_ids=removed_ids,
+                is_rewrite=txn.operation == "replace",
+                timestamp=self.clock.now,
+            )
+        )
+        self.last_modified_at = self.clock.now
+        if txn.operation != "replace":
+            # Rewrites are maintenance, not user writes: they must not make
+            # a partition look "hot" to write-activity filters.
+            for partition in txn._touched_partitions():
+                self._partition_last_modified[partition] = self.clock.now
+        self.telemetry.increment(f"lst.commits.{txn.operation}")
+        return snapshot
+
+    def _validate(self, txn: Transaction) -> None:
+        concurrent = self._commit_log[txn.base_version :]
+        if not concurrent:
+            return
+        sem = self.conflict_semantics
+        snap = self.current_snapshot()
+        live_ids = frozenset(f.file_id for f in snap.live_files) if snap else frozenset()
+        touched = txn._touched_partitions()
+
+        def overlapping(records: list[_CommitRecord]) -> bool:
+            return any(r.partitions & touched for r in records)
+
+        if txn.operation == "append":
+            if sem.append_fails_on_concurrent_rewrite and any(
+                r.is_rewrite for r in concurrent
+            ):
+                self._count_conflict(txn)
+                raise CommitConflictError(
+                    "client", "append against metadata invalidated by concurrent rewrite"
+                )
+            self.telemetry.increment("lst.commit.refreshes")
+            return
+
+        if txn.operation in ("overwrite", "delete"):
+            missing = [f for f in txn._removed if f.file_id not in live_ids]
+            if missing:
+                self._count_conflict(txn)
+                raise CommitConflictError(
+                    "client",
+                    f"{len(missing)} file(s) to overwrite were removed concurrently",
+                )
+            if sem.overwrite_fails_on_same_partition_commit and overlapping(concurrent):
+                self._count_conflict(txn)
+                raise CommitConflictError(
+                    "client", "concurrent commit touched an overwritten partition"
+                )
+            return
+
+        if txn.operation == "rowdelta":
+            if sem.rowdelta_fails_on_reference_removed:
+                referenced = frozenset().union(
+                    *(p.references for p in txn._pending if p.references)
+                ) if txn._pending else frozenset()
+                if referenced - live_ids:
+                    self._count_conflict(txn)
+                    raise CommitConflictError(
+                        "client", "data files referenced by deletes were removed"
+                    )
+            return
+
+        if txn.operation == "replace":
+            missing = [f for f in txn._sources if f.file_id not in live_ids]
+            if missing:
+                self._count_conflict(txn)
+                raise CommitConflictError(
+                    "cluster",
+                    f"{len(missing)} rewrite source file(s) removed by concurrent commit",
+                )
+            if sem.rewrite_fails_on_concurrent_rewrite_any_partition and any(
+                r.is_rewrite for r in concurrent
+            ):
+                self._count_conflict(txn)
+                raise CommitConflictError(
+                    "cluster",
+                    "concurrent rewrite committed (conflicts even across distinct "
+                    "partitions in this format profile)",
+                )
+            if sem.rewrite_fails_on_same_partition_write and overlapping(
+                [r for r in concurrent if not r.is_rewrite]
+            ):
+                self._count_conflict(txn)
+                raise CommitConflictError(
+                    "cluster", "concurrent write touched a partition being rewritten"
+                )
+            return
+
+        raise ValidationError(f"unknown operation {txn.operation!r}")
+
+    def _count_conflict(self, txn: Transaction) -> None:
+        self.telemetry.increment(f"lst.conflicts.{txn.conflict_side}")
+
+    def _materialize(
+        self, pending: list[_PendingFile]
+    ) -> tuple[list[DataFile], list[DeleteFile]]:
+        data: list[DataFile] = []
+        deletes: list[DeleteFile] = []
+        for spec in pending:
+            file_id = self._next_file_id
+            self._next_file_id += 1
+            partition_dir = self.spec.partition_path(spec.partition)
+            subdir = f"data/{partition_dir}" if partition_dir else "data"
+            if spec.content is FileContent.DATA:
+                path = f"{self.location}/{subdir}/part-{file_id:08d}.parquet"
+                self.fs.create_file(path, spec.size_bytes)
+                data.append(
+                    DataFile(
+                        file_id=file_id,
+                        path=path,
+                        size_bytes=spec.size_bytes,
+                        record_count=spec.record_count,
+                        partition=spec.partition,
+                    )
+                )
+            else:
+                path = f"{self.location}/{subdir}/delete-{file_id:08d}.parquet"
+                self.fs.create_file(path, spec.size_bytes)
+                deletes.append(
+                    DeleteFile(
+                        file_id=file_id,
+                        path=path,
+                        size_bytes=spec.size_bytes,
+                        record_count=spec.record_count,
+                        partition=spec.partition,
+                        references=spec.references,
+                    )
+                )
+        return data, deletes
+
+    # --- snapshot expiration -----------------------------------------------------------
+
+    def expire_snapshots(
+        self, older_than: float | None = None, retain_last: int = 1
+    ) -> int:
+        """Drop old snapshots and physically delete unreachable files.
+
+        Args:
+            older_than: expire snapshots committed at or before this time;
+                defaults to "everything but the retained tail".
+            retain_last: always keep at least this many most-recent snapshots
+                (minimum 1 — the current snapshot is never expired).
+
+        Returns:
+            Number of physical files deleted from storage.
+        """
+        if retain_last < 1:
+            raise ValidationError("retain_last must be >= 1")
+        ordered = self.snapshots()
+        if not ordered:
+            return 0
+        cutoff = older_than if older_than is not None else float("inf")
+        keep_tail = ordered[-retain_last:]
+        retained = [
+            s for s in ordered if s in keep_tail or s.timestamp > cutoff
+        ]
+        retained_ids = {s.snapshot_id for s in retained}
+        expired = [s for s in ordered if s.snapshot_id not in retained_ids]
+        if not expired:
+            return 0
+
+        reachable: set[int] = set()
+        for snap in retained:
+            for f in snap.live_files:
+                reachable.add(f.file_id)
+            for d in snap.delete_files:
+                reachable.add(d.file_id)
+        retained_manifests: set[str] = set()
+        for snap in retained:
+            retained_manifests.update(snap.manifest_paths)
+
+        deleted = 0
+        seen: set[str] = set()
+
+        def remove(path: str) -> None:
+            nonlocal deleted
+            if path not in seen:
+                seen.add(path)
+                if self.fs.namenode.exists(path):
+                    self.fs.delete_file(path)
+                    deleted += 1
+
+        for snap in expired:
+            for f in list(snap.live_files) + list(snap.delete_files):
+                if f.file_id not in reachable:
+                    remove(f.path)
+            # Metadata cleanup: exclusively owned files always go; shared
+            # manifests go once no retained snapshot references them.
+            for path in snap.exclusive_metadata_paths:
+                remove(path)
+            for path in snap.manifest_paths:
+                if path not in retained_manifests:
+                    remove(path)
+            del self._snapshots[snap.snapshot_id]
+        self.telemetry.increment("lst.expired_files", deleted)
+        return deleted
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.identifier}, v{self._version}, "
+            f"files={self.data_file_count})"
+        )

@@ -1,0 +1,73 @@
+"""Immutable data and delete files.
+
+LSTs store table contents in immutable columnar files; updates never modify
+a file in place.  Two content kinds exist, mirroring Iceberg:
+
+* ``DATA`` files hold rows;
+* ``POSITION_DELETES`` files (merge-on-read) mark rows of specific data
+  files as deleted and must be merged at read time — the accumulation of
+  these is one of the paper's causes of small-file proliferation (§2,
+  cause ii).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FileContent(enum.Enum):
+    """What a file stores."""
+
+    DATA = "data"
+    POSITION_DELETES = "position_deletes"
+
+
+@dataclass(frozen=True)
+class DataFile:
+    """One immutable data file registered in a table.
+
+    Attributes:
+        file_id: table-scoped unique id (stable across snapshots).
+        path: absolute storage path.
+        size_bytes: file size.
+        record_count: number of rows.
+        partition: partition tuple this file belongs to; ``()`` for
+            unpartitioned tables.
+    """
+
+    file_id: int
+    path: str
+    size_bytes: int
+    record_count: int
+    partition: tuple = ()
+    content: FileContent = FileContent.DATA
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"file size must be >= 0, got {self.size_bytes}")
+        if self.record_count < 0:
+            raise ValueError(f"record count must be >= 0, got {self.record_count}")
+
+
+@dataclass(frozen=True)
+class DeleteFile:
+    """A merge-on-read position-delete file.
+
+    Attributes:
+        file_id: table-scoped unique id.
+        path: absolute storage path.
+        size_bytes: file size.
+        record_count: number of delete records.
+        partition: partition the referenced data files live in.
+        references: ``file_id``s of the data files whose rows it deletes;
+            readers scanning any of those files must also read this file.
+    """
+
+    file_id: int
+    path: str
+    size_bytes: int
+    record_count: int
+    partition: tuple = ()
+    references: frozenset[int] = field(default_factory=frozenset)
+    content: FileContent = FileContent.POSITION_DELETES

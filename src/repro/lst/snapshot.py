@@ -1,0 +1,71 @@
+"""Table snapshots.
+
+Each successful commit produces an immutable :class:`Snapshot` capturing the
+complete live file set at that version.  Storing the live set per snapshot
+(rather than replaying logs) keeps time-travel, expiration and conflict
+validation simple and O(1) to query, at the cost of sharing frozensets
+between snapshots — acceptable at simulation scale and semantically
+identical to manifest reachability in Iceberg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lst.files import DataFile, DeleteFile
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One committed table version.
+
+    Attributes:
+        snapshot_id: unique, monotonically increasing per table.
+        parent_id: snapshot this one was derived from (None for the first).
+        sequence_number: commit sequence (equals the metadata version).
+        timestamp: simulated commit time in seconds.
+        operation: one of ``append``, ``overwrite``, ``delete``, ``replace``
+            (compaction) — Iceberg's operation vocabulary.
+        live_files: all data files readable at this version.
+        delete_files: all merge-on-read delete files in force.
+        manifest_paths: metadata manifests reachable from this snapshot; the
+            engine's planning cost scales with this list's length.
+        exclusive_metadata_paths: metadata files owned solely by this
+            snapshot (e.g. Iceberg's manifest list and metadata JSON);
+            deleted when the snapshot expires.
+        summary: counters describing the commit (added/removed files etc.).
+    """
+
+    snapshot_id: int
+    parent_id: int | None
+    sequence_number: int
+    timestamp: float
+    operation: str
+    live_files: frozenset[DataFile]
+    delete_files: frozenset[DeleteFile] = frozenset()
+    manifest_paths: tuple[str, ...] = ()
+    exclusive_metadata_paths: tuple[str, ...] = ()
+    summary: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def data_file_count(self) -> int:
+        """Number of live data files."""
+        return len(self.live_files)
+
+    @property
+    def delete_file_count(self) -> int:
+        """Number of live delete files."""
+        return len(self.delete_files)
+
+    @property
+    def total_data_bytes(self) -> int:
+        """Total bytes across live data files."""
+        return sum(f.size_bytes for f in self.live_files)
+
+    def files_in_partition(self, partition: tuple) -> list[DataFile]:
+        """Live data files belonging to ``partition``."""
+        return [f for f in self.live_files if f.partition == partition]
+
+    def partitions(self) -> list[tuple]:
+        """Distinct partitions holding live files, sorted."""
+        return sorted({f.partition for f in self.live_files})

@@ -1,0 +1,25 @@
+"""Discrete-event simulation core.
+
+Everything in the library that "takes time" — query execution, ingestion,
+compaction jobs, periodic AutoComp cycles — runs against the simulated clock
+and event queue defined here, so whole multi-hour experiments (Figures 6–8)
+and month-scale deployments (Figures 10–11) execute in milliseconds of real
+time while preserving event ordering and concurrency windows.
+"""
+
+from repro.simulation.clock import SimClock
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.rng import derive_rng, derive_seed
+from repro.simulation.simulator import Simulator
+from repro.simulation.telemetry import MetricSeries, Telemetry
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "MetricSeries",
+    "SimClock",
+    "Simulator",
+    "Telemetry",
+    "derive_rng",
+    "derive_seed",
+]

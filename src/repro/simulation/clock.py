@@ -1,0 +1,50 @@
+"""Simulated wall clock.
+
+A :class:`SimClock` is a monotonically non-decreasing float of simulated
+seconds.  It is deliberately dumb: advancing it is the :class:`~repro.simulation.simulator.Simulator`'s
+job, and every other component only ever reads ``clock.now``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+
+class SimClock:
+    """Monotonic simulated time in seconds.
+
+    Args:
+        start: initial simulated time (seconds).  Defaults to 0.0.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValidationError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises:
+            ValidationError: if ``timestamp`` is in the past — simulated time
+                never flows backwards.
+        """
+        if timestamp < self._now:
+            raise ValidationError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds (must be >= 0)."""
+        if delta < 0:
+            raise ValidationError(f"cannot advance clock by negative delta {delta}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f})"

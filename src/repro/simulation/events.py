@@ -1,0 +1,85 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence)``: two events scheduled for the same
+instant fire in the order they were scheduled, which keeps simulations
+deterministic (NFR2 in the paper) without relying on dict/heap tie-breaking
+accidents.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulated second at which the event fires.
+        sequence: tie-breaker preserving scheduling order at equal times.
+        action: zero-argument callable executed when the event fires.
+        name: optional label used in tracing and error messages.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects with cancellation support."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(self, time: float, action: Callable[[], None], name: str = "") -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        if time < 0:
+            raise ValidationError(f"cannot schedule event at negative time {time}")
+        event = Event(time=float(time), sequence=next(self._sequence), action=action, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event.
+
+        Cancellation is lazy: the event stays in the heap but is skipped when
+        popped.  Cancelling an already-fired or unknown event is a no-op.
+        """
+        self._cancelled.add(event.sequence)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        self._drop_cancelled()
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].sequence in self._cancelled:
+            dropped = heapq.heappop(self._heap)
+            self._cancelled.discard(dropped.sequence)

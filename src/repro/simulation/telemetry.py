@@ -1,0 +1,163 @@
+"""Telemetry: counters and time series for experiments.
+
+Plays the role Logs Analytics plays in the paper's evaluation (§6): every
+subsystem records what happened (file counts, GBHr per compaction app, query
+latencies, conflict counts) into one :class:`Telemetry` sink, and benchmark
+harnesses read it back as :class:`MetricSeries` to print tables and figures.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass
+class MetricSeries:
+    """An append-only time series of ``(time, value)`` observations."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def record(self, time: float, value: float) -> None:
+        """Record an observation, keeping the series sorted by time.
+
+        Appends in O(1) for the common in-order case; out-of-order records
+        (e.g. a long-running job reporting a latency stamped at its *start*
+        after shorter jobs already finished) are inserted at the right
+        position.
+        """
+        time = float(time)
+        if not self.times or time >= self.times[-1]:
+            self.times.append(time)
+            self.values.append(float(value))
+            return
+        index = bisect.bisect_right(self.times, time)
+        self.times.insert(index, time)
+        self.values.insert(index, float(value))
+
+    def last(self, default: float = math.nan) -> float:
+        """Most recent value, or ``default`` if the series is empty."""
+        return self.values[-1] if self.values else default
+
+    def between(self, start: float, end: float) -> list[float]:
+        """Values observed in the half-open window ``[start, end)``."""
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_left(self.times, end)
+        return self.values[lo:hi]
+
+    def value_at(self, time: float, default: float = math.nan) -> float:
+        """Step-function read: the last value recorded at or before ``time``."""
+        idx = bisect.bisect_right(self.times, time) - 1
+        if idx < 0:
+            return default
+        return self.values[idx]
+
+    def bucket(
+        self, width: float, end: float | None = None, agg: str = "mean"
+    ) -> list[tuple[float, float]]:
+        """Aggregate observations into fixed-width buckets starting at t=0.
+
+        Args:
+            width: bucket width in seconds (e.g. one hour for Figures 6–8).
+            end: horizon; defaults to the last observation time.
+            agg: one of ``mean``, ``sum``, ``count``, ``min``, ``max``,
+                ``last``.
+
+        Returns:
+            ``(bucket_start, aggregate)`` pairs; empty buckets yield NaN for
+            ``mean``/``min``/``max``/``last`` and 0 for ``sum``/``count``.
+        """
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        horizon = end if end is not None else (self.times[-1] if self.times else 0.0)
+        out: list[tuple[float, float]] = []
+        start = 0.0
+        while start < horizon:
+            window = self.between(start, start + width)
+            out.append((start, _aggregate(window, agg)))
+            start += width
+        return out
+
+
+def _aggregate(values: list[float], agg: str) -> float:
+    if agg == "count":
+        return float(len(values))
+    if agg == "sum":
+        return float(sum(values))
+    if not values:
+        return math.nan
+    if agg == "mean":
+        return sum(values) / len(values)
+    if agg == "min":
+        return min(values)
+    if agg == "max":
+        return max(values)
+    if agg == "last":
+        return values[-1]
+    raise ValueError(f"unknown aggregation {agg!r}")
+
+
+class Telemetry:
+    """Central sink for counters and metric series.
+
+    Counters answer "how many X happened" (conflicts, RPC calls); series
+    answer "how did Y evolve over simulated time" (file counts, latencies).
+    Both are keyed by plain string names; callers namespace with dots, e.g.
+    ``'storage.rpc.open'`` or ``'autocomp.gbhr'``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = defaultdict(float)
+        self._series: dict[str, MetricSeries] = {}
+
+    # --- counters -------------------------------------------------------------
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, float]:
+        """All counters whose name starts with ``prefix``."""
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    # --- series ---------------------------------------------------------------
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append ``(time, value)`` to series ``name`` (creating it)."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = MetricSeries(name)
+        series.record(time, value)
+
+    def series(self, name: str) -> MetricSeries:
+        """The series named ``name`` (an empty one if never recorded)."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = MetricSeries(name)
+        return series
+
+    def series_names(self, prefix: str = "") -> list[str]:
+        """Sorted names of all series starting with ``prefix``."""
+        return sorted(name for name in self._series if name.startswith(prefix))
+
+    def merge_values(self, names: Iterable[str]) -> list[float]:
+        """Concatenate the values of several series (order: name, then time)."""
+        merged: list[float] = []
+        for name in names:
+            merged.extend(self.series(name).values)
+        return merged

@@ -1,0 +1,19 @@
+"""Simulated distributed storage (HDFS/ADLS stand-in).
+
+The paper's storage-health story is about *objects*, not bytes on disk: the
+HDFS NameNode can only manage a bounded number of namespace objects, small
+files inflate RPC traffic, and per-tenant namespace quotas get breached
+(§1–§2).  This package models exactly that surface:
+
+* :class:`~repro.storage.namenode.NameNode` — the namespace tree with object
+  accounting and per-directory quotas;
+* :class:`~repro.storage.filesystem.SimulatedFileSystem` — the client façade
+  that records create/open/delete/list RPC traffic into telemetry.
+
+No actual bytes are stored; file sizes are bookkeeping attributes.
+"""
+
+from repro.storage.namenode import FileInfo, NameNode
+from repro.storage.filesystem import SimulatedFileSystem
+
+__all__ = ["FileInfo", "NameNode", "SimulatedFileSystem"]

@@ -1,0 +1,260 @@
+"""NameNode: namespace tree, object accounting, and quotas.
+
+The namespace is a flat dict of absolute POSIX-style paths.  Directories are
+implicit but *counted*: HDFS charges both files and directories against a
+namespace quota, and the paper's §7 weight formula
+``w1 = 0.5 × (1 + UsedQuota/TotalQuota)`` depends on that accounting, so we
+track it exactly.  Quotas are attached to directory subtrees (one per
+database in the OpenHouse deployment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    FileExistsInStorageError,
+    FileNotFoundInStorageError,
+    QuotaExceededError,
+    ValidationError,
+)
+from repro.units import MiB
+
+
+def normalize_path(path: str) -> str:
+    """Normalise to an absolute path with no trailing slash.
+
+    Raises:
+        ValidationError: for empty or relative paths.
+    """
+    if not path or not path.startswith("/"):
+        raise ValidationError(f"paths must be absolute, got {path!r}")
+    parts = [part for part in path.split("/") if part]
+    return "/" + "/".join(parts)
+
+
+def parent_directories(path: str) -> list[str]:
+    """All ancestor directories of ``path``, excluding root, outermost first.
+
+    ``'/a/b/c.txt'`` -> ``['/a', '/a/b']``.
+    """
+    parts = [part for part in path.split("/") if part]
+    return ["/" + "/".join(parts[:i]) for i in range(1, len(parts))]
+
+
+@dataclass(frozen=True)
+class FileInfo:
+    """Metadata for one stored file."""
+
+    path: str
+    size_bytes: int
+    created_at: float
+    block_size: int
+
+    @property
+    def block_count(self) -> int:
+        """Number of storage blocks the file occupies (at least one)."""
+        if self.size_bytes <= 0:
+            return 1
+        return math.ceil(self.size_bytes / self.block_size)
+
+
+@dataclass
+class _Quota:
+    limit: int
+    used: int = 0
+
+
+@dataclass
+class NameNode:
+    """Namespace metadata server.
+
+    Attributes:
+        block_size: storage block size; files below it are "small" in HDFS
+            health metrics (default 128 MiB, the paper's threshold).
+    """
+
+    block_size: int = 128 * MiB
+    _files: dict[str, FileInfo] = field(default_factory=dict)
+    _dirs: set[str] = field(default_factory=set)
+    _quotas: dict[str, _Quota] = field(default_factory=dict)
+    _total_bytes: int = 0
+
+    # --- namespace-wide accounting ---------------------------------------------
+
+    @property
+    def file_count(self) -> int:
+        """Number of files in the namespace."""
+        return len(self._files)
+
+    @property
+    def directory_count(self) -> int:
+        """Number of (implicitly created) directories, excluding root."""
+        return len(self._dirs)
+
+    @property
+    def object_count(self) -> int:
+        """Files + directories: what an HDFS namespace quota charges."""
+        return len(self._files) + len(self._dirs)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all file sizes."""
+        return self._total_bytes
+
+    @property
+    def total_blocks(self) -> int:
+        """Sum of per-file block counts (NameNode block-map pressure)."""
+        return sum(info.block_count for info in self._files.values())
+
+    # --- file operations --------------------------------------------------------
+
+    def create(self, path: str, size_bytes: int, created_at: float) -> FileInfo:
+        """Create a file, implicitly creating (and quota-charging) parents.
+
+        Raises:
+            FileExistsInStorageError: if the path already exists.
+            QuotaExceededError: if any enclosing quota would overflow; the
+                namespace is left unchanged in that case.
+        """
+        path = normalize_path(path)
+        if size_bytes < 0:
+            raise ValidationError(f"file size must be >= 0, got {size_bytes}")
+        if path in self._files or path in self._dirs:
+            raise FileExistsInStorageError(path)
+        for ancestor in parent_directories(path):
+            if ancestor in self._files:
+                raise FileExistsInStorageError(
+                    f"{path}: ancestor {ancestor!r} is a file"
+                )
+
+        new_dirs = [d for d in parent_directories(path) if d not in self._dirs]
+        self._check_quotas(path, new_dirs)
+        for directory in new_dirs:
+            self._dirs.add(directory)
+            self._charge_quotas(directory, +1)
+        info = FileInfo(
+            path=path,
+            size_bytes=int(size_bytes),
+            created_at=float(created_at),
+            block_size=self.block_size,
+        )
+        self._files[path] = info
+        self._charge_quotas(path, +1)
+        self._total_bytes += info.size_bytes
+        return info
+
+    def lookup(self, path: str) -> FileInfo:
+        """Return the file at ``path``.
+
+        Raises:
+            FileNotFoundInStorageError: if absent.
+        """
+        path = normalize_path(path)
+        info = self._files.get(path)
+        if info is None:
+            raise FileNotFoundInStorageError(path)
+        return info
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` names a file or directory."""
+        path = normalize_path(path)
+        return path in self._files or path in self._dirs
+
+    def delete(self, path: str) -> FileInfo:
+        """Delete a file (directories are never garbage-collected).
+
+        Raises:
+            FileNotFoundInStorageError: if absent.
+        """
+        path = normalize_path(path)
+        info = self._files.pop(path, None)
+        if info is None:
+            raise FileNotFoundInStorageError(path)
+        self._charge_quotas(path, -1)
+        self._total_bytes -= info.size_bytes
+        return info
+
+    def files_under(self, prefix: str = "/") -> list[FileInfo]:
+        """All files whose path lies under directory ``prefix``."""
+        prefix = normalize_path(prefix)
+        if prefix == "/":
+            return list(self._files.values())
+        needle = prefix + "/"
+        return [info for path, info in self._files.items() if path.startswith(needle)]
+
+    def directories_under(self, prefix: str = "/") -> list[str]:
+        """All directories strictly under ``prefix``, sorted.
+
+        Directories are never garbage-collected (matching HDFS), so empty
+        ones keep counting against namespace quotas until removed by an
+        operator.
+        """
+        prefix = normalize_path(prefix)
+        if prefix == "/":
+            return sorted(self._dirs)
+        needle = prefix + "/"
+        return sorted(d for d in self._dirs if d.startswith(needle))
+
+    def count_under(self, prefix: str = "/") -> int:
+        """Number of files under ``prefix`` (cheaper than materialising)."""
+        prefix = normalize_path(prefix)
+        if prefix == "/":
+            return len(self._files)
+        needle = prefix + "/"
+        return sum(1 for path in self._files if path.startswith(needle))
+
+    # --- quotas -------------------------------------------------------------------
+
+    def set_quota(self, directory: str, max_objects: int) -> None:
+        """Attach a namespace-object quota to a directory subtree.
+
+        The quota's ``used`` count is initialised from the current contents
+        of the subtree (files + directories strictly below it).
+        """
+        directory = normalize_path(directory)
+        if max_objects <= 0:
+            raise ValidationError(f"quota limit must be positive, got {max_objects}")
+        needle = "/" if directory == "/" else directory + "/"
+        used = sum(1 for p in self._files if p.startswith(needle))
+        used += sum(1 for d in self._dirs if d.startswith(needle))
+        self._quotas[directory] = _Quota(limit=int(max_objects), used=used)
+
+    def quota_usage(self, directory: str) -> tuple[int, int]:
+        """``(used, limit)`` for the quota on ``directory``.
+
+        Raises:
+            ValidationError: if no quota is set there.
+        """
+        directory = normalize_path(directory)
+        quota = self._quotas.get(directory)
+        if quota is None:
+            raise ValidationError(f"no quota set on {directory!r}")
+        return quota.used, quota.limit
+
+    def quota_directories(self) -> list[str]:
+        """Directories that carry a quota, sorted."""
+        return sorted(self._quotas)
+
+    def _enclosing_quotas(self, path: str) -> list[_Quota]:
+        quotas = []
+        for directory, quota in self._quotas.items():
+            needle = "/" if directory == "/" else directory + "/"
+            if path.startswith(needle):
+                quotas.append(quota)
+        return quotas
+
+    def _check_quotas(self, path: str, new_dirs: list[str]) -> None:
+        # Count how many new objects each quota root would absorb.
+        for directory, quota in self._quotas.items():
+            needle = "/" if directory == "/" else directory + "/"
+            added = sum(1 for d in new_dirs if d.startswith(needle))
+            if path.startswith(needle):
+                added += 1
+            if added and quota.used + added > quota.limit:
+                raise QuotaExceededError(directory, quota.used, quota.limit)
+
+    def _charge_quotas(self, path: str, delta: int) -> None:
+        for quota in self._enclosing_quotas(path):
+            quota.used += delta

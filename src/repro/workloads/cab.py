@@ -1,0 +1,294 @@
+"""CAB-style multi-database workload (§6 experimental design).
+
+Reproduces the paper's synthetic setup: ``CAB-gen`` metadata for 20
+TPC-H-schema databases, query streams mimicking dashboards (sinusoidal),
+interactive bursts, and hourly jobs, with mixed update patterns across the
+partitioned ``lineitem`` and unpartitioned ``orders`` tables (the paper
+extended CAB to update both).  A deliberate write surge lands around hour 4,
+matching the load spike §6.1 observes.
+
+The workload attaches to a discrete-event simulator: read queries execute
+at their arrival instant; writes are two-phase (transaction opened at
+arrival, committed after the write's latency), so they genuinely race any
+compaction jobs running on the side — that race is where Table 1's
+client-side conflicts come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.engine.session import EngineSession
+from repro.engine.writers import MisconfiguredShuffleWriter
+from repro.errors import ValidationError
+from repro.lst.base import BaseTable
+from repro.simulation.rng import derive_rng
+from repro.simulation.simulator import Simulator
+from repro.units import GiB, HOUR, MiB
+from repro.workloads.patterns import BurstPattern, PeriodicPattern, SinusoidalPattern
+from repro.workloads.tpch import create_tpch_database
+
+
+@dataclass
+class CabConfig:
+    """Parameters of a CAB run (defaults: laptop-scale §6 shape)."""
+
+    #: Number of tenant databases (the paper uses 20).
+    databases: int = 20
+    #: Modelled data volume per database (paper: 500 GB / 20 = 25 GB each).
+    data_bytes_per_db: int = 2 * GiB
+    #: Experiment duration (paper: 5 hours).
+    duration_s: float = 5 * HOUR
+    #: Monthly ``lineitem`` partitions per database.
+    lineitem_months: int = 12
+    #: Read-only query rate per database (sinusoidal around this mean).
+    ro_rate_per_hour: float = 5.0
+    #: Write query rate per database.
+    rw_rate_per_hour: float = 2.0
+    #: Hour of the large write burst ("daily maintenance jobs").
+    write_spike_hour: float = 4.0
+    #: Mean extra write queries per database during the spike.
+    spike_events_per_db: float = 3.0
+    #: Mean bytes per incremental insert.
+    insert_bytes_mean: int = 48 * MiB
+    #: Mis-tuned shuffle partition count (files per insert).
+    shuffle_partitions: int = 48
+    #: How often the file-count series is sampled.
+    sample_interval_s: float = 600.0
+    #: Mean upstream-compute time of a write job (its transaction stays
+    #: open throughout — the client-conflict window of Table 1).
+    write_job_duration_mean_s: float = 120.0
+    #: Root seed (NFR2: identical seeds replay identical workloads).
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.databases <= 0:
+            raise ValidationError("databases must be positive")
+        if self.duration_s <= 0:
+            raise ValidationError("duration_s must be positive")
+        if self.lineitem_months <= 0:
+            raise ValidationError("lineitem_months must be positive")
+
+
+@dataclass
+class CabCounters:
+    """Aggregate workload statistics collected during a run."""
+
+    ro_queries: int = 0
+    rw_queries: int = 0
+    client_conflicts: int = 0
+    failed_writes: int = 0
+    last_completion: float = 0.0
+    write_queries_by_hour: dict[int, int] = field(default_factory=dict)
+
+
+class CabWorkload:
+    """A 20-database CAB run bound to a catalog and query cluster.
+
+    Args:
+        catalog: catalog to create the databases in.
+        session: engine session on the query-processing cluster.
+        config: workload parameters.
+
+    Typical use::
+
+        workload = CabWorkload(catalog, session, CabConfig())
+        workload.load()
+        simulator = Simulator(clock)      # the catalog's clock
+        workload.attach(simulator)
+        simulator.run_until(config.duration_s)
+    """
+
+    def __init__(self, catalog: Catalog, session: EngineSession, config: CabConfig) -> None:
+        self.catalog = catalog
+        self.session = session
+        self.config = config
+        self.counters = CabCounters()
+        self.tables: dict[str, dict[str, BaseTable]] = {}
+        self._insert_writer = MisconfiguredShuffleWriter(config.shuffle_partitions)
+        self._loaded = False
+
+    # --- setup ------------------------------------------------------------------
+
+    def database_names(self) -> list[str]:
+        """The workload's database names."""
+        return [f"cab{i:02d}" for i in range(self.config.databases)]
+
+    def load(self) -> None:
+        """Create and initially load every database (fragmented load).
+
+        The initial load deliberately produces many small files — the §6.1
+        baseline starts from a high file count "due to factors like cluster
+        misconfiguration".
+        """
+        if self._loaded:
+            raise ValidationError("workload already loaded")
+        loader = MisconfiguredShuffleWriter(self.config.shuffle_partitions)
+        # Scale factor relative to TPC-H SF1 total (~1 GB modelled).
+        scale = self.config.data_bytes_per_db / (1.0 * GiB)
+        for name in self.database_names():
+            self.tables[name] = create_tpch_database(
+                self.catalog,
+                name,
+                scale_factor=scale,
+                session=self.session,
+                loader=loader,
+                months=self.config.lineitem_months,
+                quota_objects=500_000,
+            )
+        self._loaded = True
+
+    # --- metrics -------------------------------------------------------------------
+
+    def total_data_files(self) -> int:
+        """Live data files across all workload tables."""
+        return sum(
+            table.data_file_count
+            for per_db in self.tables.values()
+            for table in per_db.values()
+        )
+
+    def sample_file_count(self, now: float) -> None:
+        """Record the current file count into ``cab.data_file_count``."""
+        self.catalog.telemetry.record("cab.data_file_count", now, self.total_data_files())
+
+    # --- event scheduling ----------------------------------------------------------
+
+    def attach(self, simulator: Simulator) -> None:
+        """Schedule the full query/write/sampling event program."""
+        if not self._loaded:
+            raise ValidationError("call load() before attach()")
+        self._sim_ref = simulator
+        cfg = self.config
+        start = simulator.now
+        end = start + cfg.duration_s
+
+        for db_index, name in enumerate(self.database_names()):
+            ro_rng = derive_rng(cfg.seed, "cab", name, "ro")
+            rw_rng = derive_rng(cfg.seed, "cab", name, "rw")
+            # Dashboards: sinusoidal demand, phase-shifted per tenant.
+            ro_pattern = SinusoidalPattern(
+                cfg.ro_rate_per_hour,
+                amplitude=0.5,
+                period_s=cfg.duration_s,
+                phase=db_index * 0.6,
+            )
+            # Steady incremental writes plus hourly jobs.
+            rw_pattern = SinusoidalPattern(
+                cfg.rw_rate_per_hour, amplitude=0.3, period_s=cfg.duration_s
+            ) + PeriodicPattern(HOUR, offset_s=120.0 + 37.0 * db_index)
+            # The hour-4 surge: daily-maintenance-style large burst.
+            spike = BurstPattern(
+                [cfg.write_spike_hour * HOUR],
+                events_per_burst=cfg.spike_events_per_db,
+                spread_s=900.0,
+            )
+            for t in ro_pattern.arrivals(start, end, ro_rng):
+                simulator.at(t, self._make_read(name), name="cab-ro")
+            write_arrivals = rw_pattern.arrivals(start, end, rw_rng)
+            write_arrivals += spike.arrivals(start, end, rw_rng)
+            for t in sorted(write_arrivals):
+                simulator.at(t, self._make_write(name), name="cab-rw")
+
+        simulator.every(
+            cfg.sample_interval_s,
+            lambda: self.sample_file_count(simulator.now),
+            name="cab-sample",
+            start=start,
+            until=end + 1,
+        )
+
+    # --- query bodies -----------------------------------------------------------------
+
+    def _make_read(self, db_name: str):
+        def run() -> None:
+            rng = self.session.rng
+            per_db = self.tables[db_name]
+            lineitem = per_db["lineitem"]
+            orders = per_db["orders"]
+            months = lineitem.partitions()
+            scans: list[tuple[BaseTable, list[tuple] | None]] = []
+            if months:
+                span = min(len(months), int(rng.integers(1, 5)))
+                first = int(rng.integers(0, len(months) - span + 1))
+                scans.append((lineitem, months[first : first + span]))
+            scans.append((orders, None))
+            result = self.session.execute_read(scans, label="ro")
+            self.counters.ro_queries += 1
+            self.counters.last_completion = max(
+                self.counters.last_completion, result.started_at + result.latency_s
+            )
+
+        return run
+
+    def _make_write(self, db_name: str):
+        def run() -> None:
+            simulator_now = self.session.clock.now
+            rng = self.session.rng
+            per_db = self.tables[db_name]
+            cfg = self.config
+            self.counters.rw_queries += 1
+            hour = int(simulator_now // HOUR)
+            self.counters.write_queries_by_hour[hour] = (
+                self.counters.write_queries_by_hour.get(hour, 0) + 1
+            )
+            self.catalog.telemetry.record("cab.write_queries", simulator_now, 1.0)
+
+            kind = rng.uniform()
+            volume = int(rng.lognormal(0.0, 0.4) * cfg.insert_bytes_mean)
+            # End-user ETL jobs spend minutes in upstream compute while
+            # their write transaction stays open.
+            job_compute = float(
+                rng.lognormal(0.0, 0.5) * cfg.write_job_duration_mean_s
+            )
+            if kind < 0.6:
+                lineitem = per_db["lineitem"]
+                months = lineitem.partitions()
+                # Incremental inserts target recent months.
+                recent = months[-3:] if len(months) >= 3 else months
+                job = self.session.start_write(
+                    lineitem,
+                    volume,
+                    self._insert_writer,
+                    partitions=recent,
+                    label="rw",
+                    extra_duration_s=job_compute,
+                )
+            elif kind < 0.8:
+                job = self.session.start_write(
+                    per_db["orders"],
+                    volume,
+                    self._insert_writer,
+                    label="rw",
+                    extra_duration_s=job_compute,
+                )
+            else:
+                try:
+                    job = self.session.start_overwrite(
+                        per_db["orders"],
+                        replace_fraction=0.1,
+                        writer=self._insert_writer,
+                        label="rw",
+                        extra_duration_s=job_compute,
+                    )
+                except ValidationError:
+                    return
+
+            def finish() -> None:
+                result = job.complete()
+                self.counters.client_conflicts += result.conflicts
+                if not result.committed:
+                    self.counters.failed_writes += 1
+                self.counters.last_completion = max(
+                    self.counters.last_completion, result.started_at + result.latency_s
+                )
+
+            self._schedule_after(job.latency_s, finish)
+
+        return run
+
+    def _schedule_after(self, delay: float, action) -> None:
+        if not hasattr(self, "_sim_ref"):
+            raise ValidationError("workload not attached to a simulator")
+        self._sim_ref.after(delay, action, name="cab-write-commit")

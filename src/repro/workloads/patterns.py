@@ -1,0 +1,167 @@
+"""Arrival patterns for query streams.
+
+The CAB study (and §6 of the paper) characterises cloud analytics demand as
+a mix of: constant demand with sinusoidal variation (dashboards), short
+bursts (interactive exploration), large bursts (daily maintenance jobs),
+and predictable workloads at fixed times (hourly jobs).  Each pattern here
+generates arrival timestamps over a window; stochastic patterns draw from a
+caller-supplied seeded RNG so whole workloads replay identically.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.units import HOUR
+
+
+class ArrivalPattern(abc.ABC):
+    """Generates event arrival times within a window."""
+
+    @abc.abstractmethod
+    def arrivals(self, start: float, end: float, rng: np.random.Generator) -> list[float]:
+        """Sorted arrival timestamps in ``[start, end)``."""
+
+    def __add__(self, other: "ArrivalPattern") -> "CombinedPattern":
+        return CombinedPattern([self, other])
+
+
+class SinusoidalPattern(ArrivalPattern):
+    """Non-homogeneous Poisson arrivals with sinusoidal intensity.
+
+    Intensity: ``λ(t) = rate/HOUR × (1 + amplitude·sin(2πt/period + phase))``,
+    sampled by thinning.
+
+    Args:
+        rate_per_hour: mean arrival rate.
+        amplitude: relative swing in [0, 1].
+        period_s: oscillation period (default one day).
+        phase: phase offset in radians.
+    """
+
+    def __init__(
+        self,
+        rate_per_hour: float,
+        amplitude: float = 0.5,
+        period_s: float = 24 * HOUR,
+        phase: float = 0.0,
+    ) -> None:
+        if rate_per_hour < 0:
+            raise ValidationError("rate_per_hour must be >= 0")
+        if not 0 <= amplitude <= 1:
+            raise ValidationError(f"amplitude must be in [0, 1], got {amplitude}")
+        if period_s <= 0:
+            raise ValidationError("period_s must be positive")
+        self.rate_per_hour = rate_per_hour
+        self.amplitude = amplitude
+        self.period_s = period_s
+        self.phase = phase
+
+    def intensity(self, t: float) -> float:
+        """Instantaneous rate (events per second) at time ``t``."""
+        base = self.rate_per_hour / HOUR
+        return base * (
+            1.0 + self.amplitude * math.sin(2 * math.pi * t / self.period_s + self.phase)
+        )
+
+    def arrivals(self, start: float, end: float, rng: np.random.Generator) -> list[float]:
+        if end <= start or self.rate_per_hour == 0:
+            return []
+        lam_max = self.rate_per_hour / HOUR * (1.0 + self.amplitude)
+        times = []
+        t = start
+        while True:
+            t += rng.exponential(1.0 / lam_max)
+            if t >= end:
+                break
+            if rng.uniform() <= self.intensity(t) / lam_max:
+                times.append(t)
+        return times
+
+
+class BurstPattern(ArrivalPattern):
+    """Clusters of arrivals at fixed burst instants.
+
+    Args:
+        burst_offsets_s: burst centre times, relative to the window start.
+        events_per_burst: mean events per burst (Poisson-distributed).
+        spread_s: burst half-width; events land uniformly in it.
+    """
+
+    def __init__(
+        self,
+        burst_offsets_s: list[float],
+        events_per_burst: float,
+        spread_s: float = 300.0,
+    ) -> None:
+        if events_per_burst < 0:
+            raise ValidationError("events_per_burst must be >= 0")
+        if spread_s < 0:
+            raise ValidationError("spread_s must be >= 0")
+        self.burst_offsets_s = sorted(burst_offsets_s)
+        self.events_per_burst = events_per_burst
+        self.spread_s = spread_s
+
+    def arrivals(self, start: float, end: float, rng: np.random.Generator) -> list[float]:
+        times = []
+        for offset in self.burst_offsets_s:
+            centre = start + offset
+            if not start <= centre < end:
+                continue
+            count = rng.poisson(self.events_per_burst)
+            for _ in range(count):
+                t = centre + rng.uniform(-self.spread_s, self.spread_s)
+                if start <= t < end:
+                    times.append(float(t))
+        return sorted(times)
+
+
+class PeriodicPattern(ArrivalPattern):
+    """Deterministic arrivals every ``interval_s`` (hourly jobs etc.).
+
+    Args:
+        interval_s: spacing between arrivals.
+        offset_s: first arrival's offset from the window start.
+        jitter_s: optional uniform jitter around each tick.
+    """
+
+    def __init__(self, interval_s: float, offset_s: float = 0.0, jitter_s: float = 0.0) -> None:
+        if interval_s <= 0:
+            raise ValidationError("interval_s must be positive")
+        if jitter_s < 0:
+            raise ValidationError("jitter_s must be >= 0")
+        self.interval_s = interval_s
+        self.offset_s = offset_s
+        self.jitter_s = jitter_s
+
+    def arrivals(self, start: float, end: float, rng: np.random.Generator) -> list[float]:
+        times = []
+        t = start + self.offset_s
+        while t < end:
+            if self.jitter_s:
+                jittered = t + rng.uniform(-self.jitter_s, self.jitter_s)
+            else:
+                jittered = t
+            if start <= jittered < end:
+                times.append(float(jittered))
+            t += self.interval_s
+        return sorted(times)
+
+
+class CombinedPattern(ArrivalPattern):
+    """Superposition of several patterns."""
+
+    def __init__(self, patterns: list[ArrivalPattern]) -> None:
+        if not patterns:
+            raise ValidationError("need at least one pattern to combine")
+        self.patterns = list(patterns)
+
+    def arrivals(self, start: float, end: float, rng: np.random.Generator) -> list[float]:
+        times: list[float] = []
+        for pattern in self.patterns:
+            times.extend(pattern.arrivals(start, end, rng))
+        return sorted(times)

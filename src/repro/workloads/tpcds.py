@@ -1,0 +1,368 @@
+"""TPC-DS-like schema and the Figure 3 maintenance experiment.
+
+The paper's §2 experiment runs TPC-DS at SF 1000 on Spark+Iceberg: a
+single-user phase (all queries), then a data-maintenance phase modifying
+~3% of the data via deletes and inserts, then the single-user phase again
+(1.53× slower), then compaction, then the single-user phase once more
+(back to ≈1×).  :class:`TpcdsExperiment` reproduces that protocol end to
+end on the simulated substrate.
+
+The schema is a representative subset: three fact tables partitioned by
+sold-date month plus four dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.policies import TablePolicy
+from repro.engine.cluster import Cluster
+from repro.engine.cost_model import CostModel
+from repro.engine.jobs import CompactionJob
+from repro.engine.session import EngineSession
+from repro.engine.writers import MisconfiguredShuffleWriter, WellTunedWriter, WriterProfile
+from repro.errors import ValidationError
+from repro.lst.base import BaseTable
+from repro.lst.maintenance import plan_table_rewrite
+from repro.lst.partitioning import MonthTransform, PartitionField, PartitionSpec
+from repro.lst.schema import Field, Schema
+from repro.simulation.rng import derive_rng
+from repro.units import GiB
+
+
+def _schema(*columns: tuple[str, str]) -> Schema:
+    return Schema.of(*(Field(name, type_) for name, type_ in columns))
+
+
+@dataclass(frozen=True)
+class TpcdsTableSpec:
+    """Volume/shape definition for one TPC-DS table."""
+
+    name: str
+    schema: Schema
+    rows_per_sf: int
+    bytes_per_row: int
+    is_fact: bool = False
+    partition_column: str | None = None
+
+    def bytes_at(self, scale_factor: float) -> int:
+        """On-disk bytes at a given scale factor."""
+        return int(self.rows_per_sf * scale_factor * self.bytes_per_row)
+
+
+#: Representative TPC-DS subset: 3 partitioned facts + 4 dimensions.
+TPCDS_TABLES: tuple[TpcdsTableSpec, ...] = (
+    TpcdsTableSpec(
+        "store_sales",
+        _schema(
+            ("ss_sold_date", "date"),
+            ("ss_item_sk", "long"),
+            ("ss_customer_sk", "long"),
+            ("ss_quantity", "int"),
+            ("ss_net_paid", "decimal"),
+        ),
+        rows_per_sf=2_880_000,
+        bytes_per_row=100,
+        is_fact=True,
+        partition_column="ss_sold_date",
+    ),
+    TpcdsTableSpec(
+        "catalog_sales",
+        _schema(
+            ("cs_sold_date", "date"),
+            ("cs_item_sk", "long"),
+            ("cs_quantity", "int"),
+            ("cs_net_paid", "decimal"),
+        ),
+        rows_per_sf=1_440_000,
+        bytes_per_row=120,
+        is_fact=True,
+        partition_column="cs_sold_date",
+    ),
+    TpcdsTableSpec(
+        "web_sales",
+        _schema(
+            ("ws_sold_date", "date"),
+            ("ws_item_sk", "long"),
+            ("ws_quantity", "int"),
+            ("ws_net_paid", "decimal"),
+        ),
+        rows_per_sf=720_000,
+        bytes_per_row=120,
+        is_fact=True,
+        partition_column="ws_sold_date",
+    ),
+    TpcdsTableSpec(
+        "item",
+        _schema(("i_item_sk", "long"), ("i_brand", "string"), ("i_price", "decimal")),
+        rows_per_sf=18_000,
+        bytes_per_row=200,
+    ),
+    TpcdsTableSpec(
+        "customer",
+        _schema(("c_customer_sk", "long"), ("c_name", "string"), ("c_city", "string")),
+        rows_per_sf=100_000,
+        bytes_per_row=180,
+    ),
+    TpcdsTableSpec(
+        "store",
+        _schema(("s_store_sk", "long"), ("s_name", "string")),
+        rows_per_sf=12,
+        bytes_per_row=250,
+    ),
+    TpcdsTableSpec(
+        "date_dim",
+        _schema(("d_date_sk", "long"), ("d_date", "date"), ("d_year", "int")),
+        rows_per_sf=73_049,
+        bytes_per_row=80,
+    ),
+)
+
+
+def create_tpcds_database(
+    catalog: Catalog,
+    database: str,
+    scale_factor: float,
+    session: EngineSession,
+    loader: WriterProfile,
+    months: int = 12,
+    policy: TablePolicy | None = None,
+    table_format: str = "iceberg",
+) -> dict[str, BaseTable]:
+    """Create and load a TPC-DS-subset database.
+
+    Facts are partitioned by sold-date month and spread uniformly over
+    ``months`` partitions; dimensions load as single bulk writes.
+
+    Returns:
+        Mapping of table name to the created table.
+    """
+    if months <= 0:
+        raise ValidationError("months must be positive")
+    catalog.create_database(database)
+    tables: dict[str, BaseTable] = {}
+    for spec in TPCDS_TABLES:
+        partition_spec = None
+        if spec.partition_column is not None:
+            partition_spec = PartitionSpec.of(
+                PartitionField(spec.partition_column, MonthTransform())
+            )
+        table = catalog.create_table(
+            f"{database}.{spec.name}",
+            spec.schema,
+            spec=partition_spec,
+            table_format=table_format,
+            policy=policy,
+        )
+        tables[spec.name] = table
+        total = spec.bytes_at(scale_factor)
+        if total <= 0:
+            continue
+        if partition_spec is not None:
+            per_month = total // months
+            if per_month > 0:
+                for month in range(months):
+                    session.write(table, per_month, loader, partitions=(month,), label="load")
+        else:
+            session.write(table, total, loader, label="load")
+    return tables
+
+
+@dataclass
+class TpcdsPhaseTimings:
+    """Durations of the Figure 3 protocol's phases."""
+
+    single_user_initial_s: float
+    maintenance_s: float
+    single_user_degraded_s: float
+    compaction_s: float
+    single_user_restored_s: float
+
+    @property
+    def degradation_factor(self) -> float:
+        """Degraded vs initial single-user runtime (paper: 1.53×)."""
+        return self.single_user_degraded_s / self.single_user_initial_s
+
+    @property
+    def restoration_factor(self) -> float:
+        """Restored vs initial single-user runtime (paper: ≈1.0×)."""
+        return self.single_user_restored_s / self.single_user_initial_s
+
+
+class TpcdsExperiment:
+    """The §2 / Figure 3 TPC-DS maintenance-and-compaction experiment.
+
+    Args:
+        scale_factor: TPC-DS scale (1.0 ≈ ~0.7 GB modelled subset volume);
+            the paper uses SF 1000 on a 16-node cluster — shapes, not
+            absolute times, are what transfer.
+        query_count: queries in the single-user phase (TPC-DS has 99).
+        months: fact-table partition count.
+        seed: determinism root.
+        cluster: query cluster (defaults to a 16-node-like pool).
+        cost_model: engine cost model.
+    """
+
+    def __init__(
+        self,
+        scale_factor: float = 4.0,
+        query_count: int = 99,
+        months: int = 12,
+        seed: int = 7,
+        cluster: Cluster | None = None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if scale_factor <= 0:
+            raise ValidationError("scale_factor must be positive")
+        if query_count <= 0:
+            raise ValidationError("query_count must be positive")
+        self.scale_factor = scale_factor
+        self.query_count = query_count
+        self.months = months
+        self.seed = seed
+        self.catalog = Catalog()
+        self.cluster = cluster if cluster is not None else Cluster(
+            "query", executors=16, cores_per_executor=8
+        )
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.session = EngineSession(
+            self.cluster,
+            cost_model=self.cost_model,
+            telemetry=self.catalog.telemetry,
+            clock=self.catalog.clock,
+            seed=seed,
+        )
+        self.tables: dict[str, BaseTable] = {}
+        self._rng = derive_rng(seed, "tpcds-experiment")
+
+    def setup(self) -> None:
+        """Create the database with a well-tuned (healthy) initial load."""
+        self.tables = create_tpcds_database(
+            self.catalog,
+            "tpcds",
+            self.scale_factor,
+            self.session,
+            WellTunedWriter(),
+            months=self.months,
+        )
+
+    def fact_tables(self) -> list[BaseTable]:
+        """The fact tables, in schema order."""
+        return [self.tables[s.name] for s in TPCDS_TABLES if s.is_fact]
+
+    def dimension_tables(self) -> list[BaseTable]:
+        """The dimension tables, in schema order."""
+        return [self.tables[s.name] for s in TPCDS_TABLES if not s.is_fact]
+
+    def run_single_user(self) -> float:
+        """One single-user phase: ``query_count`` sequential queries.
+
+        Each query scans a contiguous month range of one fact table plus
+        one or two dimensions (the join pattern of most TPC-DS queries).
+        Every invocation replays the *same* query sequence (a fresh RNG from
+        the experiment seed), so phase-to-phase comparisons isolate the
+        effect of table state rather than query mix.
+
+        Returns:
+            Total phase duration in (simulated) seconds; the clock advances
+            by the same amount.
+        """
+        rng = derive_rng(self.seed, "tpcds-single-user")
+        facts = self.fact_tables()
+        dims = self.dimension_tables()
+        total = 0.0
+        for _ in range(self.query_count):
+            fact = facts[int(rng.integers(0, len(facts)))]
+            months = fact.partitions()
+            span = min(len(months), int(rng.integers(2, 7)))
+            first = int(rng.integers(0, max(len(months) - span, 0) + 1))
+            scans: list[tuple[BaseTable, list[tuple] | None]] = [
+                (fact, months[first : first + span])
+            ]
+            for _ in range(int(rng.integers(1, 3))):
+                scans.append((dims[int(rng.integers(0, len(dims)))], None))
+            result = self.session.execute_read(scans, label="ro")
+            total += result.latency_s
+            self.catalog.clock.advance_by(result.latency_s)
+        return total
+
+    def run_maintenance(self, fraction: float = 0.03) -> float:
+        """The data-maintenance phase: ~``fraction`` of data delete+insert.
+
+        Deletes are merge-on-read row deltas; inserts come from a mis-tuned
+        writer, so the phase leaves both delete files and small data files
+        behind — the two mechanisms §2 blames for the slowdown.
+
+        Returns:
+            Phase duration in seconds.
+        """
+        if not 0 < fraction < 1:
+            raise ValidationError(f"fraction must be in (0, 1), got {fraction}")
+        total = 0.0
+        writer = MisconfiguredShuffleWriter(num_partitions=64)
+        for fact in self.fact_tables():
+            delta = self.session.start_row_delta(fact, fraction)
+            result = delta.complete()
+            total += result.latency_s
+            self.catalog.clock.advance_by(result.latency_s)
+            # TPC-DS maintenance runs one DML job per partition, each
+            # emitting its own (mis-tuned) shuffle output.
+            months = fact.partitions()
+            per_month = int(fact.total_data_bytes * fraction / max(len(months), 1))
+            for month in months:
+                if per_month <= 0:
+                    continue
+                write = self.session.write(
+                    fact, per_month, writer, partitions=month, label="rw"
+                )
+                total += write.latency_s
+                self.catalog.clock.advance_by(write.latency_s)
+        return total
+
+    def run_compaction(self, compaction_cluster: Cluster | None = None) -> float:
+        """Manually compact every fact table (the paper's remediation).
+
+        Returns:
+            Total compaction wall-clock duration in seconds.
+        """
+        cluster = compaction_cluster if compaction_cluster is not None else Cluster(
+            "compaction", executors=3
+        )
+        total = 0.0
+        for fact in self.fact_tables():
+            plan = plan_table_rewrite(fact)
+            if plan.is_empty:
+                continue
+            job = CompactionJob(
+                fact,
+                plan,
+                cluster,
+                cost_model=self.cost_model,
+                telemetry=self.catalog.telemetry,
+                clock=self.catalog.clock,
+            )
+            outcome = job.run_sync()
+            total += outcome.duration_s
+            self.catalog.clock.advance_by(outcome.duration_s)
+        return total
+
+    def run(self) -> TpcdsPhaseTimings:
+        """Execute the full Figure 3 protocol.
+
+        Returns:
+            The five phase durations, with degradation/restoration factors.
+        """
+        self.setup()
+        initial = self.run_single_user()
+        maintenance = self.run_maintenance()
+        degraded = self.run_single_user()
+        compaction = self.run_compaction()
+        restored = self.run_single_user()
+        return TpcdsPhaseTimings(
+            single_user_initial_s=initial,
+            maintenance_s=maintenance,
+            single_user_degraded_s=degraded,
+            compaction_s=compaction,
+            single_user_restored_s=restored,
+        )

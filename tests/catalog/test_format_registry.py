@@ -1,0 +1,98 @@
+"""Tests for table-format registry extensibility (NFR3).
+
+A third LST implementation (Hudi-like, say) should plug into the catalog —
+and therefore into AutoComp — by registering one class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import TABLE_FORMATS
+from repro.core import LstConnector, LstExecutionBackend
+from repro.core.scheduling import CompactionTask
+from repro.core.candidates import Candidate, CandidateKey, CandidateScope
+from repro.engine import Cluster
+from repro.lst.base import BaseTable, ConflictSemantics
+from repro.units import KiB, MiB
+
+from tests.conftest import fragment_table
+
+
+class HudiLikeTable(BaseTable):
+    """A minimal third format: one commit file per transaction, MVCC-light
+    conflict rules (appends never fail, rewrites only on file overlap)."""
+
+    format_name = "hudi-like"
+
+    def _default_conflict_semantics(self) -> ConflictSemantics:
+        return ConflictSemantics(
+            append_fails_on_concurrent_rewrite=False,
+            overwrite_fails_on_same_partition_commit=True,
+            rowdelta_fails_on_reference_removed=True,
+            rewrite_fails_on_concurrent_rewrite_any_partition=False,
+            rewrite_fails_on_same_partition_write=False,
+        )
+
+    def _write_commit_metadata(
+        self, snapshot_id, version, added, removed, parent, operation
+    ):
+        path = f"{self.location}/.custom/{version:08d}.commit"
+        self.fs.create_file(path, 1 * KiB + 64 * (added + removed))
+        previous = parent.manifest_paths if parent else ()
+        return previous + (path,), ()
+
+
+@pytest.fixture
+def registered_format():
+    TABLE_FORMATS["hudi-like"] = HudiLikeTable
+    yield
+    del TABLE_FORMATS["hudi-like"]
+
+
+class TestThirdFormat:
+    def test_catalog_creates_registered_format(self, registered_format, catalog, simple_schema):
+        catalog.create_database("db")
+        table = catalog.create_table("db.h", simple_schema, table_format="hudi-like")
+        assert isinstance(table, HudiLikeTable)
+        assert table.format_name == "hudi-like"
+
+    def test_metadata_layout_used(self, registered_format, catalog, simple_schema):
+        catalog.create_database("db")
+        table = catalog.create_table("db.h", simple_schema, table_format="hudi-like")
+        fragment_table(table, partitions=[()], files_per_partition=3)
+        commits = catalog.fs.namenode.files_under(f"{table.location}/.custom")
+        assert len(commits) == 1
+
+    def test_autocomp_compacts_third_format(self, registered_format, catalog, simple_schema):
+        """The whole OODA path works on a format AutoComp never saw."""
+        catalog.create_database("db")
+        table = catalog.create_table("db.h", simple_schema, table_format="hudi-like")
+        fragment_table(table, partitions=[()], files_per_partition=12, file_size=4 * MiB)
+        connector = LstConnector(catalog)
+        backend = LstExecutionBackend(connector, Cluster("m", executors=2))
+        key = CandidateKey("db", "h", CandidateScope.TABLE)
+        stats = connector.collect_statistics(key)
+        assert stats.small_file_count == 12
+        job = backend.prepare(CompactionTask(candidate=Candidate(key=key)))
+        job.start()
+        result = job.finish()
+        assert result.success
+        assert table.data_file_count == 1
+
+    def test_custom_semantics_in_force(self, registered_format, catalog, simple_schema, monthly_spec):
+        catalog.create_database("db")
+        table = catalog.create_table(
+            "db.h", simple_schema, spec=monthly_spec, table_format="hudi-like"
+        )
+        fragment_table(table)
+        # Disjoint concurrent rewrites commit (unlike the Iceberg profile).
+        part0 = [f for f in table.live_files() if f.partition == (0,)]
+        part1 = [f for f in table.live_files() if f.partition == (1,)]
+        rewrite0 = table.new_rewrite()
+        rewrite0.rewrite(part0, [sum(f.size_bytes for f in part0)])
+        rewrite1 = table.new_rewrite()
+        rewrite1.rewrite(part1, [sum(f.size_bytes for f in part1)])
+        rewrite0.commit()
+        rewrite1.commit()
+        assert table.data_file_count == 2

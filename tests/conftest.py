@@ -1,0 +1,103 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.engine import Cluster, EngineSession, MisconfiguredShuffleWriter
+from repro.lst import (
+    Field,
+    IcebergTable,
+    MonthTransform,
+    PartitionField,
+    PartitionSpec,
+    Schema,
+    TableIdentifier,
+)
+from repro.simulation import SimClock, Telemetry
+from repro.storage import SimulatedFileSystem
+from repro.units import MiB
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def telemetry() -> Telemetry:
+    return Telemetry()
+
+
+@pytest.fixture
+def fs(clock, telemetry) -> SimulatedFileSystem:
+    return SimulatedFileSystem(clock=clock, telemetry=telemetry)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    return Catalog()
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    return Schema.of(Field("id", "long"), Field("event_date", "date"), Field("v", "string"))
+
+
+@pytest.fixture
+def monthly_spec() -> PartitionSpec:
+    return PartitionSpec.of(PartitionField("event_date", MonthTransform()))
+
+
+@pytest.fixture
+def table(fs, simple_schema, monthly_spec) -> IcebergTable:
+    """A partitioned Iceberg-like table on a fresh filesystem."""
+    return IcebergTable(
+        identifier=TableIdentifier("db", "events"),
+        schema=simple_schema,
+        spec=monthly_spec,
+        fs=fs,
+    )
+
+
+@pytest.fixture
+def unpartitioned_table(fs, simple_schema) -> IcebergTable:
+    return IcebergTable(
+        identifier=TableIdentifier("db", "flat"),
+        schema=simple_schema,
+        fs=fs,
+    )
+
+
+@pytest.fixture
+def query_cluster() -> Cluster:
+    return Cluster("query", executors=4, cores_per_executor=8)
+
+
+@pytest.fixture
+def compaction_cluster() -> Cluster:
+    return Cluster("compaction", executors=3, cores_per_executor=8)
+
+
+@pytest.fixture
+def session(catalog, query_cluster) -> EngineSession:
+    return EngineSession(
+        query_cluster, telemetry=catalog.telemetry, clock=catalog.clock, seed=7
+    )
+
+
+def fragment_table(table, partitions=((0,), (1,)), files_per_partition=10, file_size=8 * MiB):
+    """Append many small files to a table (test helper, not a fixture)."""
+    txn = table.new_append()
+    for partition in partitions:
+        for _ in range(files_per_partition):
+            txn.add_file(file_size, partition=partition)
+    return txn.commit()
+
+
+@pytest.fixture
+def fragmented_table(table):
+    """A table with 20 small files across two partitions."""
+    fragment_table(table)
+    return table

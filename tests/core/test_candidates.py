@@ -1,0 +1,105 @@
+"""Tests for candidates, keys, and the standardized statistics layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Candidate, CandidateKey, CandidateScope, CandidateStatistics
+from repro.errors import ValidationError
+from repro.units import MiB
+
+TARGET = 512 * MiB
+
+
+class TestCandidateKey:
+    def test_table_scope(self):
+        key = CandidateKey("db", "t", CandidateScope.TABLE)
+        assert key.qualified_table == "db.t"
+        assert str(key) == "db.t"
+
+    def test_partition_scope_requires_partition(self):
+        with pytest.raises(ValidationError):
+            CandidateKey("db", "t", CandidateScope.PARTITION)
+        key = CandidateKey("db", "t", CandidateScope.PARTITION, partition=(3,))
+        assert "partition=(3,)" in str(key)
+
+    def test_snapshot_scope_requires_id(self):
+        with pytest.raises(ValidationError):
+            CandidateKey("db", "t", CandidateScope.SNAPSHOT)
+        key = CandidateKey("db", "t", CandidateScope.SNAPSHOT, snapshot_id=9)
+        assert "snapshot=9" in str(key)
+
+    def test_keys_hashable_and_equal(self):
+        a = CandidateKey("db", "t", CandidateScope.TABLE)
+        b = CandidateKey("db", "t", CandidateScope.TABLE)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != CandidateKey("db", "t", CandidateScope.PARTITION, partition=(0,))
+
+
+class TestCandidateStatistics:
+    def test_from_file_sizes(self):
+        stats = CandidateStatistics.from_file_sizes(
+            [MiB, 100 * MiB, 600 * MiB], target_file_size=TARGET
+        )
+        assert stats.file_count == 3
+        assert stats.small_file_count == 2
+        assert stats.small_file_bytes == 101 * MiB
+        assert stats.total_bytes == 701 * MiB
+        assert stats.small_file_fraction == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        stats = CandidateStatistics.from_file_sizes([], target_file_size=TARGET)
+        assert stats.file_count == 0
+        assert stats.small_file_fraction == 0.0
+
+    def test_boundary_file_not_small(self):
+        stats = CandidateStatistics.from_file_sizes([TARGET], target_file_size=TARGET)
+        assert stats.small_file_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CandidateStatistics(
+                file_count=1,
+                total_bytes=1,
+                small_file_count=2,  # > file_count
+                small_file_bytes=0,
+                target_file_size=TARGET,
+            )
+        with pytest.raises(ValidationError):
+            CandidateStatistics(
+                file_count=-1,
+                total_bytes=0,
+                small_file_count=0,
+                small_file_bytes=0,
+                target_file_size=TARGET,
+            )
+        with pytest.raises(ValidationError):
+            CandidateStatistics(
+                file_count=0,
+                total_bytes=0,
+                small_file_count=0,
+                small_file_bytes=0,
+                target_file_size=0,
+            )
+
+    def test_custom_mapping_frozen(self):
+        stats = CandidateStatistics.from_file_sizes(
+            [MiB], target_file_size=TARGET, custom={"access_rate": 5.0}
+        )
+        assert stats.custom["access_rate"] == 5.0
+        with pytest.raises(TypeError):
+            stats.custom["access_rate"] = 6.0
+
+
+class TestCandidate:
+    def test_trait_access(self):
+        candidate = Candidate(key=CandidateKey("db", "t", CandidateScope.TABLE))
+        candidate.traits["x"] = 1.5
+        assert candidate.trait("x") == 1.5
+        with pytest.raises(ValidationError):
+            candidate.trait("missing")
+
+    def test_str(self):
+        candidate = Candidate(key=CandidateKey("db", "t", CandidateScope.TABLE))
+        assert str(candidate) == "db.t"

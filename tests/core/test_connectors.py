@@ -1,0 +1,103 @@
+"""Tests for the LST (catalog-backed) connector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CandidateKey, CandidateScope, LstConnector
+from repro.errors import ValidationError
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+
+@pytest.fixture
+def populated_catalog(catalog, simple_schema, monthly_spec):
+    catalog.create_database("db1", quota_objects=10_000)
+    catalog.create_database("db2")
+    partitioned = catalog.create_table("db1.part", simple_schema, spec=monthly_spec)
+    flat = catalog.create_table("db1.flat", simple_schema)
+    other = catalog.create_table("db2.other", simple_schema)
+    fragment_table(partitioned, partitions=[(0,), (1,), (2,)], files_per_partition=4)
+    fragment_table(flat, partitions=[()], files_per_partition=6)
+    fragment_table(other, partitions=[()], files_per_partition=2)
+    return catalog
+
+
+class TestCandidateGeneration:
+    def test_table_strategy(self, populated_catalog):
+        keys = LstConnector(populated_catalog).list_candidates("table")
+        assert [str(k) for k in keys] == ["db1.flat", "db1.part", "db2.other"]
+        assert all(k.scope is CandidateScope.TABLE for k in keys)
+
+    def test_partition_strategy(self, populated_catalog):
+        keys = LstConnector(populated_catalog).list_candidates("partition")
+        partition_keys = [k for k in keys if k.scope is CandidateScope.PARTITION]
+        table_keys = [k for k in keys if k.scope is CandidateScope.TABLE]
+        # Partitioned table yields one key per partition; unpartitioned
+        # tables fall back to table scope.
+        assert len(partition_keys) == 3
+        assert len(table_keys) == 2
+
+    def test_hybrid_strategy(self, populated_catalog):
+        keys = LstConnector(populated_catalog).list_candidates("hybrid")
+        by_table = {}
+        for key in keys:
+            by_table.setdefault(key.qualified_table, []).append(key)
+        assert len(by_table["db1.part"]) == 3
+        assert by_table["db1.part"][0].scope is CandidateScope.PARTITION
+        assert by_table["db1.flat"][0].scope is CandidateScope.TABLE
+
+    def test_unknown_strategy(self, populated_catalog):
+        with pytest.raises(ValidationError):
+            LstConnector(populated_catalog).list_candidates("bogus")
+
+    def test_database_restriction(self, populated_catalog):
+        connector = LstConnector(populated_catalog, include_databases=["db2"])
+        keys = connector.list_candidates("table")
+        assert [str(k) for k in keys] == ["db2.other"]
+
+    def test_empty_table_yields_table_key(self, catalog, simple_schema, monthly_spec):
+        catalog.create_database("db")
+        catalog.create_table("db.empty", simple_schema, spec=monthly_spec)
+        keys = LstConnector(catalog).list_candidates("hybrid")
+        # No partitions yet: hybrid falls back to nothing for partitioned
+        # tables with no data (no partitions to enumerate).
+        assert keys == []
+
+
+class TestStatistics:
+    def test_table_scope_statistics(self, populated_catalog):
+        connector = LstConnector(populated_catalog)
+        key = CandidateKey("db1", "part", CandidateScope.TABLE)
+        stats = connector.collect_statistics(key)
+        assert stats.file_count == 12
+        assert stats.small_file_count == 12
+        assert stats.total_bytes == 12 * 8 * MiB
+        assert stats.partition_count == 3
+        assert stats.quota_utilization > 0
+
+    def test_partition_scope_statistics(self, populated_catalog):
+        connector = LstConnector(populated_catalog)
+        key = CandidateKey("db1", "part", CandidateScope.PARTITION, partition=(1,))
+        stats = connector.collect_statistics(key)
+        assert stats.file_count == 4
+        assert stats.partition_count == 1
+
+    def test_unlimited_database_quota_zero(self, populated_catalog):
+        connector = LstConnector(populated_catalog)
+        key = CandidateKey("db2", "other", CandidateScope.TABLE)
+        assert connector.collect_statistics(key).quota_utilization == 0.0
+
+    def test_observe_materialises_candidates(self, populated_catalog):
+        connector = LstConnector(populated_catalog)
+        keys = connector.list_candidates("table")
+        candidates = connector.observe(keys)
+        assert len(candidates) == 3
+        assert all(c.statistics is not None for c in candidates)
+
+    def test_target_from_policy(self, populated_catalog):
+        connector = LstConnector(populated_catalog)
+        key = CandidateKey("db1", "flat", CandidateScope.TABLE)
+        stats = connector.collect_statistics(key)
+        assert stats.target_file_size == 512 * MiB

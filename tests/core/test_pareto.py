@@ -1,0 +1,147 @@
+"""Tests for Pareto-frontier selection (§8 future direction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Candidate, CandidateKey, CandidateScope
+from repro.core.pareto import (
+    ParetoFrontPolicy,
+    ParetoObjective,
+    knee_point,
+    pareto_front,
+)
+from repro.errors import ValidationError
+
+OBJECTIVES = [
+    ParetoObjective("benefit", maximize=True),
+    ParetoObjective("cost", maximize=False),
+]
+
+
+def _candidate(name, benefit, cost):
+    candidate = Candidate(key=CandidateKey("db", name, CandidateScope.TABLE))
+    candidate.traits["benefit"] = float(benefit)
+    candidate.traits["cost"] = float(cost)
+    return candidate
+
+
+class TestParetoFront:
+    def test_dominated_points_excluded(self):
+        a = _candidate("a", benefit=10, cost=5)
+        b = _candidate("b", benefit=8, cost=6)  # dominated by a
+        c = _candidate("c", benefit=12, cost=9)
+        front = pareto_front([a, b, c], OBJECTIVES)
+        assert {str(x.key) for x in front} == {"db.a", "db.c"}
+
+    def test_non_dominated_property(self):
+        """Improving one objective on the frontier worsens another (§8)."""
+        candidates = [
+            _candidate(f"t{i}", benefit, cost)
+            for i, (benefit, cost) in enumerate(
+                [(1, 1), (2, 3), (3, 6), (4, 10), (2, 2), (3, 9)]
+            )
+        ]
+        front = pareto_front(candidates, OBJECTIVES)
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                better_benefit = a.trait("benefit") > b.trait("benefit")
+                worse_cost = a.trait("cost") > b.trait("cost")
+                if better_benefit:
+                    assert worse_cost
+
+    def test_identical_points_all_on_front(self):
+        twins = [_candidate(f"t{i}", 5, 5) for i in range(3)]
+        assert len(pareto_front(twins, OBJECTIVES)) == 3
+
+    def test_single_candidate(self):
+        only = _candidate("only", 1, 1)
+        assert pareto_front([only], OBJECTIVES) == [only]
+
+    def test_empty(self):
+        assert pareto_front([], OBJECTIVES) == []
+
+    def test_no_objectives_rejected(self):
+        with pytest.raises(ValidationError):
+            pareto_front([_candidate("a", 1, 1)], [])
+
+    def test_three_objectives(self):
+        objectives = OBJECTIVES + [ParetoObjective("freshness", maximize=True)]
+        a = _candidate("a", 10, 5)
+        a.traits["freshness"] = 1.0
+        b = _candidate("b", 10, 5)
+        b.traits["freshness"] = 2.0  # dominates a on the third axis
+        front = pareto_front([a, b], objectives)
+        assert front == [b]
+
+
+class TestKneePoint:
+    def test_balanced_point_selected(self):
+        extreme_benefit = _candidate("big", benefit=100, cost=100)
+        extreme_cheap = _candidate("cheap", benefit=1, cost=1)
+        balanced = _candidate("balanced", benefit=80, cost=30)
+        knee = knee_point([extreme_benefit, extreme_cheap, balanced], OBJECTIVES)
+        assert str(knee.key) == "db.balanced"
+
+    def test_empty_returns_none(self):
+        assert knee_point([], OBJECTIVES) is None
+
+    def test_single(self):
+        only = _candidate("only", 5, 5)
+        assert knee_point([only], OBJECTIVES) is only
+
+    def test_deterministic(self):
+        candidates = [
+            _candidate(f"t{i}", benefit, cost)
+            for i, (benefit, cost) in enumerate([(10, 2), (8, 1), (12, 4)])
+        ]
+        first = knee_point(list(candidates), OBJECTIVES)
+        second = knee_point(list(reversed(candidates)), OBJECTIVES)
+        assert str(first.key) == str(second.key)
+
+
+class TestParetoFrontPolicy:
+    def test_frontier_ranked_first(self):
+        a = _candidate("a", 10, 5)
+        dominated = _candidate("dom", 8, 6)
+        c = _candidate("c", 12, 9)
+        policy = ParetoFrontPolicy(OBJECTIVES, keep_dominated=True)
+        ranked = policy.rank([dominated, a, c])
+        names = [r.key.table for r in ranked]
+        assert set(names[:2]) == {"a", "c"}
+        assert names[2] == "dom"
+
+    def test_dominated_dropped_by_default(self):
+        a = _candidate("a", 10, 5)
+        dominated = _candidate("dom", 8, 6)
+        ranked = ParetoFrontPolicy(OBJECTIVES).rank([a, dominated])
+        assert [r.key.table for r in ranked] == ["a"]
+
+    def test_scores_assigned(self):
+        a = _candidate("a", 10, 5)
+        b = _candidate("b", 5, 1)
+        ranked = ParetoFrontPolicy(OBJECTIVES).rank([a, b])
+        assert all(r.score is not None for r in ranked)
+
+    def test_empty(self):
+        assert ParetoFrontPolicy(OBJECTIVES).rank([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ParetoFrontPolicy([])
+
+    def test_usable_in_pipeline_selector_chain(self):
+        """ParetoFrontPolicy composes with TopK like any other policy."""
+        from repro.core import TopKSelector
+
+        candidates = [
+            _candidate(f"t{i}", benefit, cost)
+            # Three genuinely non-dominated points plus one dominated one.
+            for i, (benefit, cost) in enumerate([(10, 3), (9, 2), (8, 1), (1, 50)])
+        ]
+        ranked = ParetoFrontPolicy(OBJECTIVES).rank(candidates)
+        assert len(ranked) == 3
+        top = TopKSelector(2).select(ranked)
+        assert len(top) == 2

@@ -1,0 +1,189 @@
+"""Tests for decide-phase ranking policies (paper §4.3 and §7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Candidate,
+    CandidateKey,
+    CandidateScope,
+    CandidateStatistics,
+    Objective,
+    QuotaAwareWeightedSumPolicy,
+    ThresholdPolicy,
+    WeightedSumPolicy,
+    min_max_normalize,
+)
+from repro.errors import ValidationError
+from repro.units import MiB
+
+TARGET = 512 * MiB
+
+
+def _candidate(name, traits, quota=0.0):
+    candidate = Candidate(
+        key=CandidateKey("db", name, CandidateScope.TABLE),
+        statistics=CandidateStatistics.from_file_sizes(
+            [MiB], target_file_size=TARGET, quota_utilization=quota
+        ),
+    )
+    candidate.traits.update(traits)
+    return candidate
+
+
+class TestMinMaxNormalize:
+    def test_paper_formula(self):
+        assert min_max_normalize([10.0, 20.0, 30.0]) == [0.0, 0.5, 1.0]
+
+    def test_constant_column_drops_to_zero(self):
+        assert min_max_normalize([5.0, 5.0, 5.0]) == [0.0, 0.0, 0.0]
+
+    def test_empty(self):
+        assert min_max_normalize([]) == []
+
+    def test_range_is_unit_interval(self):
+        values = [3.7, -2.0, 100.0, 0.0]
+        normalized = min_max_normalize(values)
+        assert min(normalized) == 0.0
+        assert max(normalized) == 1.0
+        assert all(0 <= v <= 1 for v in normalized)
+
+
+class TestThresholdPolicy:
+    def test_filters_and_orders_by_trait(self):
+        """The §4.3 unconstrained scenario: trigger at ΔF ≥ 10%."""
+        policy = ThresholdPolicy("relative_file_count_reduction", 0.10)
+        a = _candidate("a", {"relative_file_count_reduction": 0.50})
+        b = _candidate("b", {"relative_file_count_reduction": 0.05})
+        c = _candidate("c", {"relative_file_count_reduction": 0.20})
+        ranked = policy.rank([a, b, c])
+        assert [r.key.table for r in ranked] == ["a", "c"]
+        assert ranked[0].score == 0.50
+
+    def test_boundary_inclusive(self):
+        policy = ThresholdPolicy("x", 1.0)
+        assert len(policy.rank([_candidate("a", {"x": 1.0})])) == 1
+
+    def test_missing_trait_raises(self):
+        policy = ThresholdPolicy("ghost", 0.0)
+        with pytest.raises(ValidationError):
+            policy.rank([_candidate("a", {})])
+
+
+class TestWeightedSumPolicy:
+    def _policy(self):
+        return WeightedSumPolicy(
+            [
+                Objective("file_count_reduction", 0.7, maximize=True),
+                Objective("compute_cost_gbhr", 0.3, maximize=False),
+            ]
+        )
+
+    def test_benefit_dominates_with_paper_weights(self):
+        """S_c = 0.7·T'₁ − 0.3·T'₂ (the §6 configuration)."""
+        policy = self._policy()
+        big_cheap = _candidate("big_cheap", {"file_count_reduction": 200, "compute_cost_gbhr": 1})
+        big_pricey = _candidate("big_pricey", {"file_count_reduction": 200, "compute_cost_gbhr": 9})
+        small_cheap = _candidate("small_cheap", {"file_count_reduction": 10, "compute_cost_gbhr": 1})
+        ranked = policy.rank([big_pricey, small_cheap, big_cheap])
+        assert [r.key.table for r in ranked] == ["big_cheap", "big_pricey", "small_cheap"]
+
+    def test_scores_match_hand_computation(self):
+        policy = self._policy()
+        a = _candidate("a", {"file_count_reduction": 100, "compute_cost_gbhr": 10})
+        b = _candidate("b", {"file_count_reduction": 0, "compute_cost_gbhr": 0})
+        policy.rank([a, b])
+        # a: benefit norm 1, cost norm 1 -> 0.7 - 0.3 = 0.4; b: 0 - 0 = 0.
+        assert a.score == pytest.approx(0.4)
+        assert b.score == pytest.approx(0.0)
+
+    def test_cost_only_differs(self):
+        """Same benefit, different cost: the paper's §4.2 example —
+        the benefit/cost ratio favours the cheaper candidate."""
+        policy = self._policy()
+        cheap = _candidate("cheap", {"file_count_reduction": 100, "compute_cost_gbhr": 5})
+        pricey = _candidate("pricey", {"file_count_reduction": 100, "compute_cost_gbhr": 50})
+        ranked = policy.rank([pricey, cheap])
+        assert ranked[0].key.table == "cheap"
+
+    def test_deterministic_tie_break(self):
+        policy = self._policy()
+        twin_a = _candidate("twin_a", {"file_count_reduction": 5, "compute_cost_gbhr": 1})
+        twin_b = _candidate("twin_b", {"file_count_reduction": 5, "compute_cost_gbhr": 1})
+        first = [r.key.table for r in policy.rank([twin_b, twin_a])]
+        second = [r.key.table for r in policy.rank([twin_a, twin_b])]
+        assert first == second == ["twin_a", "twin_b"]
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            WeightedSumPolicy(
+                [
+                    Objective("a", 0.7),
+                    Objective("b", 0.7),
+                ]
+            )
+
+    def test_duplicate_traits_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedSumPolicy([Objective("a", 0.5), Objective("a", 0.5)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            Objective("a", -0.1)
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedSumPolicy([])
+
+    def test_empty_candidates(self):
+        assert self._policy().rank([]) == []
+
+    def test_single_candidate_normalises_to_zero(self):
+        policy = self._policy()
+        only = _candidate("only", {"file_count_reduction": 42, "compute_cost_gbhr": 7})
+        ranked = policy.rank([only])
+        assert ranked[0].score == 0.0
+
+
+class TestQuotaAwarePolicy:
+    def test_weight_formula(self):
+        """w₁ = 0.5 × (1 + UsedQuota/TotalQuota) — §7 verbatim."""
+        weight = QuotaAwareWeightedSumPolicy.benefit_weight
+        assert weight(0.0) == 0.5
+        assert weight(0.5) == 0.75
+        assert weight(1.0) == 1.0
+        assert weight(2.0) == 1.0  # clamped
+        assert weight(-1.0) == 0.5  # clamped
+
+    def test_quota_pressure_jumps_queue(self):
+        """A tenant near quota breach outranks a bigger-benefit tenant with
+        plenty of headroom."""
+        policy = QuotaAwareWeightedSumPolicy()
+        relaxed = _candidate(
+            "relaxed", {"file_count_reduction": 100, "compute_cost_gbhr": 10}, quota=0.0
+        )
+        squeezed = _candidate(
+            "squeezed", {"file_count_reduction": 90, "compute_cost_gbhr": 10}, quota=0.95
+        )
+        anchor = _candidate(
+            "anchor", {"file_count_reduction": 0, "compute_cost_gbhr": 0}, quota=0.0
+        )
+        ranked = policy.rank([relaxed, squeezed, anchor])
+        assert ranked[0].key.table == "squeezed"
+
+    def test_identical_candidates_tie_deterministically(self):
+        policy = QuotaAwareWeightedSumPolicy()
+        a = _candidate("aa", {"file_count_reduction": 5, "compute_cost_gbhr": 1}, quota=0.3)
+        b = _candidate("bb", {"file_count_reduction": 5, "compute_cost_gbhr": 1}, quota=0.3)
+        assert [r.key.table for r in policy.rank([b, a])] == ["aa", "bb"]
+
+    def test_empty(self):
+        assert QuotaAwareWeightedSumPolicy().rank([]) == []
+
+    def test_custom_trait_names(self):
+        policy = QuotaAwareWeightedSumPolicy(benefit_trait="b", cost_trait="c")
+        one = _candidate("one", {"b": 10, "c": 2}, quota=0.2)
+        two = _candidate("two", {"b": 1, "c": 2}, quota=0.2)
+        ranked = policy.rank([two, one])
+        assert ranked[0].key.table == "one"

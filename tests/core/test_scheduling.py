@@ -1,0 +1,240 @@
+"""Tests for act-phase backends and schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Candidate,
+    CandidateKey,
+    CandidateScope,
+    CompactionTask,
+    LstConnector,
+    LstExecutionBackend,
+    OffPeakScheduler,
+    ParallelScheduler,
+    PartitionSerialScheduler,
+    SequentialScheduler,
+)
+from repro.engine import Cluster
+from repro.errors import SchedulingError
+from repro.simulation import Simulator
+from repro.units import HOUR, MiB
+
+from tests.conftest import fragment_table
+
+
+@pytest.fixture
+def world(catalog, simple_schema, monthly_spec):
+    catalog.create_database("db")
+    table_a = catalog.create_table("db.a", simple_schema, spec=monthly_spec)
+    table_b = catalog.create_table("db.b", simple_schema, spec=monthly_spec)
+    fragment_table(table_a, partitions=[(0,), (1,)], files_per_partition=6)
+    fragment_table(table_b, partitions=[(0,)], files_per_partition=6)
+    connector = LstConnector(catalog)
+    backend = LstExecutionBackend(connector, Cluster("maint", executors=3))
+    return catalog, connector, backend, table_a, table_b
+
+
+def _table_task(db, name):
+    return CompactionTask(
+        candidate=Candidate(key=CandidateKey(db, name, CandidateScope.TABLE))
+    )
+
+
+def _partition_task(db, name, partition):
+    return CompactionTask(
+        candidate=Candidate(
+            key=CandidateKey(db, name, CandidateScope.PARTITION, partition=partition)
+        )
+    )
+
+
+class TestBackend:
+    def test_prepare_table_scope(self, world):
+        _, _, backend, table_a, _ = world
+        job = backend.prepare(_table_task("db", "a"))
+        assert job is not None
+        duration = job.start()
+        assert duration > 0
+        result = job.finish()
+        assert result.success
+        assert result.actual_reduction == 10  # 12 files -> 2 (one per partition)
+
+    def test_prepare_partition_scope(self, world):
+        _, _, backend, table_a, _ = world
+        job = backend.prepare(_partition_task("db", "a", (0,)))
+        job.start()
+        result = job.finish()
+        assert result.success
+        assert table_a.data_file_count == 7  # partition 0 merged to 1
+
+    def test_prepare_empty_plan_returns_none(self, world):
+        catalog, _, backend, *_ = world
+        catalog.create_table("db.empty", catalog.load_table("db.a").schema)
+        assert backend.prepare(_table_task("db", "empty")) is None
+
+
+class TestSequentialSyncMode:
+    def test_results_returned_in_order(self, world):
+        _, _, backend, *_ = world
+        tasks = [_table_task("db", "a"), _table_task("db", "b")]
+        results = SequentialScheduler().schedule(tasks, backend)
+        assert [str(r.candidate) for r in results] == ["db.a", "db.b"]
+        assert all(r.success for r in results)
+
+    def test_skipped_tasks_reported(self, world):
+        catalog, _, backend, *_ = world
+        catalog.create_table("db.empty", catalog.load_table("db.a").schema)
+        results = SequentialScheduler().schedule([_table_task("db", "empty")], backend)
+        assert len(results) == 1
+        assert results[0].skipped
+
+    def test_on_result_callback(self, world):
+        _, _, backend, *_ = world
+        seen = []
+        SequentialScheduler().schedule(
+            [_table_task("db", "a")], backend, on_result=seen.append
+        )
+        assert len(seen) == 1
+
+
+class TestSimulatorMode:
+    def test_sequential_chains_jobs(self, world):
+        catalog, _, backend, *_ = world
+        simulator = Simulator(catalog.clock)
+        results = []
+        out = SequentialScheduler().schedule(
+            [_table_task("db", "a"), _table_task("db", "b")],
+            backend,
+            simulator=simulator,
+            on_result=results.append,
+        )
+        assert out == []  # async mode
+        simulator.run()
+        assert len(results) == 2
+        # Job 2 starts only after job 1 finishes.
+        assert results[1].started_at >= results[0].finished_at
+        assert all(r.success for r in results)
+
+    def test_parallel_rewrites_conflict_on_iceberg(self, world):
+        """Two concurrent table rewrites: the second hits the v1.2.0 quirk."""
+        catalog, _, backend, *_ = world
+        simulator = Simulator(catalog.clock)
+        results = []
+        ParallelScheduler().schedule(
+            [_table_task("db", "a"), _table_task("db", "b")],
+            backend,
+            simulator=simulator,
+            on_result=results.append,
+        )
+        simulator.run()
+        assert len(results) == 2
+        # Different tables: both succeed (quirk is per-table).
+        assert all(r.success for r in results)
+
+    def test_parallel_partitions_same_table_conflict(self, world):
+        """Distinct partitions of ONE table rewritten concurrently: the
+        second commit aborts (cluster-side) — the paper's §4.4 finding."""
+        catalog, _, backend, table_a, _ = world
+        simulator = Simulator(catalog.clock)
+        results = []
+        ParallelScheduler().schedule(
+            [_partition_task("db", "a", (0,)), _partition_task("db", "a", (1,))],
+            backend,
+            simulator=simulator,
+            on_result=results.append,
+        )
+        simulator.run()
+        outcomes = sorted((r.success for r in results))
+        assert outcomes == [False, True]
+        conflicted = next(r for r in results if not r.success)
+        assert conflicted.conflict_reason is not None
+
+    def test_partition_serial_avoids_conflicts(self, world):
+        """The hybrid scheduler: same-table partitions run back-to-back."""
+        catalog, _, backend, table_a, _ = world
+        simulator = Simulator(catalog.clock)
+        results = []
+        PartitionSerialScheduler().schedule(
+            [_partition_task("db", "a", (0,)), _partition_task("db", "a", (1,))],
+            backend,
+            simulator=simulator,
+            on_result=results.append,
+        )
+        simulator.run()
+        assert all(r.success for r in results)
+        assert table_a.data_file_count == 2
+
+    def test_partition_serial_parallel_across_tables(self, world):
+        catalog, _, backend, *_ = world
+        simulator = Simulator(catalog.clock)
+        results = []
+        PartitionSerialScheduler().schedule(
+            [_partition_task("db", "a", (0,)), _table_task("db", "b")],
+            backend,
+            simulator=simulator,
+            on_result=results.append,
+        )
+        simulator.run()
+        # Both started at t=0 (no chaining across tables).
+        assert all(r.started_at == 0.0 for r in results)
+
+
+class TestOffPeakScheduler:
+    def test_requires_simulator(self, world):
+        _, _, backend, *_ = world
+        scheduler = OffPeakScheduler(SequentialScheduler())
+        with pytest.raises(SchedulingError):
+            scheduler.schedule([_table_task("db", "a")], backend)
+
+    def test_defers_to_window(self, world):
+        catalog, _, backend, *_ = world
+        simulator = Simulator(catalog.clock)
+        scheduler = OffPeakScheduler(
+            SequentialScheduler(), window_start_hour=2.0, window_end_hour=4.0
+        )
+        results = []
+        scheduler.schedule(
+            [_table_task("db", "a")], backend, simulator=simulator, on_result=results.append
+        )
+        simulator.run()
+        assert len(results) == 1
+        assert results[0].started_at >= 2 * HOUR
+
+    def test_inside_window_runs_now(self, world):
+        catalog, _, backend, *_ = world
+        catalog.clock.advance_to(3 * HOUR)
+        simulator = Simulator(catalog.clock)
+        scheduler = OffPeakScheduler(
+            SequentialScheduler(), window_start_hour=2.0, window_end_hour=4.0
+        )
+        results = []
+        scheduler.schedule(
+            [_table_task("db", "a")], backend, simulator=simulator, on_result=results.append
+        )
+        simulator.run()
+        assert results[0].started_at == 3 * HOUR
+
+    def test_wrapping_window(self):
+        scheduler = OffPeakScheduler(
+            SequentialScheduler(), window_start_hour=22.0, window_end_hour=2.0
+        )
+        assert scheduler.seconds_until_window(23 * HOUR) == 0.0
+        assert scheduler.seconds_until_window(1 * HOUR) == 0.0
+        assert scheduler.seconds_until_window(3 * HOUR) == 19 * HOUR
+
+
+class TestTaskFromCandidate:
+    def test_estimates_pulled_from_traits(self):
+        candidate = Candidate(key=CandidateKey("db", "t", CandidateScope.TABLE))
+        candidate.traits["compute_cost_gbhr"] = 12.0
+        candidate.traits["file_count_reduction"] = 80.0
+        task = CompactionTask.from_candidate(candidate)
+        assert task.estimated_gbhr == 12.0
+        assert task.estimated_reduction == 80.0
+
+    def test_defaults_when_traits_absent(self):
+        candidate = Candidate(key=CandidateKey("db", "t", CandidateScope.TABLE))
+        task = CompactionTask.from_candidate(candidate)
+        assert task.estimated_gbhr == 0.0

@@ -1,0 +1,91 @@
+"""Tests for selectors (top-k and budget-constrained dynamic k)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AllSelector, BudgetSelector, Candidate, CandidateKey, CandidateScope, TopKSelector
+from repro.errors import ValidationError
+
+
+def _ranked(costs):
+    candidates = []
+    for i, cost in enumerate(costs):
+        candidate = Candidate(key=CandidateKey("db", f"t{i}", CandidateScope.TABLE))
+        candidate.traits["compute_cost_gbhr"] = cost
+        candidate.score = float(len(costs) - i)
+        candidates.append(candidate)
+    return candidates
+
+
+class TestTopK:
+    def test_takes_first_k(self):
+        ranked = _ranked([1, 1, 1, 1])
+        assert [c.key.table for c in TopKSelector(2).select(ranked)] == ["t0", "t1"]
+
+    def test_k_larger_than_pool(self):
+        assert len(TopKSelector(10).select(_ranked([1, 1]))) == 2
+
+    def test_zero_or_negative_k(self):
+        assert TopKSelector(0).select(_ranked([1])) == []
+        assert TopKSelector(-5).select(_ranked([1])) == []
+
+
+class TestBudgetSelector:
+    def test_greedy_packing(self):
+        """The paper's heuristic: fit as many high-priority tasks as fit."""
+        ranked = _ranked([50, 30, 40, 10])
+        selected = BudgetSelector(budget=90).select(ranked)
+        # 50 + 30 fit; 40 does not (80+40 > 90); 10 still fits.
+        assert [c.key.table for c in selected] == ["t0", "t1", "t3"]
+
+    def test_strict_priority_mode_stops_at_overflow(self):
+        ranked = _ranked([50, 60, 10])
+        selected = BudgetSelector(budget=90, skip_unaffordable=False).select(ranked)
+        assert [c.key.table for c in selected] == ["t0"]
+
+    def test_dynamic_k_scales_with_budget(self):
+        """Figure 10b: a larger budget admits many more candidates."""
+        ranked = _ranked([10.0] * 100)
+        small = BudgetSelector(budget=50).select(ranked)
+        large = BudgetSelector(budget=500).select(ranked)
+        assert len(small) == 5
+        assert len(large) == 50
+
+    def test_max_candidates_cap(self):
+        ranked = _ranked([1.0] * 10)
+        selected = BudgetSelector(budget=100, max_candidates=3).select(ranked)
+        assert len(selected) == 3
+
+    def test_zero_budget_selects_zero_cost_only(self):
+        ranked = _ranked([0.0, 1.0, 0.0])
+        selected = BudgetSelector(budget=0.0).select(ranked)
+        assert [c.key.table for c in selected] == ["t0", "t2"]
+
+    def test_negative_cost_rejected(self):
+        ranked = _ranked([-1.0])
+        with pytest.raises(ValidationError):
+            BudgetSelector(budget=10).select(ranked)
+
+    def test_missing_cost_trait_raises(self):
+        candidate = Candidate(key=CandidateKey("db", "t", CandidateScope.TABLE))
+        with pytest.raises(ValidationError):
+            BudgetSelector(budget=10).select([candidate])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BudgetSelector(budget=-1)
+        with pytest.raises(ValidationError):
+            BudgetSelector(budget=1, max_candidates=-1)
+
+    def test_custom_cost_trait(self):
+        candidate = Candidate(key=CandidateKey("db", "t", CandidateScope.TABLE))
+        candidate.traits["tbhr"] = 5.0
+        selected = BudgetSelector(budget=10, cost_trait="tbhr").select([candidate])
+        assert selected == [candidate]
+
+
+class TestAllSelector:
+    def test_selects_everything(self):
+        ranked = _ranked([1, 2, 3])
+        assert AllSelector().select(ranked) == ranked

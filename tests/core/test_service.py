@@ -1,0 +1,100 @@
+"""Tests for the AutoComp service and the OpenHouse reference wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AutoCompService, BudgetSelector, TopKSelector, openhouse_pipeline
+from repro.core.candidates import CandidateKey, CandidateScope
+from repro.core.scheduling import PartitionSerialScheduler, SequentialScheduler
+from repro.engine import Cluster
+from repro.errors import ValidationError
+from repro.simulation import Simulator
+from repro.units import HOUR
+
+from tests.conftest import fragment_table
+
+
+@pytest.fixture
+def fleet_catalog(catalog, simple_schema, monthly_spec):
+    catalog.create_database("db", quota_objects=100_000)
+    for i, count in enumerate([15, 8, 2]):
+        table = catalog.create_table(f"db.t{i}", simple_schema, spec=monthly_spec)
+        fragment_table(table, partitions=[(0,)], files_per_partition=count)
+    catalog.clock.advance_by(2 * HOUR)  # age past the recent-table filter
+    return catalog
+
+
+class TestOpenhousePipeline:
+    def test_default_wiring(self, fleet_catalog):
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        assert isinstance(pipeline.selector, TopKSelector)
+        assert isinstance(pipeline.scheduler, SequentialScheduler)
+        assert set(pipeline.traits.names()) == {
+            "file_count_reduction",
+            "file_entropy",
+            "compute_cost_gbhr",
+        }
+
+    def test_runs_and_compacts(self, fleet_catalog):
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        report = pipeline.run_cycle(now=fleet_catalog.clock.now)
+        # All three tables pass the >=2-small-files filter; each partition
+        # packs down to one file.
+        assert report.successes == 3
+        assert report.total_files_reduced == 14 + 7 + 1
+
+    def test_hybrid_uses_partition_serial_scheduler(self, fleet_catalog):
+        pipeline = openhouse_pipeline(
+            fleet_catalog, Cluster("maint", executors=3), generation="hybrid"
+        )
+        assert isinstance(pipeline.scheduler, PartitionSerialScheduler)
+
+    def test_budget_mode(self, fleet_catalog):
+        pipeline = openhouse_pipeline(
+            fleet_catalog, Cluster("maint", executors=3), budget_gbhr=1000.0
+        )
+        assert isinstance(pipeline.selector, BudgetSelector)
+
+    def test_weight_validation(self, fleet_catalog):
+        with pytest.raises(ValidationError):
+            openhouse_pipeline(
+                fleet_catalog, Cluster("m", executors=1), benefit_weight=1.5
+            )
+        with pytest.raises(ValidationError):
+            openhouse_pipeline(
+                fleet_catalog, Cluster("m", executors=1), k=None, budget_gbhr=None
+            )
+
+    def test_min_small_files_filter(self, fleet_catalog):
+        pipeline = openhouse_pipeline(
+            fleet_catalog, Cluster("maint", executors=3), min_small_files=10
+        )
+        report = pipeline.run_cycle(now=fleet_catalog.clock.now)
+        assert report.after_stats_filters == 1
+
+
+class TestAutoCompService:
+    def test_manual_cycle(self, fleet_catalog):
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        service = AutoCompService(pipeline, interval_s=HOUR)
+        report = service.run_cycle(now=fleet_catalog.clock.now)
+        assert report.successes == 3
+        assert service.reports == [report]
+
+    def test_periodic_attachment(self, fleet_catalog):
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        service = AutoCompService(pipeline, interval_s=HOUR)
+        simulator = Simulator(fleet_catalog.clock)
+        service.attach(simulator, until=fleet_catalog.clock.now + 3 * HOUR)
+        simulator.run_until(fleet_catalog.clock.now + 4 * HOUR)
+        assert len(service.reports) >= 2
+
+    def test_notification_inbox(self, fleet_catalog):
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        service = AutoCompService(pipeline)
+        key = CandidateKey("db", "t0", CandidateScope.TABLE)
+        service.notify(key)
+        assert service.notifications == [key]
+        service.run_cycle(now=fleet_catalog.clock.now)
+        assert service.notifications == []  # drained by the cycle

@@ -1,0 +1,80 @@
+"""Tests for snapshot-scope candidates (§4.1 fresh-data compaction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CandidateScope,
+    LstConnector,
+    LstExecutionBackend,
+)
+from repro.core.scheduling import CompactionTask
+from repro.core.candidates import Candidate
+from repro.engine import Cluster
+from repro.errors import ValidationError
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+
+@pytest.fixture
+def snapshot_world(catalog, simple_schema, monthly_spec):
+    catalog.create_database("db")
+    table = catalog.create_table("db.t", simple_schema, spec=monthly_spec)
+    # History: a well-sized base, then a burst of fresh small files.
+    base_txn = table.new_append()
+    base_txn.add_file(600 * MiB, partition=(0,))
+    base_snapshot = base_txn.commit()
+    fragment_table(table, partitions=[(1,)], files_per_partition=8, file_size=4 * MiB)
+    connector = LstConnector(catalog)
+    return catalog, table, connector, base_snapshot
+
+
+class TestSnapshotCandidates:
+    def test_candidate_key_built(self, snapshot_world):
+        _, table, connector, base = snapshot_world
+        key = connector.snapshot_candidate(table, base.snapshot_id)
+        assert key.scope is CandidateScope.SNAPSHOT
+        assert key.snapshot_id == base.snapshot_id
+
+    def test_unknown_snapshot_rejected(self, snapshot_world):
+        _, table, connector, _ = snapshot_world
+        with pytest.raises(ValidationError):
+            connector.snapshot_candidate(table, 999)
+
+    def test_statistics_cover_only_fresh_files(self, snapshot_world):
+        _, table, connector, base = snapshot_world
+        key = connector.snapshot_candidate(table, base.snapshot_id)
+        stats = connector.collect_statistics(key)
+        assert stats.file_count == 8  # the burst only, not the 600 MiB base
+        assert stats.small_file_count == 8
+        assert stats.total_bytes == 8 * 4 * MiB
+
+    def test_files_for_excludes_base(self, snapshot_world):
+        _, table, connector, base = snapshot_world
+        key = connector.snapshot_candidate(table, base.snapshot_id)
+        fresh = connector.files_for(key)
+        assert all(f.size_bytes == 4 * MiB for f in fresh)
+
+    def test_backend_compacts_only_fresh_files(self, snapshot_world):
+        catalog, table, connector, base = snapshot_world
+        key = connector.snapshot_candidate(table, base.snapshot_id)
+        backend = LstExecutionBackend(connector, Cluster("m", executors=2))
+        task = CompactionTask(candidate=Candidate(key=key))
+        job = backend.prepare(task)
+        assert job is not None
+        job.start()
+        result = job.finish()
+        assert result.success
+        # 8 fresh files -> 1; the base file is untouched.
+        assert table.data_file_count == 2
+        sizes = sorted(f.size_bytes for f in table.live_files())
+        assert sizes == [8 * 4 * MiB, 600 * MiB]
+
+    def test_snapshot_scope_after_no_new_writes_is_empty(self, snapshot_world):
+        _, table, connector, _ = snapshot_world
+        current = table.current_snapshot()
+        key = connector.snapshot_candidate(table, current.snapshot_id)
+        stats = connector.collect_statistics(key)
+        assert stats.file_count == 0

@@ -1,0 +1,145 @@
+"""Tests for the orient-phase traits (paper §4.2 formulas)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Candidate,
+    CandidateKey,
+    CandidateScope,
+    CandidateStatistics,
+    ComputeCostTrait,
+    DeleteFileCountTrait,
+    FileCountReductionTrait,
+    FileEntropyTrait,
+    RelativeFileCountReductionTrait,
+    SmallFileBytesTrait,
+    TraitRegistry,
+)
+from repro.core.traits import BENEFIT, COST
+from repro.errors import ValidationError
+from repro.units import GiB, MiB
+
+TARGET = 512 * MiB
+
+
+def _stats(sizes, **kwargs):
+    return CandidateStatistics.from_file_sizes(sizes, target_file_size=TARGET, **kwargs)
+
+
+def _candidate(sizes, **kwargs):
+    return Candidate(
+        key=CandidateKey("db", "t", CandidateScope.TABLE),
+        statistics=_stats(sizes, **kwargs),
+    )
+
+
+class TestFileCountReduction:
+    def test_paper_formula_counts_small_files(self):
+        """ΔF_c = Σ 1[size < target]."""
+        trait = FileCountReductionTrait()
+        stats = _stats([MiB, 100 * MiB, TARGET, TARGET + 1])
+        assert trait.compute(stats) == 2.0
+
+    def test_direction_is_benefit(self):
+        assert FileCountReductionTrait.direction == BENEFIT
+
+    def test_empty_candidate(self):
+        assert FileCountReductionTrait().compute(_stats([])) == 0.0
+
+
+class TestRelativeReduction:
+    def test_fraction(self):
+        trait = RelativeFileCountReductionTrait()
+        assert trait.compute(_stats([MiB, MiB, TARGET, TARGET])) == 0.5
+
+    def test_empty(self):
+        assert RelativeFileCountReductionTrait().compute(_stats([])) == 0.0
+
+
+class TestFileEntropy:
+    def test_zero_for_target_sized_files(self):
+        assert FileEntropyTrait().compute(_stats([TARGET, TARGET + MiB])) == 0.0
+
+    def test_near_empty_files_contribute_one_each(self):
+        entropy = FileEntropyTrait().compute(_stats([1, 1, 1]))
+        assert entropy == pytest.approx(3.0, rel=1e-4)
+
+    def test_half_sized_file_contributes_quarter(self):
+        entropy = FileEntropyTrait().compute(_stats([TARGET // 2]))
+        assert entropy == pytest.approx(0.25)
+
+    def test_monotone_in_small_file_count(self):
+        trait = FileEntropyTrait()
+        assert trait.compute(_stats([MiB] * 10)) > trait.compute(_stats([MiB] * 5))
+
+    def test_empty(self):
+        assert FileEntropyTrait().compute(_stats([])) == 0.0
+
+
+class TestComputeCost:
+    def test_paper_formula_verbatim(self):
+        """GBHr_c = ExecutorMemoryGB × DataSize_c / RewriteBytesPerHour."""
+        trait = ComputeCostTrait(executor_memory_gb=192.0, rewrite_bytes_per_hour=1 * GiB)
+        stats = _stats([100 * MiB, 100 * MiB, TARGET])  # DataSize_c = small bytes
+        expected = 192.0 * (200 * MiB / (1 * GiB))
+        assert trait.compute(stats) == pytest.approx(expected)
+
+    def test_direction_is_cost(self):
+        assert ComputeCostTrait.direction == COST
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ComputeCostTrait(executor_memory_gb=0, rewrite_bytes_per_hour=1)
+        with pytest.raises(ValidationError):
+            ComputeCostTrait(executor_memory_gb=1, rewrite_bytes_per_hour=0)
+
+
+class TestAuxiliaryTraits:
+    def test_small_file_bytes(self):
+        assert SmallFileBytesTrait().compute(_stats([MiB, TARGET])) == float(MiB)
+
+    def test_delete_file_count(self):
+        stats = _stats([MiB], delete_file_count=7)
+        assert DeleteFileCountTrait().compute(stats) == 7.0
+
+
+class TestTraitRegistry:
+    def test_annotate_all(self):
+        registry = TraitRegistry([FileCountReductionTrait(), FileEntropyTrait()])
+        candidates = [_candidate([MiB, MiB]), _candidate([TARGET])]
+        registry.annotate_all(candidates)
+        assert candidates[0].traits["file_count_reduction"] == 2.0
+        assert candidates[1].traits["file_count_reduction"] == 0.0
+        assert "file_entropy" in candidates[0].traits
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            TraitRegistry([FileCountReductionTrait(), FileCountReductionTrait()])
+
+    def test_get_and_names(self):
+        registry = TraitRegistry([FileEntropyTrait()])
+        assert registry.names() == ["file_entropy"]
+        assert isinstance(registry.get("file_entropy"), FileEntropyTrait)
+        with pytest.raises(ValidationError):
+            registry.get("nope")
+
+    def test_annotate_requires_statistics(self):
+        candidate = Candidate(key=CandidateKey("db", "t", CandidateScope.TABLE))
+        with pytest.raises(ValidationError):
+            FileCountReductionTrait().annotate(candidate)
+
+    def test_custom_trait_extension(self):
+        """NFR1: a user-defined trait plugs in without framework changes."""
+
+        class AccessRateTrait(FileCountReductionTrait):
+            name = "access_rate"
+
+            def compute(self, statistics):
+                return statistics.custom.get("access_rate", 0.0)
+
+        registry = TraitRegistry([AccessRateTrait()])
+        candidate = _candidate([MiB], custom={"access_rate": 9.0})
+        registry.annotate_all([candidate])
+        assert candidate.traits["access_rate"] == 9.0

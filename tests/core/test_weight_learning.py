@@ -1,0 +1,160 @@
+"""Tests for feedback-driven weight adaptation (§8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Objective, WeightedSumPolicy
+from repro.core.candidates import CandidateKey, CandidateScope
+from repro.core.pipeline import CycleReport
+from repro.core.scheduling import ExecutionResult
+from repro.core.weight_learning import WeightLearner
+from repro.errors import ValidationError
+
+
+def _policy(benefit=0.7):
+    return WeightedSumPolicy(
+        [
+            Objective("file_count_reduction", benefit, maximize=True),
+            Objective("compute_cost_gbhr", 1.0 - benefit, maximize=False),
+        ]
+    )
+
+
+def _report(index, reduced, gbhr, results=1):
+    report = CycleReport(cycle_index=index, started_at=float(index))
+    for i in range(results):
+        report.results.append(
+            ExecutionResult(
+                candidate=CandidateKey("db", f"t{i}", CandidateScope.TABLE),
+                success=True,
+                skipped=False,
+                conflict_reason=None,
+                started_at=0.0,
+                finished_at=0.0,
+                duration_s=1.0,
+                gbhr=gbhr / results,
+                files_before=100,
+                files_after=100 - reduced // results,
+                estimated_reduction=float(reduced),
+                actual_reduction=reduced // results,
+                rewritten_bytes=0,
+                estimated_gbhr=gbhr / results,
+            )
+        )
+    return report
+
+
+class TestWeightLearner:
+    def test_warmup_holds_weights(self):
+        learner = WeightLearner(_policy(), warmup_cycles=3)
+        for i in range(3):
+            learner.observe(_report(i, reduced=100, gbhr=10))
+        assert learner.benefit_weight == 0.7
+        assert learner.updates == []
+
+    def test_improving_efficiency_raises_benefit_weight(self):
+        learner = WeightLearner(_policy(), warmup_cycles=1, learning_rate=0.05)
+        learner.observe(_report(0, reduced=50, gbhr=10))   # eff 5
+        learner.observe(_report(1, reduced=200, gbhr=10))  # eff 20 > mean
+        assert learner.benefit_weight > 0.7
+        assert len(learner.updates) == 1
+
+    def test_degrading_efficiency_lowers_benefit_weight(self):
+        learner = WeightLearner(_policy(), warmup_cycles=1, learning_rate=0.05)
+        learner.observe(_report(0, reduced=200, gbhr=10))
+        learner.observe(_report(1, reduced=10, gbhr=10))
+        assert learner.benefit_weight < 0.7
+
+    def test_weights_stay_clamped(self):
+        learner = WeightLearner(
+            _policy(), warmup_cycles=0, learning_rate=0.3, min_weight=0.4, max_weight=0.8
+        )
+        for i in range(10):
+            learner.observe(_report(i, reduced=10 * (i + 1) ** 2, gbhr=10))
+        assert 0.4 <= learner.benefit_weight <= 0.8
+
+    def test_policy_weights_always_sum_to_one(self):
+        learner = WeightLearner(_policy(), warmup_cycles=0, learning_rate=0.1)
+        for i in range(5):
+            learner.observe(_report(i, reduced=100 + 50 * i, gbhr=10))
+        total = sum(o.weight for o in learner.policy.objectives)
+        assert total == pytest.approx(1.0)
+
+    def test_zero_cost_cycles_ignored(self):
+        learner = WeightLearner(_policy(), warmup_cycles=0)
+        learner.observe(_report(0, reduced=0, gbhr=0))
+        assert learner.updates == []
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            WeightLearner(_policy(), learning_rate=0.9)
+        with pytest.raises(ValidationError):
+            WeightLearner(_policy(), min_weight=0.8, max_weight=0.5)
+        with pytest.raises(ValidationError):
+            WeightLearner(_policy(), warmup_cycles=-1)
+
+    def test_regression_fit(self):
+        learner = WeightLearner(_policy())
+        reports = [
+            _report(0, reduced=100, gbhr=10),
+            _report(1, reduced=220, gbhr=20),
+            _report(2, reduced=290, gbhr=30),
+        ]
+        slope, intercept = learner.regress_efficiency(reports)
+        # Reduction grows roughly 10 files per GBHr in this data.
+        assert 7 < slope < 12
+
+    def test_regression_needs_two_distinct_samples(self):
+        learner = WeightLearner(_policy())
+        assert learner.regress_efficiency([]) is None
+        assert learner.regress_efficiency([_report(0, 100, 10)]) is None
+
+
+class TestPipelineIntegration:
+    def test_learner_as_feedback_hook(self, catalog, simple_schema):
+        """The §3.3 feedback loop: act-phase outcomes adjust decide-phase
+        weights on the next cycle."""
+        from repro.core import (
+            AutoCompPipeline,
+            LstConnector,
+            LstExecutionBackend,
+            SequentialScheduler,
+            TopKSelector,
+        )
+        from repro.core.traits import (
+            ComputeCostTrait,
+            FileCountReductionTrait,
+        )
+        from repro.engine import Cluster
+        from repro.units import GiB, MiB
+
+        from tests.conftest import fragment_table
+
+        catalog.create_database("db")
+        for i in range(3):
+            table = catalog.create_table(f"db.t{i}", simple_schema)
+            fragment_table(table, partitions=[()], files_per_partition=10 + 5 * i)
+
+        policy = _policy()
+        learner = WeightLearner(policy, warmup_cycles=0, learning_rate=0.05)
+        connector = LstConnector(catalog)
+        pipeline = AutoCompPipeline(
+            connector=connector,
+            backend=LstExecutionBackend(connector, Cluster("m", executors=2)),
+            traits=[
+                FileCountReductionTrait(),
+                ComputeCostTrait(executor_memory_gb=64.0, rewrite_bytes_per_hour=1 * GiB),
+            ],
+            policy=policy,
+            selector=TopKSelector(1),
+            scheduler=SequentialScheduler(),
+            feedback_hooks=[learner.observe],
+        )
+        pipeline.run_cycle(now=0.0)
+        first_weight = learner.benefit_weight
+        # Fragment another table so the second cycle has work too.
+        table = catalog.create_table("db.t9", simple_schema)
+        fragment_table(table, partitions=[()], files_per_partition=40)
+        pipeline.run_cycle(now=1.0)
+        assert learner.benefit_weight != first_weight or learner.updates

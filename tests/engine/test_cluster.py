@@ -1,0 +1,60 @@
+"""Tests for clusters and the contention model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Cluster
+from repro.errors import ValidationError
+
+
+class TestClusterBasics:
+    def test_parallelism_and_memory(self):
+        cluster = Cluster("c", executors=4, executor_memory_gb=64, cores_per_executor=8)
+        assert cluster.parallelism == 32
+        assert cluster.total_memory_gb == 256
+
+    def test_default_query_slots(self):
+        assert Cluster("c", executors=5).query_slots == 5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Cluster("c", executors=0)
+        with pytest.raises(ValidationError):
+            Cluster("c", executor_memory_gb=0)
+        with pytest.raises(ValidationError):
+            Cluster("c", cores_per_executor=0)
+
+    def test_gbhr(self):
+        cluster = Cluster("c", executors=2, executor_memory_gb=100)
+        assert cluster.gbhr(3600.0) == pytest.approx(200.0)
+        assert cluster.gbhr(1800.0) == pytest.approx(100.0)
+
+
+class TestContention:
+    def test_no_contention_when_idle(self):
+        cluster = Cluster("c", executors=2)
+        assert cluster.contention_multiplier(0.0) == 1.0
+
+    def test_contention_grows_with_overlap(self):
+        cluster = Cluster("c", executors=2, contention_coeff=0.5)
+        cluster.register_query(0.0, 100.0)
+        cluster.register_query(0.0, 100.0)
+        # Two active + the new one = 1 over the 2 slots.
+        assert cluster.contention_multiplier(50.0) == pytest.approx(1.25)
+
+    def test_finished_queries_pruned(self):
+        cluster = Cluster("c", executors=1)
+        cluster.register_query(0.0, 10.0)
+        assert cluster.active_queries(5.0) == 1
+        assert cluster.active_queries(11.0) == 0
+
+    def test_within_slots_no_penalty(self):
+        cluster = Cluster("c", executors=4)
+        cluster.register_query(0.0, 100.0)
+        cluster.register_query(0.0, 100.0)
+        assert cluster.contention_multiplier(1.0) == 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            Cluster("c").register_query(0.0, -1.0)

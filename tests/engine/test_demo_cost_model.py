@@ -1,0 +1,47 @@
+"""Tests for the demo cost-model preset and pipeline generation validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cost_model import DEMO_COST_MODEL, CostModel
+from repro.errors import ValidationError
+
+
+class TestDemoCostModel:
+    def test_is_a_valid_cost_model(self):
+        assert isinstance(DEMO_COST_MODEL, CostModel)
+        assert DEMO_COST_MODEL.scan_bytes_per_core_s > 0
+
+    def test_slower_scans_than_default(self):
+        """The demo preset exaggerates latency effects for small tables."""
+        default = CostModel()
+        assert DEMO_COST_MODEL.scan_bytes_per_core_s < default.scan_bytes_per_core_s
+        assert DEMO_COST_MODEL.write_bytes_per_core_s < default.write_bytes_per_core_s
+
+
+class TestGenerationValidation:
+    def test_pipeline_rejects_unknown_generation(self, catalog):
+        from repro.core import (
+            LstConnector,
+            LstExecutionBackend,
+            Objective,
+            SequentialScheduler,
+            TopKSelector,
+            WeightedSumPolicy,
+        )
+        from repro.core.pipeline import AutoCompPipeline
+        from repro.core.traits import FileCountReductionTrait
+        from repro.engine import Cluster
+
+        connector = LstConnector(catalog)
+        with pytest.raises(ValidationError):
+            AutoCompPipeline(
+                connector=connector,
+                backend=LstExecutionBackend(connector, Cluster("m", executors=1)),
+                traits=[FileCountReductionTrait()],
+                policy=WeightedSumPolicy([Objective("file_count_reduction", 1.0)]),
+                selector=TopKSelector(1),
+                scheduler=SequentialScheduler(),
+                generation="snapshots",  # not a registered strategy
+            )

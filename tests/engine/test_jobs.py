@@ -1,0 +1,109 @@
+"""Tests for compaction jobs and GBHr accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Cluster, CompactionJob, CostModel
+from repro.errors import ValidationError
+from repro.lst.maintenance import plan_table_rewrite
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+
+@pytest.fixture
+def compaction_setup(fragmented_table):
+    table = fragmented_table
+    plan = plan_table_rewrite(table)
+    cluster = Cluster("maint", executors=3, executor_memory_gb=64)
+    return table, plan, cluster
+
+
+class TestRunSync:
+    def test_successful_compaction(self, compaction_setup):
+        table, plan, cluster = compaction_setup
+        outcome = CompactionJob(table, plan, cluster).run_sync()
+        assert outcome.success
+        assert outcome.files_before == 20
+        assert outcome.files_after == 2
+        assert outcome.actual_reduction == 18
+        assert outcome.planned_reduction == 18
+        assert not outcome.wasted
+
+    def test_gbhr_matches_cluster_and_duration(self, compaction_setup):
+        table, plan, cluster = compaction_setup
+        model = CostModel()
+        job = CompactionJob(table, plan, cluster, cost_model=model)
+        expected_duration = model.rewrite_duration(plan.rewritten_bytes, cluster.executors)
+        assert job.duration_s == pytest.approx(expected_duration)
+        assert job.gbhr == pytest.approx(cluster.total_memory_gb * expected_duration / 3600)
+
+    def test_physical_cleanup_after_success(self, compaction_setup, fs):
+        table, plan, cluster = compaction_setup
+        file_count_before = fs.file_count(table.location)
+        CompactionJob(table, plan, cluster).run_sync()
+        # 20 small files deleted, 2 outputs added (+3 metadata files).
+        assert fs.file_count(table.location) < file_count_before
+
+    def test_cleanup_disabled_keeps_old_files(self, compaction_setup, fs):
+        table, plan, cluster = compaction_setup
+        sources = list(plan.groups[0].sources)
+        CompactionJob(table, plan, cluster, cleanup_snapshots=False).run_sync()
+        assert all(fs.namenode.exists(s.path) for s in sources)
+
+    def test_telemetry_on_success(self, compaction_setup, telemetry):
+        table, plan, cluster = compaction_setup
+        CompactionJob(table, plan, cluster, telemetry=telemetry).run_sync()
+        assert telemetry.counter("engine.compaction.success") == 1
+        assert len(telemetry.series("engine.compaction.gbhr")) == 1
+        assert telemetry.series("engine.compaction.files_reduced").last() == 18
+
+
+class TestConflictedJob:
+    def test_cluster_conflict_reports_wasted_work(self, compaction_setup, telemetry):
+        table, plan, cluster = compaction_setup
+        job = CompactionJob(table, plan, cluster, telemetry=telemetry)
+        job.start()
+        # A concurrent write to a rewritten partition aborts the commit.
+        txn = table.new_append()
+        txn.add_file(MiB, partition=(0,))
+        txn.commit()
+        outcome = job.finish()
+        assert not outcome.success
+        assert outcome.wasted
+        assert outcome.conflict_reason is not None
+        assert outcome.actual_reduction == 0
+        assert outcome.gbhr > 0  # resources were spent anyway
+        assert telemetry.counter("engine.compaction.failed") == 1
+        assert telemetry.series("engine.compaction.wasted_gbhr").last() == outcome.gbhr
+
+    def test_table_unchanged_after_conflict(self, compaction_setup):
+        table, plan, cluster = compaction_setup
+        job = CompactionJob(table, plan, cluster)
+        job.start()
+        txn = table.new_append()
+        txn.add_file(MiB, partition=(0,))
+        txn.commit()
+        job.finish()
+        assert table.data_file_count == 21  # 20 original + 1 appended
+
+
+class TestLifecycleErrors:
+    def test_empty_plan_rejected(self, table):
+        plan = plan_table_rewrite(table)
+        with pytest.raises(ValidationError):
+            CompactionJob(table, plan, Cluster("maint"))
+
+    def test_double_start_rejected(self, compaction_setup):
+        table, plan, cluster = compaction_setup
+        job = CompactionJob(table, plan, cluster)
+        job.start()
+        with pytest.raises(ValidationError):
+            job.start()
+
+    def test_finish_before_start_rejected(self, compaction_setup):
+        table, plan, cluster = compaction_setup
+        job = CompactionJob(table, plan, cluster)
+        with pytest.raises(ValidationError):
+            job.finish()

@@ -1,0 +1,79 @@
+"""Tests for write-retry exhaustion and multi-table reads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Cluster, EngineSession, WellTunedWriter
+from repro.lst import IcebergTable, TableIdentifier
+from repro.lst.maintenance import plan_table_rewrite
+from repro.engine.jobs import CompactionJob
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+
+class TestRetryExhaustion:
+    def test_write_gives_up_after_retry_budget(self, fs, simple_schema, monthly_spec, clock, telemetry):
+        """With a zero retry budget, one conflict terminates the write —
+        and the table keeps none of its files."""
+        session = EngineSession(
+            Cluster("q", executors=2),
+            telemetry=telemetry,
+            clock=clock,
+            max_commit_retries=0,
+        )
+        table = IcebergTable(
+            TableIdentifier("db", "t"), simple_schema, spec=monthly_spec, fs=fs
+        )
+        fragment_table(table, partitions=[(0,)], files_per_partition=6)
+        files_before = table.data_file_count
+
+        job = session.start_write(table, MiB, WellTunedWriter(), partitions=(0,))
+        plan = plan_table_rewrite(table)
+        CompactionJob(table, plan, Cluster("m", executors=2)).run_sync()
+        result = job.complete()
+
+        assert not result.committed
+        assert result.conflicts == 1
+        assert result.retries == 0
+        assert result.files_created == 0
+        assert result.bytes_written == 0
+        # Only the rewrite's output is live; the failed append added nothing.
+        assert table.data_file_count == 1
+        del files_before
+
+    def test_default_budget_survives_single_conflict(self, fs, simple_schema, monthly_spec, clock, telemetry):
+        session = EngineSession(
+            Cluster("q", executors=2), telemetry=telemetry, clock=clock
+        )
+        table = IcebergTable(
+            TableIdentifier("db", "t2"), simple_schema, spec=monthly_spec, fs=fs
+        )
+        fragment_table(table, partitions=[(0,)], files_per_partition=6)
+        job = session.start_write(table, MiB, WellTunedWriter(), partitions=(0,))
+        plan = plan_table_rewrite(table)
+        CompactionJob(table, plan, Cluster("m", executors=2)).run_sync()
+        result = job.complete()
+        assert result.committed
+        assert result.retries == 1
+
+
+class TestMultiTableReads:
+    def test_join_query_aggregates_scans(self, catalog, simple_schema):
+        from repro.engine import MisconfiguredShuffleWriter
+
+        catalog.create_database("db")
+        fact = catalog.create_table("db.fact", simple_schema)
+        dim = catalog.create_table("db.dim", simple_schema)
+        session = EngineSession(
+            Cluster("q", executors=4), telemetry=catalog.telemetry, clock=catalog.clock
+        )
+        session.write(fact, 64 * MiB, MisconfiguredShuffleWriter(16))
+        session.write(dim, 8 * MiB, WellTunedWriter())
+
+        single = session.execute_read([(fact, None)])
+        join = session.execute_read([(fact, None), (dim, None)])
+        assert join.files_scanned == single.files_scanned + 1
+        assert join.latency_s > single.latency_s
+        assert join.bytes_scanned == fact.total_data_bytes + dim.total_data_bytes

@@ -1,0 +1,182 @@
+"""Tests for engine sessions: reads, two-phase writes, conflicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    Cluster,
+    EngineSession,
+    MisconfiguredShuffleWriter,
+    WellTunedWriter,
+)
+from repro.errors import ValidationError
+from repro.lst import IcebergTable, TableIdentifier
+from repro.lst.maintenance import plan_table_rewrite
+from repro.engine.jobs import CompactionJob
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+
+@pytest.fixture
+def engine_world(fs, simple_schema, monthly_spec, clock, telemetry):
+    cluster = Cluster("q", executors=4)
+    session = EngineSession(cluster, telemetry=telemetry, clock=clock, seed=3)
+    table = IcebergTable(
+        identifier=TableIdentifier("db", "t"),
+        schema=simple_schema,
+        spec=monthly_spec,
+        fs=fs,
+    )
+    return session, table
+
+
+class TestReads:
+    def test_read_result_fields(self, engine_world):
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,), (1,)], files_per_partition=5)
+        result = session.execute_read([(table, None)])
+        assert result.files_scanned == 10
+        assert result.bytes_scanned == 10 * 8 * MiB
+        assert result.latency_s > 0
+        assert result.cost_gbhr > 0
+
+    def test_partition_pruning(self, engine_world):
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,), (1,)], files_per_partition=5)
+        result = session.execute_read([(table, [(0,)])])
+        assert result.files_scanned == 5
+
+    def test_latency_recorded_by_label(self, engine_world, telemetry):
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,)], files_per_partition=2)
+        session.execute_read([(table, None)], label="ro")
+        series = telemetry.series("engine.query.ro.latency")
+        assert len(series) == 1
+
+    def test_fragmentation_slows_reads(self, engine_world):
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,)], files_per_partition=2, file_size=512 * MiB)
+        fast = session.execute_read([(table, None)]).latency_s
+        fragment_table(table, partitions=[(0,)], files_per_partition=500, file_size=MiB)
+        slow = session.execute_read([(table, None)]).latency_s
+        assert slow > fast
+
+    def test_opens_forwarded_to_attached_fs(self, engine_world, fs):
+        session, table = engine_world
+        session.attach_filesystem(fs)
+        fragment_table(table, partitions=[(0,)], files_per_partition=7)
+        before = fs.telemetry.counter("storage.rpc.open")
+        session.execute_read([(table, None)])
+        assert fs.telemetry.counter("storage.rpc.open") - before == 7
+
+
+class TestWrites:
+    def test_write_creates_files(self, engine_world):
+        session, table = engine_world
+        result = session.write(table, 64 * MiB, MisconfiguredShuffleWriter(16), partitions=(0,))
+        assert result.committed
+        assert result.files_created == 16
+        assert table.data_file_count == 16
+
+    def test_write_spread_over_partitions(self, engine_world):
+        session, table = engine_world
+        session.write(
+            table, 64 * MiB, MisconfiguredShuffleWriter(32), partitions=[(0,), (1,), (2,)]
+        )
+        assert len(table.partitions()) > 1
+
+    def test_unpartitioned_write(self, fs, simple_schema, clock, telemetry):
+        session = EngineSession(Cluster("q"), telemetry=telemetry, clock=clock)
+        table = IcebergTable(TableIdentifier("db", "flat"), simple_schema, fs=fs)
+        result = session.write(table, 10 * MiB, WellTunedWriter())
+        assert result.committed
+        assert table.live_files()[0].partition == ()
+
+    def test_empty_partition_list_rejected(self, engine_world):
+        session, table = engine_world
+        with pytest.raises(ValidationError):
+            session.start_write(table, MiB, WellTunedWriter(), partitions=[])
+
+    def test_two_phase_write_conflicts_with_compaction(self, engine_world):
+        """A write whose window spans a compaction commit retries once
+        (client-side conflict) and then succeeds — the Table 1 mechanism."""
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,)], files_per_partition=8)
+        job = session.start_write(
+            table, 8 * MiB, MisconfiguredShuffleWriter(4), partitions=(0,)
+        )
+        plan = plan_table_rewrite(table)
+        CompactionJob(table, plan, Cluster("maint", executors=2)).run_sync()
+        result = job.complete()
+        assert result.conflicts == 1
+        assert result.retries == 1
+        assert result.committed
+
+    def test_conflict_telemetry_recorded(self, engine_world, telemetry):
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,)], files_per_partition=8)
+        job = session.start_write(table, MiB, WellTunedWriter(), partitions=(0,))
+        plan = plan_table_rewrite(table)
+        CompactionJob(table, plan, Cluster("maint", executors=2)).run_sync()
+        job.complete()
+        assert len(telemetry.series("engine.conflicts.client")) == 1
+
+
+class TestRowDelta:
+    def test_row_delta_job(self, engine_world):
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,), (1,)], files_per_partition=10)
+        job = session.start_row_delta(table, delete_fraction=0.25)
+        result = job.complete()
+        assert result.committed
+        assert table.delete_file_count >= 1
+
+    def test_empty_table_rejected(self, engine_world):
+        session, table = engine_world
+        with pytest.raises(ValidationError):
+            session.start_row_delta(table, 0.1)
+
+    def test_invalid_fraction(self, engine_world):
+        session, table = engine_world
+        fragment_table(table)
+        with pytest.raises(ValidationError):
+            session.start_row_delta(table, 0.0)
+        with pytest.raises(ValidationError):
+            session.start_row_delta(table, 1.5)
+
+
+class TestOverwrite:
+    def test_overwrite_job(self, engine_world):
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,)], files_per_partition=10)
+        before = table.data_file_count
+        job = session.start_overwrite(
+            table, replace_fraction=0.5, writer=WellTunedWriter(), partition=(0,)
+        )
+        result = job.complete()
+        assert result.committed
+        assert table.data_file_count < before
+
+    def test_overwrite_conflict_not_retried(self, engine_world):
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,)], files_per_partition=10)
+        job = session.start_overwrite(
+            table, replace_fraction=0.3, writer=WellTunedWriter(), partition=(0,)
+        )
+        # A concurrent append to the same partition invalidates it.
+        other = table.new_append()
+        other.add_file(MiB, partition=(0,))
+        other.commit()
+        result = job.complete()
+        assert not result.committed
+        assert result.conflicts == 1
+
+    def test_overwrite_empty_partition_rejected(self, engine_world):
+        session, table = engine_world
+        fragment_table(table, partitions=[(0,)], files_per_partition=2)
+        with pytest.raises(ValidationError):
+            session.start_overwrite(
+                table, replace_fraction=0.5, writer=WellTunedWriter(), partition=(9,)
+            )

@@ -1,0 +1,104 @@
+"""Tests for the fleet connector/backend adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CandidateScope
+from repro.core.scheduling import CompactionTask
+from repro.core.candidates import Candidate, CandidateKey
+from repro.errors import ValidationError
+from repro.fleet import FleetBackend, FleetConfig, FleetConnector, FleetModel
+from repro.units import DAY
+
+
+@pytest.fixture
+def model():
+    return FleetModel(FleetConfig(initial_tables=200, databases=8, seed=17))
+
+
+class TestConnector:
+    def test_lists_fragmented_tables(self, model):
+        connector = FleetConnector(model, min_small_files=1)
+        keys = connector.list_candidates("table")
+        assert keys
+        assert all(k.scope is CandidateScope.TABLE for k in keys)
+
+    def test_min_small_files_screen(self, model):
+        all_keys = FleetConnector(model, min_small_files=1).list_candidates()
+        screened = FleetConnector(model, min_small_files=50).list_candidates()
+        assert len(screened) < len(all_keys)
+
+    def test_rejects_partition_strategy(self, model):
+        with pytest.raises(ValidationError):
+            FleetConnector(model).list_candidates("partition")
+
+    def test_statistics_match_model(self, model):
+        connector = FleetConnector(model)
+        key = connector.list_candidates()[0]
+        index = int(key.table[len("table") :])
+        stats = connector.collect_statistics(key)
+        assert stats.file_count == int(
+            model.tiny_files[index] + model.mid_files[index] + model.large_files[index]
+        )
+        assert stats.small_file_count == int(
+            model.tiny_files[index] + model.mid_files[index]
+        )
+        assert stats.target_file_size == model.config.target_file_size
+        assert 0 <= stats.quota_utilization <= 1
+
+    def test_observe_batches_quota_lookup(self, model):
+        connector = FleetConnector(model)
+        keys = connector.list_candidates()[:20]
+        candidates = connector.observe(keys)
+        assert len(candidates) == 20
+        assert all(c.statistics is not None for c in candidates)
+
+    def test_bad_key_rejected(self, model):
+        connector = FleetConnector(model)
+        with pytest.raises(ValidationError):
+            connector.collect_statistics(
+                CandidateKey("x", "nottable", CandidateScope.TABLE)
+            )
+
+
+class TestBackend:
+    def _task(self, model, index):
+        key = CandidateKey(
+            database=f"tenant{int(model.database[index]):03d}",
+            table=f"table{index:06d}",
+            scope=CandidateScope.TABLE,
+        )
+        return CompactionTask(candidate=Candidate(key=key), estimated_gbhr=1.0)
+
+    def test_prepare_and_run(self, model):
+        backend = FleetBackend(model)
+        index = int(np.argmax(model.small_files_per_table()))
+        job = backend.prepare(self._task(model, index))
+        assert job is not None
+        assert job.start() == 0.0
+        result = job.finish()
+        assert result.success
+        assert result.actual_reduction > 0
+        assert result.files_after < result.files_before
+        assert result.gbhr > 0
+
+    def test_prepare_skips_clean_tables(self, model):
+        backend = FleetBackend(model)
+        index = int(np.argmax(model.small_files_per_table()))
+        model.compact(index)
+        model.compact(index)
+        small = int(model.tiny_files[index] + model.mid_files[index])
+        if small < 2:
+            assert backend.prepare(self._task(model, index)) is None
+
+    def test_result_times_use_model_day(self, model):
+        for _ in range(3):
+            model.step_day()
+        backend = FleetBackend(model)
+        index = int(np.argmax(model.small_files_per_table()))
+        job = backend.prepare(self._task(model, index))
+        job.start()
+        result = job.finish()
+        assert result.started_at == 3 * DAY

@@ -1,0 +1,178 @@
+"""Tests for the fleet model: population, growth, compaction noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.fleet import Archetype, FleetConfig, FleetModel
+
+
+@pytest.fixture
+def model():
+    return FleetModel(FleetConfig(initial_tables=300, databases=10, seed=42))
+
+
+class TestPopulation:
+    def test_initial_onboarding(self, model):
+        assert model.count == 300
+        assert model.total_files > 0
+
+    def test_archetype_mix(self, model):
+        kinds, counts = np.unique(model.archetype[: model.count], return_counts=True)
+        assert set(kinds) == {int(a) for a in Archetype}
+        # Hot+batch derived tables should dominate (65% of the mix).
+        derived = counts[list(kinds).index(int(Archetype.DERIVED_HOT))]
+        derived += counts[list(kinds).index(int(Archetype.DERIVED_BATCH))]
+        assert derived / model.count > 0.5
+
+    def test_onboard_growth(self, model):
+        model.onboard(50)
+        assert model.count == 350
+
+    def test_onboard_grows_capacity(self):
+        model = FleetModel(FleetConfig(initial_tables=10, seed=1))
+        model.onboard(100)
+        assert model.count == 110
+        assert model.total_files > 0
+
+    def test_databases_assigned(self, model):
+        assert model.database[: model.count].max() < 10
+
+
+class TestGrowth:
+    def test_step_day_accumulates_files(self, model):
+        before = model.total_files
+        for _ in range(10):
+            model.step_day()
+        assert model.total_files > before
+        assert model.day == 10
+
+    def test_small_files_grow_fastest(self, model):
+        tiny_before = int(model.tiny_files[: model.count].sum())
+        large_before = int(model.large_files[: model.count].sum())
+        for _ in range(20):
+            model.step_day()
+        tiny_growth = int(model.tiny_files[: model.count].sum()) - tiny_before
+        large_growth = int(model.large_files[: model.count].sum()) - large_before
+        assert tiny_growth > large_growth
+
+    def test_last_write_day_updated(self, model):
+        model.step_day()
+        hot = model.archetype[: model.count] == int(Archetype.DERIVED_HOT)
+        # Hot tables write ~daily; at least some were touched on day 0.
+        assert (model.last_write_day[: model.count][hot] == 0).any()
+
+
+class TestMetrics:
+    def test_small_file_fraction_in_range(self, model):
+        assert 0 <= model.small_file_fraction <= 1
+
+    def test_per_table_views_consistent(self, model):
+        n = model.count
+        total = model.files_per_table()
+        small = model.small_files_per_table()
+        assert (small <= total).all()
+        assert int(total.sum()) == model.total_files
+
+    def test_quota_utilization_bounded(self, model):
+        quota = model.database_quota_utilization()
+        assert quota.shape == (10,)
+        assert (quota >= 0).all() and (quota <= 1).all()
+
+    def test_scan_metrics_positive(self, model):
+        metrics = model.daily_scan_metrics()
+        assert metrics["files_scanned"] > 0
+        assert metrics["query_time"] > 0
+        assert metrics["open_calls"] == metrics["files_scanned"]
+
+
+class TestEstimators:
+    def test_reduction_estimate_is_paper_formula(self, model):
+        index = 0
+        expected = float(model.tiny_files[index] + model.mid_files[index])
+        assert model.estimate_reduction(index) == expected
+
+    def test_gbhr_estimate_is_paper_formula(self, model):
+        config = model.config
+        index = 0
+        small_bytes = float(model.tiny_bytes[index] + model.mid_bytes[index])
+        expected = config.executor_memory_gb * small_bytes / config.rewrite_bytes_per_hour
+        assert model.estimate_gbhr(index) == pytest.approx(expected)
+
+
+class TestCompaction:
+    def _most_fragmented(self, model):
+        return int(np.argmax(model.small_files_per_table()))
+
+    def test_compact_reduces_files(self, model):
+        index = self._most_fragmented(model)
+        before = model.total_files
+        application = model.compact(index)
+        assert application.actual_reduction > 0
+        assert model.total_files == before - application.actual_reduction
+
+    def test_bytes_conserved(self, model):
+        index = self._most_fragmented(model)
+        n = model.count
+        before = int(
+            model.tiny_bytes[:n].sum() + model.mid_bytes[:n].sum() + model.large_bytes[:n].sum()
+        )
+        model.compact(index)
+        after = int(
+            model.tiny_bytes[:n].sum() + model.mid_bytes[:n].sum() + model.large_bytes[:n].sum()
+        )
+        assert abs(after - before) <= 2  # integer rounding only
+
+    def test_reduction_overestimated(self, model):
+        """§7: the table-level ΔF_c estimate exceeds realised reduction."""
+        errors = []
+        for index in np.argsort(-model.small_files_per_table())[:30]:
+            application = model.compact(int(index))
+            if application.actual_reduction > 0:
+                errors.append(
+                    (application.estimated_reduction - application.actual_reduction)
+                    / application.actual_reduction
+                )
+        assert np.mean(errors) > 0.1
+
+    def test_cost_underestimated(self, model):
+        """§7: realised GBHr exceeds the estimate (~19%)."""
+        ratios = []
+        for index in np.argsort(-model.small_files_per_table())[:30]:
+            application = model.compact(int(index))
+            if application.actual_gbhr > 0:
+                ratios.append(application.actual_gbhr / application.estimated_gbhr)
+        assert 1.05 < np.mean(ratios) < 1.4
+
+    def test_compact_empty_table_noop(self, model):
+        index = self._most_fragmented(model)
+        model.compact(index)
+        second = model.compact(index)  # little left to merge
+        assert second.actual_reduction >= 0
+
+    def test_out_of_range_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.compact(model.count + 5)
+
+
+class TestConfigValidation:
+    def test_invalid_configs(self):
+        with pytest.raises(ValidationError):
+            FleetConfig(initial_tables=0)
+        with pytest.raises(ValidationError):
+            FleetConfig(databases=0)
+        with pytest.raises(ValidationError):
+            FleetConfig(merge_efficiency_mean=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fleet(self):
+        a = FleetModel(FleetConfig(initial_tables=100, seed=9))
+        b = FleetModel(FleetConfig(initial_tables=100, seed=9))
+        for _ in range(5):
+            a.step_day()
+            b.step_day()
+        assert a.total_files == b.total_files
+        assert (a.tiny_files[:100] == b.tiny_files[:100]).all()

@@ -1,0 +1,171 @@
+"""Tests for the fleet simulator and compaction strategies (§7 narrative)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.fleet import (
+    AutoCompStrategy,
+    FleetConfig,
+    FleetSimulator,
+    ManualCompactionStrategy,
+    NoCompactionStrategy,
+)
+
+
+def _config(**overrides):
+    defaults = dict(initial_tables=300, onboarded_per_month=50, databases=10, seed=31)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestStrategySchedule:
+    def test_default_is_no_compaction(self):
+        sim = FleetSimulator(_config())
+        assert isinstance(sim.active_strategy(0), NoCompactionStrategy)
+        assert isinstance(sim.active_strategy(500), NoCompactionStrategy)
+
+    def test_latest_entry_wins(self):
+        sim = FleetSimulator(_config())
+        manual = ManualCompactionStrategy(k=10)
+        auto = AutoCompStrategy(sim.model, k=5)
+        sim.set_strategy(10, manual)
+        sim.set_strategy(20, auto)
+        assert sim.active_strategy(5) is sim.schedule[0]
+        assert sim.active_strategy(15) is manual
+        assert sim.active_strategy(25) is auto
+
+    def test_negative_start_rejected(self):
+        sim = FleetSimulator(_config())
+        with pytest.raises(ValidationError):
+            sim.set_strategy(-1, NoCompactionStrategy())
+
+
+class TestNoCompaction:
+    def test_files_grow_unchecked(self):
+        sim = FleetSimulator(_config())
+        sim.run_days(20)
+        series = sim.telemetry.series("fleet.total_files")
+        assert series.values[-1] > series.values[0]
+        assert sim.telemetry.series("fleet.files_reduced").values == [0.0] * 20
+
+
+class TestManualStrategy:
+    def test_diminishing_returns(self):
+        """§7: the fixed set is exhausted after the first pass."""
+        sim = FleetSimulator(_config())
+        sim.set_strategy(0, ManualCompactionStrategy(k=50))
+        sim.run_days(14)
+        daily = sim.telemetry.series("fleet.files_reduced").values
+        assert daily[0] > 5 * max(daily[7:])
+
+    def test_fixed_set_never_revisited(self):
+        sim = FleetSimulator(_config())
+        strategy = ManualCompactionStrategy(k=30)
+        sim.set_strategy(0, strategy)
+        sim.run_days(3)
+        assert len(strategy._chosen) == 30
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            ManualCompactionStrategy(k=0)
+
+
+class TestAutoCompStrategy:
+    def test_outperforms_manual_after_warmup(self):
+        """Figure 10a: auto top-10 beats manual top-100 after week one."""
+        config = _config()
+
+        manual_sim = FleetSimulator(config)
+        manual_sim.set_strategy(0, ManualCompactionStrategy(k=100))
+        manual_sim.run_days(28)
+        manual_tail = sum(manual_sim.telemetry.series("fleet.files_reduced").values[14:])
+
+        auto_sim = FleetSimulator(config)
+        auto_sim.set_strategy(0, AutoCompStrategy(auto_sim.model, k=10))
+        auto_sim.run_days(28)
+        auto_tail = sum(auto_sim.telemetry.series("fleet.files_reduced").values[14:])
+
+        assert auto_tail > manual_tail
+
+    def test_budget_mode_dynamic_k(self):
+        """Figure 10b: the budget selector admits many more tables."""
+        config = _config()
+        fixed = FleetSimulator(config)
+        fixed.set_strategy(0, AutoCompStrategy(fixed.model, k=10))
+        fixed.run_days(5)
+        fixed_tables = sum(fixed.telemetry.series("fleet.tables_compacted").values)
+
+        budget = FleetSimulator(config)
+        budget.set_strategy(
+            0, AutoCompStrategy(budget.model, k=None, budget_gbhr=100_000.0)
+        )
+        budget.run_days(5)
+        budget_tables = sum(budget.telemetry.series("fleet.tables_compacted").values)
+        assert budget_tables > 3 * fixed_tables
+
+    def test_requires_k_or_budget(self):
+        sim = FleetSimulator(_config())
+        with pytest.raises(ValidationError):
+            AutoCompStrategy(sim.model, k=None, budget_gbhr=None)
+
+
+class TestTelemetryAndGrowth:
+    def test_monthly_onboarding(self):
+        sim = FleetSimulator(_config(initial_tables=100, onboarded_per_month=20))
+        sim.run_days(61)
+        sizes = sim.telemetry.series("fleet.deployment_size").values
+        assert sizes[0] == 100
+        assert sizes[-1] == 140  # two month boundaries crossed
+
+    def test_onboarding_disabled(self):
+        sim = FleetSimulator(_config(initial_tables=100))
+        sim.run_days(61, onboard_monthly=False)
+        assert sim.model.count == 100
+
+    def test_weekly_totals(self):
+        sim = FleetSimulator(_config())
+        sim.set_strategy(0, AutoCompStrategy(sim.model, k=5))
+        sim.run_days(14)
+        weekly = sim.weekly_totals("fleet.files_reduced")
+        assert len(weekly) == 2
+        assert all(w >= 0 for w in weekly)
+
+    def test_scan_metrics_recorded(self):
+        sim = FleetSimulator(_config())
+        sim.run_days(7)
+        for name in (
+            "fleet.files_scanned",
+            "fleet.query_time",
+            "fleet.query_cost",
+            "fleet.open_calls",
+        ):
+            assert len(sim.telemetry.series(name)) == 7
+
+    def test_estimator_accuracy_matches_paper(self):
+        """§7: ~28% reduction overestimate, ~19% cost underestimate."""
+        sim = FleetSimulator(_config(initial_tables=600))
+        sim.set_strategy(0, AutoCompStrategy(sim.model, k=40))
+        sim.run_days(10)
+        accuracy = sim.estimator_accuracy()
+        assert 0.15 < accuracy["reduction_overestimate"] < 0.45
+        assert 0.10 < accuracy["cost_underestimate"] < 0.30
+
+    def test_invalid_days(self):
+        with pytest.raises(ValidationError):
+            FleetSimulator(_config()).run_days(0)
+
+
+class TestDeterminism:
+    def test_same_config_same_history(self):
+        def run():
+            sim = FleetSimulator(_config())
+            sim.set_strategy(3, AutoCompStrategy(sim.model, k=8))
+            sim.run_days(10)
+            return (
+                sim.telemetry.series("fleet.total_files").values,
+                sim.telemetry.series("fleet.files_reduced").values,
+            )
+
+        assert run() == run()

@@ -1,0 +1,160 @@
+"""Integration tests: whole-system scenarios across all packages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Catalog,
+    Cluster,
+    EngineSession,
+    PeriodicTrigger,
+    Simulator,
+    openhouse_pipeline,
+)
+from repro.core import OptimizeAfterWriteHook, LstConnector, LstExecutionBackend
+from repro.core.traits import FileCountReductionTrait
+from repro.engine import MisconfiguredShuffleWriter, TrickleWriter
+from repro.units import GiB, HOUR, MiB
+from repro.workloads import CabConfig, CabWorkload
+
+
+class TestStorageToQueryPath:
+    """Fragmentation created by writers must be visible at every layer."""
+
+    def test_small_files_propagate_through_layers(self, catalog, simple_schema):
+        catalog.create_database("db", quota_objects=50_000)
+        table = catalog.create_table("db.t", simple_schema)
+        session = EngineSession(
+            Cluster("q", executors=4), telemetry=catalog.telemetry, clock=catalog.clock
+        )
+        session.write(table, 256 * MiB, TrickleWriter(mean_file_size=4 * MiB))
+
+        # LST layer sees the files.
+        assert table.small_file_count() == table.data_file_count > 30
+        # Storage layer sees objects + metadata.
+        assert catalog.fs.file_count(table.location) > table.data_file_count
+        # Quota accounting moved.
+        assert catalog.quota_utilization("db") > 0
+        # Query latency reflects the fragmentation.
+        fragmented_latency = session.execute_read([(table, None)]).latency_s
+
+        pipeline = openhouse_pipeline(
+            catalog, Cluster("maint", executors=3), min_table_age_s=0.0
+        )
+        report = pipeline.run_cycle(now=catalog.clock.now)
+        assert report.successes == 1
+        healed_latency = session.execute_read([(table, None)]).latency_s
+        assert healed_latency < fragmented_latency
+
+
+class TestPeriodicAutoCompOnCab:
+    """A miniature Figure 6: hourly AutoComp keeps CAB file counts down."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        results = {}
+        for strategy in ("none", "autocomp"):
+            catalog = Catalog()
+            session = EngineSession(
+                Cluster("query", executors=8),
+                telemetry=catalog.telemetry,
+                clock=catalog.clock,
+                seed=33,
+            )
+            session.attach_filesystem(catalog.fs)
+            config = CabConfig(
+                databases=4,
+                data_bytes_per_db=256 * MiB,
+                duration_s=3 * HOUR,
+                lineitem_months=6,
+                ro_rate_per_hour=3.0,
+                rw_rate_per_hour=2.0,
+                seed=33,
+            )
+            workload = CabWorkload(catalog, session, config)
+            workload.load()
+            simulator = Simulator(catalog.clock)
+            workload.attach(simulator)
+            if strategy == "autocomp":
+                pipeline = openhouse_pipeline(
+                    catalog,
+                    Cluster("compaction", executors=3),
+                    generation="hybrid",
+                    k=40,
+                    min_table_age_s=0.0,
+                )
+                PeriodicTrigger(pipeline, HOUR, until=config.duration_s).attach(simulator)
+            simulator.run_until(config.duration_s + HOUR)
+            results[strategy] = (workload, catalog)
+        return results
+
+    def test_compaction_reduces_file_count(self, runs):
+        baseline_files = runs["none"][0].total_data_files()
+        compacted_files = runs["autocomp"][0].total_data_files()
+        assert compacted_files < baseline_files / 2
+
+    def test_compaction_improves_query_latency(self, runs):
+        def mean_late_latency(catalog):
+            series = catalog.telemetry.series("engine.query.ro.latency")
+            tail = series.between(2 * HOUR, 4 * HOUR)
+            return sum(tail) / len(tail)
+
+        assert mean_late_latency(runs["autocomp"][1]) < mean_late_latency(runs["none"][1])
+
+    def test_storage_rpc_pressure_reduced(self, runs):
+        baseline_opens = runs["none"][1].telemetry.counter("storage.rpc.open")
+        compacted_opens = runs["autocomp"][1].telemetry.counter("storage.rpc.open")
+        assert compacted_opens < baseline_opens
+
+
+class TestHookServiceInterplay:
+    """Optimize-after-write notify mode feeding the standalone service."""
+
+    def test_notify_then_periodic_cycle(self, catalog, simple_schema):
+        from repro.core import AutoCompService
+
+        catalog.create_database("db")
+        table = catalog.create_table("db.hot", simple_schema)
+        session = EngineSession(
+            Cluster("q", executors=4), telemetry=catalog.telemetry, clock=catalog.clock
+        )
+        pipeline = openhouse_pipeline(
+            catalog, Cluster("maint", executors=2), min_table_age_s=0.0
+        )
+        service = AutoCompService(pipeline)
+        connector = LstConnector(catalog)
+        hook = OptimizeAfterWriteHook(
+            connector,
+            FileCountReductionTrait(),
+            threshold=20,
+            mode="notify",
+            notify=service.notify,
+        )
+        session.write(table, 128 * MiB, MisconfiguredShuffleWriter(40))
+        hook.on_write(table)
+        assert len(service.notifications) == 1
+        report = service.run_cycle(now=catalog.clock.now)
+        assert report.successes == 1
+        assert table.data_file_count == 1
+
+
+class TestCrossFormatPipeline:
+    """NFR3: one pipeline instance serves Iceberg and Delta tables."""
+
+    def test_mixed_format_catalog(self, catalog, simple_schema):
+        catalog.create_database("db")
+        iceberg = catalog.create_table("db.ice", simple_schema, table_format="iceberg")
+        delta = catalog.create_table("db.dlt", simple_schema, table_format="delta")
+        session = EngineSession(
+            Cluster("q", executors=4), telemetry=catalog.telemetry, clock=catalog.clock
+        )
+        for table in (iceberg, delta):
+            session.write(table, 128 * MiB, MisconfiguredShuffleWriter(24))
+        pipeline = openhouse_pipeline(
+            catalog, Cluster("maint", executors=2), min_table_age_s=0.0
+        )
+        report = pipeline.run_cycle(now=catalog.clock.now)
+        assert report.successes == 2
+        assert iceberg.data_file_count == 1
+        assert delta.data_file_count == 1

@@ -1,0 +1,246 @@
+"""Tests for optimistic-concurrency conflict semantics (paper §4.4, Table 1).
+
+The scenarios interleave transactions by opening several before committing
+them, which is exactly what the engine's two-phase jobs do across simulated
+time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommitConflictError
+from repro.lst import ConflictSemantics, DeltaTable, IcebergTable, Schema, Field, TableIdentifier
+from repro.lst.partitioning import MonthTransform, PartitionField, PartitionSpec
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+
+def _sources(table, partition):
+    return [f for f in table.live_files() if f.partition == partition]
+
+
+class TestAppendConflicts:
+    def test_concurrent_appends_merge(self, table):
+        txn_a = table.new_append()
+        txn_a.add_file(MiB, partition=(0,))
+        txn_b = table.new_append()
+        txn_b.add_file(MiB, partition=(0,))
+        txn_a.commit()
+        txn_b.commit()  # stale base but appends auto-merge
+        assert table.data_file_count == 2
+        assert table.telemetry.counter("lst.commit.refreshes") == 1
+
+    def test_append_conflicts_with_concurrent_rewrite(self, fragmented_table):
+        table = fragmented_table
+        append = table.new_append()
+        append.add_file(MiB, partition=(0,))
+        rewrite = table.new_rewrite()
+        sources = _sources(table, (0,))
+        rewrite.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        rewrite.commit()
+        with pytest.raises(CommitConflictError) as err:
+            append.commit()
+        assert err.value.side == "client"
+        assert table.telemetry.counter("lst.conflicts.client") == 1
+
+    def test_append_retry_succeeds_after_conflict(self, fragmented_table):
+        table = fragmented_table
+        append = table.new_append()
+        append.add_file(MiB, partition=(0,))
+        rewrite = table.new_rewrite()
+        sources = _sources(table, (0,))
+        rewrite.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        rewrite.commit()
+        with pytest.raises(CommitConflictError):
+            append.commit()
+        retry = table.new_append()
+        retry.add_file(MiB, partition=(0,))
+        retry.commit()  # fresh metadata: no conflict
+        assert table.data_file_count == 12
+
+
+class TestOverwriteConflicts:
+    def test_overwrite_fails_when_source_removed(self, fragmented_table):
+        table = fragmented_table
+        victim = _sources(table, (0,))[0]
+        overwrite = table.new_overwrite()
+        overwrite.delete_file(victim)
+        overwrite.add_file(MiB, partition=(0,))
+        rewrite = table.new_rewrite()
+        sources = _sources(table, (0,))
+        rewrite.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        rewrite.commit()
+        with pytest.raises(CommitConflictError) as err:
+            overwrite.commit()
+        assert err.value.side == "client"
+
+    def test_overwrite_fails_on_same_partition_commit(self, fragmented_table):
+        table = fragmented_table
+        victim = _sources(table, (0,))[0]
+        overwrite = table.new_overwrite()
+        overwrite.delete_file(victim)
+        append = table.new_append()
+        append.add_file(MiB, partition=(0,))
+        append.commit()
+        with pytest.raises(CommitConflictError):
+            overwrite.commit()
+
+    def test_overwrite_ok_on_disjoint_partition_commit(self, fragmented_table):
+        table = fragmented_table
+        victim = _sources(table, (0,))[0]
+        overwrite = table.new_overwrite()
+        overwrite.delete_file(victim)
+        overwrite.add_file(MiB, partition=(0,))
+        append = table.new_append()
+        append.add_file(MiB, partition=(1,))
+        append.commit()
+        overwrite.commit()
+        assert table.version == 3
+
+
+class TestRowDeltaConflicts:
+    def test_rowdelta_fails_when_reference_rewritten(self, fragmented_table):
+        table = fragmented_table
+        targets = _sources(table, (0,))[:2]
+        delta = table.new_row_delta()
+        delta.add_deletes(MiB, targets)
+        rewrite = table.new_rewrite()
+        sources = _sources(table, (0,))
+        rewrite.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        rewrite.commit()
+        with pytest.raises(CommitConflictError) as err:
+            delta.commit()
+        assert err.value.side == "client"
+
+
+class TestRewriteConflicts:
+    def test_rewrite_fails_when_sources_vanish(self, fragmented_table):
+        table = fragmented_table
+        sources = _sources(table, (0,))
+        rewrite = table.new_rewrite()
+        rewrite.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        overwrite = table.new_overwrite()
+        overwrite.delete_file(sources[0])
+        overwrite.add_file(MiB, partition=(0,))
+        overwrite.commit()
+        with pytest.raises(CommitConflictError) as err:
+            rewrite.commit()
+        assert err.value.side == "cluster"
+        assert table.telemetry.counter("lst.conflicts.cluster") == 1
+
+    def test_iceberg_quirk_disjoint_rewrites_conflict(self, fragmented_table):
+        """The §4.4 observation: concurrent rewrites of *distinct*
+        partitions still conflict on Iceberg v1.2.0."""
+        table = fragmented_table
+        rewrite0 = table.new_rewrite()
+        sources0 = _sources(table, (0,))
+        rewrite0.rewrite(sources0, [sum(f.size_bytes for f in sources0)])
+        rewrite1 = table.new_rewrite()
+        sources1 = _sources(table, (1,))
+        rewrite1.rewrite(sources1, [sum(f.size_bytes for f in sources1)])
+        rewrite0.commit()
+        with pytest.raises(CommitConflictError) as err:
+            rewrite1.commit()
+        assert err.value.side == "cluster"
+        assert "distinct partitions" in str(err.value)
+
+    def test_rewrite_fails_on_concurrent_write_same_partition(self, fragmented_table):
+        table = fragmented_table
+        sources = _sources(table, (0,))
+        rewrite = table.new_rewrite()
+        rewrite.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        append = table.new_append()
+        append.add_file(MiB, partition=(0,))
+        append.commit()
+        with pytest.raises(CommitConflictError):
+            rewrite.commit()
+
+    def test_rewrite_ok_without_concurrency(self, fragmented_table):
+        table = fragmented_table
+        sources = _sources(table, (0,))
+        rewrite = table.new_rewrite()
+        rewrite.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        rewrite.commit()
+        assert table.data_file_count == 11
+
+
+class TestDeltaSemantics:
+    @pytest.fixture
+    def delta_table(self, fs, simple_schema, monthly_spec):
+        table = DeltaTable(
+            identifier=TableIdentifier("db", "delta_events"),
+            schema=simple_schema,
+            spec=monthly_spec,
+            fs=fs,
+        )
+        fragment_table(table)
+        return table
+
+    def test_disjoint_rewrites_commit_on_delta(self, delta_table):
+        """Delta's file-granularity validation allows disjoint OPTIMIZE."""
+        table = delta_table
+        rewrite0 = table.new_rewrite()
+        sources0 = _sources(table, (0,))
+        rewrite0.rewrite(sources0, [sum(f.size_bytes for f in sources0)])
+        rewrite1 = table.new_rewrite()
+        sources1 = _sources(table, (1,))
+        rewrite1.rewrite(sources1, [sum(f.size_bytes for f in sources1)])
+        rewrite0.commit()
+        rewrite1.commit()  # no quirk: distinct file sets commit cleanly
+        assert table.data_file_count == 2
+
+    def test_overlapping_rewrites_still_conflict_on_delta(self, delta_table):
+        table = delta_table
+        sources = _sources(table, (0,))
+        rewrite_a = table.new_rewrite()
+        rewrite_a.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        rewrite_b = table.new_rewrite()
+        rewrite_b.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        rewrite_a.commit()
+        with pytest.raises(CommitConflictError):
+            rewrite_b.commit()
+
+    def test_append_never_conflicts_with_rewrite_on_delta(self, delta_table):
+        table = delta_table
+        append = table.new_append()
+        append.add_file(MiB, partition=(0,))
+        rewrite = table.new_rewrite()
+        sources = _sources(table, (0,))
+        rewrite.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        rewrite.commit()
+        append.commit()
+        assert table.version == 3
+
+
+class TestSemanticsProfiles:
+    def test_iceberg_profile_flags(self):
+        semantics = ConflictSemantics.iceberg_v1_2()
+        assert semantics.rewrite_fails_on_concurrent_rewrite_any_partition
+        assert semantics.append_fails_on_concurrent_rewrite
+
+    def test_delta_profile_flags(self):
+        semantics = ConflictSemantics.delta_v2_4()
+        assert not semantics.rewrite_fails_on_concurrent_rewrite_any_partition
+        assert not semantics.append_fails_on_concurrent_rewrite
+
+    def test_custom_semantics_override(self, fs, simple_schema):
+        spec = PartitionSpec.of(PartitionField("event_date", MonthTransform()))
+        table = IcebergTable(
+            identifier=TableIdentifier("db", "custom"),
+            schema=simple_schema,
+            spec=spec,
+            fs=fs,
+            conflict_semantics=ConflictSemantics.delta_v2_4(),
+        )
+        fragment_table(table)
+        rewrite0 = table.new_rewrite()
+        sources0 = _sources(table, (0,))
+        rewrite0.rewrite(sources0, [sum(f.size_bytes for f in sources0)])
+        rewrite1 = table.new_rewrite()
+        sources1 = _sources(table, (1,))
+        rewrite1.rewrite(sources1, [sum(f.size_bytes for f in sources1)])
+        rewrite0.commit()
+        rewrite1.commit()  # overridden semantics permit this
+        assert table.version == 3

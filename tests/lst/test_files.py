@@ -1,0 +1,62 @@
+"""Tests for data/delete file value objects and snapshot accessors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lst import DataFile, DeleteFile, FileContent
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+
+class TestDataFile:
+    def test_fields(self):
+        data_file = DataFile(
+            file_id=1, path="/t/f.parquet", size_bytes=MiB, record_count=100,
+            partition=(3,),
+        )
+        assert data_file.content is FileContent.DATA
+        assert data_file.partition == (3,)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataFile(file_id=1, path="/f", size_bytes=-1, record_count=1)
+
+    def test_negative_records_rejected(self):
+        with pytest.raises(ValueError):
+            DataFile(file_id=1, path="/f", size_bytes=1, record_count=-1)
+
+    def test_hashable_value_object(self):
+        a = DataFile(file_id=1, path="/f", size_bytes=1, record_count=1)
+        b = DataFile(file_id=1, path="/f", size_bytes=1, record_count=1)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestDeleteFile:
+    def test_references(self):
+        delete_file = DeleteFile(
+            file_id=9, path="/d", size_bytes=100, record_count=10,
+            references=frozenset({1, 2}),
+        )
+        assert delete_file.content is FileContent.POSITION_DELETES
+        assert delete_file.references == {1, 2}
+
+
+class TestSnapshotAccessors:
+    def test_files_in_partition(self, fragmented_table):
+        snapshot = fragmented_table.current_snapshot()
+        part0 = snapshot.files_in_partition((0,))
+        assert len(part0) == 10
+        assert all(f.partition == (0,) for f in part0)
+        assert snapshot.files_in_partition((99,)) == []
+
+    def test_partitions_sorted(self, fragmented_table):
+        assert fragmented_table.current_snapshot().partitions() == [(0,), (1,)]
+
+    def test_totals(self, fragmented_table):
+        snapshot = fragmented_table.current_snapshot()
+        assert snapshot.data_file_count == 20
+        assert snapshot.total_data_bytes == 20 * 8 * MiB
+        assert snapshot.delete_file_count == 0

@@ -1,0 +1,122 @@
+"""Tests for format-specific metadata layouts (Iceberg vs Delta)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lst import DeltaTable, IcebergTable, TableIdentifier
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+
+@pytest.fixture
+def iceberg(fs, simple_schema, monthly_spec):
+    return IcebergTable(
+        identifier=TableIdentifier("db", "ice"),
+        schema=simple_schema,
+        spec=monthly_spec,
+        fs=fs,
+    )
+
+
+@pytest.fixture
+def delta(fs, simple_schema, monthly_spec):
+    return DeltaTable(
+        identifier=TableIdentifier("db", "dlt"),
+        schema=simple_schema,
+        spec=monthly_spec,
+        fs=fs,
+    )
+
+
+class TestIcebergMetadata:
+    def test_commit_writes_three_metadata_files(self, iceberg, fs):
+        fragment_table(iceberg, partitions=[(0,)], files_per_partition=2)
+        metadata = fs.namenode.files_under(f"{iceberg.location}/metadata")
+        names = sorted(info.path.rsplit("/", 1)[1] for info in metadata)
+        assert any(n.startswith("manifest-") for n in names)
+        assert any(n.startswith("snap-") for n in names)
+        assert any(n.endswith(".metadata.json") for n in names)
+        assert len(metadata) == 3
+
+    def test_manifests_accumulate_across_appends(self, iceberg):
+        for _ in range(5):
+            fragment_table(iceberg, partitions=[(0,)], files_per_partition=1)
+        assert iceberg.current_snapshot().manifest_paths != ()
+        assert len(iceberg.current_snapshot().manifest_paths) == 5
+        assert iceberg.scan().manifests_read == 5
+
+    def test_rewrite_compacts_manifests(self, iceberg):
+        for _ in range(5):
+            fragment_table(iceberg, partitions=[(0,)], files_per_partition=2)
+        sources = iceberg.live_files()
+        txn = iceberg.new_rewrite()
+        txn.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        txn.commit()
+        assert len(iceberg.current_snapshot().manifest_paths) == 1
+
+    def test_metadata_contributes_to_namespace_objects(self, iceberg, fs):
+        before = fs.file_count()
+        fragment_table(iceberg, partitions=[(0,)], files_per_partition=1)
+        after = fs.file_count()
+        # 1 data file + 3 metadata files per commit (§2, cause iv).
+        assert after - before == 4
+
+
+class TestDeltaMetadata:
+    def test_commit_writes_json_log(self, delta, fs):
+        fragment_table(delta, partitions=[(0,)], files_per_partition=2)
+        log = fs.namenode.files_under(f"{delta.location}/_delta_log")
+        assert len(log) == 1
+        assert log[0].path.endswith("00000000000000000001.json")
+
+    def test_checkpoint_every_interval(self, delta, fs):
+        for _ in range(10):
+            fragment_table(delta, partitions=[(0,)], files_per_partition=1)
+        log = fs.namenode.files_under(f"{delta.location}/_delta_log")
+        checkpoints = [info for info in log if "checkpoint" in info.path]
+        assert len(checkpoints) == 1
+        assert "00000000000000000010" in checkpoints[0].path
+
+    def test_planning_cost_resets_at_checkpoint(self, delta):
+        for _ in range(9):
+            fragment_table(delta, partitions=[(0,)], files_per_partition=1)
+        assert delta.scan().manifests_read == 9
+        fragment_table(delta, partitions=[(0,)], files_per_partition=1)  # v10
+        assert delta.scan().manifests_read == 1  # just the checkpoint
+        fragment_table(delta, partitions=[(0,)], files_per_partition=1)  # v11
+        assert delta.scan().manifests_read == 2
+
+    def test_custom_checkpoint_interval(self, fs, simple_schema):
+        table = DeltaTable(
+            identifier=TableIdentifier("db", "ckpt"),
+            schema=simple_schema,
+            fs=fs,
+            properties={"delta.checkpoint-interval": 3},
+        )
+        for _ in range(3):
+            txn = table.new_append()
+            txn.add_file(MiB)
+            txn.commit()
+        log = fs.namenode.files_under(f"{table.location}/_delta_log")
+        assert any("checkpoint" in info.path for info in log)
+
+
+class TestTableProperties:
+    def test_target_file_size_default_and_override(self, iceberg, fs, simple_schema):
+        assert iceberg.target_file_size == 512 * MiB
+        custom = IcebergTable(
+            identifier=TableIdentifier("db", "custom_target"),
+            schema=simple_schema,
+            fs=fs,
+            properties={"write.target-file-size-bytes": 128 * MiB},
+        )
+        assert custom.target_file_size == 128 * MiB
+
+    def test_format_names(self, iceberg, delta):
+        assert iceberg.format_name == "iceberg"
+        assert delta.format_name == "delta"
+
+    def test_repr(self, iceberg):
+        assert "db.ice" in repr(iceberg)

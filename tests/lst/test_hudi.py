@@ -1,0 +1,101 @@
+"""Tests for the Hudi-like format profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lst import HudiTable, TableIdentifier
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+
+@pytest.fixture
+def hudi(fs, simple_schema, monthly_spec):
+    return HudiTable(
+        identifier=TableIdentifier("db", "hoodie"),
+        schema=simple_schema,
+        spec=monthly_spec,
+        fs=fs,
+    )
+
+
+class TestTimelineMetadata:
+    def test_commit_file_per_transaction(self, hudi, fs):
+        fragment_table(hudi, partitions=[(0,)], files_per_partition=2)
+        fragment_table(hudi, partitions=[(0,)], files_per_partition=2)
+        timeline = fs.namenode.files_under(f"{hudi.location}/.hoodie")
+        assert len(timeline) == 2
+        assert all(info.path.endswith(".commit") for info in timeline)
+
+    def test_planning_cost_grows_then_resets_at_compaction(self, hudi):
+        for _ in range(4):
+            fragment_table(hudi, partitions=[(0,)], files_per_partition=2)
+        assert hudi.scan().manifests_read == 4
+        sources = hudi.live_files()
+        txn = hudi.new_rewrite()
+        txn.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        txn.commit()
+        assert hudi.scan().manifests_read == 1
+
+    def test_replace_commit_named_distinctly(self, hudi, fs):
+        fragment_table(hudi, partitions=[(0,)], files_per_partition=3)
+        sources = hudi.live_files()
+        txn = hudi.new_rewrite()
+        txn.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        txn.commit()
+        timeline = fs.namenode.files_under(f"{hudi.location}/.hoodie")
+        assert any(info.path.endswith(".replacecommit") for info in timeline)
+
+
+class TestHudiConflictProfile:
+    def test_appends_never_conflict_with_rewrites(self, hudi):
+        fragment_table(hudi, partitions=[(0,)], files_per_partition=4)
+        append = hudi.new_append()
+        append.add_file(MiB, partition=(0,))
+        sources = hudi.live_files()
+        rewrite = hudi.new_rewrite()
+        rewrite.rewrite(sources, [sum(f.size_bytes for f in sources)])
+        rewrite.commit()
+        append.commit()  # no stale-metadata failure in this profile
+        assert hudi.version == 3
+
+    def test_disjoint_rewrites_both_commit(self, hudi):
+        fragment_table(hudi)
+        part0 = [f for f in hudi.live_files() if f.partition == (0,)]
+        part1 = [f for f in hudi.live_files() if f.partition == (1,)]
+        rewrite0 = hudi.new_rewrite()
+        rewrite0.rewrite(part0, [sum(f.size_bytes for f in part0)])
+        rewrite1 = hudi.new_rewrite()
+        rewrite1.rewrite(part1, [sum(f.size_bytes for f in part1)])
+        rewrite0.commit()
+        rewrite1.commit()
+        assert hudi.data_file_count == 2
+
+
+class TestCatalogIntegration:
+    def test_hudi_registered_by_default(self, catalog, simple_schema):
+        catalog.create_database("db")
+        table = catalog.create_table("db.h", simple_schema, table_format="hudi")
+        assert isinstance(table, HudiTable)
+
+    def test_autocomp_over_all_three_formats(self, catalog, simple_schema):
+        """NFR3 end-to-end: one cycle over iceberg + delta + hudi tables."""
+        from repro.core.service import openhouse_pipeline
+        from repro.engine import Cluster, EngineSession, MisconfiguredShuffleWriter
+
+        catalog.create_database("db")
+        session = EngineSession(
+            Cluster("q", executors=4), telemetry=catalog.telemetry, clock=catalog.clock
+        )
+        tables = []
+        for fmt in ("iceberg", "delta", "hudi"):
+            table = catalog.create_table(f"db.{fmt}_t", simple_schema, table_format=fmt)
+            session.write(table, 64 * MiB, MisconfiguredShuffleWriter(16))
+            tables.append(table)
+        pipeline = openhouse_pipeline(
+            catalog, Cluster("m", executors=2), min_table_age_s=0.0
+        )
+        report = pipeline.run_cycle(now=catalog.clock.now)
+        assert report.successes == 3
+        assert all(t.data_file_count == 1 for t in tables)

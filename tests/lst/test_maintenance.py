@@ -1,0 +1,174 @@
+"""Tests for rewrite planning (bin packing) and execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.lst import DataFile
+from repro.lst.maintenance import (
+    estimate_table_level_reduction,
+    execute_rewrite,
+    pack_sizes,
+    plan_rewrite,
+    plan_table_rewrite,
+)
+from repro.units import MiB
+
+from tests.conftest import fragment_table
+
+TARGET = 512 * MiB
+
+
+def _files(sizes, partition=(0,), start_id=1):
+    return [
+        DataFile(
+            file_id=start_id + i,
+            path=f"/t/data/f{start_id + i}.parquet",
+            size_bytes=size,
+            record_count=max(size // 128, 1),
+            partition=partition,
+        )
+        for i, size in enumerate(sizes)
+    ]
+
+
+class TestPackSizes:
+    def test_single_output(self):
+        assert pack_sizes(100, 512) == (100,)
+
+    def test_exact_multiple(self):
+        assert pack_sizes(1024, 512) == (512, 512)
+
+    def test_remainder_spread_evenly(self):
+        sizes = pack_sizes(1025, 512)
+        assert len(sizes) == 3
+        assert sum(sizes) == 1025
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_bytes(self):
+        assert pack_sizes(0, 512) == ()
+
+    def test_outputs_never_exceed_target(self):
+        for total in (1, 511, 512, 513, 5000, 123456):
+            for size in pack_sizes(total, 512):
+                assert 0 < size <= 512
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            pack_sizes(10, 0)
+        with pytest.raises(ValidationError):
+            pack_sizes(-1, 512)
+
+
+class TestPlanRewrite:
+    def test_merges_small_files(self):
+        files = _files([64 * MiB] * 10)
+        plan = plan_rewrite(files, TARGET)
+        assert len(plan.groups) == 1
+        group = plan.groups[0]
+        assert group.input_count == 10
+        assert group.output_count == 2  # 640 MiB -> two outputs
+        assert plan.file_count_reduction == 8
+        assert plan.rewritten_bytes == 640 * MiB
+
+    def test_large_files_untouched(self):
+        files = _files([TARGET, TARGET + 1, 64 * MiB, 64 * MiB])
+        plan = plan_rewrite(files, TARGET)
+        assert plan.input_file_count == 2
+
+    def test_respects_partition_boundaries(self):
+        files = _files([64 * MiB] * 4, partition=(0,)) + _files(
+            [64 * MiB] * 4, partition=(1,), start_id=100
+        )
+        plan = plan_rewrite(files, TARGET)
+        assert len(plan.groups) == 2
+        assert all(len({f.partition for f in g.sources}) == 1 for g in plan.groups)
+
+    def test_partition_filter(self):
+        files = _files([64 * MiB] * 4, partition=(0,)) + _files(
+            [64 * MiB] * 4, partition=(1,), start_id=100
+        )
+        plan = plan_rewrite(files, TARGET, partitions=[(1,)])
+        assert len(plan.groups) == 1
+        assert plan.groups[0].partition == (1,)
+
+    def test_min_input_files_skips_lonely_partitions(self):
+        files = _files([64 * MiB], partition=(0,)) + _files(
+            [64 * MiB] * 3, partition=(1,), start_id=10
+        )
+        plan = plan_rewrite(files, TARGET, min_input_files=2)
+        assert [g.partition for g in plan.groups] == [(1,)]
+
+    def test_skips_partitions_with_no_gain(self):
+        # Two 500 MiB files need two outputs: no reduction, no group.
+        files = _files([500 * MiB, 500 * MiB])
+        plan = plan_rewrite(files, TARGET)
+        assert plan.is_empty
+
+    def test_empty_input(self):
+        plan = plan_rewrite([], TARGET)
+        assert plan.is_empty
+        assert plan.file_count_reduction == 0
+
+    def test_invalid_min_input(self):
+        with pytest.raises(ValidationError):
+            plan_rewrite([], TARGET, min_input_files=0)
+
+    def test_groups_sorted_by_partition(self):
+        files = _files([MiB] * 3, partition=(2,)) + _files(
+            [MiB] * 3, partition=(0,), start_id=50
+        )
+        plan = plan_rewrite(files, TARGET)
+        assert [g.partition for g in plan.groups] == [(0,), (2,)]
+
+
+class TestPlanTableRewrite:
+    def test_uses_table_target(self, fragmented_table):
+        plan = plan_table_rewrite(fragmented_table)
+        assert not plan.is_empty
+        assert plan.table == "db.events"
+        assert plan.input_file_count == 20
+        assert plan.output_file_count == 2  # one 80 MiB output per partition
+
+    def test_target_override(self, fragmented_table):
+        plan = plan_table_rewrite(fragmented_table, target_file_size=16 * MiB)
+        # 80 MiB per partition at 16 MiB target -> 5 outputs per partition.
+        assert plan.output_file_count == 10
+
+
+class TestExecuteRewrite:
+    def test_applies_plan(self, fragmented_table):
+        table = fragmented_table
+        plan = plan_table_rewrite(table)
+        snapshot = execute_rewrite(table, plan)
+        assert snapshot is not None
+        assert table.data_file_count == 2
+
+    def test_empty_plan_returns_none(self, table):
+        plan = plan_table_rewrite(table)
+        assert execute_rewrite(table, plan) is None
+
+
+class TestTableLevelEstimator:
+    def test_counts_small_files(self):
+        files = _files([MiB, TARGET - 1, TARGET, TARGET + 5])
+        assert estimate_table_level_reduction(files, TARGET) == 2
+
+    def test_overestimates_vs_partition_aware_plan(self):
+        """The §7 model-accuracy effect: ΔF_c ignores partition boundaries
+        and output files, so it exceeds the achievable reduction."""
+        files = []
+        for partition in range(5):
+            files.extend(
+                _files([100 * MiB] * 3, partition=(partition,), start_id=partition * 10 + 1)
+            )
+        estimate = estimate_table_level_reduction(files, TARGET)
+        plan = plan_rewrite(files, TARGET)
+        assert estimate == 15
+        assert plan.file_count_reduction == 10  # 3 -> 1 in each of 5 partitions
+        assert estimate > plan.file_count_reduction
+
+    def test_invalid_target(self):
+        with pytest.raises(ValidationError):
+            estimate_table_level_reduction([], 0)

@@ -1,0 +1,141 @@
+"""Tests for Z-order utilities and layout-aware rewrite planning (§8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.lst import DataFile
+from repro.lst.zorder import (
+    interleave_bits,
+    plan_zorder_rewrite,
+    z_order_files,
+    z_value,
+)
+from repro.units import MiB
+
+TARGET = 512 * MiB
+
+
+def _file(file_id, partition, size=8 * MiB):
+    return DataFile(
+        file_id=file_id,
+        path=f"/t/f{file_id}.parquet",
+        size_bytes=size,
+        record_count=100,
+        partition=partition,
+    )
+
+
+class TestInterleaveBits:
+    def test_one_dimension_is_identity(self):
+        for value in (0, 1, 5, 1000):
+            assert interleave_bits((value,)) == value
+
+    def test_known_two_dimensional_codes(self):
+        # Classic Morton codes: (x=1,y=0)->1, (x=0,y=1)->2, (x=1,y=1)->3,
+        # (x=2,y=0)->4 ...
+        assert interleave_bits((0, 0)) == 0
+        assert interleave_bits((1, 0)) == 1
+        assert interleave_bits((0, 1)) == 2
+        assert interleave_bits((1, 1)) == 3
+        assert interleave_bits((2, 0)) == 4
+        assert interleave_bits((2, 2)) == 12
+
+    def test_locality(self):
+        """Adjacent cells in the plane get close codes within a quadrant."""
+        quad_a = [interleave_bits((x, y)) for x in (0, 1) for y in (0, 1)]
+        quad_b = [interleave_bits((x, y)) for x in (2, 3) for y in (2, 3)]
+        assert max(quad_a) < min(quad_b)
+
+    def test_bijective_over_small_grid(self):
+        codes = {
+            interleave_bits((x, y), bits=4) for x in range(16) for y in range(16)
+        }
+        assert len(codes) == 256
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            interleave_bits(())
+        with pytest.raises(ValidationError):
+            interleave_bits((-1,))
+        with pytest.raises(ValidationError):
+            interleave_bits((1, 2, 3), bits=30)  # 90 bits > 64
+        with pytest.raises(ValidationError):
+            interleave_bits((1 << 22,), bits=21)
+
+
+class TestZValue:
+    def test_empty_partition(self):
+        assert z_value(()) == 0
+
+    def test_integer_partitions(self):
+        assert z_value((3,)) == 3
+        assert z_value((1, 1)) == 3
+
+    def test_non_integer_components_stable(self):
+        assert z_value(("east", 2)) == z_value(("east", 2))
+        assert z_value(("east", 2)) != z_value(("west", 2))
+
+    def test_negative_integers_hashed(self):
+        assert z_value((-5,)) == z_value((-5,))
+
+
+class TestZOrderFiles:
+    def test_orders_by_curve_then_id(self):
+        files = [
+            _file(1, (3, 3)),
+            _file(2, (0, 0)),
+            _file(3, (1, 1)),
+            _file(4, (0, 0)),
+        ]
+        ordered = z_order_files(files)
+        assert [f.file_id for f in ordered] == [2, 4, 3, 1]
+
+
+class TestPlanZorderRewrite:
+    def test_groups_in_z_order(self):
+        files = []
+        fid = 1
+        for partition in [(3, 3), (0, 1), (0, 0), (1, 0)]:
+            for _ in range(3):
+                files.append(_file(fid, partition))
+                fid += 1
+        plan = plan_zorder_rewrite(files, TARGET)
+        partitions = [g.partition for g in plan.groups]
+        codes = [z_value(p) for p in partitions]
+        assert codes == sorted(codes)
+        assert partitions[0] == (0, 0)
+
+    def test_same_packing_as_plain_planner(self):
+        from repro.lst.maintenance import plan_rewrite
+
+        files = [
+            _file(i, (i % 3, i % 2)) for i in range(1, 19)
+        ]
+        zplan = plan_zorder_rewrite(files, TARGET)
+        plain = plan_rewrite(files, TARGET)
+        assert zplan.input_file_count == plain.input_file_count
+        assert zplan.output_file_count == plain.output_file_count
+        assert zplan.rewritten_bytes == plain.rewritten_bytes
+
+    def test_never_crosses_partitions(self):
+        files = [_file(i, (i % 4,)) for i in range(1, 21)]
+        plan = plan_zorder_rewrite(files, TARGET)
+        for group in plan.groups:
+            assert len({f.partition for f in group.sources}) == 1
+
+    def test_executes_against_table(self, fragmented_table):
+        from repro.lst.maintenance import execute_rewrite
+
+        plan = plan_zorder_rewrite(
+            fragmented_table.live_files(),
+            fragmented_table.target_file_size,
+            table=str(fragmented_table.identifier),
+        )
+        execute_rewrite(fragmented_table, plan)
+        assert fragmented_table.data_file_count == 2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            plan_zorder_rewrite([], TARGET, min_input_files=0)

@@ -1,0 +1,108 @@
+"""Property-based tests for bin-packing rewrite planning."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lst import DataFile
+from repro.lst.maintenance import pack_sizes, plan_rewrite
+from repro.units import MiB
+
+TARGET = 512 * MiB
+
+sizes_strategy = st.lists(
+    st.integers(min_value=1, max_value=2 * TARGET), min_size=0, max_size=60
+)
+
+
+def _files(sizes, partitions=None):
+    return [
+        DataFile(
+            file_id=i + 1,
+            path=f"/t/f{i}.parquet",
+            size_bytes=size,
+            record_count=size // 128 + 1,
+            partition=(partitions[i],) if partitions else (0,),
+        )
+        for i, size in enumerate(sizes)
+    ]
+
+
+class TestPackSizesProperties:
+    @given(total=st.integers(min_value=0, max_value=100 * TARGET))
+    def test_conserves_bytes(self, total):
+        assert sum(pack_sizes(total, TARGET)) == total
+
+    @given(total=st.integers(min_value=1, max_value=100 * TARGET))
+    def test_outputs_bounded_by_target(self, total):
+        for size in pack_sizes(total, TARGET):
+            assert 0 < size <= TARGET
+
+    @given(total=st.integers(min_value=1, max_value=100 * TARGET))
+    def test_output_count_is_minimal(self, total):
+        assert len(pack_sizes(total, TARGET)) == math.ceil(total / TARGET)
+
+    @given(total=st.integers(min_value=1, max_value=100 * TARGET))
+    def test_outputs_balanced(self, total):
+        sizes = pack_sizes(total, TARGET)
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestPlanRewriteProperties:
+    @given(sizes=sizes_strategy)
+    @settings(max_examples=60)
+    def test_plan_conserves_bytes(self, sizes):
+        plan = plan_rewrite(_files(sizes), TARGET)
+        for group in plan.groups:
+            assert group.input_bytes == sum(group.output_sizes)
+
+    @given(sizes=sizes_strategy)
+    @settings(max_examples=60)
+    def test_plan_strictly_reduces_file_count(self, sizes):
+        plan = plan_rewrite(_files(sizes), TARGET)
+        for group in plan.groups:
+            assert group.output_count < group.input_count
+        assert plan.file_count_reduction >= 0
+
+    @given(sizes=sizes_strategy)
+    @settings(max_examples=60)
+    def test_only_small_files_selected(self, sizes):
+        plan = plan_rewrite(_files(sizes), TARGET)
+        for group in plan.groups:
+            for source in group.sources:
+                assert source.size_bytes < TARGET
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=TARGET - 1), min_size=2, max_size=40),
+        partitions=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_groups_never_cross_partitions(self, sizes, partitions):
+        labels = [
+            partitions.draw(st.integers(min_value=0, max_value=3)) for _ in sizes
+        ]
+        plan = plan_rewrite(_files(sizes, labels), TARGET)
+        for group in plan.groups:
+            assert len({f.partition for f in group.sources}) == 1
+
+    @given(sizes=sizes_strategy)
+    @settings(max_examples=60)
+    def test_estimator_never_below_plan(self, sizes):
+        """ΔF_c (count of small files) upper-bounds achievable reduction."""
+        from repro.lst.maintenance import estimate_table_level_reduction
+
+        files = _files(sizes)
+        estimate = estimate_table_level_reduction(files, TARGET)
+        plan = plan_rewrite(files, TARGET, min_input_files=1)
+        assert plan.file_count_reduction <= estimate
+
+    @given(sizes=sizes_strategy)
+    @settings(max_examples=40)
+    def test_plan_deterministic(self, sizes):
+        files = _files(sizes)
+        first = plan_rewrite(files, TARGET)
+        second = plan_rewrite(files, TARGET)
+        assert first == second

@@ -1,0 +1,135 @@
+"""Property-based tests for the LST commit protocol.
+
+A random interleaving of appends, overwrites, row-deltas and rewrites —
+with some transactions deliberately left stale before committing — must
+never corrupt table state: bytes and files stay consistent, conflicts only
+roll back (never partially apply), and snapshot history stays linear.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommitConflictError
+from repro.lst import Field, IcebergTable, Schema, TableIdentifier
+from repro.lst.partitioning import IdentityTransform, PartitionField, PartitionSpec
+from repro.storage import SimulatedFileSystem
+from repro.units import MiB
+
+
+def _new_table():
+    schema = Schema.of(Field("id", "long"), Field("p", "int"))
+    spec = PartitionSpec.of(PartitionField("p", IdentityTransform()))
+    return IcebergTable(
+        TableIdentifier("db", "t"), schema, spec=spec, fs=SimulatedFileSystem()
+    )
+
+
+operation_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["append", "overwrite", "rewrite", "rowdelta"]),
+        st.integers(min_value=0, max_value=2),  # partition
+        st.booleans(),  # make stale: commit another append first
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestCommitProtocolProperties:
+    @given(operations=operation_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_state_always_consistent(self, operations):
+        table = _new_table()
+        # Seed each partition with a few files.
+        seed = table.new_append()
+        for partition in range(3):
+            for _ in range(3):
+                seed.add_file(4 * MiB, partition=(partition,))
+        seed.commit()
+
+        for kind, partition, make_stale in operations:
+            files = [f for f in table.live_files() if f.partition == (partition,)]
+            txn = None
+            if kind == "append":
+                txn = table.new_append()
+                txn.add_file(2 * MiB, partition=(partition,))
+            elif kind == "overwrite" and files:
+                txn = table.new_overwrite()
+                txn.delete_file(files[0])
+                txn.add_file(files[0].size_bytes, partition=(partition,))
+            elif kind == "rewrite" and len(files) >= 2:
+                txn = table.new_rewrite()
+                txn.rewrite(files, [sum(f.size_bytes for f in files)])
+            elif kind == "rowdelta" and files:
+                txn = table.new_row_delta()
+                txn.add_deletes(MiB, files[:2])
+            if txn is None:
+                continue
+
+            if make_stale:
+                interloper = table.new_append()
+                interloper.add_file(MiB, partition=(partition,))
+                interloper.commit()
+
+            version_before = table.version
+            live_before = frozenset(f.file_id for f in table.live_files())
+            try:
+                txn.commit()
+                assert table.version == version_before + 1
+            except CommitConflictError:
+                # Failed commits must not change anything.
+                assert table.version == version_before
+                assert frozenset(f.file_id for f in table.live_files()) == live_before
+
+            self._check_invariants(table)
+
+    @staticmethod
+    def _check_invariants(table):
+        snapshot = table.current_snapshot()
+        assert snapshot is not None
+        # Live files are unique by id and all positive-sized.
+        ids = [f.file_id for f in snapshot.live_files]
+        assert len(ids) == len(set(ids))
+        assert all(f.size_bytes >= 0 for f in snapshot.live_files)
+        # Delete files only reference live data files (dangling ones are
+        # dropped at commit time).
+        live_ids = set(ids)
+        for delete_file in snapshot.delete_files:
+            assert delete_file.references & live_ids
+        # History is linear: sequence numbers strictly increase.
+        sequence = [s.sequence_number for s in table.snapshots()]
+        assert sequence == sorted(sequence)
+        assert len(sequence) == len(set(sequence))
+        # Every live file physically exists in storage.
+        for data_file in snapshot.live_files:
+            assert table.fs.namenode.exists(data_file.path)
+
+    @given(
+        file_counts=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=6)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rewrite_then_expire_conserves_live_bytes(self, file_counts):
+        table = _new_table()
+        txn = table.new_append()
+        for partition, count in enumerate(file_counts):
+            for _ in range(count):
+                txn.add_file(8 * MiB, partition=(partition,))
+        txn.commit()
+        bytes_before = table.total_data_bytes
+
+        from repro.lst.maintenance import execute_rewrite, plan_table_rewrite
+
+        plan = plan_table_rewrite(table, min_input_files=2)
+        execute_rewrite(table, plan)
+        table.expire_snapshots()
+        assert table.total_data_bytes == bytes_before
+        # Storage holds exactly the live data files (plus metadata).
+        live_paths = {f.path for f in table.live_files()}
+        stored = {
+            info.path
+            for info in table.fs.namenode.files_under(table.location)
+            if "/data/" in info.path.replace(table.location, "")
+        }
+        assert live_paths == stored

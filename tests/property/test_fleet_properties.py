@@ -1,0 +1,96 @@
+"""Property-based tests for the fleet model's conservation invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import FleetConfig, FleetModel
+
+
+def _totals(model: FleetModel) -> tuple[int, int]:
+    n = model.count
+    files = int(
+        model.tiny_files[:n].sum() + model.mid_files[:n].sum() + model.large_files[:n].sum()
+    )
+    data_bytes = int(
+        model.tiny_bytes[:n].sum() + model.mid_bytes[:n].sum() + model.large_bytes[:n].sum()
+    )
+    return files, data_bytes
+
+
+class TestFleetInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        actions=st.lists(
+            st.tuples(
+                st.sampled_from(["step", "compact", "onboard"]),
+                st.integers(min_value=0, max_value=99),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_state_never_corrupts(self, seed, actions):
+        """Arbitrary interleavings of growth/compaction/onboarding keep all
+        counters non-negative and compaction conserves bytes."""
+        model = FleetModel(FleetConfig(initial_tables=100, databases=5, seed=seed))
+        for action, argument in actions:
+            if action == "step":
+                model.step_day()
+            elif action == "onboard":
+                model.onboard(argument % 20)
+            else:
+                index = argument % model.count
+                _, bytes_before = _totals(model)
+                application = model.compact(index)
+                _, bytes_after = _totals(model)
+                # Compaction never creates or destroys data bytes (modulo
+                # integer rounding of the merged split).
+                assert abs(bytes_after - bytes_before) <= 4
+                assert application.actual_reduction >= 0
+                assert application.actual_gbhr >= 0.0
+
+            n = model.count
+            for array in (
+                model.tiny_files,
+                model.mid_files,
+                model.large_files,
+                model.tiny_bytes,
+                model.mid_bytes,
+                model.large_bytes,
+            ):
+                assert (array[:n] >= 0).all()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_estimates_bound_reality(self, seed):
+        """ΔF_c upper-bounds realised reduction for every table (the §7
+        overestimate is systematic, never an underestimate)."""
+        model = FleetModel(FleetConfig(initial_tables=60, seed=seed))
+        for _ in range(10):
+            model.step_day()
+        for index in np.argsort(-model.small_files_per_table())[:15]:
+            estimate = model.estimate_reduction(int(index))
+            application = model.compact(int(index))
+            assert application.actual_reduction <= estimate
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_repeat_compaction_has_diminishing_returns(self, seed):
+        """Re-compacting without new writes achieves strictly less each
+        time (a table with partition-boundary efficiency e retains a
+        (1−e) remainder per pass)."""
+        model = FleetModel(FleetConfig(initial_tables=60, seed=seed))
+        for _ in range(20):
+            model.step_day()
+        index = int(np.argmax(model.small_files_per_table()))
+        first = model.compact(index)
+        second = model.compact(index)
+        third = model.compact(index)
+        if first.actual_reduction > 0:
+            assert second.actual_reduction < first.actual_reduction
+        if second.actual_reduction > 0:
+            assert third.actual_reduction < second.actual_reduction

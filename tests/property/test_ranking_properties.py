@@ -1,0 +1,171 @@
+"""Property-based tests for normalisation, ranking, and selection."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BudgetSelector,
+    Candidate,
+    CandidateKey,
+    CandidateScope,
+    Objective,
+    QuotaAwareWeightedSumPolicy,
+    TopKSelector,
+    WeightedSumPolicy,
+    min_max_normalize,
+)
+
+finite_floats = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+def _candidates(benefits, costs, quotas=None):
+    out = []
+    for i, (benefit, cost) in enumerate(zip(benefits, costs)):
+        candidate = Candidate(key=CandidateKey("db", f"t{i:04d}", CandidateScope.TABLE))
+        candidate.traits["file_count_reduction"] = benefit
+        candidate.traits["compute_cost_gbhr"] = cost
+        if quotas is not None:
+            from repro.core import CandidateStatistics
+            from repro.units import MiB
+
+            candidate.statistics = CandidateStatistics.from_file_sizes(
+                [MiB], target_file_size=512 * MiB, quota_utilization=quotas[i]
+            )
+        out.append(candidate)
+    return out
+
+
+class TestNormalizeProperties:
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50))
+    def test_output_in_unit_interval(self, values):
+        normalized = min_max_normalize(values)
+        assert all(0.0 <= v <= 1.0 for v in normalized)
+
+    @given(values=st.lists(finite_floats, min_size=2, max_size=50))
+    def test_order_preserved(self, values):
+        normalized = min_max_normalize(values)
+        for i in range(len(values)):
+            for j in range(len(values)):
+                if values[i] < values[j]:
+                    assert normalized[i] <= normalized[j]
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50))
+    def test_length_preserved(self, values):
+        assert len(min_max_normalize(values)) == len(values)
+
+
+class TestWeightedSumProperties:
+    @given(
+        benefits=st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=30
+        ),
+        costs=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_scores_bounded_and_sorted(self, benefits, costs):
+        cost_values = [
+            costs.draw(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+            for _ in benefits
+        ]
+        policy = WeightedSumPolicy(
+            [
+                Objective("file_count_reduction", 0.7, maximize=True),
+                Objective("compute_cost_gbhr", 0.3, maximize=False),
+            ]
+        )
+        ranked = policy.rank(_candidates(benefits, cost_values))
+        scores = [c.score for c in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(-0.3 - 1e-9 <= s <= 0.7 + 1e-9 for s in scores)
+
+    @given(
+        benefits=st.lists(
+            # Integer-valued benefits: sub-epsilon float gaps would collapse
+            # under min-max normalisation and legitimately tie.
+            st.integers(min_value=0, max_value=10**6).map(float),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40)
+    def test_dominance_respected(self, benefits):
+        """A candidate with strictly better benefit and equal cost never
+        ranks below a dominated one."""
+        costs = [1.0] * len(benefits)
+        policy = WeightedSumPolicy(
+            [
+                Objective("file_count_reduction", 0.7, maximize=True),
+                Objective("compute_cost_gbhr", 0.3, maximize=False),
+            ]
+        )
+        ranked = policy.rank(_candidates(benefits, costs))
+        ranked_benefits = [c.trait("file_count_reduction") for c in ranked]
+        assert ranked_benefits == sorted(ranked_benefits, reverse=True)
+
+    @given(
+        quotas=st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=40)
+    def test_quota_weights_in_range(self, quotas):
+        for quota in quotas:
+            weight = QuotaAwareWeightedSumPolicy.benefit_weight(quota)
+            assert 0.5 <= weight <= 1.0
+
+
+class TestSelectionProperties:
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False), min_size=0, max_size=40
+        ),
+        budget=st.floats(min_value=0, max_value=500, allow_nan=False),
+    )
+    @settings(max_examples=80)
+    def test_budget_never_exceeded(self, costs, budget):
+        candidates = _candidates([1.0] * len(costs), costs)
+        selected = BudgetSelector(budget=budget).select(candidates)
+        assert sum(c.trait("compute_cost_gbhr") for c in selected) <= budget + 1e-9
+
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0.1, max_value=100, allow_nan=False), min_size=1, max_size=40
+        ),
+        budget=st.floats(min_value=0, max_value=500, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_greedy_maximality(self, costs, budget):
+        """No skipped candidate could still have fit after the walk."""
+        candidates = _candidates([1.0] * len(costs), costs)
+        selected = BudgetSelector(budget=budget).select(candidates)
+        remaining = budget - sum(c.trait("compute_cost_gbhr") for c in selected)
+        chosen = {str(c.key) for c in selected}
+        for candidate in candidates:
+            if str(candidate.key) not in chosen:
+                # Tolerance covers float error in the re-computed remainder.
+                assert candidate.trait("compute_cost_gbhr") >= remaining - 1e-6
+
+    @given(
+        k=st.integers(min_value=0, max_value=50),
+        count=st.integers(min_value=0, max_value=50),
+    )
+    def test_topk_size(self, k, count):
+        candidates = _candidates([1.0] * count, [1.0] * count)
+        assert len(TopKSelector(k).select(candidates)) == min(max(k, 0), count)
+
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False), min_size=0, max_size=30
+        ),
+        budget=st.floats(min_value=0, max_value=300, allow_nan=False),
+    )
+    @settings(max_examples=40)
+    def test_selection_preserves_rank_order(self, costs, budget):
+        candidates = _candidates([1.0] * len(costs), costs)
+        selected = BudgetSelector(budget=budget).select(candidates)
+        indices = [candidates.index(c) for c in selected]
+        assert indices == sorted(indices)

@@ -1,0 +1,95 @@
+"""Property-based tests for namespace and quota accounting."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    FileExistsInStorageError,
+    FileNotFoundInStorageError,
+    QuotaExceededError,
+)
+from repro.storage.namenode import NameNode
+
+path_segment = st.text(alphabet="abcdef", min_size=1, max_size=4)
+path_strategy = st.builds(
+    lambda parts: "/" + "/".join(parts),
+    st.lists(path_segment, min_size=1, max_size=4),
+)
+
+operation_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "delete"]),
+        path_strategy,
+        st.integers(min_value=0, max_value=10**9),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestNamespaceProperties:
+    @given(operations=operation_strategy)
+    @settings(max_examples=60)
+    def test_accounting_matches_shadow_model(self, operations):
+        node = NameNode()
+        shadow: dict[str, int] = {}
+        for kind, path, size in operations:
+            if kind == "create":
+                try:
+                    node.create(path, size, created_at=0.0)
+                    shadow[node.lookup(path).path] = size
+                except FileExistsInStorageError:
+                    pass
+            else:
+                normalized = "/" + "/".join(p for p in path.split("/") if p)
+                try:
+                    node.delete(path)
+                    shadow.pop(normalized, None)
+                except FileNotFoundInStorageError:
+                    assert normalized not in shadow
+        assert node.file_count == len(shadow)
+        assert node.total_bytes == sum(shadow.values())
+
+    @given(operations=operation_strategy, limit=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60)
+    def test_quota_usage_never_exceeds_limit(self, operations, limit):
+        node = NameNode()
+        node.set_quota("/q", limit)
+        for kind, path, size in operations:
+            scoped = "/q" + path
+            try:
+                if kind == "create":
+                    node.create(scoped, size, created_at=0.0)
+                else:
+                    node.delete(scoped)
+            except (
+                FileExistsInStorageError,
+                FileNotFoundInStorageError,
+                QuotaExceededError,
+            ):
+                pass
+            used, cap = node.quota_usage("/q")
+            assert 0 <= used <= cap
+
+    @given(operations=operation_strategy)
+    @settings(max_examples=40)
+    def test_quota_used_matches_recount(self, operations):
+        """Incremental quota charges agree with a from-scratch recount."""
+        node = NameNode()
+        node.set_quota("/q", 10_000)
+        for kind, path, size in operations:
+            scoped = "/q" + path
+            try:
+                if kind == "create":
+                    node.create(scoped, size, created_at=0.0)
+                else:
+                    node.delete(scoped)
+            except (FileExistsInStorageError, FileNotFoundInStorageError):
+                pass
+        used, _ = node.quota_usage("/q")
+        # Recount from scratch: files plus (never-garbage-collected)
+        # directories, matching HDFS namespace-quota semantics.
+        recount = len(node.files_under("/q")) + len(node.directories_under("/q"))
+        assert recount == used

@@ -1,0 +1,53 @@
+"""Tests for the simulated clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simulation import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=100.0).now == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValidationError):
+            SimClock(start=-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(42.5)
+        assert clock.now == 42.5
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValidationError):
+            clock.advance_to(9.9)
+
+    def test_advance_by(self):
+        clock = SimClock()
+        clock.advance_by(5.0)
+        clock.advance_by(2.5)
+        assert clock.now == 7.5
+
+    def test_advance_by_zero_ok(self):
+        clock = SimClock(start=3.0)
+        clock.advance_by(0.0)
+        assert clock.now == 3.0
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            SimClock().advance_by(-0.1)
+
+    def test_repr_mentions_time(self):
+        assert "12.5" in repr(SimClock(start=12.5))

@@ -1,0 +1,80 @@
+"""Tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simulation import EventQueue
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.peek_time() is None
+
+    def test_push_and_pop_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while queue:
+            queue.pop().action()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abcde":
+            queue.push(5.0, lambda n=name: fired.append(n))
+        while queue:
+            queue.pop().action()
+        assert fired == list("abcde")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(7.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, lambda: fired.append("keep"))
+        drop = queue.push(2.0, lambda: fired.append("drop"))
+        queue.cancel(drop)
+        assert len(queue) == 1
+        while queue:
+            queue.pop().action()
+        assert fired == ["keep"]
+        del keep
+
+    def test_cancel_head_updates_peek(self):
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        queue.cancel(head)
+        assert queue.peek_time() == 5.0
+
+    def test_cancel_twice_is_noop(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_event_names(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, name="tick")
+        assert event.name == "tick"

@@ -1,0 +1,133 @@
+"""Tests for telemetry counters and series."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simulation import MetricSeries, Telemetry
+
+
+class TestCounters:
+    def test_default_zero(self):
+        assert Telemetry().counter("nope") == 0.0
+
+    def test_increment(self):
+        telemetry = Telemetry()
+        telemetry.increment("a")
+        telemetry.increment("a", 2.5)
+        assert telemetry.counter("a") == 3.5
+
+    def test_prefix_query(self):
+        telemetry = Telemetry()
+        telemetry.increment("storage.rpc.open", 3)
+        telemetry.increment("storage.rpc.create")
+        telemetry.increment("engine.queries")
+        rpc = telemetry.counters_with_prefix("storage.rpc.")
+        assert rpc == {"storage.rpc.open": 3.0, "storage.rpc.create": 1.0}
+
+
+class TestMetricSeries:
+    def test_record_and_iterate(self):
+        series = MetricSeries("m")
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert list(series) == [(1.0, 10.0), (2.0, 20.0)]
+        assert len(series) == 2
+
+    def test_out_of_order_records_inserted_sorted(self):
+        series = MetricSeries("m")
+        series.record(5.0, 1.0)
+        series.record(4.0, 2.0)  # a late report from an earlier start time
+        series.record(6.0, 3.0)
+        assert series.times == [4.0, 5.0, 6.0]
+        assert series.values == [2.0, 1.0, 3.0]
+
+    def test_equal_times_allowed(self):
+        series = MetricSeries("m")
+        series.record(5.0, 1.0)
+        series.record(5.0, 2.0)
+        assert series.values == [1.0, 2.0]
+
+    def test_last(self):
+        series = MetricSeries("m")
+        assert math.isnan(series.last())
+        assert series.last(default=-1.0) == -1.0
+        series.record(1.0, 42.0)
+        assert series.last() == 42.0
+
+    def test_between_half_open(self):
+        series = MetricSeries("m")
+        for t in range(5):
+            series.record(float(t), float(t * 10))
+        assert series.between(1.0, 3.0) == [10.0, 20.0]
+        assert series.between(0.0, 10.0) == [0.0, 10.0, 20.0, 30.0, 40.0]
+        assert series.between(4.5, 9.0) == []
+
+    def test_value_at_step_function(self):
+        series = MetricSeries("m")
+        series.record(10.0, 1.0)
+        series.record(20.0, 2.0)
+        assert math.isnan(series.value_at(5.0))
+        assert series.value_at(10.0) == 1.0
+        assert series.value_at(15.0) == 1.0
+        assert series.value_at(25.0) == 2.0
+
+
+class TestBucketing:
+    def _series(self):
+        series = MetricSeries("m")
+        for t, v in [(0.5, 1.0), (1.5, 3.0), (1.8, 5.0), (3.2, 7.0)]:
+            series.record(t, v)
+        return series
+
+    def test_mean_buckets(self):
+        buckets = self._series().bucket(1.0, end=4.0, agg="mean")
+        assert buckets[0] == (0.0, 1.0)
+        assert buckets[1] == (1.0, 4.0)
+        assert math.isnan(buckets[2][1])
+        assert buckets[3] == (3.0, 7.0)
+
+    def test_sum_and_count(self):
+        series = self._series()
+        sums = [v for _, v in series.bucket(2.0, end=4.0, agg="sum")]
+        counts = [v for _, v in series.bucket(2.0, end=4.0, agg="count")]
+        assert sums == [9.0, 7.0]
+        assert counts == [3.0, 1.0]
+
+    def test_min_max_last(self):
+        series = self._series()
+        assert [v for _, v in series.bucket(2.0, end=2.0, agg="min")] == [1.0]
+        assert [v for _, v in series.bucket(2.0, end=2.0, agg="max")] == [5.0]
+        assert [v for _, v in series.bucket(2.0, end=2.0, agg="last")] == [5.0]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            self._series().bucket(0.0)
+
+    def test_unknown_agg(self):
+        with pytest.raises(ValueError):
+            self._series().bucket(1.0, agg="median")
+
+
+class TestTelemetrySeries:
+    def test_series_auto_created(self):
+        telemetry = Telemetry()
+        assert len(telemetry.series("fresh")) == 0
+        telemetry.record("fresh", 1.0, 2.0)
+        assert telemetry.series("fresh").values == [2.0]
+
+    def test_series_names_prefix(self):
+        telemetry = Telemetry()
+        telemetry.record("a.x", 0.0, 1.0)
+        telemetry.record("a.y", 0.0, 1.0)
+        telemetry.record("b.z", 0.0, 1.0)
+        assert telemetry.series_names("a.") == ["a.x", "a.y"]
+
+    def test_merge_values(self):
+        telemetry = Telemetry()
+        telemetry.record("a", 0.0, 1.0)
+        telemetry.record("b", 0.0, 2.0)
+        telemetry.record("a", 1.0, 3.0)
+        assert telemetry.merge_values(["a", "b"]) == [1.0, 3.0, 2.0]

@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CommitConflictError,
+    FileNotFoundInStorageError,
+    NoSuchTableError,
+    QuotaExceededError,
+    ReproError,
+    SchedulingError,
+    StorageError,
+    TableError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ValidationError("x"),
+            StorageError("x"),
+            FileNotFoundInStorageError("x"),
+            QuotaExceededError("/d", 1, 1),
+            TableError("x"),
+            NoSuchTableError("x"),
+            CommitConflictError("client", "x"),
+            SchedulingError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert isinstance(ValidationError("x"), ValueError)
+
+    def test_storage_errors_under_storage(self):
+        assert isinstance(FileNotFoundInStorageError("x"), StorageError)
+        assert isinstance(QuotaExceededError("/d", 1, 2), StorageError)
+
+
+class TestCommitConflictError:
+    def test_sides(self):
+        client = CommitConflictError("client", "stale metadata")
+        cluster = CommitConflictError("cluster", "sources removed")
+        assert client.side == "client"
+        assert cluster.side == "cluster"
+        assert "stale metadata" in str(client)
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ValidationError):
+            CommitConflictError("server", "nope")
+
+
+class TestQuotaExceededError:
+    def test_carries_accounting(self):
+        error = QuotaExceededError("/data/db", used=99, limit=100)
+        assert error.directory == "/data/db"
+        assert error.used == 99
+        assert error.limit == 100
+        assert "99" in str(error)

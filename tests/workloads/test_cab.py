@@ -1,0 +1,158 @@
+"""Tests for the CAB multi-database workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Cluster, EngineSession
+from repro.errors import ValidationError
+from repro.simulation import Simulator
+from repro.units import HOUR, MiB
+from repro.workloads import CabConfig, CabWorkload
+
+
+@pytest.fixture
+def small_config():
+    return CabConfig(
+        databases=3,
+        data_bytes_per_db=256 * MiB,
+        duration_s=2 * HOUR,
+        lineitem_months=6,
+        ro_rate_per_hour=4.0,
+        rw_rate_per_hour=2.0,
+        write_spike_hour=1.0,
+        sample_interval_s=600.0,
+        seed=21,
+    )
+
+
+@pytest.fixture
+def cab(catalog, small_config):
+    session = EngineSession(
+        Cluster("query", executors=8),
+        telemetry=catalog.telemetry,
+        clock=catalog.clock,
+        seed=small_config.seed,
+    )
+    return CabWorkload(catalog, session, small_config)
+
+
+class TestSetup:
+    def test_load_creates_databases(self, cab, catalog):
+        cab.load()
+        assert catalog.list_databases() == ["cab00", "cab01", "cab02"]
+        assert cab.total_data_files() > 0
+
+    def test_double_load_rejected(self, cab):
+        cab.load()
+        with pytest.raises(ValidationError):
+            cab.load()
+
+    def test_attach_requires_load(self, cab, catalog):
+        with pytest.raises(ValidationError):
+            cab.attach(Simulator(catalog.clock))
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            CabConfig(databases=0)
+        with pytest.raises(ValidationError):
+            CabConfig(duration_s=0)
+
+
+class TestRun:
+    def test_full_run_produces_activity(self, cab, catalog):
+        cab.load()
+        simulator = Simulator(catalog.clock)
+        cab.attach(simulator)
+        simulator.run_until(cab.config.duration_s + HOUR)
+        assert cab.counters.ro_queries > 0
+        assert cab.counters.rw_queries > 0
+
+    def test_file_count_grows_without_compaction(self, cab, catalog):
+        """The Figure 6 baseline: files accumulate steadily."""
+        cab.load()
+        start_files = cab.total_data_files()
+        simulator = Simulator(catalog.clock)
+        cab.attach(simulator)
+        simulator.run_until(cab.config.duration_s + HOUR)
+        assert cab.total_data_files() > start_files
+
+    def test_file_count_series_sampled(self, cab, catalog):
+        cab.load()
+        simulator = Simulator(catalog.clock)
+        cab.attach(simulator)
+        simulator.run_until(cab.config.duration_s + 1)
+        series = catalog.telemetry.series("cab.data_file_count")
+        # Samples every 10 minutes over 2 hours.
+        assert len(series) >= 10
+
+    def test_write_queries_counted_by_hour(self, cab, catalog):
+        cab.load()
+        simulator = Simulator(catalog.clock)
+        cab.attach(simulator)
+        simulator.run_until(cab.config.duration_s + HOUR)
+        assert sum(cab.counters.write_queries_by_hour.values()) == cab.counters.rw_queries
+
+    def test_spike_hour_has_extra_writes(self, catalog):
+        config = CabConfig(
+            databases=4,
+            data_bytes_per_db=128 * MiB,
+            duration_s=3 * HOUR,
+            lineitem_months=4,
+            ro_rate_per_hour=0.0,
+            rw_rate_per_hour=1.0,
+            # Mid-hour so the ±15 min burst lands wholly inside hour 2.
+            write_spike_hour=2.5,
+            spike_events_per_db=8.0,
+            seed=5,
+        )
+        session = EngineSession(
+            Cluster("query", executors=8),
+            telemetry=catalog.telemetry,
+            clock=catalog.clock,
+            seed=5,
+        )
+        workload = CabWorkload(catalog, session, config)
+        workload.load()
+        simulator = Simulator(catalog.clock)
+        workload.attach(simulator)
+        simulator.run_until(config.duration_s + HOUR)
+        by_hour = workload.counters.write_queries_by_hour
+        spike = by_hour.get(2, 0)
+        others = [by_hour.get(h, 0) for h in (0, 1)]
+        assert spike > max(others)
+
+    def test_latencies_recorded(self, cab, catalog):
+        cab.load()
+        simulator = Simulator(catalog.clock)
+        cab.attach(simulator)
+        simulator.run_until(cab.config.duration_s + HOUR)
+        assert len(catalog.telemetry.series("engine.query.ro.latency")) == (
+            cab.counters.ro_queries
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self, small_config, simple_schema):
+        from repro.catalog import Catalog
+
+        def run():
+            catalog = Catalog()
+            session = EngineSession(
+                Cluster("query", executors=8),
+                telemetry=catalog.telemetry,
+                clock=catalog.clock,
+                seed=small_config.seed,
+            )
+            workload = CabWorkload(catalog, session, small_config)
+            workload.load()
+            simulator = Simulator(catalog.clock)
+            workload.attach(simulator)
+            simulator.run_until(small_config.duration_s + HOUR)
+            return (
+                workload.counters.ro_queries,
+                workload.counters.rw_queries,
+                workload.total_data_files(),
+            )
+
+        assert run() == run()

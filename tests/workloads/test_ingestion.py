@@ -1,0 +1,67 @@
+"""Tests for the managed raw-ingestion pipeline (Figure 1's raw side)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EngineSession, Cluster
+from repro.errors import ValidationError
+from repro.lst import (
+    Field,
+    IcebergTable,
+    IdentityTransform,
+    PartitionField,
+    PartitionSpec,
+    Schema,
+    TableIdentifier,
+)
+from repro.simulation import derive_rng
+from repro.units import GiB, MiB
+from repro.workloads import RawIngestionPipeline
+
+
+@pytest.fixture
+def raw_table(fs):
+    schema = Schema.of(Field("event", "string"), Field("hour", "int"))
+    spec = PartitionSpec.of(PartitionField("hour", IdentityTransform()))
+    return IcebergTable(TableIdentifier("raw", "events"), schema, spec=spec, fs=fs)
+
+
+@pytest.fixture
+def ingest_session(fs):
+    return EngineSession(Cluster("ingest", executors=4), telemetry=fs.telemetry, clock=fs.clock)
+
+
+class TestIngestion:
+    def test_hourly_partitions_created(self, raw_table, ingest_session):
+        pipeline = RawIngestionPipeline(raw_table, ingest_session, int(1.5 * GiB))
+        stats = pipeline.ingest_hours(4, derive_rng(0, "ingest"))
+        assert stats.hours == 4
+        assert len(raw_table.partitions()) == 4
+
+    def test_files_near_target_size(self, raw_table, ingest_session):
+        """The paper's central pipeline yields ~512 MB files."""
+        pipeline = RawIngestionPipeline(raw_table, ingest_session, 2 * GiB)
+        pipeline.ingest_hours(6, derive_rng(1, "ingest"))
+        sizes = [f.size_bytes for f in raw_table.live_files()]
+        near_target = sum(1 for s in sizes if s > 256 * MiB)
+        assert near_target / len(sizes) > 0.9
+
+    def test_micro_batch_count(self, raw_table, ingest_session):
+        pipeline = RawIngestionPipeline(raw_table, ingest_session, 1 * GiB)
+        assert pipeline.batches_per_hour == 12  # five-minute cadence
+        stats = pipeline.ingest_hours(2, derive_rng(2, "ingest"))
+        assert stats.micro_batches == 24
+
+    def test_bytes_accounted(self, raw_table, ingest_session):
+        pipeline = RawIngestionPipeline(raw_table, ingest_session, 1 * GiB)
+        stats = pipeline.ingest_hours(3, derive_rng(3, "ingest"))
+        assert stats.bytes_ingested == raw_table.total_data_bytes
+        assert stats.hourly_files == raw_table.data_file_count
+
+    def test_validation(self, raw_table, ingest_session):
+        with pytest.raises(ValidationError):
+            RawIngestionPipeline(raw_table, ingest_session, 0)
+        pipeline = RawIngestionPipeline(raw_table, ingest_session, 1 * GiB)
+        with pytest.raises(ValidationError):
+            pipeline.ingest_hours(0, derive_rng(0, "x"))

@@ -1,0 +1,111 @@
+"""Tests for arrival patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simulation import derive_rng
+from repro.units import HOUR
+from repro.workloads import (
+    BurstPattern,
+    CombinedPattern,
+    PeriodicPattern,
+    SinusoidalPattern,
+)
+
+
+@pytest.fixture
+def rng():
+    return derive_rng(11, "patterns")
+
+
+class TestSinusoidal:
+    def test_mean_rate_approximates_target(self, rng):
+        pattern = SinusoidalPattern(rate_per_hour=60.0, amplitude=0.5, period_s=HOUR)
+        arrivals = pattern.arrivals(0.0, 10 * HOUR, rng)
+        assert 450 < len(arrivals) < 750  # 600 expected
+
+    def test_arrivals_sorted_and_in_window(self, rng):
+        pattern = SinusoidalPattern(rate_per_hour=30.0)
+        arrivals = pattern.arrivals(100.0, 100.0 + HOUR, rng)
+        assert arrivals == sorted(arrivals)
+        assert all(100.0 <= t < 100.0 + HOUR for t in arrivals)
+
+    def test_intensity_oscillates(self):
+        pattern = SinusoidalPattern(rate_per_hour=60.0, amplitude=1.0, period_s=HOUR)
+        peak = pattern.intensity(HOUR / 4)
+        trough = pattern.intensity(3 * HOUR / 4)
+        assert peak > 1.9 * (60.0 / HOUR)
+        assert trough < 0.1 * (60.0 / HOUR)
+
+    def test_zero_rate(self, rng):
+        assert SinusoidalPattern(0.0).arrivals(0, HOUR, rng) == []
+
+    def test_empty_window(self, rng):
+        assert SinusoidalPattern(10.0).arrivals(5.0, 5.0, rng) == []
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SinusoidalPattern(-1.0)
+        with pytest.raises(ValidationError):
+            SinusoidalPattern(1.0, amplitude=1.5)
+        with pytest.raises(ValidationError):
+            SinusoidalPattern(1.0, period_s=0)
+
+
+class TestBurst:
+    def test_events_cluster_at_bursts(self, rng):
+        pattern = BurstPattern([HOUR], events_per_burst=50, spread_s=60.0)
+        arrivals = pattern.arrivals(0.0, 2 * HOUR, rng)
+        assert len(arrivals) > 20
+        assert all(abs(t - HOUR) <= 60.0 for t in arrivals)
+
+    def test_bursts_outside_window_skipped(self, rng):
+        pattern = BurstPattern([10 * HOUR], events_per_burst=50)
+        assert pattern.arrivals(0.0, HOUR, rng) == []
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BurstPattern([0.0], events_per_burst=-1)
+        with pytest.raises(ValidationError):
+            BurstPattern([0.0], 1.0, spread_s=-1)
+
+
+class TestPeriodic:
+    def test_deterministic_ticks(self, rng):
+        pattern = PeriodicPattern(HOUR, offset_s=120.0)
+        arrivals = pattern.arrivals(0.0, 4 * HOUR, rng)
+        assert arrivals == [120.0, HOUR + 120.0, 2 * HOUR + 120.0, 3 * HOUR + 120.0]
+
+    def test_jitter_bounded(self, rng):
+        pattern = PeriodicPattern(HOUR, jitter_s=30.0)
+        arrivals = pattern.arrivals(0.0, 5 * HOUR, rng)
+        for i, t in enumerate(arrivals):
+            assert abs(t - i * HOUR) <= 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PeriodicPattern(0)
+        with pytest.raises(ValidationError):
+            PeriodicPattern(1, jitter_s=-1)
+
+
+class TestCombined:
+    def test_superposition(self, rng):
+        combined = PeriodicPattern(HOUR) + PeriodicPattern(HOUR, offset_s=1800.0)
+        arrivals = combined.arrivals(0.0, 3 * HOUR, rng)
+        assert len(arrivals) == 6
+        assert arrivals == sorted(arrivals)
+
+    def test_empty_combination_rejected(self):
+        with pytest.raises(ValidationError):
+            CombinedPattern([])
+
+
+class TestDeterminism:
+    def test_same_seed_same_arrivals(self):
+        pattern = SinusoidalPattern(20.0, amplitude=0.8)
+        a = pattern.arrivals(0.0, 5 * HOUR, derive_rng(3, "s"))
+        b = pattern.arrivals(0.0, 5 * HOUR, derive_rng(3, "s"))
+        assert a == b

@@ -1,0 +1,73 @@
+"""Tests for the TPC-DS subset and the Figure 3 experiment protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import WellTunedWriter
+from repro.errors import ValidationError
+from repro.workloads import TPCDS_TABLES, TpcdsExperiment, create_tpcds_database
+
+
+class TestSchema:
+    def test_fact_and_dimension_split(self):
+        facts = [spec for spec in TPCDS_TABLES if spec.is_fact]
+        dims = [spec for spec in TPCDS_TABLES if not spec.is_fact]
+        assert {f.name for f in facts} == {"store_sales", "catalog_sales", "web_sales"}
+        assert len(dims) == 4
+
+    def test_facts_partitioned_by_sold_date(self):
+        for spec in TPCDS_TABLES:
+            if spec.is_fact:
+                assert spec.partition_column is not None
+            else:
+                assert spec.partition_column is None
+
+
+class TestCreateDatabase:
+    def test_creates_all(self, catalog, session):
+        tables = create_tpcds_database(
+            catalog, "tpcds", 1.0, session, WellTunedWriter(), months=6
+        )
+        assert set(tables) == {spec.name for spec in TPCDS_TABLES}
+        assert len(tables["store_sales"].partitions()) == 6
+
+    def test_invalid_months(self, catalog, session):
+        with pytest.raises(ValidationError):
+            create_tpcds_database(catalog, "t", 1.0, session, WellTunedWriter(), months=0)
+
+
+class TestFigure3Protocol:
+    @pytest.fixture(scope="class")
+    def timings(self):
+        return TpcdsExperiment(scale_factor=4.0, query_count=24).run()
+
+    def test_maintenance_degrades_performance(self, timings):
+        """Paper: 1.53× after ~3% delete+insert churn."""
+        assert 1.3 < timings.degradation_factor < 2.2
+
+    def test_compaction_restores_performance(self, timings):
+        """Paper: post-compaction runtime comparable to initial."""
+        assert 0.7 < timings.restoration_factor < 1.1
+        assert timings.single_user_restored_s < timings.single_user_degraded_s
+
+    def test_phases_positive(self, timings):
+        assert timings.single_user_initial_s > 0
+        assert timings.maintenance_s > 0
+        assert timings.compaction_s > 0
+
+    def test_determinism(self):
+        a = TpcdsExperiment(scale_factor=2.0, query_count=10).run()
+        b = TpcdsExperiment(scale_factor=2.0, query_count=10).run()
+        assert a.single_user_initial_s == b.single_user_initial_s
+        assert a.degradation_factor == b.degradation_factor
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TpcdsExperiment(scale_factor=0)
+        with pytest.raises(ValidationError):
+            TpcdsExperiment(query_count=0)
+        experiment = TpcdsExperiment(scale_factor=1.0, query_count=5)
+        experiment.setup()
+        with pytest.raises(ValidationError):
+            experiment.run_maintenance(fraction=0.0)
