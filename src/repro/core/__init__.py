@@ -11,7 +11,9 @@ The OODA-structured automatic-compaction framework (§3–§5):
 * **triggers** — periodic and optimize-after-write (:mod:`repro.core.triggers`);
 * **auto-tuning** — :mod:`repro.core.autotune` (threshold optimisers);
 * **assembly** — :func:`~repro.core.service.openhouse_pipeline` and
-  :class:`~repro.core.service.AutoCompService`.
+  :class:`~repro.core.service.AutoCompService`;
+* **scale-out** — :mod:`repro.core.sharding` (sharded parallel OODA
+  cycles) and :mod:`repro.core.statscache` (incremental observation).
 """
 
 from repro.core.candidates import (
@@ -55,6 +57,7 @@ from repro.core.pareto import (
 from repro.core.weight_learning import WeightLearner
 from repro.core.scheduling import (
     CompactionTask,
+    ConcurrentScheduler,
     ExecutionBackend,
     ExecutionResult,
     LstExecutionBackend,
@@ -66,6 +69,13 @@ from repro.core.scheduling import (
 )
 from repro.core.selection import AllSelector, BudgetSelector, Selector, TopKSelector
 from repro.core.service import AutoCompService, openhouse_pipeline
+from repro.core.sharding import (
+    ShardedCycleReport,
+    ShardedPipeline,
+    shard_for_key,
+    split_selector,
+)
+from repro.core.statscache import IndexedCandidateCache, StatsCache
 from repro.core.traits import (
     BENEFIT,
     COST,
@@ -94,6 +104,7 @@ __all__ = [
     "CandidateStatistics",
     "CompactionTask",
     "ComputeCostTrait",
+    "ConcurrentScheduler",
     "Connector",
     "CostFrugalOptimizer",
     "CycleReport",
@@ -102,6 +113,7 @@ __all__ = [
     "ExecutionResult",
     "FileCountReductionTrait",
     "FileEntropyTrait",
+    "IndexedCandidateCache",
     "LstConnector",
     "LstExecutionBackend",
     "MaxTraitFilter",
@@ -127,7 +139,10 @@ __all__ = [
     "Scheduler",
     "Selector",
     "SequentialScheduler",
+    "ShardedCycleReport",
+    "ShardedPipeline",
     "SmallFileBytesTrait",
+    "StatsCache",
     "ThresholdPolicy",
     "TopKSelector",
     "Trait",
@@ -139,4 +154,6 @@ __all__ = [
     "min_max_normalize",
     "openhouse_pipeline",
     "pareto_front",
+    "shard_for_key",
+    "split_selector",
 ]

@@ -29,6 +29,9 @@ class CandidateScope(enum.Enum):
     SNAPSHOT = "snapshot"
 
 
+#: Shared frozen mapping for statistics without custom metrics.
+_EMPTY_CUSTOM: Mapping[str, float] = MappingProxyType({})
+
 #: Candidate-generation strategies (the paper's §6 experiment matrix):
 #: ``table`` generates one candidate per table; ``partition`` one per
 #: partition; ``hybrid`` uses partitions for partitioned tables and falls
@@ -38,7 +41,13 @@ GENERATION_STRATEGIES = ("table", "partition", "hybrid")
 
 @dataclass(frozen=True)
 class CandidateKey:
-    """Identity of a candidate: which files of which table."""
+    """Identity of a candidate: which files of which table.
+
+    Keys are value objects used as dict/set members on every hot path of
+    the control plane (stats caches, shard assignment, report merging), so
+    the hash, the qualified name and the string form are each computed once
+    and memoised — a fleet-scale cycle hashes tens of thousands of keys.
+    """
 
     database: str
     table: str
@@ -51,18 +60,31 @@ class CandidateKey:
             raise ValidationError("partition-scope candidates need a partition tuple")
         if self.scope is CandidateScope.SNAPSHOT and self.snapshot_id is None:
             raise ValidationError("snapshot-scope candidates need a snapshot id")
+        qualified = f"{self.database}.{self.table}"
+        object.__setattr__(self, "_qualified", qualified)
+        if self.scope is CandidateScope.PARTITION:
+            rendered = f"{qualified}[partition={self.partition}]"
+        elif self.scope is CandidateScope.SNAPSHOT:
+            rendered = f"{qualified}[snapshot={self.snapshot_id}]"
+        else:
+            rendered = qualified
+        object.__setattr__(self, "_str", rendered)
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.database, self.table, self.scope, self.partition, self.snapshot_id)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def qualified_table(self) -> str:
         """``database.table``."""
-        return f"{self.database}.{self.table}"
+        return self._qualified  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
-        if self.scope is CandidateScope.PARTITION:
-            return f"{self.qualified_table}[partition={self.partition}]"
-        if self.scope is CandidateScope.SNAPSHOT:
-            return f"{self.qualified_table}[snapshot={self.snapshot_id}]"
-        return self.qualified_table
+        return self._str  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)
@@ -112,8 +134,13 @@ class CandidateStatistics:
             )
         if self.target_file_size <= 0:
             raise ValidationError("target_file_size must be positive")
-        # Freeze the custom mapping so statistics stay value-like.
-        object.__setattr__(self, "custom", MappingProxyType(dict(self.custom)))
+        # Freeze the custom mapping so statistics stay value-like; the
+        # common no-custom-metrics case shares one immutable empty mapping
+        # (statistics are built per candidate per cycle at fleet scale).
+        if self.custom:
+            object.__setattr__(self, "custom", MappingProxyType(dict(self.custom)))
+        else:
+            object.__setattr__(self, "custom", _EMPTY_CUSTOM)
 
     @property
     def small_file_fraction(self) -> float:
@@ -121,6 +148,50 @@ class CandidateStatistics:
         if self.file_count == 0:
             return 0.0
         return self.small_file_count / self.file_count
+
+    @classmethod
+    def build_unchecked(
+        cls,
+        file_count: int,
+        total_bytes: int,
+        small_file_count: int,
+        small_file_bytes: int,
+        target_file_size: int,
+        partition_count: int,
+        created_at: float,
+        last_modified_at: float,
+        quota_utilization: float,
+    ) -> "CandidateStatistics":
+        """Trusted fast-path constructor for vectorised connectors.
+
+        Skips ``__init__``/``__post_init__`` (field validation and custom-
+        mapping freezing) for callers whose inputs come from already-
+        validated arrays — building statistics is the per-candidate floor
+        of a fleet-scale observe cycle, and the frozen-dataclass
+        constructor costs ~3x this path.  The result is indistinguishable
+        from a normally constructed instance with empty ``file_sizes`` /
+        ``custom``.
+        """
+        stats = object.__new__(cls)
+        object.__setattr__(
+            stats,
+            "__dict__",
+            {
+                "file_count": file_count,
+                "total_bytes": total_bytes,
+                "small_file_count": small_file_count,
+                "small_file_bytes": small_file_bytes,
+                "target_file_size": target_file_size,
+                "file_sizes": (),
+                "partition_count": partition_count,
+                "delete_file_count": 0,
+                "created_at": created_at,
+                "last_modified_at": last_modified_at,
+                "quota_utilization": quota_utilization,
+                "custom": _EMPTY_CUSTOM,
+            },
+        )
+        return stats
 
     @classmethod
     def from_file_sizes(
@@ -157,12 +228,13 @@ class Candidate:
         Raises:
             ValidationError: if the trait has not been computed.
         """
-        if name not in self.traits:
+        try:
+            return self.traits[name]
+        except KeyError:
             raise ValidationError(
                 f"trait {name!r} not computed for {self.key} "
                 f"(have: {sorted(self.traits)})"
-            )
-        return self.traits[name]
+            ) from None
 
     def __str__(self) -> str:
         return str(self.key)

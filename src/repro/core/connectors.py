@@ -24,12 +24,30 @@ from repro.core.candidates import (
     CandidateStatistics,
     GENERATION_STRATEGIES,
 )
+from repro.core.statscache import StatsCache
 from repro.errors import ValidationError
 from repro.lst.base import BaseTable
 
 
 class Connector(abc.ABC):
-    """Platform adapter feeding candidates and statistics to the pipeline."""
+    """Platform adapter feeding candidates and statistics to the pipeline.
+
+    Connectors may carry a :class:`~repro.core.statscache.StatsCache` in
+    ``stats_cache``; when present, the observe phase becomes incremental
+    (O(dirty tables) instead of O(all tables)) and write events reaching
+    :meth:`invalidate` — typically from the
+    :class:`~repro.core.service.AutoCompService` notification inbox — evict
+    the affected entries.
+    """
+
+    #: Optional incremental-observation cache (set by subclasses).
+    stats_cache = None
+
+    #: True when :meth:`observe` may return the *same annotated Candidate
+    #: objects* across cycles for unchanged tables (candidate-reusing
+    #: caches).  The pipeline then skips trait recomputation for
+    #: candidates that already carry every registered trait.
+    reuses_candidates = False
 
     @abc.abstractmethod
     def list_candidates(self, strategy: str = "table") -> list[CandidateKey]:
@@ -47,6 +65,29 @@ class Connector(abc.ABC):
         """Materialise candidates with statistics for a list of keys."""
         return [Candidate(key=key, statistics=self.collect_statistics(key)) for key in keys]
 
+    def list_candidates_sharded(
+        self, strategy: str, n_shards: int, shard_index: int
+    ) -> list[CandidateKey]:
+        """Shard ``shard_index``'s slice of the candidate listing.
+
+        The default filters the full listing through the consistent hash;
+        vectorised connectors override it to produce the slice directly.
+        Used by the sharded control plane when merge order permits
+        (per-shard listings concatenate instead of interleave).
+        """
+        from repro.core.sharding import shard_for_key
+
+        return [
+            key
+            for key in self.list_candidates(strategy)
+            if shard_for_key(key, n_shards) == shard_index
+        ]
+
+    def invalidate(self, key: CandidateKey) -> None:
+        """Write-event hook: evict ``key``'s table from the stats cache."""
+        if self.stats_cache is not None:
+            self.stats_cache.invalidate(key)
+
 
 class LstConnector(Connector):
     """Catalog-of-live-tables connector.
@@ -55,13 +96,23 @@ class LstConnector(Connector):
         catalog: the control plane whose tables are compaction targets.
         include_databases: restrict candidate generation to these databases
             (None = all).
+        stats_cache: optional incremental-observation cache; entries are
+            trusted until a write event (service notification) invalidates
+            them or their TTL lapses, skipping the per-candidate file
+            listing and statistics build for clean tables.
     """
 
-    def __init__(self, catalog: Catalog, include_databases: list[str] | None = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        include_databases: list[str] | None = None,
+        stats_cache: StatsCache | None = None,
+    ) -> None:
         self.catalog = catalog
         self.include_databases = (
             set(include_databases) if include_databases is not None else None
         )
+        self.stats_cache = stats_cache
 
     def _tables(self) -> list[BaseTable]:
         tables = []
@@ -139,6 +190,31 @@ class LstConnector(Connector):
         return table.live_files()
 
     def collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
+        cache = self.stats_cache
+        if cache is not None:
+            now = self.catalog.clock.now
+            cached = cache.get(key, now)
+            if cached is not None:
+                # Quota is database-level, so it drifts through *other*
+                # tables' writes while this entry stays valid; re-stamp it
+                # in place so cached observations stay exactly equal to
+                # fresh ones (the invalidation sources are table-granular).
+                quota = self._quota(key)
+                if cached.quota_utilization != quota:
+                    object.__setattr__(cached, "quota_utilization", quota)
+                return cached
+        statistics = self._collect_statistics(key)
+        if cache is not None:
+            cache.put(key, statistics, now)
+        return statistics
+
+    def _quota(self, key: CandidateKey) -> float:
+        try:
+            return self.catalog.quota_utilization(key.database)
+        except ValidationError:
+            return 0.0
+
+    def _collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
         table = self.table_for(key)
         policy = self.catalog.policy(key.qualified_table)
         files = self.files_for(key)
@@ -151,10 +227,7 @@ class LstConnector(Connector):
         else:
             partition_count = max(len({f.partition for f in files}), 1)
             last_modified = table.last_modified_at
-        try:
-            quota = self.catalog.quota_utilization(key.database)
-        except ValidationError:
-            quota = 0.0
+        quota = self._quota(key)
         return CandidateStatistics.from_file_sizes(
             [f.size_bytes for f in files],
             target_file_size=policy.target_file_size,

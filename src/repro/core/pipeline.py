@@ -141,44 +141,108 @@ class AutoCompPipeline:
         """
         if simulator is not None:
             now = simulator.now
+        report = self.begin_cycle(now)
+        keys = self.generate(report)
+        candidates = self.observe_orient(keys, now, report)
+        selected = self.decide(candidates, report)
+        self.act(selected, report, simulator=simulator)
+        self.finish_cycle(report, now)
+        return report
+
+    # --- phases ----------------------------------------------------------------
+    #
+    # ``run_cycle`` composes these; the scale-out control plane
+    # (:class:`~repro.core.sharding.ShardedPipeline`) calls them directly so
+    # it can run the observe/orient phases of many shards concurrently and
+    # interpose a fleet-level decide phase between orient and act.
+
+    def begin_cycle(self, now: float) -> CycleReport:
+        """Allocate the next cycle's report (advances the cycle index)."""
         report = CycleReport(cycle_index=self._cycle_index, started_at=now)
         self._cycle_index += 1
+        return report
 
-        # Generate + observe.
+    def generate(self, report: CycleReport | None = None) -> list[CandidateKey]:
+        """Generate phase: candidate keys from the connector."""
         keys = self.connector.list_candidates(self.generation)
-        report.candidates_generated = len(keys)
+        if report is not None:
+            report.candidates_generated = len(keys)
+        return keys
+
+    def observe_orient(
+        self, keys: list[CandidateKey], now: float, report: CycleReport | None = None
+    ) -> list[Candidate]:
+        """Observe + orient phases: statistics, filters, traits, filters.
+
+        Pure with respect to pipeline state (only the connector's stats
+        cache may be updated), so disjoint key subsets can be processed
+        concurrently by different shards.
+        """
         candidates = self.connector.observe(keys)
         candidates = apply_filters(self.stats_filters, candidates, now)
-        report.after_stats_filters = len(candidates)
-
-        # Orient.
-        self.traits.annotate_all(candidates)
+        if report is not None:
+            report.after_stats_filters = len(candidates)
+        self.traits.annotate_all(
+            candidates, only_missing=self.connector.reuses_candidates
+        )
         candidates = apply_filters(self.trait_filters, candidates, now)
-        report.after_trait_filters = len(candidates)
+        if report is not None:
+            report.after_trait_filters = len(candidates)
+        return candidates
 
-        # Decide.
+    def decide(
+        self, candidates: list[Candidate], report: CycleReport | None = None
+    ) -> list[Candidate]:
+        """Decide phase: rank with the policy, select within budget."""
         ranked = self.policy.rank(candidates)
-        report.ranked = len(ranked)
+        if report is not None:
+            report.ranked = len(ranked)
         selected = self.selector.select(ranked)
-        report.selected = [c.key for c in selected]
+        if report is not None:
+            report.selected = [c.key for c in selected]
+        return selected
 
-        # Act.
+    def act(
+        self,
+        selected: Sequence[Candidate],
+        report: CycleReport,
+        simulator: Simulator | None = None,
+        on_result: Callable[[ExecutionResult], None] | None = None,
+    ) -> None:
+        """Act phase: hand the selected candidates to the scheduler.
+
+        Args:
+            selected: candidates in execution order.
+            report: results are appended here (synchronously, or as
+                simulated jobs complete).
+            simulator: event-driven mode when given.
+            on_result: extra observer for each result (the sharded control
+                plane uses it to mirror results into the fleet report).
+        """
         tasks = [CompactionTask.from_candidate(c) for c in selected]
 
-        def on_result(result: ExecutionResult) -> None:
+        def record(result: ExecutionResult) -> None:
             report.results.append(result)
             self._record_result(result)
+            if result.success:
+                # A compaction rewrites the table: evict its cached
+                # statistics so the next observe phase sees the new state
+                # (token-based caches self-heal; event-based ones need this).
+                self.connector.invalidate(result.candidate)
+            if on_result is not None:
+                on_result(result)
 
         sync_results = self.scheduler.schedule(
-            tasks, self.backend, simulator=simulator, on_result=on_result
+            tasks, self.backend, simulator=simulator, on_result=record
         )
-        # Sync mode returns results directly; on_result already captured them.
+        # Sync mode returns results directly; ``record`` already captured them.
         del sync_results
 
+    def finish_cycle(self, report: CycleReport, now: float) -> None:
+        """Record cycle telemetry and fire the feedback hooks."""
         self._record_cycle(report, now)
         for hook in self.feedback_hooks:
             hook(report)
-        return report
 
     # --- telemetry -------------------------------------------------------------
 

@@ -12,6 +12,11 @@ AutoComp separates *what* to compact (decide) from *how/when* to run it
   of one table sequentially — :class:`PartitionSerialScheduler` encodes
   exactly that, while :class:`ParallelScheduler` exists to demonstrate the
   conflict storm you get without it (Table 1's cluster-side column).
+  :class:`ConcurrentScheduler` is the scale-out generalisation: independent
+  chains run concurrently under an explicit parallelism cap while ordered
+  work stays ordered — per table with ``table_serial=True`` (safe on the
+  Iceberg v1.2.0 profile), or per partition by default (Delta-profile
+  granularity).
 
 Schedulers run in two modes: synchronous (no simulator — jobs execute
 back-to-back with no simulated time passing, for examples and fleet steps)
@@ -244,8 +249,13 @@ class Scheduler(abc.ABC):
         backend: ExecutionBackend,
         simulator: Simulator,
         on_result,
+        on_done=None,
     ) -> None:
-        """Run tasks back-to-back as simulated events."""
+        """Run tasks back-to-back as simulated events.
+
+        ``on_done`` (when given) fires once the whole chain has drained —
+        concurrency-capped schedulers use it to launch the next chain.
+        """
         queue = list(tasks)
 
         def start_next() -> None:
@@ -267,6 +277,8 @@ class Scheduler(abc.ABC):
 
                 simulator.after(duration, finish, name="compaction-finish")
                 return
+            if on_done is not None:
+                on_done()
 
         start_next()
 
@@ -320,6 +332,135 @@ class PartitionSerialScheduler(Scheduler):
         for chain in by_table.values():
             self._run_chain(chain, backend, simulator, on_result)
         return []
+
+
+class ConcurrentScheduler(Scheduler):
+    """Independent chains in parallel under a concurrency cap (scale-out act).
+
+    Tasks are grouped into *chains* of work that must stay ordered:
+
+    * by ``(table, partition)`` by default — two tasks touching the same
+      partition never overlap, but distinct partitions of one table *do*
+      run concurrently.  That is finer-grained than
+      :class:`PartitionSerialScheduler` (which chains all of a table's
+      partitions) and is only conflict-free on formats with
+      file-granularity commit validation (the Delta profile);
+    * by table when ``table_serial=True`` — the grouping matching
+      :class:`PartitionSerialScheduler`'s guarantee, required for formats
+      where even distinct-partition rewrites of one table conflict (the
+      Iceberg v1.2.0 profile of Table 1, this repo's default table
+      profile).
+
+    Args:
+        max_parallelism: simulator mode: at most this many chains run
+            concurrently; the next chain launches as one finishes.  None
+            means all chains start immediately.
+        workers: sync mode: thread-pool width for running chains of a
+            thread-safe backend concurrently; None or <=1 degrades to
+            sequential execution.  Results (and ``on_result`` calls) are
+            always delivered in deterministic chain order regardless of
+            completion order.
+        table_serial: chain by table instead of by partition.
+    """
+
+    def __init__(
+        self,
+        max_parallelism: int | None = None,
+        workers: int | None = None,
+        table_serial: bool = False,
+    ) -> None:
+        if max_parallelism is not None and max_parallelism <= 0:
+            raise ValidationError("max_parallelism must be positive")
+        if workers is not None and workers <= 0:
+            raise ValidationError("workers must be positive")
+        self.max_parallelism = max_parallelism
+        self.workers = workers
+        self.table_serial = table_serial
+
+    def _chains(self, tasks: list[CompactionTask]) -> list[list[CompactionTask]]:
+        """Group tasks into ordered chains, preserving arrival order.
+
+        A table-scope (or snapshot-scope) task touches every partition, so
+        any table with a non-partition-scope task collapses to a single
+        chain — partition-granular concurrency only applies to tables whose
+        tasks are all partition-scoped.
+        """
+        whole_table: set[str] = set()
+        if not self.table_serial:
+            for task in tasks:
+                key = task.candidate.key
+                if key.scope is not CandidateScope.PARTITION:
+                    whole_table.add(key.qualified_table)
+        chains: dict[tuple, list[CompactionTask]] = {}
+        for task in tasks:
+            key = task.candidate.key
+            table = key.qualified_table
+            partition = (
+                None
+                if self.table_serial or table in whole_table
+                else key.partition
+            )
+            chains.setdefault((table, partition), []).append(task)
+        return list(chains.values())
+
+    def schedule(self, tasks, backend, simulator=None, on_result=None):
+        chains = self._chains(tasks)
+        if simulator is None:
+            return self._run_sync_chains(chains, backend, on_result)
+        if self.max_parallelism is None:
+            for chain in chains:
+                self._run_chain(chain, backend, simulator, on_result)
+            return []
+        pending = list(chains)
+        # Trampoline: a chain whose jobs all skip completes synchronously
+        # and re-enters launch_next from its on_done — loop on a wake
+        # counter instead of recursing, so a long run of empty chains
+        # cannot overflow the stack.
+        state = {"active": False, "wake": 0}
+
+        def launch_next() -> None:
+            state["wake"] += 1
+            if state["active"]:
+                return
+            state["active"] = True
+            try:
+                while state["wake"] > 0 and pending:
+                    state["wake"] -= 1
+                    chain = pending.pop(0)
+                    self._run_chain(
+                        chain, backend, simulator, on_result, on_done=launch_next
+                    )
+                state["wake"] = 0
+            finally:
+                state["active"] = False
+
+        for _ in range(min(self.max_parallelism, len(pending))):
+            launch_next()
+        return []
+
+    def _run_sync_chains(self, chains, backend, on_result) -> list[ExecutionResult]:
+        if not chains:
+            return []
+        if self.workers is None or self.workers <= 1 or len(chains) == 1:
+            results: list[ExecutionResult] = []
+            for chain in chains:
+                results.extend(self._run_sync(chain, backend, 0.0, on_result))
+            return results
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(chains))) as pool:
+            futures = [
+                pool.submit(self._run_sync, chain, backend, 0.0, None)
+                for chain in chains
+            ]
+            per_chain = [future.result() for future in futures]
+        results = []
+        for chain_results in per_chain:
+            results.extend(chain_results)
+            if on_result is not None:
+                for result in chain_results:
+                    on_result(result)
+        return results
 
 
 class OffPeakScheduler(Scheduler):

@@ -165,7 +165,15 @@ class AutoCompService:
         self.notifications.append(key)
 
     def run_cycle(self, now: float = 0.0, simulator: Simulator | None = None) -> CycleReport:
-        """Run one cycle immediately, draining the notification inbox."""
+        """Run one cycle immediately, draining the notification inbox.
+
+        Each drained write event invalidates the connector's stats cache
+        (when one is configured), so the next observe phase re-collects
+        statistics exactly for the tables that wrote — the incremental
+        observation loop of the scale-out control plane.
+        """
+        for key in self.notifications:
+            self.pipeline.connector.invalidate(key)
         self.notifications.clear()
         report = self.pipeline.run_cycle(now=now, simulator=simulator)
         self.reports.append(report)

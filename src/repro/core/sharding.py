@@ -1,0 +1,430 @@
+"""Scale-out control plane: sharded parallel OODA cycles.
+
+The paper's deployment (§7) onboards thousands of tables per month while
+holding cycle cadence fixed, so cycle latency must not grow linearly with
+fleet size.  This module shards one logical AutoComp instance across N
+per-shard :class:`~repro.core.pipeline.AutoCompPipeline` instances:
+
+* candidate keys are **consistent-hashed** across shards
+  (:func:`shard_for_key` — a stable content hash, so a key lands on the
+  same shard in every cycle and every process);
+* each shard runs the expensive **observe/orient** phases over only its
+  slice, optionally on a thread pool and optionally backed by an
+  incremental :class:`~repro.core.statscache.StatsCache`;
+* the **decide** phase runs either globally (``selection="global"``:
+  per-shard candidates are merged back into generation order and ranked
+  once, making the merged cycle *exactly* equivalent to an unsharded one)
+  or locally (``selection="local"``: each shard ranks and selects under a
+  split budget — :func:`split_selector` — the fully independent
+  multi-worker deployment mode);
+* per-shard :class:`~repro.core.pipeline.CycleReport`\\ s are merged into a
+  fleet-level report, and per-shard metrics land in scoped telemetry
+  namespaces (``autocomp.shard00.…``).
+
+Determinism (NFR2) is preserved in both modes: hashing is content-based,
+merging follows generation order, and the act phase executes in a single
+deterministic order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.candidates import Candidate, CandidateKey
+from repro.core.pipeline import AutoCompPipeline, CycleReport
+from repro.core.ranking import RankingPolicy
+from repro.core.selection import AllSelector, BudgetSelector, Selector, TopKSelector
+from repro.errors import ValidationError
+from repro.simulation.simulator import Simulator
+from repro.simulation.telemetry import Telemetry
+
+#: Valid decide-phase placements.
+SELECTION_MODES = ("global", "local")
+
+
+def shard_for_key(key: CandidateKey, n_shards: int) -> int:
+    """The shard owning ``key``: a stable content hash mod ``n_shards``.
+
+    Uses BLAKE2b over the key's canonical string form, so assignment is
+    independent of Python's per-process hash randomisation — the same key
+    maps to the same shard across cycles, processes and machines.
+    """
+    if n_shards <= 0:
+        raise ValidationError(f"n_shards must be positive, got {n_shards}")
+    digest = hashlib.blake2b(str(key).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+def _split_count(total: int, n_shards: int) -> list[int]:
+    base, extra = divmod(max(total, 0), n_shards)
+    return [base + (1 if i < extra else 0) for i in range(n_shards)]
+
+
+def split_selector(selector: Selector, n_shards: int) -> list[Selector]:
+    """Split one selection budget into ``n_shards`` per-shard selectors.
+
+    Top-k budgets distribute the k as evenly as possible (earlier shards
+    take the remainder); GBHr budgets divide evenly.  Used by the local
+    selection mode, where shards decide independently.
+
+    Raises:
+        ValidationError: for selector types without a known split rule —
+            pass per-shard selectors explicitly instead.
+    """
+    if n_shards <= 0:
+        raise ValidationError(f"n_shards must be positive, got {n_shards}")
+    if isinstance(selector, TopKSelector):
+        return [TopKSelector(k) for k in _split_count(selector.k, n_shards)]
+    if isinstance(selector, BudgetSelector):
+        caps: list[int | None]
+        if selector.max_candidates is None:
+            caps = [None] * n_shards
+        else:
+            caps = list(_split_count(selector.max_candidates, n_shards))
+        return [
+            BudgetSelector(
+                selector.budget / n_shards,
+                cost_trait=selector.cost_trait,
+                max_candidates=cap,
+                skip_unaffordable=selector.skip_unaffordable,
+            )
+            for cap in caps
+        ]
+    if isinstance(selector, AllSelector):
+        return [AllSelector() for _ in range(n_shards)]
+    raise ValidationError(
+        f"no split rule for selector type {type(selector).__name__}; "
+        "provide per-shard selectors explicitly"
+    )
+
+
+@dataclass
+class ShardedCycleReport:
+    """One fleet-level cycle: the merged view plus per-shard detail."""
+
+    #: Fleet-level merged report (counts summed, selection in rank order,
+    #: results shared with the act phase).
+    report: CycleReport
+    #: Per-shard reports (observation counts and each shard's share of the
+    #: selection).
+    shard_reports: list[CycleReport] = field(default_factory=list)
+    #: Wall-clock seconds each shard spent in observe/orient.
+    shard_observe_wall_s: list[float] = field(default_factory=list)
+    #: Wall-clock seconds for the whole cycle.
+    cycle_wall_s: float = 0.0
+
+    @property
+    def selected(self) -> list[CandidateKey]:
+        """Fleet-level selection (delegates to the merged report)."""
+        return self.report.selected
+
+
+class ShardedPipeline:
+    """N per-shard pipelines behind one fleet-level OODA cycle.
+
+    All shards are expected to view the same world (their connectors list
+    the same candidates) and to share filter/trait configuration; the
+    sharded control plane partitions the *work*, not the data.  Candidate
+    listing therefore happens once, through shard 0's connector.
+
+    Args:
+        shards: the per-shard pipelines (their connectors typically carry
+            per-shard stats caches for incremental observation).
+        policy: fleet-level ranking policy for global selection
+            (default: shard 0's policy).
+        selector: fleet-level selection budget (default: shard 0's
+            selector); split across shards in local mode.
+        generation: candidate-generation strategy (default: shard 0's).
+        selection: ``"global"`` (merge, then rank/select once — exactly
+            equivalent to the unsharded pipeline) or ``"local"``
+            (per-shard decide under split budgets).
+        merge_order: ``"generation"`` (default) rebuilds the unsharded
+            candidate order before the global rank — correct for any
+            policy; ``"any"`` concatenates per-shard results, which is
+            cheaper and produces identical rankings for order-insensitive
+            policies (every built-in policy normalises over the candidate
+            *set* and ends in a key-tie-broken total-order sort, so input
+            order never matters).
+        max_workers: observe/orient thread-pool width; defaults to
+            ``min(len(shards), cpu_count)``; 1 runs shards inline.
+        telemetry: fleet-level metric sink (per-shard metrics are recorded
+            under ``autocomp.shard<i>`` scopes of this sink).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[AutoCompPipeline],
+        policy: RankingPolicy | None = None,
+        selector: Selector | None = None,
+        generation: str | None = None,
+        selection: str = "global",
+        merge_order: str = "generation",
+        max_workers: int | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if not shards:
+            raise ValidationError("ShardedPipeline needs at least one shard")
+        if selection not in SELECTION_MODES:
+            raise ValidationError(
+                f"unknown selection mode {selection!r}; expected one of {SELECTION_MODES}"
+            )
+        if merge_order not in ("generation", "any"):
+            raise ValidationError(
+                f"unknown merge order {merge_order!r}; expected 'generation' or 'any'"
+            )
+        self.merge_order = merge_order
+        self.shards = list(shards)
+        self.policy = policy if policy is not None else self.shards[0].policy
+        self.selector = selector if selector is not None else self.shards[0].selector
+        self.generation = generation if generation is not None else self.shards[0].generation
+        self.selection = selection
+        if max_workers is None:
+            max_workers = min(len(self.shards), os.cpu_count() or 1)
+        if max_workers <= 0:
+            raise ValidationError("max_workers must be positive")
+        self.max_workers = max_workers
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._shard_telemetry = [
+            self.telemetry.scoped(f"autocomp.shard{i:02d}") for i in range(len(self.shards))
+        ]
+        self._local_selectors = (
+            split_selector(self.selector, len(self.shards))
+            if selection == "local"
+            else None
+        )
+        # Consistent hashing is stable per key, so assignments are memoised
+        # by object id (connectors intern their keys): an int-keyed dict
+        # hit per key per cycle instead of a content hash.  The value pins
+        # the key object, so its id cannot be recycled while the entry
+        # lives; the size guard in assign() bounds growth for connectors
+        # that rebuild key objects every cycle.
+        self._shard_of: dict[int, tuple[CandidateKey, int]] = {}
+        #: Hard cap on the memo: connectors that rebuild key objects every
+        #: cycle would otherwise grow it (and pin keys) without bound.
+        self._shard_memo_limit = 262_144
+        self._cycle_index = 0
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    def _shard_for(self, key: CandidateKey) -> int:
+        memo = self._shard_of
+        entry = memo.get(id(key))
+        if entry is None or entry[0] is not key:
+            shard = shard_for_key(key, len(self.shards))
+            if len(memo) >= self._shard_memo_limit:
+                memo.clear()
+            memo[id(key)] = (key, shard)
+            return shard
+        return entry[1]
+
+    def assign(self, keys: Sequence[CandidateKey]) -> list[list[CandidateKey]]:
+        """Partition ``keys`` across shards, preserving generation order."""
+        if len(self._shard_of) > max(65536, 8 * len(keys)):
+            self._shard_of.clear()
+        shard_keys: list[list[CandidateKey]] = [[] for _ in self.shards]
+        memo = self._shard_of
+        n = len(self.shards)
+        append_of = [bucket.append for bucket in shard_keys]
+        for key in keys:
+            entry = memo.get(id(key))
+            if entry is None or entry[0] is not key:
+                shard = shard_for_key(key, n)
+                memo[id(key)] = (key, shard)
+            else:
+                shard = entry[1]
+            append_of[shard](key)
+        return shard_keys
+
+    def run_cycle(
+        self, now: float = 0.0, simulator: Simulator | None = None
+    ) -> ShardedCycleReport:
+        """Run one fleet-level OODA cycle across all shards.
+
+        Args:
+            now: current time; ignored when a simulator is given.
+            simulator: event-driven act phase when provided.
+
+        Returns:
+            The merged :class:`ShardedCycleReport`.
+        """
+        if simulator is not None:
+            now = simulator.now
+        wall_start = time.perf_counter()
+        fleet_report = CycleReport(cycle_index=self._cycle_index, started_at=now)
+        self._cycle_index += 1
+
+        # Generate: with order-insensitive merging each shard lists its own
+        # consistent-hash slice directly (vectorised where the connector
+        # supports it); otherwise list once globally and partition, keeping
+        # the generation order for the merge.
+        if self.merge_order == "any":
+            keys: list[CandidateKey] = []
+            shard_keys = [
+                shard.connector.list_candidates_sharded(
+                    self.generation, len(self.shards), shard_index
+                )
+                for shard_index, shard in enumerate(self.shards)
+            ]
+            fleet_report.candidates_generated = sum(len(s) for s in shard_keys)
+        else:
+            keys = self.shards[0].connector.list_candidates(self.generation)
+            fleet_report.candidates_generated = len(keys)
+            shard_keys = self.assign(keys)
+        shard_reports = [shard.begin_cycle(now) for shard in self.shards]
+        for report, subset in zip(shard_reports, shard_keys):
+            report.candidates_generated = len(subset)
+
+        # Observe + orient each shard's slice (concurrently when possible).
+        per_shard, observe_wall = self._observe_all(shard_keys, shard_reports, now)
+
+        if self.selection == "global":
+            selected = self._decide_global(keys, per_shard, fleet_report, shard_reports)
+
+            def invalidate_owner(result) -> None:
+                # The act pass runs through shard 0, whose pipeline evicts
+                # its own connector's cache; mirror the eviction to the
+                # shard that actually owns (observes) the compacted key.
+                if result.success:
+                    owner = self._shard_for(result.candidate)
+                    if owner != 0:
+                        self.shards[owner].connector.invalidate(result.candidate)
+
+            # One deterministic act pass in fleet rank order: shards
+            # partition the observation work, not the executor.
+            self.shards[0].act(
+                selected, fleet_report, simulator=simulator, on_result=invalidate_owner
+            )
+        else:
+            selected = self._decide_local(per_shard, fleet_report, shard_reports)
+            for shard, report, chosen in zip(self.shards, shard_reports, selected):
+                shard.act(
+                    chosen,
+                    report,
+                    simulator=simulator,
+                    on_result=fleet_report.results.append,
+                )
+
+        for shard, report in zip(self.shards, shard_reports):
+            shard.finish_cycle(report, now)
+        sharded = ShardedCycleReport(
+            report=fleet_report,
+            shard_reports=shard_reports,
+            shard_observe_wall_s=observe_wall,
+            cycle_wall_s=time.perf_counter() - wall_start,
+        )
+        self._record_cycle(sharded, now)
+        return sharded
+
+    # --- phases ----------------------------------------------------------------
+
+    def _observe_all(
+        self,
+        shard_keys: list[list[CandidateKey]],
+        shard_reports: list[CycleReport],
+        now: float,
+    ) -> tuple[list[list[Candidate]], list[float]]:
+        observe_wall = [0.0] * len(self.shards)
+
+        def observe(i: int) -> list[Candidate]:
+            start = time.perf_counter()
+            candidates = self.shards[i].observe_orient(shard_keys[i], now, shard_reports[i])
+            observe_wall[i] = time.perf_counter() - start
+            return candidates
+
+        indices = range(len(self.shards))
+        if self.max_workers > 1 and len(self.shards) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                per_shard = list(pool.map(observe, indices))
+        else:
+            per_shard = [observe(i) for i in indices]
+        return per_shard, observe_wall
+
+    def _decide_global(
+        self,
+        keys: list[CandidateKey],
+        per_shard: list[list[Candidate]],
+        fleet_report: CycleReport,
+        shard_reports: list[CycleReport],
+    ) -> list[Candidate]:
+        """Merge shard survivors, rank and select once."""
+        if self.merge_order == "any":
+            merged = [c for candidates in per_shard for c in candidates]
+        else:
+            # Rebuild generation order, id-keyed within one cycle (every
+            # key object is alive for the whole merge) to avoid a Python-
+            # level content hash per dict operation.
+            by_key: dict[int, Candidate] = {}
+            total = 0
+            for candidates in per_shard:
+                total += len(candidates)
+                for candidate in candidates:
+                    by_key[id(candidate.key)] = candidate
+            lookup = by_key.get
+            merged = [c for c in (lookup(id(key)) for key in keys) if c is not None]
+            if len(merged) != total:
+                # A connector returned candidates under fresh key objects;
+                # fall back to content-keyed merging.
+                by_content = {c.key: c for candidates in per_shard for c in candidates}
+                merged = [
+                    c for c in (by_content.get(key) for key in keys) if c is not None
+                ]
+        fleet_report.after_stats_filters = sum(r.after_stats_filters for r in shard_reports)
+        fleet_report.after_trait_filters = len(merged)
+        ranked = self.policy.rank(merged)
+        fleet_report.ranked = len(ranked)
+        selected = self.selector.select(ranked)
+        fleet_report.selected = [c.key for c in selected]
+        for shard_index, report in enumerate(shard_reports):
+            report.ranked = len(per_shard[shard_index])
+            report.selected = [
+                key for key in fleet_report.selected if self._shard_for(key) == shard_index
+            ]
+        return selected
+
+    def _decide_local(
+        self,
+        per_shard: list[list[Candidate]],
+        fleet_report: CycleReport,
+        shard_reports: list[CycleReport],
+    ) -> list[list[Candidate]]:
+        """Per-shard rank and select under split budgets."""
+        assert self._local_selectors is not None
+        fleet_report.after_stats_filters = sum(r.after_stats_filters for r in shard_reports)
+        fleet_report.after_trait_filters = sum(r.after_trait_filters for r in shard_reports)
+        selected: list[list[Candidate]] = []
+        for shard, local_selector, candidates, report in zip(
+            self.shards, self._local_selectors, per_shard, shard_reports
+        ):
+            ranked = shard.policy.rank(candidates)
+            report.ranked = len(ranked)
+            chosen = local_selector.select(ranked)
+            report.selected = [c.key for c in chosen]
+            selected.append(chosen)
+        fleet_report.ranked = sum(r.ranked for r in shard_reports)
+        fleet_report.selected = [key for r in shard_reports for key in r.selected]
+        return selected
+
+    # --- telemetry -------------------------------------------------------------
+
+    def _record_cycle(self, sharded: ShardedCycleReport, now: float) -> None:
+        report = sharded.report
+        self.telemetry.record("autocomp.fleet.candidates", now, report.candidates_generated)
+        self.telemetry.record("autocomp.fleet.selected", now, len(report.selected))
+        self.telemetry.record("autocomp.fleet.cycle_wall_s", now, sharded.cycle_wall_s)
+        self.telemetry.increment("autocomp.fleet.cycles")
+        for scoped, shard_report, wall in zip(
+            self._shard_telemetry, sharded.shard_reports, sharded.shard_observe_wall_s
+        ):
+            scoped.record("candidates", now, shard_report.candidates_generated)
+            scoped.record("after_trait_filters", now, shard_report.after_trait_filters)
+            scoped.record("selected", now, len(shard_report.selected))
+            scoped.record("observe_wall_s", now, wall)

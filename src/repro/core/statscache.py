@@ -1,0 +1,292 @@
+"""Incremental observation: a statistics cache for the observe phase.
+
+The paper's deployment (§7) runs daily OODA cycles over tens of thousands
+of tables, but only a fraction of the fleet writes on any given day.
+Re-collecting :class:`~repro.core.candidates.CandidateStatistics` for every
+candidate every cycle makes observation O(fleet size); caching the frozen
+statistics of *clean* tables makes it O(dirty tables) instead.
+
+Invalidation has three independent sources, mirroring how a deployment
+learns about writes:
+
+* **write events** — the :class:`~repro.core.service.AutoCompService`
+  notification inbox (§5's decoupled optimize-after-write hooks) maps
+  directly onto :meth:`StatsCache.invalidate`;
+* **version tokens** — connectors that can read a cheap per-table change
+  counter (e.g. the fleet model's ``stats_version`` array, or an LST
+  table's metadata sequence number) pass it to :meth:`StatsCache.get`; a
+  mismatch evicts the entry without any event plumbing;
+* **TTL fallback** — entries older than ``ttl_s`` expire, bounding the
+  staleness of slowly varying inputs (such as the §7 quota utilisation,
+  which shifts as *other* tables in the database grow) even when no write
+  event arrives.
+
+Statistics objects are frozen dataclasses, so returning the cached object
+itself is safe — the same value a fresh observation of unchanged state
+would produce, which is what keeps cached cycles byte-identical to cold
+ones (NFR2).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from repro.core.candidates import Candidate, CandidateKey, CandidateStatistics
+from repro.errors import ValidationError
+
+
+@dataclass
+class _Entry:
+    statistics: CandidateStatistics
+    stored_at: float
+    token: object | None
+
+
+class StatsCache:
+    """Candidate-statistics cache with event, token and TTL invalidation.
+
+    Args:
+        ttl_s: maximum entry age in seconds; ``math.inf`` (the default)
+            disables expiry so only events/tokens invalidate.
+
+    Attributes:
+        hits: lookups served from the cache.
+        misses: lookups that found no usable entry.
+        invalidations: entries dropped by :meth:`invalidate` /
+            :meth:`invalidate_key`.
+        expirations: entries dropped by TTL or token mismatch.
+    """
+
+    def __init__(self, ttl_s: float = math.inf) -> None:
+        if ttl_s <= 0:
+            raise ValidationError(f"ttl_s must be positive, got {ttl_s}")
+        self.ttl_s = ttl_s
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.expirations = 0
+        self._entries: dict[CandidateKey, _Entry] = {}
+        self._by_table: dict[str, set[CandidateKey]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CandidateKey) -> bool:
+        return key in self._entries
+
+    def get(
+        self, key: CandidateKey, now: float = 0.0, token: object | None = None
+    ) -> CandidateStatistics | None:
+        """The cached statistics for ``key``, or None on a miss.
+
+        Args:
+            key: candidate identity.
+            now: current time, compared against the entry's ``stored_at``
+                for TTL expiry.
+            token: optional freshness token; when given, the entry is only
+                valid if it was stored under an equal token.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        expired = now - entry.stored_at >= self.ttl_s
+        stale = token is not None and entry.token != token
+        if expired or stale:
+            self._drop(key)
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.statistics
+
+    def put(
+        self,
+        key: CandidateKey,
+        statistics: CandidateStatistics,
+        now: float = 0.0,
+        token: object | None = None,
+    ) -> None:
+        """Store ``statistics`` for ``key`` observed at ``now``."""
+        self._entries[key] = _Entry(statistics, now, token)
+        self._by_table.setdefault(key.qualified_table, set()).add(key)
+
+    def invalidate(self, key: CandidateKey) -> int:
+        """Drop every entry touching ``key``'s table; returns the count.
+
+        A write event for any scope dirties all scopes of the table (a
+        partition append changes the table-scope statistics too), so
+        invalidation is deliberately table-granular.
+        """
+        keys = self._by_table.pop(key.qualified_table, None)
+        if not keys:
+            return 0
+        for cached_key in keys:
+            self._entries.pop(cached_key, None)
+        self.invalidations += len(keys)
+        return len(keys)
+
+    def invalidate_key(self, key: CandidateKey) -> bool:
+        """Drop exactly one entry; returns whether it existed."""
+        if key not in self._entries:
+            return False
+        self._drop(key)
+        self.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._entries.clear()
+        self._by_table.clear()
+
+    def _drop(self, key: CandidateKey) -> None:
+        self._entries.pop(key, None)
+        siblings = self._by_table.get(key.qualified_table)
+        if siblings is not None:
+            siblings.discard(key)
+            if not siblings:
+                del self._by_table[key.qualified_table]
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0 when nothing was looked up)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class IndexedCandidateCache:
+    """Dense, index-addressed sibling of :class:`StatsCache`.
+
+    Vectorised connectors (the fleet) address tables by integer index, so
+    this cache trades the generic key-hashed dictionary for flat per-index
+    slots: freshness is a single integer-token comparison per lookup, and
+    the cached value is the whole observed :class:`Candidate` — which the
+    pipeline annotates *in place* during orient, so a hit skips both the
+    statistics build and the trait recompute on the next cycle.  That is
+    what makes a warm cycle O(dirty tables) end to end.
+
+    Invalidation semantics match :class:`StatsCache`: write events
+    (:meth:`invalidate_index`), version tokens (a stale token on lookup
+    evicts), and a TTL fallback bounding the staleness of slowly varying
+    statistics such as quota utilisation.
+
+    Candidate reuse makes entries private to one pipeline's configuration:
+    a cache must not be shared between pipelines with different trait
+    registries.
+
+    Args:
+        ttl_s: maximum entry age in seconds (``math.inf`` disables).
+    """
+
+    def __init__(self, ttl_s: float = math.inf) -> None:
+        if ttl_s <= 0:
+            raise ValidationError(f"ttl_s must be positive, got {ttl_s}")
+        self.ttl_s = ttl_s
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._candidates: list[Candidate | None] = []
+        self._tokens: list[int] = []
+        self._stored_at: list[float] = []
+        # Shards observing on a thread pool may share one cache (their
+        # index slices are disjoint): growth and bulk-counter updates are
+        # the only cross-slot mutations, so they take this lock.
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return sum(1 for c in self._candidates if c is not None)
+
+    def ensure_capacity(self, count: int) -> None:
+        """Grow the slot arrays to hold indices ``0..count-1`` (thread-safe)."""
+        # Lock-free fast path: _stored_at is extended *last* under the
+        # lock, so its length bounds all three lists from below.
+        if count <= len(self._stored_at):
+            return
+        with self._lock:
+            grow = count - len(self._candidates)
+            if grow > 0:
+                self._candidates.extend([None] * grow)
+                self._tokens.extend([-1] * grow)
+                self._stored_at.extend([-math.inf] * grow)
+
+    def record_lookups(self, hits: int, misses: int) -> None:
+        """Bulk counter update for connectors classifying inline (thread-safe)."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+
+    # Bulk accessors: vectorised connectors run the validity check inline
+    # over these parallel lists (a method call per lookup would dominate a
+    # warm cycle).  Treat them as read/write slots, never resize them —
+    # use :meth:`ensure_capacity`; update ``hits``/``misses`` in bulk.
+
+    @property
+    def candidates(self) -> list[Candidate | None]:
+        """Slot storage: the cached candidate per index (None = empty)."""
+        return self._candidates
+
+    @property
+    def tokens(self) -> list[int]:
+        """Slot storage: freshness token each entry was stored under."""
+        return self._tokens
+
+    @property
+    def stored_ats(self) -> list[float]:
+        """Slot storage: observation time of each entry (for TTL)."""
+        return self._stored_at
+
+    def get(self, index: int, now: float = 0.0, token: int = 0) -> Candidate | None:
+        """The cached candidate at ``index``, or None on a miss.
+
+        An entry is valid iff its stored token equals ``token`` and it is
+        younger than the TTL; stale entries are evicted.
+        """
+        if index >= len(self._candidates):
+            self.misses += 1
+            return None
+        candidate = self._candidates[index]
+        if (
+            candidate is None
+            or self._tokens[index] != token
+            or now - self._stored_at[index] >= self.ttl_s
+        ):
+            if candidate is not None:
+                self._candidates[index] = None
+            self.misses += 1
+            return None
+        self.hits += 1
+        return candidate
+
+    def put(self, index: int, candidate: Candidate, now: float = 0.0, token: int = 0) -> None:
+        """Store ``candidate`` at ``index`` under freshness ``token``."""
+        self.ensure_capacity(index + 1)
+        self._candidates[index] = candidate
+        self._tokens[index] = token
+        self._stored_at[index] = now
+
+    def invalidate_index(self, index: int) -> bool:
+        """Write-event eviction; returns whether an entry existed."""
+        if index >= len(self._candidates) or self._candidates[index] is None:
+            return False
+        self._candidates[index] = None
+        self.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop all entries in place (counters and aliases are preserved).
+
+        Mutates the existing slot lists rather than rebinding them, so
+        holders of the bulk accessors keep observing the live storage.
+        """
+        with self._lock:
+            del self._candidates[:]
+            del self._tokens[:]
+            del self._stored_at[:]
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0 when nothing was looked up)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -61,6 +61,22 @@ class Trait(abc.ABC):
         candidate.traits[self.name] = value
         return value
 
+    def compute_batch(self, statistics: list[CandidateStatistics]) -> list[float]:
+        """Trait values for many candidates' statistics at once.
+
+        The orient phase computes every trait over every candidate every
+        cycle; hot traits override this with a tight comprehension to
+        avoid a method call per candidate.
+        """
+        compute = self.compute
+        return [float(compute(s)) for s in statistics]
+
+
+def _compute_overridden(trait: Trait, base: type) -> bool:
+    """True when ``trait.compute`` differs from ``base.compute`` — via a
+    subclass *or* an instance attribute (both must disable batch fast paths)."""
+    return "compute" in trait.__dict__ or type(trait).compute is not base.compute
+
 
 class FileCountReductionTrait(Trait):
     """ΔF_c: estimated file-count reduction (paper §4.2, verbatim).
@@ -75,6 +91,11 @@ class FileCountReductionTrait(Trait):
 
     def compute(self, statistics: CandidateStatistics) -> float:
         return float(statistics.small_file_count)
+
+    def compute_batch(self, statistics: list[CandidateStatistics]) -> list[float]:
+        if _compute_overridden(self, FileCountReductionTrait):
+            return super().compute_batch(statistics)  # honour overridden compute()
+        return [float(s.small_file_count) for s in statistics]
 
 
 class RelativeFileCountReductionTrait(Trait):
@@ -148,6 +169,13 @@ class ComputeCostTrait(Trait):
             statistics.small_file_bytes / self.rewrite_bytes_per_hour
         )
 
+    def compute_batch(self, statistics: list[CandidateStatistics]) -> list[float]:
+        if _compute_overridden(self, ComputeCostTrait):
+            return super().compute_batch(statistics)  # honour overridden compute()
+        memory = self.executor_memory_gb
+        throughput = self.rewrite_bytes_per_hour
+        return [memory * (s.small_file_bytes / throughput) for s in statistics]
+
 
 class SmallFileBytesTrait(Trait):
     """Bytes sitting in small files — a benefit proxy for IO-bound goals."""
@@ -203,8 +231,48 @@ class TraitRegistry:
         """Registered trait names in registration order."""
         return list(self._traits)
 
-    def annotate_all(self, candidates: list[Candidate]) -> None:
-        """Compute every registered trait on every candidate."""
-        for candidate in candidates:
-            for trait in self._traits.values():
-                trait.annotate(candidate)
+    def annotate_all(self, candidates: list[Candidate], only_missing: bool = False) -> None:
+        """Compute every registered trait on every candidate.
+
+        Args:
+            only_missing: skip candidates that already carry every
+                registered trait.  Only safe when the caller guarantees
+                existing trait values were computed by this registry from
+                the candidate's *current* statistics — the contract of
+                candidate-reusing connectors
+                (:attr:`~repro.core.connectors.Connector.reuses_candidates`).
+        """
+        traits = list(self._traits.values())
+        names = list(self._traits)
+        if only_missing:
+            # Reused candidates carry the full registered set; fresh ones
+            # have empty traits (cheap falsy check).
+            todo = [
+                c
+                for c in candidates
+                if not (c.traits and all(name in c.traits for name in names))
+            ]
+        else:
+            todo = list(candidates)
+        if not todo:
+            return
+        # Batched compute skips Trait.annotate's per-call overhead; traits
+        # that override annotate() (subclass or instance attribute) keep
+        # their per-candidate behaviour.
+        if any(
+            "annotate" in trait.__dict__ or type(trait).annotate is not Trait.annotate
+            for trait in traits
+        ):
+            for candidate in todo:
+                for trait in traits:
+                    trait.annotate(candidate)
+            return
+        statistics: list[CandidateStatistics] = []
+        for candidate in todo:
+            if candidate.statistics is None:
+                raise ValidationError(f"candidate {candidate.key} has no statistics")
+            statistics.append(candidate.statistics)
+        for trait in traits:
+            name = trait.name
+            for candidate, value in zip(todo, trait.compute_batch(statistics)):
+                candidate.traits[name] = value

@@ -21,6 +21,7 @@ from repro.fleet.simulator import (
     FleetSimulator,
     ManualCompactionStrategy,
     NoCompactionStrategy,
+    ShardedAutoCompStrategy,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "FleetSimulator",
     "ManualCompactionStrategy",
     "NoCompactionStrategy",
+    "ShardedAutoCompStrategy",
 ]

@@ -10,7 +10,13 @@ exactly the logic validated by the §6 synthetic ones (NFR3 in practice).
 
 from __future__ import annotations
 
+import hashlib
+import operator
+
+import numpy as np
+
 from repro.core.candidates import (
+    Candidate,
     CandidateKey,
     CandidateScope,
     CandidateStatistics,
@@ -22,20 +28,28 @@ from repro.core.scheduling import (
     ExecutionResult,
     PreparedJob,
 )
+from repro.core.statscache import IndexedCandidateCache
 from repro.errors import ValidationError
 from repro.fleet.model import FleetModel
 from repro.units import DAY
 
 
 def _key_for_index(model: FleetModel, index: int) -> CandidateKey:
-    return CandidateKey(
+    key = CandidateKey(
         database=f"tenant{int(model.database[index]):03d}",
         table=f"table{index:06d}",
         scope=CandidateScope.TABLE,
     )
+    # Stash the table index on the interned key so hot paths resolve it
+    # with one attribute read instead of a parse or a hashed lookup.
+    object.__setattr__(key, "_fleet_index", index)
+    return key
 
 
 def _index_for_key(key: CandidateKey) -> int:
+    index = getattr(key, "_fleet_index", None)
+    if index is not None:
+        return index
     if not key.table.startswith("table"):
         raise ValidationError(f"not a fleet candidate key: {key}")
     return int(key.table[len("table") :])
@@ -49,11 +63,63 @@ class FleetConnector(Connector):
         min_small_files: tables with fewer small files are not even listed
             (a cheap generation-time screen that keeps candidate volume
             manageable at fleet scale).
+        stats_cache: optional incremental-observation cache (the dense
+            :class:`~repro.core.statscache.IndexedCandidateCache`).  When
+            set, observation is O(dirty tables): each lookup carries the
+            table's ``stats_version`` as a freshness token, so entries
+            self-evict exactly when the table wrote or was compacted, and
+            the misses are rebuilt through a vectorised batch path.  Hits
+            return the previously observed (and, after orient, annotated)
+            candidate objects, so clean tables skip the trait recompute
+            too.  Database-level quota utilisation is re-stamped on every
+            hit (it drifts while tables stay clean), keeping cached
+            observations exactly equal to fresh ones; the TTL fallback
+            bounds staleness of anything else.
+
+    Candidate keys are interned per table index (identity and database
+    never change), so steady-state generation allocates no new key objects.
     """
 
-    def __init__(self, model: FleetModel, min_small_files: int = 1) -> None:
+    def __init__(
+        self,
+        model: FleetModel,
+        min_small_files: int = 1,
+        stats_cache: IndexedCandidateCache | None = None,
+    ) -> None:
+        if stats_cache is not None and not isinstance(stats_cache, IndexedCandidateCache):
+            raise ValidationError(
+                "FleetConnector takes the index-addressed cache "
+                f"(IndexedCandidateCache), got {type(stats_cache).__name__}"
+            )
         self.model = model
         self.min_small_files = min_small_files
+        self.stats_cache = stats_cache
+        #: Interned keys by table index (None = not yet built).
+        self._keys_by_index: list[CandidateKey | None] = []
+        #: Consistent-hash digests per table index (uint64; grown lazily).
+        self._digests = np.zeros(0, dtype=np.uint64)
+        #: Last listing produced by this connector: (keys, indices).  The
+        #: observe fast path recognises its own listing by identity and
+        #: skips per-key index resolution.
+        self._last_listing: tuple[list[CandidateKey], list[int]] | None = None
+
+    @property
+    def reuses_candidates(self) -> bool:  # type: ignore[override]
+        return self.stats_cache is not None
+
+    def invalidate(self, key: CandidateKey) -> None:
+        """Write-event hook: evict ``key``'s table from the cache."""
+        if self.stats_cache is not None:
+            self.stats_cache.invalidate_index(_index_for_key(key))
+
+    def _key(self, index: int) -> CandidateKey:
+        keys = self._keys_by_index
+        if index >= len(keys):
+            keys.extend([None] * (index + 1 - len(keys)))
+        key = keys[index]
+        if key is None:
+            key = keys[index] = _key_for_index(self.model, index)
+        return key
 
     def list_candidates(self, strategy: str = "table") -> list[CandidateKey]:
         if strategy != "table":
@@ -62,21 +128,156 @@ class FleetConnector(Connector):
                 f"(got strategy {strategy!r})"
             )
         small = self.model.small_files_per_table()
-        return [
-            _key_for_index(self.model, i)
-            for i in range(self.model.count)
-            if small[i] >= self.min_small_files
-        ]
+        eligible = np.nonzero(small >= self.min_small_files)[0].tolist()
+        return self._keys_for_eligible(eligible)
 
-    def observe(self, keys: list[CandidateKey]) -> list:
-        # One quota computation per cycle instead of per candidate: the
-        # per-database utilisation is O(fleet size) to derive.
-        quota = self.model.database_quota_utilization()
-        from repro.core.candidates import Candidate
+    def list_candidates_sharded(
+        self, strategy: str, n_shards: int, shard_index: int
+    ) -> list[CandidateKey]:
+        """Vectorised shard slice: one digest-mask pass over the fleet."""
+        if strategy != "table":
+            raise ValidationError(
+                "the fleet connector scopes candidates at table level only "
+                f"(got strategy {strategy!r})"
+            )
+        model = self.model
+        self._ensure_digests(model.count)
+        small = model.small_files_per_table()
+        digests = self._digests[: model.count]
+        mask = (small >= self.min_small_files) & (
+            digests % np.uint64(n_shards) == np.uint64(shard_index)
+        )
+        return self._keys_for_eligible(np.nonzero(mask)[0].tolist())
 
-        return [
-            Candidate(key=key, statistics=self._statistics(key, quota)) for key in keys
-        ]
+    def _keys_for_eligible(self, eligible: list[int]) -> list[CandidateKey]:
+        if not eligible:
+            self._last_listing = ([], [])
+            return []
+        keys = self._keys_by_index
+        if eligible[-1] >= len(keys):
+            keys.extend([None] * (eligible[-1] + 1 - len(keys)))
+        if any(keys[i] is None for i in eligible):
+            for i in eligible:
+                if keys[i] is None:
+                    self._key(i)
+        # C-speed multi-index pick over the interned key table.
+        listed = (
+            list(operator.itemgetter(*eligible)(keys))
+            if len(eligible) > 1
+            else [keys[eligible[0]]]
+        )
+        self._last_listing = (listed, eligible)
+        return listed
+
+    def _ensure_digests(self, count: int) -> None:
+        """Consistent-hash digests (matching shard_for_key) for indices < count."""
+        have = len(self._digests)
+        if count <= have:
+            return
+        grown = np.zeros(count, dtype=np.uint64)
+        grown[:have] = self._digests
+        for index in range(have, count):
+            digest = hashlib.blake2b(
+                str(self._key(index)).encode("utf-8"), digest_size=8
+            ).digest()
+            grown[index] = int.from_bytes(digest, "big")
+        self._digests = grown
+
+    def observe(self, keys: list[CandidateKey]) -> list[Candidate]:
+        if self.stats_cache is None:
+            # One quota computation per cycle instead of per candidate: the
+            # per-database utilisation is O(fleet size) to derive.
+            quota = self.model.database_quota_utilization()
+            return [
+                Candidate(key=key, statistics=self._statistics(key, quota))
+                for key in keys
+            ]
+        return self._observe_incremental(keys)
+
+    def _observe_incremental(self, keys: list[CandidateKey]) -> list[Candidate]:
+        """Cache-first observation: only dirty tables rebuild statistics.
+
+        The validity check runs inline over the cache's slot lists (one
+        list index + compare per key), stale slots reuse their Candidate
+        object (statistics swapped, traits cleared for re-orientation),
+        and fresh statistics come from the model's per-cycle
+        :meth:`~repro.fleet.model.FleetModel.observe_view` — plain list
+        reads shared across every shard of a sharded cycle.
+        """
+        model = self.model
+        cache = self.stats_cache
+        count = model.count
+        now = float(model.day) * DAY
+        ttl = cache.ttl_s
+        cache.ensure_capacity(count)
+        slots = cache.candidates
+        tokens = cache.tokens
+        stored_ats = cache.stored_ats
+        view = model.observe_view()
+        versions = view.versions
+        target = model.config.target_file_size
+        build = CandidateStatistics.build_unchecked
+        files, total_b = view.files, view.total_bytes
+        small, small_b = view.small_files, view.small_bytes
+        created, modified, quota = view.created_s, view.modified_s, view.quota
+        # Observing our own most recent listing (the common cycle path):
+        # its index list is already resolved.
+        last = self._last_listing
+        if last is not None and keys is last[0]:
+            indices = last[1]
+        else:
+            indices = [_index_for_key(key) for key in keys]
+        candidates: list[Candidate] = []
+        append = candidates.append
+        hits = 0
+        misses = 0
+        for key, index in zip(keys, indices):
+            if not 0 <= index < count:
+                raise ValidationError(f"fleet table index {index} out of range")
+            candidate = slots[index]
+            if (
+                candidate is not None
+                and tokens[index] == versions[index]
+                and now - stored_ats[index] < ttl
+            ):
+                hits += 1
+                # Quota is database-level, so it drifts even while the
+                # table itself is clean; re-stamp it in place so cached
+                # observations stay exactly equal to fresh ones.  The
+                # shipped traits read only per-table file statistics —
+                # custom traits that read quota_utilization should not be
+                # combined with a stats cache.
+                stats = candidate.statistics
+                fresh_quota = quota[index]
+                if stats.quota_utilization != fresh_quota:
+                    object.__setattr__(stats, "quota_utilization", fresh_quota)
+                append(candidate)
+                continue
+            misses += 1
+            stats = build(
+                file_count=files[index],
+                total_bytes=total_b[index],
+                small_file_count=small[index],
+                small_file_bytes=small_b[index],
+                target_file_size=target,
+                partition_count=1,
+                created_at=created[index],
+                last_modified_at=modified[index],
+                quota_utilization=quota[index],
+            )
+            if candidate is not None:
+                # Reuse the stale candidate in place: new statistics,
+                # traits dropped so orient recomputes them.
+                candidate.statistics = stats
+                candidate.traits.clear()
+            else:
+                candidate = Candidate(key=key, statistics=stats)
+                slots[index] = candidate
+            tokens[index] = versions[index]
+            stored_ats[index] = now
+            append(candidate)
+        cache.record_lookups(hits, misses)
+        return candidates
 
     def collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
         return self._statistics(key, self.model.database_quota_utilization())

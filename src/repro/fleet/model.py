@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.simulation.rng import derive_rng
-from repro.units import GiB, MiB, SMALL_FILE_THRESHOLD, DEFAULT_TARGET_FILE_SIZE
+from repro.units import DAY, GiB, MiB, SMALL_FILE_THRESHOLD, DEFAULT_TARGET_FILE_SIZE
 
 
 class Archetype(enum.IntEnum):
@@ -107,6 +107,26 @@ class FleetConfig:
             raise ValidationError("merge_efficiency_mean must be in (0, 1]")
 
 
+@dataclass(frozen=True)
+class ObserveView:
+    """Per-day observation columns, unboxed to plain Python lists.
+
+    Shared by every shard of the scale-out control plane within one cycle:
+    the vectorised derivations and the numpy→Python conversion happen once
+    per :attr:`FleetModel.mutation_tick`, so per-shard batch observation is
+    pure list indexing with no per-call numpy overhead.
+    """
+
+    files: list[int]
+    small_files: list[int]
+    small_bytes: list[int]
+    total_bytes: list[int]
+    created_s: list[float]
+    modified_s: list[float]
+    quota: list[float]
+    versions: list[int]
+
+
 @dataclass
 class CompactionApplication:
     """Realised outcome of compacting one fleet table."""
@@ -144,6 +164,14 @@ class FleetModel:
         self.growth_large = np.zeros(capacity, dtype=np.float64)
         self.read_freq = np.zeros(capacity, dtype=np.float64)
         self.merge_efficiency = np.zeros(capacity, dtype=np.float64)
+        #: Per-table change counter: bumped on every write day and every
+        #: compaction.  Connectors use it as a freshness token for the
+        #: incremental-observation cache (O(dirty) observe cycles).
+        self.stats_version = np.zeros(capacity, dtype=np.int64)
+        #: Whole-model mutation counter (any step/compact/onboard); keys
+        #: the memoised :meth:`observe_view`.
+        self.mutation_tick = 0
+        self._observe_view: tuple[int, ObserveView] | None = None
 
         self.onboard(config.initial_tables)
 
@@ -170,6 +198,7 @@ class FleetModel:
             "growth_large",
             "read_freq",
             "merge_efficiency",
+            "stats_version",
         ):
             old = getattr(self, name)
             grown = np.zeros(new_capacity, dtype=old.dtype)
@@ -234,6 +263,7 @@ class FleetModel:
             * LARGE_MEAN_BYTES
         ).astype(np.int64)
         self.count = end
+        self.mutation_tick += 1
 
     # --- daily dynamics -------------------------------------------------------------
 
@@ -252,6 +282,8 @@ class FleetModel:
         self.large_bytes[:n] += (new_large * LARGE_MEAN_BYTES).astype(np.int64)
         wrote = (new_tiny + new_mid + new_large) > 0
         self.last_write_day[:n][wrote] = self.day
+        self.stats_version[:n][wrote] += 1
+        self.mutation_tick += 1
         self.day += 1
 
     # --- aggregate metrics ----------------------------------------------------------
@@ -300,6 +332,30 @@ class FleetModel:
             self.database[:n], weights=files, minlength=self.config.databases
         )
         return np.clip(used / self.config.quota_objects_per_db, 0.0, 1.0)
+
+    def observe_view(self) -> ObserveView:
+        """The memoised per-cycle observation columns (see :class:`ObserveView`)."""
+        cached = self._observe_view
+        if cached is not None and cached[0] == self.mutation_tick:
+            return cached[1]
+        n = self.count
+        tiny, mid, large = self.tiny_files[:n], self.mid_files[:n], self.large_files[:n]
+        tiny_b, mid_b = self.tiny_bytes[:n], self.mid_bytes[:n]
+        small = tiny + mid
+        small_b = tiny_b + mid_b
+        quota_by_db = self.database_quota_utilization()
+        view = ObserveView(
+            files=(small + large).tolist(),
+            small_files=small.tolist(),
+            small_bytes=small_b.tolist(),
+            total_bytes=(small_b + self.large_bytes[:n]).tolist(),
+            created_s=(self.created_day[:n].astype(np.float64) * DAY).tolist(),
+            modified_s=(self.last_write_day[:n].astype(np.float64) * DAY).tolist(),
+            quota=quota_by_db[self.database[:n]].tolist(),
+            versions=self.stats_version[:n].tolist(),
+        )
+        self._observe_view = (self.mutation_tick, view)
+        return view
 
     def daily_scan_metrics(self) -> dict[str, float]:
         """Workload-side metrics for one day (Figure 11a/11b inputs).
@@ -380,6 +436,8 @@ class FleetModel:
         self.mid_bytes[index] = int(self.mid_bytes[index] * (1 - frac_mid))
         self.large_files[index] += new_large
         self.large_bytes[index] += merged_bytes
+        self.stats_version[index] += 1
+        self.mutation_tick += 1
 
         cost_noise = float(
             rng.lognormal(self.config.cost_noise_mu, self.config.cost_noise_sigma)

@@ -24,8 +24,10 @@ import numpy as np
 
 from repro.core.pipeline import AutoCompPipeline
 from repro.core.ranking import Objective, QuotaAwareWeightedSumPolicy, WeightedSumPolicy
-from repro.core.selection import BudgetSelector, TopKSelector
+from repro.core.selection import BudgetSelector, Selector, TopKSelector
 from repro.core.scheduling import SequentialScheduler
+from repro.core.sharding import ShardedPipeline
+from repro.core.statscache import IndexedCandidateCache
 from repro.core.traits import ComputeCostTrait, FileCountReductionTrait, TraitRegistry
 from repro.errors import ValidationError
 from repro.fleet.connectors import FleetBackend, FleetConnector
@@ -106,6 +108,61 @@ class ManualCompactionStrategy(CompactionStrategy):
         return outcome
 
 
+def _fleet_decision_components(
+    model: FleetModel,
+    k: int | None,
+    budget_gbhr: float | None,
+    quota_aware: bool,
+) -> tuple[TraitRegistry, WeightedSumPolicy | QuotaAwareWeightedSumPolicy, Selector]:
+    """Traits, policy and selector shared by the fleet strategies."""
+    if k is None and budget_gbhr is None:
+        raise ValidationError("provide k or budget_gbhr")
+    traits = TraitRegistry(
+        [
+            FileCountReductionTrait(),
+            ComputeCostTrait(
+                executor_memory_gb=model.config.executor_memory_gb,
+                rewrite_bytes_per_hour=model.config.rewrite_bytes_per_hour,
+            ),
+        ]
+    )
+    if quota_aware:
+        policy = QuotaAwareWeightedSumPolicy()
+    else:
+        policy = WeightedSumPolicy(
+            [
+                Objective("file_count_reduction", 0.7, maximize=True),
+                Objective("compute_cost_gbhr", 0.3, maximize=False),
+            ]
+        )
+    selector: Selector
+    if budget_gbhr is not None:
+        selector = BudgetSelector(budget_gbhr)
+    else:
+        selector = TopKSelector(k if k is not None else 10)
+    return traits, policy, selector
+
+
+def _outcome_from_results(day: int, results) -> DailyCompactionOutcome:
+    """Aggregate act-phase results into one day's outcome."""
+    outcome = DailyCompactionOutcome(day=day)
+    for result in results:
+        if not result.success:
+            continue
+        outcome.tables_compacted += 1
+        outcome.files_reduced += result.actual_reduction
+        outcome.gbhr += result.gbhr
+        outcome.estimate_pairs.append(
+            (
+                result.estimated_reduction,
+                float(result.actual_reduction),
+                result.estimated_gbhr,
+                result.gbhr,
+            )
+        )
+    return outcome
+
+
 class AutoCompStrategy(CompactionStrategy):
     """AutoComp over the fleet: the real pipeline on the fleet connector.
 
@@ -127,35 +184,12 @@ class AutoCompStrategy(CompactionStrategy):
         budget_gbhr: float | None = None,
         quota_aware: bool = True,
     ) -> None:
-        if k is None and budget_gbhr is None:
-            raise ValidationError("provide k or budget_gbhr")
-        connector = FleetConnector(model, min_small_files=2)
-        backend = FleetBackend(model)
-        traits = TraitRegistry(
-            [
-                FileCountReductionTrait(),
-                ComputeCostTrait(
-                    executor_memory_gb=model.config.executor_memory_gb,
-                    rewrite_bytes_per_hour=model.config.rewrite_bytes_per_hour,
-                ),
-            ]
+        traits, policy, selector = _fleet_decision_components(
+            model, k, budget_gbhr, quota_aware
         )
-        if quota_aware:
-            policy = QuotaAwareWeightedSumPolicy()
-        else:
-            policy = WeightedSumPolicy(
-                [
-                    Objective("file_count_reduction", 0.7, maximize=True),
-                    Objective("compute_cost_gbhr", 0.3, maximize=False),
-                ]
-            )
-        if budget_gbhr is not None:
-            selector = BudgetSelector(budget_gbhr)
-        else:
-            selector = TopKSelector(k if k is not None else 10)
         self.pipeline = AutoCompPipeline(
-            connector=connector,
-            backend=backend,
+            connector=FleetConnector(model, min_small_files=2),
+            backend=FleetBackend(model),
             traits=traits,
             policy=policy,
             selector=selector,
@@ -165,22 +199,79 @@ class AutoCompStrategy(CompactionStrategy):
 
     def run_day(self, model: FleetModel, day: int) -> DailyCompactionOutcome:
         report = self.pipeline.run_cycle(now=float(day) * DAY)
-        outcome = DailyCompactionOutcome(day=day)
-        for result in report.results:
-            if not result.success:
-                continue
-            outcome.tables_compacted += 1
-            outcome.files_reduced += result.actual_reduction
-            outcome.gbhr += result.gbhr
-            outcome.estimate_pairs.append(
-                (
-                    result.estimated_reduction,
-                    float(result.actual_reduction),
-                    result.estimated_gbhr,
-                    result.gbhr,
-                )
+        return _outcome_from_results(day, report.results)
+
+
+class ShardedAutoCompStrategy(CompactionStrategy):
+    """AutoComp behind the scale-out control plane.
+
+    The same decision components as :class:`AutoCompStrategy`, but candidate
+    keys are consistent-hashed across ``n_shards`` per-shard pipelines whose
+    connectors carry incremental-observation caches — daily cycles observe
+    only the tables that wrote or were compacted since the last cycle
+    (version-token invalidation), with a TTL bounding quota staleness.
+
+    Args:
+        model: fleet state.
+        n_shards: number of per-shard pipelines.
+        k / budget_gbhr / quota_aware: as for :class:`AutoCompStrategy`.
+        stats_cache_ttl_s: TTL fallback for cached statistics.
+        selection: ``"global"`` (exactly the unsharded decisions) or
+            ``"local"`` (split budgets, fully independent shards).
+        max_workers: observe-phase thread-pool width (see
+            :class:`~repro.core.sharding.ShardedPipeline`).
+        telemetry: fleet-level metric sink.
+    """
+
+    name = "autocomp-sharded"
+
+    def __init__(
+        self,
+        model: FleetModel,
+        n_shards: int = 4,
+        k: int | None = 10,
+        budget_gbhr: float | None = None,
+        quota_aware: bool = True,
+        stats_cache_ttl_s: float = 7 * DAY,
+        selection: str = "global",
+        max_workers: int | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValidationError("n_shards must be positive")
+        traits, policy, selector = _fleet_decision_components(
+            model, k, budget_gbhr, quota_aware
+        )
+        # One cache shared by every shard: consistent hashing partitions
+        # the table-index space disjointly, so shards never contend for a
+        # slot, and a single slot table keeps the working set compact.
+        cache = IndexedCandidateCache(ttl_s=stats_cache_ttl_s)
+        self.caches = [cache]
+        shards = [
+            AutoCompPipeline(
+                connector=FleetConnector(model, min_small_files=2, stats_cache=cache),
+                backend=FleetBackend(model),
+                traits=traits,
+                policy=policy,
+                selector=selector,
+                scheduler=SequentialScheduler(),
+                generation="table",
             )
-        return outcome
+            for _ in range(n_shards)
+        ]
+        self.pipeline = ShardedPipeline(
+            shards,
+            selection=selection,
+            # The fleet policies normalise over the candidate set and sort
+            # into a key-tie-broken total order, so merge order is free.
+            merge_order="any",
+            max_workers=max_workers,
+            telemetry=telemetry,
+        )
+
+    def run_day(self, model: FleetModel, day: int) -> DailyCompactionOutcome:
+        sharded = self.pipeline.run_cycle(now=float(day) * DAY)
+        return _outcome_from_results(day, sharded.report.results)
 
 
 class FleetSimulator:

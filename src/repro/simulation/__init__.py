@@ -11,12 +11,13 @@ from repro.simulation.clock import SimClock
 from repro.simulation.events import Event, EventQueue
 from repro.simulation.rng import derive_rng, derive_seed
 from repro.simulation.simulator import Simulator
-from repro.simulation.telemetry import MetricSeries, Telemetry
+from repro.simulation.telemetry import MetricSeries, ScopedTelemetry, Telemetry
 
 __all__ = [
     "Event",
     "EventQueue",
     "MetricSeries",
+    "ScopedTelemetry",
     "SimClock",
     "Simulator",
     "Telemetry",

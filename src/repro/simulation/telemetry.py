@@ -161,3 +161,58 @@ class Telemetry:
         for name in names:
             merged.extend(self.series(name).values)
         return merged
+
+    # --- scoping ---------------------------------------------------------------
+
+    def scoped(self, prefix: str) -> "ScopedTelemetry":
+        """A view that prefixes every metric name with ``prefix`` + ``.``.
+
+        Used by the scale-out control plane to give each shard its own
+        namespace (``autocomp.shard00.…``) inside one shared sink, so
+        fleet-level dashboards can aggregate across shards while per-shard
+        series stay individually addressable.
+        """
+        return ScopedTelemetry(self, prefix)
+
+
+class ScopedTelemetry:
+    """A prefixing facade over a parent :class:`Telemetry`.
+
+    All writes and reads delegate to the parent with ``prefix.name``;
+    nothing is stored locally, so scoped views are free to create per
+    shard / per subsystem.
+    """
+
+    def __init__(self, parent: Telemetry, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("scoped telemetry needs a non-empty prefix")
+        self._parent = parent
+        self._prefix = prefix.rstrip(".")
+
+    @property
+    def prefix(self) -> str:
+        """The namespace applied to every metric name."""
+        return self._prefix
+
+    def _qualify(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to the prefixed counter."""
+        self._parent.increment(self._qualify(name), amount)
+
+    def counter(self, name: str) -> float:
+        """Current value of the prefixed counter."""
+        return self._parent.counter(self._qualify(name))
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append ``(time, value)`` to the prefixed series."""
+        self._parent.record(self._qualify(name), time, value)
+
+    def series(self, name: str) -> MetricSeries:
+        """The prefixed series (created empty on first access)."""
+        return self._parent.series(self._qualify(name))
+
+    def scoped(self, prefix: str) -> "ScopedTelemetry":
+        """A nested scope: ``parent_prefix.prefix.…``."""
+        return ScopedTelemetry(self._parent, self._qualify(prefix))

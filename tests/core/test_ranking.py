@@ -187,3 +187,46 @@ class TestQuotaAwarePolicy:
         two = _candidate("two", {"b": 1, "c": 2}, quota=0.2)
         ranked = policy.rank([two, one])
         assert ranked[0].key.table == "one"
+
+
+class TestQuotaAwareBenefitWeightOverride:
+    def test_overridden_benefit_weight_is_honoured(self):
+        """The vectorised rank must not bypass a subclass's benefit_weight."""
+        from repro.core.candidates import Candidate, CandidateKey, CandidateScope
+
+        class FlatWeight(QuotaAwareWeightedSumPolicy):
+            @staticmethod
+            def benefit_weight(quota_utilization):
+                return 1.0  # benefit-only, cost ignored
+
+        def _candidate(name, benefit, cost):
+            c = Candidate(key=CandidateKey("db", name, CandidateScope.TABLE))
+            c.traits["file_count_reduction"] = benefit
+            c.traits["compute_cost_gbhr"] = cost
+            return c
+
+        # High benefit but terrible cost: base policy ranks it below, the
+        # flat-weight override ranks it first.
+        expensive = _candidate("expensive", 100.0, 1000.0)
+        balanced = _candidate("balanced", 90.0, 0.0)
+        base = QuotaAwareWeightedSumPolicy().rank([expensive, balanced])
+        flat = FlatWeight().rank([_candidate("expensive", 100.0, 1000.0),
+                                  _candidate("balanced", 90.0, 0.0)])
+        assert [str(c.key) for c in base] == ["db.balanced", "db.expensive"]
+        assert [str(c.key) for c in flat] == ["db.expensive", "db.balanced"]
+
+    def test_instance_level_benefit_weight_override_is_honoured(self):
+        from repro.core.candidates import Candidate, CandidateKey, CandidateScope
+
+        def _candidate(name, benefit, cost):
+            c = Candidate(key=CandidateKey("db", name, CandidateScope.TABLE))
+            c.traits["file_count_reduction"] = benefit
+            c.traits["compute_cost_gbhr"] = cost
+            return c
+
+        policy = QuotaAwareWeightedSumPolicy()
+        policy.benefit_weight = lambda u: 1.0  # instance attribute override
+        ranked = policy.rank(
+            [_candidate("expensive", 100.0, 1000.0), _candidate("balanced", 90.0, 0.0)]
+        )
+        assert [str(c.key) for c in ranked] == ["db.expensive", "db.balanced"]

@@ -9,6 +9,7 @@ from repro.core import (
     CandidateKey,
     CandidateScope,
     CompactionTask,
+    ConcurrentScheduler,
     LstConnector,
     LstExecutionBackend,
     OffPeakScheduler,
@@ -17,7 +18,7 @@ from repro.core import (
     SequentialScheduler,
 )
 from repro.engine import Cluster
-from repro.errors import SchedulingError
+from repro.errors import SchedulingError, ValidationError
 from repro.simulation import Simulator
 from repro.units import HOUR, MiB
 
@@ -238,3 +239,146 @@ class TestTaskFromCandidate:
         candidate = Candidate(key=CandidateKey("db", "t", CandidateScope.TABLE))
         task = CompactionTask.from_candidate(candidate)
         assert task.estimated_gbhr == 0.0
+
+
+class TestConcurrentScheduler:
+    """Scale-out act phase: independent chains in parallel, ordering kept."""
+
+    def _partitioned_world(self, catalog, simple_schema, monthly_spec):
+        table = catalog.create_table("db.wide", simple_schema, spec=monthly_spec)
+        fragment_table(table, partitions=[(0,), (1,), (2,)], files_per_partition=6)
+        connector = LstConnector(catalog)
+        backend = LstExecutionBackend(connector, Cluster("maint", executors=6))
+        return table, backend
+
+    def test_sync_mode_without_workers_matches_sequential(self, world):
+        _, _, backend, *_ = world
+        tasks = [_table_task("db", "a"), _table_task("db", "b")]
+        results = ConcurrentScheduler().schedule(tasks, backend)
+        assert [str(r.candidate) for r in results] == ["db.a", "db.b"]
+        assert all(r.success for r in results)
+
+    def test_sync_mode_with_workers_keeps_chain_order(self, world):
+        _, _, backend, *_ = world
+        tasks = [_table_task("db", "a"), _table_task("db", "b")]
+        seen = []
+        results = ConcurrentScheduler(workers=2).schedule(
+            tasks, backend, on_result=seen.append
+        )
+        # Results (and callbacks) are delivered in deterministic chain
+        # order regardless of thread completion order.
+        assert [str(r.candidate) for r in results] == ["db.a", "db.b"]
+        assert [str(r.candidate) for r in seen] == ["db.a", "db.b"]
+
+    def test_independent_chains_overlap_in_time(self, world):
+        catalog, _, backend, *_ = world
+        simulator = Simulator(catalog.clock)
+        tasks = [_table_task("db", "a"), _table_task("db", "b")]
+        results = []
+        out = ConcurrentScheduler().schedule(
+            tasks, backend, simulator=simulator, on_result=results.append
+        )
+        assert out == []
+        simulator.run()
+        assert len(results) == 2 and all(r.success for r in results)
+        # Both chains started at t=0: independent tables run concurrently.
+        assert {r.started_at for r in results} == {0.0}
+
+    def test_same_partition_tasks_stay_ordered(
+        self, catalog, simple_schema, monthly_spec
+    ):
+        catalog.create_database("db")
+        table, backend = self._partitioned_world(catalog, simple_schema, monthly_spec)
+        simulator = Simulator(catalog.clock)
+        tasks = [
+            _partition_task("db", "wide", (0,)),
+            _partition_task("db", "wide", (0,)),
+            _partition_task("db", "wide", (1,)),
+        ]
+        results = []
+        ConcurrentScheduler().schedule(
+            tasks, backend, simulator=simulator, on_result=results.append
+        )
+        simulator.run()
+        same_partition = [r for r in results if r.candidate.partition == (0,)]
+        assert same_partition[1].started_at >= same_partition[0].finished_at
+
+    def test_max_parallelism_caps_concurrent_chains(
+        self, catalog, simple_schema, monthly_spec
+    ):
+        catalog.create_database("db")
+        _, backend = self._partitioned_world(catalog, simple_schema, monthly_spec)
+        simulator = Simulator(catalog.clock)
+        tasks = [_partition_task("db", "wide", (p,)) for p in (0, 1, 2)]
+        results = []
+        ConcurrentScheduler(max_parallelism=1).schedule(
+            tasks, backend, simulator=simulator, on_result=results.append
+        )
+        simulator.run()
+        assert len(results) == 3
+        # With one slot the chains run back-to-back, like SequentialScheduler.
+        ordered = sorted(results, key=lambda r: r.started_at)
+        assert ordered[1].started_at >= ordered[0].finished_at
+        assert ordered[2].started_at >= ordered[1].finished_at
+
+    def test_table_serial_chains_by_table(self):
+        scheduler = ConcurrentScheduler(table_serial=True)
+        tasks = [
+            _partition_task("db", "t", (0,)),
+            _partition_task("db", "t", (1,)),
+            _table_task("db", "u"),
+        ]
+        chains = scheduler._chains(tasks)
+        assert [len(chain) for chain in chains] == [2, 1]
+
+    def test_partition_chaining_by_default(self):
+        scheduler = ConcurrentScheduler()
+        tasks = [
+            _partition_task("db", "t", (0,)),
+            _partition_task("db", "t", (1,)),
+            _partition_task("db", "t", (0,)),
+        ]
+        chains = scheduler._chains(tasks)
+        assert [len(chain) for chain in chains] == [2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ConcurrentScheduler(max_parallelism=0)
+        with pytest.raises(ValidationError):
+            ConcurrentScheduler(workers=0)
+
+
+    def test_table_scope_task_serialises_with_partition_tasks(self):
+        """A table-scope task touches every partition: it must never share
+        a concurrency window with partition tasks of the same table."""
+        scheduler = ConcurrentScheduler()
+        tasks = [
+            _partition_task("db", "t", (0,)),
+            _table_task("db", "t"),
+            _partition_task("db", "t", (1,)),
+            _partition_task("db", "u", (0,)),
+        ]
+        chains = scheduler._chains(tasks)
+        assert [len(chain) for chain in chains] == [3, 1]  # db.t collapsed
+
+
+    def test_thousands_of_skipped_chains_do_not_overflow_the_stack(
+        self, catalog
+    ):
+        """All-skipped chains complete synchronously; the capped launcher
+        must iterate, not recurse, through them."""
+        from repro.core.scheduling import ExecutionBackend
+
+        class EmptyPlans(ExecutionBackend):
+            def prepare(self, task):
+                return None
+
+        simulator = Simulator(catalog.clock)
+        tasks = [_table_task("db", f"t{i}") for i in range(3000)]
+        results = []
+        ConcurrentScheduler(max_parallelism=1).schedule(
+            tasks, EmptyPlans(), simulator=simulator, on_result=results.append
+        )
+        simulator.run()
+        assert len(results) == 3000
+        assert all(r.skipped for r in results)

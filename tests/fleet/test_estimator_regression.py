@@ -1,0 +1,55 @@
+"""Regression pins for the fleet estimator-accuracy model (§7).
+
+The paper reports that across production compactions the table-level ΔF_c
+estimate overestimates realised file-count reduction by ~28% (partition
+boundaries) while the GBHr estimate underestimates realised compute cost
+by ~19%.  The fleet model realises both errors explicitly
+(``merge_efficiency`` / ``cost_noise``); these pins keep refactors of the
+model, connectors or pipeline from silently drifting the calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    AutoCompStrategy,
+    FleetConfig,
+    FleetSimulator,
+    ShardedAutoCompStrategy,
+)
+
+#: Paper figures and the allowed drift (±10 points).
+PAPER_REDUCTION_OVERESTIMATE = 0.28
+PAPER_COST_UNDERESTIMATE = 0.19
+TOLERANCE = 0.10
+
+
+def _accuracy(strategy_factory) -> dict[str, float]:
+    simulator = FleetSimulator(FleetConfig(initial_tables=900, seed=3003))
+    simulator.set_strategy(0, strategy_factory(simulator.model))
+    simulator.run_days(12, onboard_monthly=False)
+    return simulator.estimator_accuracy()
+
+
+def test_estimator_accuracy_matches_paper_figures():
+    accuracy = _accuracy(lambda model: AutoCompStrategy(model, k=40))
+    assert accuracy["reduction_overestimate"] == pytest.approx(
+        PAPER_REDUCTION_OVERESTIMATE, abs=TOLERANCE
+    )
+    assert accuracy["cost_underestimate"] == pytest.approx(
+        PAPER_COST_UNDERESTIMATE, abs=TOLERANCE
+    )
+
+
+def test_sharded_control_plane_preserves_estimator_accuracy():
+    """The scale-out path must not alter the §7 accuracy calibration."""
+    unsharded = _accuracy(lambda model: AutoCompStrategy(model, k=40))
+    sharded = _accuracy(lambda model: ShardedAutoCompStrategy(model, n_shards=4, k=40))
+    assert sharded["reduction_overestimate"] == pytest.approx(
+        unsharded["reduction_overestimate"]
+    )
+    assert sharded["cost_underestimate"] == pytest.approx(unsharded["cost_underestimate"])
+    assert sharded["reduction_overestimate"] == pytest.approx(
+        PAPER_REDUCTION_OVERESTIMATE, abs=TOLERANCE
+    )

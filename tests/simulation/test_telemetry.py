@@ -131,3 +131,33 @@ class TestTelemetrySeries:
         telemetry.record("b", 0.0, 2.0)
         telemetry.record("a", 1.0, 3.0)
         assert telemetry.merge_values(["a", "b"]) == [1.0, 3.0, 2.0]
+
+
+class TestScopedTelemetry:
+    def test_writes_and_reads_are_prefixed(self):
+        telemetry = Telemetry()
+        shard = telemetry.scoped("autocomp.shard00")
+        shard.increment("cycles")
+        shard.record("candidates", 1.0, 42.0)
+        assert telemetry.counter("autocomp.shard00.cycles") == 1
+        assert telemetry.series("autocomp.shard00.candidates").last() == 42.0
+        assert shard.counter("cycles") == 1
+        assert shard.series("candidates").last() == 42.0
+        assert shard.prefix == "autocomp.shard00"
+
+    def test_nested_scopes_compose(self):
+        telemetry = Telemetry()
+        inner = telemetry.scoped("fleet").scoped("shard01")
+        inner.record("observe_wall_s", 0.0, 0.5)
+        assert telemetry.series("fleet.shard01.observe_wall_s").values == [0.5]
+
+    def test_trailing_dot_is_normalised(self):
+        telemetry = Telemetry()
+        telemetry.scoped("a.").increment("x")
+        assert telemetry.counter("a.x") == 1
+
+    def test_empty_prefix_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Telemetry().scoped("")
