@@ -1,0 +1,180 @@
+"""Policy Lab: what-if policy search over one recorded fleet trace.
+
+The paper's evaluation is trace-driven: policies are judged by replaying a
+realistic write workload and comparing file-count reduction against GBHr
+cost.  This bench exercises the full Policy Lab loop:
+
+1. **record** — run a fleet under a conservative AutoComp policy with a
+   :class:`~repro.replay.TraceRecorder` attached, producing a versioned,
+   seed-stamped JSONL trace;
+2. **verify** — replay the trace verbatim and check the reconstructed
+   fleet matches the live one exactly, and replay one variant twice and
+   check the cycle reports are byte-identical (the determinism guarantee);
+3. **search** — sweep a grid of policy variants over the trace with the
+   :class:`~repro.replay.WhatIfRunner`, sequentially and in parallel, and
+   print the ranked comparison.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_whatif.py [--smoke]
+
+``--smoke`` runs a tiny fleet with 2 variants (CI-sized) and skips the
+speedup assertion; the full run sweeps >=8 variants and asserts parallel
+what-if execution is >=2x faster than sequential when at least 4 CPU cores
+are available (the speedup target is defined on a 4-core runner).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.fleet import AutoCompStrategy, FleetConfig, FleetSimulator
+from repro.replay import (
+    PolicyVariant,
+    TraceReader,
+    TraceRecorder,
+    TraceReplayer,
+    WhatIfRunner,
+    variant_grid,
+)
+from repro.replay.replayer import verify_deterministic
+from repro.simulation import TapBus
+
+
+def _banner(title: str, claim: str) -> str:
+    line = "=" * 78
+    return f"\n{line}\n{title}\n{claim}\n{line}"
+
+
+def record_trace(path: str, tables: int, days: int, seed: int) -> FleetSimulator:
+    """Run the source fleet under AutoComp k=10, recording to ``path``."""
+    taps = TapBus()
+    config = FleetConfig(initial_tables=tables, onboarded_per_month=tables // 8, seed=seed)
+    recorder = TraceRecorder(path, taps, config=config)
+    sim = FleetSimulator(config, taps=taps)
+    sim.set_strategy(0, AutoCompStrategy(sim.model, k=10))
+    sim.run_days(days)
+    recorder.close()
+    return sim
+
+
+def verify_round_trip(path: str, sim: FleetSimulator) -> bool:
+    """Verbatim replay reconstructs the live fleet's file counts exactly."""
+    replayed = TraceReplayer(path).replay_verbatim()
+    source = sim.model
+    return (
+        replayed.count == source.count
+        and replayed.total_files == source.total_files
+        and np.array_equal(
+            replayed.tiny_files[: replayed.count], source.tiny_files[: source.count]
+        )
+        and np.array_equal(
+            replayed.large_bytes[: replayed.count], source.large_bytes[: source.count]
+        )
+    )
+
+
+def verify_determinism(path: str) -> bool:
+    """Two replays of the same trace + variant are byte-identical."""
+    return verify_deterministic(path, PolicyVariant(name="determinism-probe", k=10))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI-sized run, no speedup assertion"
+    )
+    parser.add_argument("--tables", type=int, default=None, help="fleet size override")
+    parser.add_argument("--days", type=int, default=None, help="recorded days")
+    parser.add_argument("--workers", type=int, default=None, help="parallel pool width")
+    parser.add_argument("--seed", type=int, default=20250730)
+    args = parser.parse_args()
+
+    tables = args.tables or (150 if args.smoke else 1200)
+    days = args.days or (6 if args.smoke else 30)
+    if args.smoke:
+        variants = [
+            PolicyVariant(name="w0.70-k10", k=10),
+            PolicyVariant(name="quota-k10", ranking="quota_aware", k=10),
+        ]
+    else:
+        variants = variant_grid(
+            benefit_weights=(0.5, 0.7, 0.9),
+            ks=(5, 10, 25),
+            rankings=("weighted", "quota_aware"),
+        )
+    workers = args.workers or min(os.cpu_count() or 1, 4)
+
+    print(
+        _banner(
+            f"Policy Lab — what-if search, {tables}-table fleet, {days} recorded days",
+            f"Target: {len(variants)} variants over one trace; parallel sweep >=2x "
+            "faster than sequential on a 4-core runner; byte-identical replays",
+        )
+    )
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "fleet.trace.jsonl")
+        start = time.perf_counter()
+        sim = record_trace(path, tables, days, args.seed)
+        record_s = time.perf_counter() - start
+        trace = TraceReader(path).read()
+        print(
+            f"recorded {len(trace.events)} events "
+            f"({os.path.getsize(path) // 1024} KiB) in {record_s:.2f}s"
+        )
+
+        print("round-trip: recorder -> replayer reconstructs fleet ...", end=" ")
+        round_trip_ok = verify_round_trip(path, sim)
+        print("exact" if round_trip_ok else "MISMATCH")
+        if not round_trip_ok:
+            failures.append("verbatim replay did not reconstruct the fleet exactly")
+
+        print("determinism: same trace + same variant replayed twice ...", end=" ")
+        deterministic = verify_determinism(path)
+        print("byte-identical" if deterministic else "DIVERGED")
+        if not deterministic:
+            failures.append("replay is not byte-identical")
+
+        runner = WhatIfRunner(path, variants)
+        start = time.perf_counter()
+        sequential = runner.run(workers=1)
+        sequential_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = runner.run(workers=workers)
+        parallel_s = time.perf_counter() - start
+        speedup = sequential_s / parallel_s if parallel_s else float("inf")
+        print(
+            f"\nsweep: {len(variants)} variants — sequential {sequential_s:.2f}s, "
+            f"parallel({workers}) {parallel_s:.2f}s, speedup {speedup:.2f}x\n"
+        )
+        print(parallel.render())
+        print(f"\noffline priors for autotune: {parallel.to_priors()}")
+
+        if [s.report_digest for s in sequential.scores] != [
+            s.report_digest for s in parallel.scores
+        ]:
+            failures.append("parallel scores diverged from sequential")
+        cores = os.cpu_count() or 1
+        if not args.smoke:
+            if cores >= 4:
+                if speedup < 2.0:
+                    failures.append(f"parallel speedup {speedup:.2f}x below the 2x target")
+            else:
+                print(f"(speedup assertion skipped: only {cores} CPU core(s) available)")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

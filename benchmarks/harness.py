@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.catalog import Catalog
 from repro.core import PeriodicTrigger
 from repro.core.pipeline import CycleReport
+from repro.core.scheduling import ConcurrentScheduler
 from repro.core.service import openhouse_pipeline
 from repro.engine import Cluster, EngineSession
 from repro.simulation import Simulator
@@ -36,6 +37,27 @@ CAB_STRATEGIES: dict[str, tuple[str, int] | None] = {
 
 #: Paper-matching MOOP weights.
 BENEFIT_WEIGHT = 0.7
+
+
+def cab_scheduler(generation: str) -> ConcurrentScheduler:
+    """The act-phase scheduler for a CAB strategy run.
+
+    The §6 benches now go through the scale-out
+    :class:`~repro.core.scheduling.ConcurrentScheduler` with parameters
+    that preserve the paper's scheduling semantics on the Iceberg v1.2.0
+    profile (table-serial chains, since distinct-partition rewrites of one
+    table conflict there):
+
+    * ``hybrid`` — all table chains launch concurrently, partitions of one
+      table stay sequential: exactly the hybrid-strategy behaviour
+      previously expressed with ``PartitionSerialScheduler``;
+    * ``table`` — chains launch one at a time (``max_parallelism=1``),
+      matching the shared-cluster sequential ordering previously expressed
+      with ``SequentialScheduler``.
+    """
+    return ConcurrentScheduler(
+        table_serial=True, max_parallelism=1 if generation == "table" else None
+    )
 
 
 def banner(title: str, paper: str) -> str:
@@ -117,6 +139,7 @@ def cab_run(strategy: str) -> CabRunResult:
             benefit_weight=BENEFIT_WEIGHT,
             min_table_age_s=0.0,
             quiesce_s=quiesce,
+            scheduler=cab_scheduler(generation),
         )
         trigger = PeriodicTrigger(pipeline, HOUR, until=config.duration_s).attach(simulator)
         reports = trigger.reports

@@ -12,7 +12,14 @@ from repro.analysis.distributions import (
     percentile,
     size_histogram,
 )
-from repro.analysis.metrics import moving_average, normalize_series
+from repro.analysis.metrics import (
+    moving_average,
+    normalize_series,
+    reduction_efficiency,
+    relative_change,
+    task_failure_rate,
+    write_amplification,
+)
 from repro.analysis.reporting import bar_chart, render_table, series_chart, sparkline
 
 __all__ = [
@@ -22,8 +29,12 @@ __all__ = [
     "moving_average",
     "normalize_series",
     "percentile",
+    "reduction_efficiency",
+    "relative_change",
     "render_table",
     "series_chart",
     "size_histogram",
     "sparkline",
+    "task_failure_rate",
+    "write_amplification",
 ]

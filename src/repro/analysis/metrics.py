@@ -50,3 +50,50 @@ def relative_change(before: float, after: float) -> float:
     if before == 0:
         raise ValidationError("relative change from zero baseline")
     return (after - before) / before
+
+
+def write_amplification(rewritten_bytes: float, ingested_bytes: float) -> float:
+    """Bytes rewritten by compaction per byte the workload ingested.
+
+    The classic LSM maintenance-cost metric: a policy that compacts the
+    same data repeatedly amplifies writes without improving file counts.
+    Zero ingest yields 0 (nothing was written, nothing to amplify against).
+
+    Raises:
+        ValidationError: for negative inputs.
+    """
+    if rewritten_bytes < 0 or ingested_bytes < 0:
+        raise ValidationError("byte totals must be >= 0")
+    if ingested_bytes == 0:
+        return 0.0
+    return rewritten_bytes / ingested_bytes
+
+
+def task_failure_rate(failures: int, tasks: int) -> float:
+    """Failed act-phase tasks over all executed tasks (0 when none ran).
+
+    Raises:
+        ValidationError: when ``failures`` exceeds ``tasks`` or either is
+            negative.
+    """
+    if failures < 0 or tasks < 0 or failures > tasks:
+        raise ValidationError(f"invalid failure/tasks pair ({failures}/{tasks})")
+    if tasks == 0:
+        return 0.0
+    return failures / tasks
+
+
+def reduction_efficiency(files_reduced: float, gbhr: float) -> float:
+    """Files removed per GBHr of compute spent (0 when nothing was spent).
+
+    The benefit-per-cost scalar the what-if runner ranks policy variants
+    by default; higher is better.
+
+    Raises:
+        ValidationError: for negative compute.
+    """
+    if gbhr < 0:
+        raise ValidationError("gbhr must be >= 0")
+    if gbhr == 0:
+        return 0.0
+    return files_reduced / gbhr

@@ -109,6 +109,7 @@ class Optimizer:
         parameters: list[Parameter],
         iterations: int,
         seed: int = 0,
+        warm_start: dict[str, float] | None = None,
     ) -> TuningResult:
         """Minimise ``objective`` over ``parameters``.
 
@@ -118,6 +119,12 @@ class Optimizer:
             parameters: search-space definition.
             iterations: evaluation budget.
             seed: determinism root.
+            warm_start: optional offline prior — parameter values (e.g. the
+                Policy Lab's :meth:`~repro.replay.whatif.WhatIfReport.to_priors`)
+                used as the first evaluation point instead of a cold start.
+                Values are clipped into range; keys outside the search
+                space are ignored, missing keys fall back to the
+                optimizer's cold-start rule.
         """
         raise NotImplementedError
 
@@ -131,15 +138,36 @@ class Optimizer:
         if iterations <= 0:
             raise ValidationError("iterations must be positive")
 
+    @staticmethod
+    def _warm_point(
+        parameters: list[Parameter],
+        warm_start: dict[str, float],
+        fallback: Callable[[Parameter], float],
+    ) -> dict[str, float]:
+        """The warm-start evaluation point: prior values clipped, rest cold."""
+        return {
+            p.name: p.clip(float(warm_start[p.name]))
+            if p.name in warm_start
+            else fallback(p)
+            for p in parameters
+        }
+
 
 class RandomSearchOptimizer(Optimizer):
-    """Independent uniform samples each iteration."""
+    """Independent uniform samples each iteration.
 
-    def optimize(self, objective, parameters, iterations, seed=0):
+    With a ``warm_start``, the first evaluation is the prior point (missing
+    dimensions sampled) and the remaining budget stays fully random.
+    """
+
+    def optimize(self, objective, parameters, iterations, seed=0, warm_start=None):
         self._validate(parameters, iterations)
         rng = derive_rng(seed, "random-search")
         trials: list[Trial] = []
-        for _ in range(iterations):
+        if warm_start is not None:
+            params = self._warm_point(parameters, warm_start, lambda p: p.sample(rng))
+            trials.append(Trial(params=params, objective=float(objective(params))))
+        while len(trials) < iterations:
             params = {p.name: p.sample(rng) for p in parameters}
             trials.append(Trial(params=params, objective=float(objective(params))))
         best = min(trials, key=lambda t: t.objective)
@@ -182,10 +210,15 @@ class CostFrugalOptimizer(Optimizer):
         self.patience = patience
         self.start_at_low = start_at_low
 
-    def optimize(self, objective, parameters, iterations, seed=0):
+    def optimize(self, objective, parameters, iterations, seed=0, warm_start=None):
         self._validate(parameters, iterations)
         rng = derive_rng(seed, "cfo")
-        if self.start_at_low:
+        if warm_start is not None:
+            # An offline prior (e.g. a Policy Lab what-if winner) replaces
+            # the cold corner as the incumbent the local search refines.
+            cold = (lambda p: p.clip(p.low)) if self.start_at_low else (lambda p: p.sample(rng))
+            incumbent = self._warm_point(parameters, warm_start, cold)
+        elif self.start_at_low:
             incumbent = {p.name: p.clip(p.low) for p in parameters}
         else:
             incumbent = {p.name: p.sample(rng) for p in parameters}

@@ -24,7 +24,7 @@ from repro.core.candidates import (
     CandidateStatistics,
     GENERATION_STRATEGIES,
 )
-from repro.core.statscache import StatsCache
+from repro.core.statscache import IndexedCandidateCache, StatsCache
 from repro.errors import ValidationError
 from repro.lst.base import BaseTable
 
@@ -96,23 +96,98 @@ class LstConnector(Connector):
         catalog: the control plane whose tables are compaction targets.
         include_databases: restrict candidate generation to these databases
             (None = all).
-        stats_cache: optional incremental-observation cache; entries are
-            trusted until a write event (service notification) invalidates
-            them or their TTL lapses, skipping the per-candidate file
-            listing and statistics build for clean tables.
+        stats_cache: optional incremental-observation cache.  A
+            :class:`~repro.core.statscache.StatsCache` caches frozen
+            statistics keyed by candidate, trusted until a write event
+            (service notification) invalidates them or their TTL lapses.
+            An :class:`~repro.core.statscache.IndexedCandidateCache`
+            enables the *dense* path the fleet connector uses: candidate
+            keys are interned to dense integer indices, the table's
+            metadata ``version`` (bumped by every commit) serves as the
+            freshness token — so entries self-heal with no event plumbing —
+            and whole annotated candidates are reused across cycles,
+            skipping the statistics build *and* the trait recompute for
+            clean tables.  As with the fleet connector, custom traits that
+            read ``quota_utilization`` should not be combined with a
+            candidate-reusing cache (quota is re-stamped on hits, but
+            traits are not recomputed).
     """
 
     def __init__(
         self,
         catalog: Catalog,
         include_databases: list[str] | None = None,
-        stats_cache: StatsCache | None = None,
+        stats_cache: StatsCache | IndexedCandidateCache | None = None,
     ) -> None:
         self.catalog = catalog
         self.include_databases = (
             set(include_databases) if include_databases is not None else None
         )
         self.stats_cache = stats_cache
+        #: Dense index interning (dense path): candidate key → slot index.
+        self._index_of: dict[CandidateKey, int] = {}
+        #: Reverse mapping for table-granular write-event invalidation.
+        self._indices_by_table: dict[str, list[int]] = {}
+
+    @property
+    def _dense(self) -> bool:
+        """Whether the dense candidate-reusing cache path is active.
+
+        Derived from the live ``stats_cache`` attribute (not frozen at
+        construction), so assigning a cache after construction — as the
+        service wiring does — selects the right observation path.
+        """
+        return isinstance(self.stats_cache, IndexedCandidateCache)
+
+    @property
+    def reuses_candidates(self) -> bool:  # type: ignore[override]
+        return self._dense
+
+    def _dense_index(self, key: CandidateKey) -> int:
+        index = self._index_of.get(key)
+        if index is None:
+            index = self._index_of[key] = len(self._index_of)
+            self._indices_by_table.setdefault(key.qualified_table, []).append(index)
+        return index
+
+    def observe(self, keys: list[CandidateKey]) -> list[Candidate]:
+        if not self._dense:
+            return super().observe(keys)
+        cache = self.stats_cache
+        assert isinstance(cache, IndexedCandidateCache)
+        now = self.catalog.clock.now
+        candidates: list[Candidate] = []
+        for key in keys:
+            index = self._dense_index(key)
+            # The version read is the cheap per-table change counter: one
+            # catalog lookup instead of a full file listing + statistics
+            # build for clean tables.
+            token = self.table_for(key).version
+            candidate = cache.get(index, now, token)
+            if candidate is not None:
+                # Quota drifts through *other* tables' writes while this
+                # table's version holds still; re-stamp it so cached
+                # observations stay exactly equal to fresh ones.
+                stats = candidate.statistics
+                quota = self._quota(key)
+                if stats.quota_utilization != quota:
+                    object.__setattr__(stats, "quota_utilization", quota)
+                candidates.append(candidate)
+                continue
+            candidate = Candidate(key=key, statistics=self._collect_statistics(key))
+            cache.put(index, candidate, now, token)
+            candidates.append(candidate)
+        return candidates
+
+    def invalidate(self, key: CandidateKey) -> None:
+        """Write-event hook: evict ``key``'s table from either cache kind."""
+        if self.stats_cache is None:
+            return
+        if self._dense:
+            for index in self._indices_by_table.get(key.qualified_table, ()):
+                self.stats_cache.invalidate_index(index)
+        else:
+            self.stats_cache.invalidate(key)
 
     def _tables(self) -> list[BaseTable]:
         tables = []
@@ -191,6 +266,10 @@ class LstConnector(Connector):
 
     def collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
         cache = self.stats_cache
+        if self._dense:
+            # The dense cache stores whole candidates per index (see
+            # observe); single-key statistic reads bypass it.
+            cache = None
         if cache is not None:
             now = self.catalog.clock.now
             cached = cache.get(key, now)

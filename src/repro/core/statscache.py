@@ -30,6 +30,7 @@ ones (NFR2).
 from __future__ import annotations
 
 import math
+import numbers
 import threading
 from dataclasses import dataclass
 
@@ -50,6 +51,14 @@ class StatsCache:
     Args:
         ttl_s: maximum entry age in seconds; ``math.inf`` (the default)
             disables expiry so only events/tokens invalidate.
+        version_slack: opt-in approximate staleness tolerance for *integer*
+            version tokens: an entry whose stored token lags the lookup
+            token by at most this many versions is still served (0, the
+            default, requires exact freshness).  A table that trickled a
+            handful of commits since its last observation has nearly
+            unchanged statistics, so deployments can trade a bounded
+            observation error for skipping the re-collection entirely.
+            Non-integer tokens always require exact equality.
 
     Attributes:
         hits: lookups served from the cache.
@@ -59,10 +68,13 @@ class StatsCache:
         expirations: entries dropped by TTL or token mismatch.
     """
 
-    def __init__(self, ttl_s: float = math.inf) -> None:
+    def __init__(self, ttl_s: float = math.inf, version_slack: int = 0) -> None:
         if ttl_s <= 0:
             raise ValidationError(f"ttl_s must be positive, got {ttl_s}")
+        if version_slack < 0:
+            raise ValidationError(f"version_slack must be >= 0, got {version_slack}")
         self.ttl_s = ttl_s
+        self.version_slack = version_slack
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -94,6 +106,16 @@ class StatsCache:
             return None
         expired = now - entry.stored_at >= self.ttl_s
         stale = token is not None and entry.token != token
+        if (
+            stale
+            and self.version_slack
+            and isinstance(token, numbers.Integral)
+            and isinstance(entry.token, numbers.Integral)
+            and 0 <= token - entry.token <= self.version_slack
+        ):
+            # Approximate-freshness hit: the table advanced, but by few
+            # enough versions that the cached statistics are close enough.
+            stale = False
         if expired or stale:
             self._drop(key)
             self.expirations += 1
@@ -178,12 +200,20 @@ class IndexedCandidateCache:
 
     Args:
         ttl_s: maximum entry age in seconds (``math.inf`` disables).
+        version_slack: opt-in approximate staleness tolerance (see
+            :class:`StatsCache`): entries whose stored integer token lags
+            the lookup token by at most this many versions still hit.
+            Connectors running the validity check inline over the bulk
+            accessors read this attribute and apply the same rule.
     """
 
-    def __init__(self, ttl_s: float = math.inf) -> None:
+    def __init__(self, ttl_s: float = math.inf, version_slack: int = 0) -> None:
         if ttl_s <= 0:
             raise ValidationError(f"ttl_s must be positive, got {ttl_s}")
+        if version_slack < 0:
+            raise ValidationError(f"version_slack must be >= 0, got {version_slack}")
         self.ttl_s = ttl_s
+        self.version_slack = version_slack
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -240,8 +270,9 @@ class IndexedCandidateCache:
     def get(self, index: int, now: float = 0.0, token: int = 0) -> Candidate | None:
         """The cached candidate at ``index``, or None on a miss.
 
-        An entry is valid iff its stored token equals ``token`` and it is
-        younger than the TTL; stale entries are evicted.
+        An entry is valid iff ``0 <= token - stored_token <= version_slack``
+        (exact equality when slack is 0, the default) and it is younger
+        than the TTL; stale entries are evicted.
         """
         if index >= len(self._candidates):
             self.misses += 1
@@ -249,7 +280,7 @@ class IndexedCandidateCache:
         candidate = self._candidates[index]
         if (
             candidate is None
-            or self._tokens[index] != token
+            or not 0 <= token - self._tokens[index] <= self.version_slack
             or now - self._stored_at[index] >= self.ttl_s
         ):
             if candidate is not None:

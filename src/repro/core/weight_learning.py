@@ -14,6 +14,7 @@ and a minimum sample count — because it adjusts a production control loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -49,6 +50,12 @@ class WeightLearner:
         learning_rate: step size per cycle, in weight units.
         min_weight / max_weight: clamp range for the benefit weight.
         warmup_cycles: cycles observed before any adjustment.
+        prior_efficiencies: offline efficiency observations (files reduced
+            per GBHr) seeding the running expectation — e.g. the Policy
+            Lab's :meth:`~repro.replay.whatif.WhatIfReport.prior_efficiencies`.
+            Priors count toward the warmup, so a learner seeded with
+            ``warmup_cycles`` or more of them adapts from its very first
+            live cycle.
     """
 
     def __init__(
@@ -60,6 +67,7 @@ class WeightLearner:
         min_weight: float = 0.3,
         max_weight: float = 0.9,
         warmup_cycles: int = 2,
+        prior_efficiencies: "Sequence[float]" = (),
     ) -> None:
         if not 0 < learning_rate < 0.5:
             raise ValidationError("learning_rate must be in (0, 0.5)")
@@ -74,7 +82,9 @@ class WeightLearner:
         self.min_weight = min_weight
         self.max_weight = max_weight
         self.warmup_cycles = warmup_cycles
-        self._efficiencies: list[float] = []
+        if any(e < 0 for e in prior_efficiencies):
+            raise ValidationError("prior efficiencies must be >= 0")
+        self._efficiencies: list[float] = list(prior_efficiencies)
         self.updates: list[WeightUpdate] = []
 
     @property

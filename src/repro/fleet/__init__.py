@@ -14,7 +14,14 @@ estimate and file-count reduction ~28% below the ΔF_c estimate, matching
 the model-accuracy observations in §7.
 """
 
-from repro.fleet.model import Archetype, FleetConfig, FleetModel
+from repro.fleet.model import (
+    Archetype,
+    COMPACT_STATE_FIELDS,
+    FleetConfig,
+    FleetModel,
+    FleetSnapshot,
+    TABLE_COLUMNS,
+)
 from repro.fleet.connectors import FleetBackend, FleetConnector
 from repro.fleet.simulator import (
     AutoCompStrategy,
@@ -27,12 +34,15 @@ from repro.fleet.simulator import (
 __all__ = [
     "Archetype",
     "AutoCompStrategy",
+    "COMPACT_STATE_FIELDS",
     "FleetBackend",
     "FleetConfig",
     "FleetConnector",
     "FleetModel",
     "FleetSimulator",
+    "FleetSnapshot",
     "ManualCompactionStrategy",
     "NoCompactionStrategy",
     "ShardedAutoCompStrategy",
+    "TABLE_COLUMNS",
 ]

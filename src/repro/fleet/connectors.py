@@ -209,6 +209,7 @@ class FleetConnector(Connector):
         count = model.count
         now = float(model.day) * DAY
         ttl = cache.ttl_s
+        slack = cache.version_slack
         cache.ensure_capacity(count)
         slots = cache.candidates
         tokens = cache.tokens
@@ -237,7 +238,7 @@ class FleetConnector(Connector):
             candidate = slots[index]
             if (
                 candidate is not None
-                and tokens[index] == versions[index]
+                and 0 <= versions[index] - tokens[index] <= slack
                 and now - stored_ats[index] < ttl
             ):
                 hits += 1

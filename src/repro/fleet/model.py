@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.simulation.rng import derive_rng
+from repro.simulation.taps import TapBus
 from repro.units import DAY, GiB, MiB, SMALL_FILE_THRESHOLD, DEFAULT_TARGET_FILE_SIZE
 
 
@@ -127,6 +128,58 @@ class ObserveView:
     versions: list[int]
 
 
+#: Per-table state columns, in canonical order.  One name per array attribute
+#: of :class:`FleetModel`; capacity growth, trace capture
+#: (:mod:`repro.replay`) and snapshot/restore all iterate this list so the
+#: three can never drift apart.
+TABLE_COLUMNS = (
+    "archetype",
+    "database",
+    "created_day",
+    "last_write_day",
+    "tiny_files",
+    "mid_files",
+    "large_files",
+    "tiny_bytes",
+    "mid_bytes",
+    "large_bytes",
+    "growth_tiny",
+    "growth_mid",
+    "growth_large",
+    "read_freq",
+    "merge_efficiency",
+    "stats_version",
+)
+
+#: The per-class file/byte state rewritten by a compaction (the payload of a
+#: recorded ``compact`` event, and the input of :meth:`FleetModel.apply_compact_state`).
+COMPACT_STATE_FIELDS = (
+    "tiny_files",
+    "mid_files",
+    "large_files",
+    "tiny_bytes",
+    "mid_bytes",
+    "large_bytes",
+    "stats_version",
+)
+
+
+@dataclass
+class FleetSnapshot:
+    """A restorable copy of a :class:`FleetModel`'s full state.
+
+    Columns are defensive copies, so one snapshot supports any number of
+    :meth:`FleetModel.restore` calls — the Policy Lab restores the same
+    snapshot once per policy variant it evaluates.
+    """
+
+    count: int
+    day: int
+    mutation_tick: int
+    columns: dict[str, np.ndarray]
+    rng_state: dict
+
+
 @dataclass
 class CompactionApplication:
     """Realised outcome of compacting one fleet table."""
@@ -142,8 +195,26 @@ class CompactionApplication:
 class FleetModel:
     """Numpy-backed state of every table in the fleet."""
 
-    def __init__(self, config: FleetConfig) -> None:
+    def __init__(
+        self,
+        config: FleetConfig,
+        taps: TapBus | None = None,
+        onboard_initial: bool = True,
+    ) -> None:
+        """Build a fleet.
+
+        Args:
+            config: fleet parameters.
+            taps: optional event bus; when given, the model publishes
+                ``onboard`` / ``day`` / ``compact`` events carrying the full
+                realised state change (what a
+                :class:`~repro.replay.recorder.TraceRecorder` serializes).
+            onboard_initial: onboard ``config.initial_tables`` immediately
+                (the normal path).  Trace replay passes False and rebuilds
+                the population from recorded ``onboard`` events instead.
+        """
         self.config = config
+        self.taps = taps
         self._rng = derive_rng(config.seed, "fleet-model")
         capacity = config.initial_tables
         self.count = 0
@@ -173,7 +244,8 @@ class FleetModel:
         self.mutation_tick = 0
         self._observe_view: tuple[int, ObserveView] | None = None
 
-        self.onboard(config.initial_tables)
+        if onboard_initial:
+            self.onboard(config.initial_tables)
 
     # --- population -----------------------------------------------------------
 
@@ -182,24 +254,7 @@ class FleetModel:
         if self.count + extra <= capacity:
             return
         new_capacity = max(capacity * 2, self.count + extra)
-        for name in (
-            "archetype",
-            "database",
-            "created_day",
-            "last_write_day",
-            "tiny_files",
-            "mid_files",
-            "large_files",
-            "tiny_bytes",
-            "mid_bytes",
-            "large_bytes",
-            "growth_tiny",
-            "growth_mid",
-            "growth_large",
-            "read_freq",
-            "merge_efficiency",
-            "stats_version",
-        ):
+        for name in TABLE_COLUMNS:
             old = getattr(self, name)
             grown = np.zeros(new_capacity, dtype=old.dtype)
             grown[: self.count] = old[: self.count]
@@ -264,6 +319,49 @@ class FleetModel:
         ).astype(np.int64)
         self.count = end
         self.mutation_tick += 1
+        if self.taps is not None and self.taps.has_subscribers("onboard"):
+            self.taps.publish(
+                "onboard",
+                {
+                    "day": self.day,
+                    "start": start,
+                    "count": n,
+                    "columns": {
+                        name: getattr(self, name)[start:end].tolist()
+                        for name in TABLE_COLUMNS
+                    },
+                },
+            )
+
+    def load_tables(self, columns: dict[str, list]) -> None:
+        """Append tables with explicit per-table state (trace replay).
+
+        The deterministic counterpart of :meth:`onboard`: instead of
+        sampling archetypes and backlogs, every :data:`TABLE_COLUMNS` value
+        is supplied by the caller — typically from a recorded ``onboard``
+        event — so the resulting population is bit-identical to the one the
+        source run drew.
+
+        Args:
+            columns: name → per-table values; all :data:`TABLE_COLUMNS`
+                keys are required and must share one length.
+        """
+        missing = [name for name in TABLE_COLUMNS if name not in columns]
+        if missing:
+            raise ValidationError(f"load_tables missing columns: {missing}")
+        lengths = {len(columns[name]) for name in TABLE_COLUMNS}
+        if len(lengths) != 1:
+            raise ValidationError(f"load_tables column lengths differ: {sorted(lengths)}")
+        n = lengths.pop()
+        if n == 0:
+            return
+        self._ensure_capacity(n)
+        start, end = self.count, self.count + n
+        for name in TABLE_COLUMNS:
+            array = getattr(self, name)
+            array[start:end] = np.asarray(columns[name], dtype=array.dtype)
+        self.count = end
+        self.mutation_tick += 1
 
     # --- daily dynamics -------------------------------------------------------------
 
@@ -274,16 +372,66 @@ class FleetModel:
         new_tiny = rng.poisson(self.growth_tiny[:n])
         new_mid = rng.poisson(self.growth_mid[:n])
         new_large = rng.poisson(self.growth_large[:n])
+        self._grow(new_tiny, new_mid, new_large)
+
+    def apply_growth(
+        self,
+        indices: list[int],
+        new_tiny: list[int],
+        new_mid: list[int],
+        new_large: list[int],
+    ) -> None:
+        """Apply one recorded day of growth (trace replay).
+
+        The deterministic counterpart of :meth:`step_day`: instead of
+        Poisson draws, the per-table file deltas come from a recorded
+        ``day`` event (sparse — only tables that wrote appear).  Byte
+        deltas, write stamps and version bumps are derived exactly as
+        :meth:`step_day` derives them, so replayed state matches the
+        source run bit for bit.
+        """
+        n = self.count
+        tiny = np.zeros(n, dtype=np.int64)
+        mid = np.zeros(n, dtype=np.int64)
+        large = np.zeros(n, dtype=np.int64)
+        if indices:
+            if max(indices) >= n or min(indices) < 0:
+                raise ValidationError("growth index out of range for replayed fleet")
+            if not len(indices) == len(new_tiny) == len(new_mid) == len(new_large):
+                # Guard against numpy's silent length-1 broadcast on fancy
+                # assignment: a truncated event must fail, not fan out.
+                raise ValidationError("growth delta lists must match indices length")
+            tiny[indices] = new_tiny
+            mid[indices] = new_mid
+            large[indices] = new_large
+        self._grow(tiny, mid, large)
+
+    def _grow(self, new_tiny, new_mid, new_large) -> None:
+        """One day's worth of per-table file deltas (shared step/replay path)."""
+        n = self.count
         self.tiny_files[:n] += new_tiny
         self.mid_files[:n] += new_mid
         self.large_files[:n] += new_large
         self.tiny_bytes[:n] += (new_tiny * TINY_MEAN_BYTES).astype(np.int64)
         self.mid_bytes[:n] += (new_mid * MID_MEAN_BYTES).astype(np.int64)
         self.large_bytes[:n] += (new_large * LARGE_MEAN_BYTES).astype(np.int64)
-        wrote = (new_tiny + new_mid + new_large) > 0
+        totals = new_tiny + new_mid + new_large
+        wrote = totals > 0
         self.last_write_day[:n][wrote] = self.day
         self.stats_version[:n][wrote] += 1
         self.mutation_tick += 1
+        if self.taps is not None and self.taps.has_subscribers("day"):
+            written = np.nonzero(wrote)[0]
+            self.taps.publish(
+                "day",
+                {
+                    "day": self.day,
+                    "indices": written.tolist(),
+                    "tiny": new_tiny[written].tolist(),
+                    "mid": new_mid[written].tolist(),
+                    "large": new_large[written].tolist(),
+                },
+            )
         self.day += 1
 
     # --- aggregate metrics ----------------------------------------------------------
@@ -443,7 +591,7 @@ class FleetModel:
             rng.lognormal(self.config.cost_noise_mu, self.config.cost_noise_sigma)
         )
         actual_gbhr = est_gbhr * cost_noise
-        return CompactionApplication(
+        application = CompactionApplication(
             table_index=index,
             estimated_reduction=est_reduction,
             actual_reduction=actual_reduction,
@@ -451,3 +599,74 @@ class FleetModel:
             actual_gbhr=actual_gbhr,
             rewritten_bytes=merged_bytes,
         )
+        if self.taps is not None and self.taps.has_subscribers("compact"):
+            self.taps.publish(
+                "compact",
+                {
+                    "day": self.day,
+                    "index": index,
+                    "state": {
+                        name: int(getattr(self, name)[index])
+                        for name in COMPACT_STATE_FIELDS
+                    },
+                    "application": {
+                        "estimated_reduction": application.estimated_reduction,
+                        "actual_reduction": application.actual_reduction,
+                        "estimated_gbhr": application.estimated_gbhr,
+                        "actual_gbhr": application.actual_gbhr,
+                        "rewritten_bytes": application.rewritten_bytes,
+                    },
+                },
+            )
+        return application
+
+    def apply_compact_state(self, index: int, state: dict[str, int]) -> None:
+        """Set one table's post-compaction class state (trace replay).
+
+        The deterministic counterpart of :meth:`compact`: a recorded
+        ``compact`` event carries the table's exact file/byte state after
+        the source run's rewrite, and verbatim replay assigns it directly —
+        no merge-efficiency or cost-noise draws, so reconstruction is exact.
+        """
+        if not 0 <= index < self.count:
+            raise ValidationError(f"table index {index} out of range")
+        missing = [name for name in COMPACT_STATE_FIELDS if name not in state]
+        if missing:
+            raise ValidationError(f"compact state missing fields: {missing}")
+        for name in COMPACT_STATE_FIELDS:
+            getattr(self, name)[index] = int(state[name])
+        self.mutation_tick += 1
+
+    # --- snapshot / restore -----------------------------------------------------
+
+    def snapshot(self) -> FleetSnapshot:
+        """Capture the full model state (columns, clock, RNG) for later restore."""
+        return FleetSnapshot(
+            count=self.count,
+            day=self.day,
+            mutation_tick=self.mutation_tick,
+            columns={
+                name: getattr(self, name)[: self.count].copy()
+                for name in TABLE_COLUMNS
+            },
+            rng_state=self._rng.bit_generator.state,
+        )
+
+    def restore(self, snapshot: FleetSnapshot) -> None:
+        """Reset the model to a snapshot taken from it (or an equal-config model).
+
+        The snapshot's columns are copied in, so the same snapshot can be
+        restored repeatedly — the Policy Lab's what-if runner branches many
+        policy variants off one reconstructed base state this way.
+        """
+        n = snapshot.count
+        self.count = 0
+        self._ensure_capacity(n)
+        for name in TABLE_COLUMNS:
+            array = getattr(self, name)
+            array[:n] = snapshot.columns[name]
+        self.count = n
+        self.day = snapshot.day
+        self.mutation_tick = snapshot.mutation_tick + 1
+        self._rng.bit_generator.state = snapshot.rng_state
+        self._observe_view = None

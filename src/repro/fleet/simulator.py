@@ -32,6 +32,7 @@ from repro.core.traits import ComputeCostTrait, FileCountReductionTrait, TraitRe
 from repro.errors import ValidationError
 from repro.fleet.connectors import FleetBackend, FleetConnector
 from repro.fleet.model import FleetConfig, FleetModel
+from repro.simulation.taps import TapBus
 from repro.simulation.telemetry import Telemetry
 from repro.units import DAY
 
@@ -216,6 +217,11 @@ class ShardedAutoCompStrategy(CompactionStrategy):
         n_shards: number of per-shard pipelines.
         k / budget_gbhr / quota_aware: as for :class:`AutoCompStrategy`.
         stats_cache_ttl_s: TTL fallback for cached statistics.
+        version_slack: opt-in approximate staleness tolerance (default 0 =
+            exact): cached observations of tables whose ``stats_version``
+            advanced by at most this many versions are served without
+            re-observation, trading a bounded statistics error for cache
+            hits on trickle-writing tables.
         selection: ``"global"`` (exactly the unsharded decisions) or
             ``"local"`` (split budgets, fully independent shards).
         max_workers: observe-phase thread-pool width (see
@@ -233,6 +239,7 @@ class ShardedAutoCompStrategy(CompactionStrategy):
         budget_gbhr: float | None = None,
         quota_aware: bool = True,
         stats_cache_ttl_s: float = 7 * DAY,
+        version_slack: int = 0,
         selection: str = "global",
         max_workers: int | None = None,
         telemetry: Telemetry | None = None,
@@ -245,7 +252,7 @@ class ShardedAutoCompStrategy(CompactionStrategy):
         # One cache shared by every shard: consistent hashing partitions
         # the table-index space disjointly, so shards never contend for a
         # slot, and a single slot table keeps the working set compact.
-        cache = IndexedCandidateCache(ttl_s=stats_cache_ttl_s)
+        cache = IndexedCandidateCache(ttl_s=stats_cache_ttl_s, version_slack=version_slack)
         self.caches = [cache]
         shards = [
             AutoCompPipeline(
@@ -285,9 +292,15 @@ class FleetSimulator:
     entry at or before the current day is active.
     """
 
-    def __init__(self, config: FleetConfig, telemetry: Telemetry | None = None) -> None:
+    def __init__(
+        self,
+        config: FleetConfig,
+        telemetry: Telemetry | None = None,
+        taps: TapBus | None = None,
+    ) -> None:
         self.config = config
-        self.model = FleetModel(config)
+        self.taps = taps
+        self.model = FleetModel(config, taps=taps)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.schedule: dict[int, CompactionStrategy] = {0: NoCompactionStrategy()}
         self.outcomes: list[DailyCompactionOutcome] = []
@@ -320,6 +333,20 @@ class FleetSimulator:
             outcome = strategy.run_day(self.model, day)
             self.outcomes.append(outcome)
             self._record(day, strategy, outcome)
+            if self.taps is not None and self.taps.has_subscribers("cycle"):
+                # Stamped with the post-step model clock (like compact
+                # events) so trace event days stay non-decreasing; the
+                # outcome itself belongs to logical day ``model.day - 1``.
+                self.taps.publish(
+                    "cycle",
+                    {
+                        "day": self.model.day,
+                        "strategy": strategy.name,
+                        "tables_compacted": outcome.tables_compacted,
+                        "files_reduced": outcome.files_reduced,
+                        "gbhr": outcome.gbhr,
+                    },
+                )
 
     def _record(
         self, day: int, strategy: CompactionStrategy, outcome: DailyCompactionOutcome

@@ -1,0 +1,56 @@
+"""The Policy Lab: trace capture, deterministic replay, what-if search.
+
+AutoComp's evaluation is fundamentally trace-driven — policies are judged
+by replaying realistic write workloads and comparing file-count reduction
+against GBHr cost.  This package turns every fleet workload the repo can
+generate into a reusable corpus for policy experiments, in three layers:
+
+* **capture** — :class:`~repro.replay.recorder.TraceRecorder` subscribes to
+  fleet events (write commits, compactions, cycle summaries) through a
+  :class:`~repro.simulation.taps.TapBus` and serializes them to a
+  versioned, seed-stamped JSONL trace
+  (:mod:`repro.replay.trace`);
+* **replay** — :class:`~repro.replay.replayer.TraceReplayer` reconstructs
+  fleet state from a trace and re-drives AutoComp cycles under a
+  caller-supplied :class:`~repro.replay.variants.PolicyVariant`, with the
+  guarantee that the same trace + the same variant yields byte-identical
+  cycle reports;
+* **search** — :class:`~repro.replay.whatif.WhatIfRunner` fans a grid or
+  random sample of variants out over a worker pool, scores each against
+  the recorded workload, and emits a ranked comparison whose winner can
+  seed :mod:`repro.core.autotune` / :mod:`repro.core.weight_learning`
+  as offline priors.
+"""
+
+from repro.replay.recorder import TraceRecorder
+from repro.replay.replayer import ReplayResult, TraceReplayer
+from repro.replay.trace import (
+    TRACE_EVENT_KINDS,
+    TRACE_SCHEMA_VERSION,
+    Trace,
+    TraceReader,
+    TraceValidationError,
+    TraceWriter,
+    serialize_cycle_report,
+)
+from repro.replay.variants import PolicyVariant, sample_variants, variant_grid
+from repro.replay.whatif import VariantScore, WhatIfReport, WhatIfRunner
+
+__all__ = [
+    "PolicyVariant",
+    "ReplayResult",
+    "TRACE_EVENT_KINDS",
+    "TRACE_SCHEMA_VERSION",
+    "Trace",
+    "TraceReader",
+    "TraceRecorder",
+    "TraceReplayer",
+    "TraceValidationError",
+    "TraceWriter",
+    "VariantScore",
+    "WhatIfReport",
+    "WhatIfRunner",
+    "sample_variants",
+    "serialize_cycle_report",
+    "variant_grid",
+]

@@ -1,0 +1,304 @@
+"""The versioned JSONL trace format of the Policy Lab.
+
+A trace is a newline-delimited sequence of JSON records.  The first record
+is always a ``header`` carrying the schema version, the source run's root
+seed and its :class:`~repro.fleet.model.FleetConfig`; every following
+record is an *event* stamped with the fleet day it occurred on:
+
+* ``onboard`` — a batch of tables joining the fleet, with the full
+  per-table state columns (:data:`~repro.fleet.model.TABLE_COLUMNS`) so a
+  replayer rebuilds the exact population the source run drew;
+* ``day`` — one day of write commits, sparse: only tables that wrote
+  appear, with their per-class file deltas (byte deltas are derived
+  deterministically from file counts, so they are not stored);
+* ``compact`` — one realised compaction: the table's exact post-rewrite
+  state plus the application's estimate/actual pairs;
+* ``cycle`` — one control-plane cycle summary (reference metadata; what-if
+  replay re-derives its own cycles).
+
+Records use canonical JSON (sorted keys, no whitespace), so a trace is
+byte-reproducible from the same source run and diffs cleanly.
+
+:class:`TraceReader` validates schema version, record shape and event
+ordering (days must be non-decreasing, the header must come first) before
+anything downstream consumes the trace.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Iterator
+
+from repro.errors import ReproError
+from repro.fleet.model import COMPACT_STATE_FIELDS, FleetConfig, TABLE_COLUMNS
+from repro.simulation.taps import FLEET_EVENT_KINDS
+
+#: Bump when the record layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+#: Every event kind a trace may contain (the header is not an event) —
+#: exactly what the fleet publishes, so recorder subscriptions and reader
+#: validation can never drift from the producers.
+TRACE_EVENT_KINDS = FLEET_EVENT_KINDS
+
+
+class TraceValidationError(ReproError):
+    """A trace failed schema or ordering validation.
+
+    Attributes:
+        line: 1-based line number of the offending record (0 = whole file).
+    """
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"trace line {line}: {message}" if line else message)
+        self.line = line
+
+
+def canonical_json(record: dict) -> str:
+    """Canonical single-line JSON: sorted keys, minimal separators."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def serialize_cycle_report(report) -> dict:
+    """A :class:`~repro.core.pipeline.CycleReport` as a canonical dict.
+
+    Every decision-relevant field is included — counts, the selection in
+    rank order, and each execution result — so two replays agree on this
+    serialization iff they made identical decisions with identical
+    outcomes.  :meth:`ReplayResult.report_bytes` hashes replays down to
+    these dicts for the byte-identical-replay guarantee.
+    """
+    return {
+        "cycle_index": report.cycle_index,
+        "started_at": report.started_at,
+        "candidates_generated": report.candidates_generated,
+        "after_stats_filters": report.after_stats_filters,
+        "after_trait_filters": report.after_trait_filters,
+        "ranked": report.ranked,
+        "selected": [str(key) for key in report.selected],
+        "results": [
+            {
+                "candidate": str(result.candidate),
+                "success": result.success,
+                "skipped": result.skipped,
+                "started_at": result.started_at,
+                "finished_at": result.finished_at,
+                "gbhr": result.gbhr,
+                "files_before": result.files_before,
+                "files_after": result.files_after,
+                "estimated_reduction": result.estimated_reduction,
+                "actual_reduction": result.actual_reduction,
+                "rewritten_bytes": result.rewritten_bytes,
+                "estimated_gbhr": result.estimated_gbhr,
+            }
+            for result in report.results
+        ],
+    }
+
+
+@dataclass
+class Trace:
+    """A parsed, validated trace: header plus events in capture order."""
+
+    header: dict
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def seed(self) -> int:
+        """The source run's root seed."""
+        return int(self.header["seed"])
+
+    @property
+    def schema(self) -> int:
+        """The trace's schema version."""
+        return int(self.header["schema"])
+
+    def config(self) -> FleetConfig:
+        """The source run's :class:`~repro.fleet.model.FleetConfig`."""
+        return FleetConfig(**self.header["config"])
+
+    def events_of(self, kind: str) -> list[dict]:
+        """All events of one kind, in capture order."""
+        return [event for event in self.events if event["kind"] == kind]
+
+    @property
+    def days(self) -> int:
+        """Number of recorded write days."""
+        return sum(1 for event in self.events if event["kind"] == "day")
+
+    def ingested_bytes(self) -> int:
+        """Total bytes the recorded workload wrote (onboard backlog excluded).
+
+        Derived from the ``day`` events exactly as the fleet model derives
+        byte deltas from file deltas; the denominator of the what-if
+        runner's write-amplification metric.
+        """
+        from repro.fleet.model import LARGE_MEAN_BYTES, MID_MEAN_BYTES, TINY_MEAN_BYTES
+
+        total = 0
+        for event in self.events:
+            if event["kind"] != "day":
+                continue
+            total += sum(event["tiny"]) * TINY_MEAN_BYTES
+            total += sum(event["mid"]) * MID_MEAN_BYTES
+            total += sum(event["large"]) * LARGE_MEAN_BYTES
+        return total
+
+
+class TraceWriter:
+    """Streams trace records to a file path or text stream.
+
+    Args:
+        sink: a path (opened/truncated on first write, closed by
+            :meth:`close`) or an open text stream (left open).
+    """
+
+    def __init__(self, sink: str | os.PathLike | IO[str]) -> None:
+        if isinstance(sink, (str, os.PathLike)):
+            self._stream: IO[str] = open(sink, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = sink
+            self._owns_stream = False
+        self.records_written = 0
+
+    def write(self, record: dict) -> None:
+        """Append one record as a canonical JSON line."""
+        self._stream.write(canonical_json(record))
+        self._stream.write("\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if this writer opened it."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class TraceReader:
+    """Parses and validates a JSONL trace.
+
+    Validation covers structure (header first, matching schema version,
+    known event kinds, required fields per kind) and ordering (event days
+    non-decreasing, onboard column lengths consistent), failing fast with
+    the offending line number.
+    """
+
+    def __init__(self, source: str | os.PathLike | IO[str] | Iterable[str]) -> None:
+        self._source = source
+
+    def _lines(self) -> Iterator[str]:
+        source = self._source
+        if isinstance(source, (str, os.PathLike)):
+            with open(source, "r", encoding="utf-8") as stream:
+                yield from stream
+        elif isinstance(source, io.TextIOBase):
+            source.seek(0)
+            yield from source
+        else:
+            yield from source
+
+    def read(self) -> Trace:
+        """Parse the whole trace, validating as it goes.
+
+        Raises:
+            TraceValidationError: on any schema or ordering violation.
+        """
+        header: dict | None = None
+        events: list[dict] = []
+        last_day = -1
+        for line_number, line in enumerate(self._lines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceValidationError(f"invalid JSON: {error}", line_number) from None
+            if not isinstance(record, dict) or "kind" not in record:
+                raise TraceValidationError("record must be an object with a 'kind'", line_number)
+            kind = record["kind"]
+            if header is None:
+                if kind != "header":
+                    raise TraceValidationError(
+                        f"first record must be the header, got {kind!r}", line_number
+                    )
+                self._validate_header(record, line_number)
+                header = record
+                continue
+            if kind == "header":
+                raise TraceValidationError("duplicate header", line_number)
+            if kind not in TRACE_EVENT_KINDS:
+                raise TraceValidationError(
+                    f"unknown event kind {kind!r}; expected one of {TRACE_EVENT_KINDS}",
+                    line_number,
+                )
+            day = self._validate_event(record, line_number)
+            if day < last_day:
+                raise TraceValidationError(
+                    f"event days must be non-decreasing (day {day} after {last_day})",
+                    line_number,
+                )
+            last_day = day
+            events.append(record)
+        if header is None:
+            raise TraceValidationError("empty trace (no header)")
+        return Trace(header=header, events=events)
+
+    @staticmethod
+    def _validate_header(record: dict, line: int) -> None:
+        schema = record.get("schema")
+        if schema != TRACE_SCHEMA_VERSION:
+            raise TraceValidationError(
+                f"unsupported schema version {schema!r} "
+                f"(this reader supports {TRACE_SCHEMA_VERSION})",
+                line,
+            )
+        for required in ("seed", "config"):
+            if required not in record:
+                raise TraceValidationError(f"header missing {required!r}", line)
+        try:
+            FleetConfig(**record["config"])
+        except TypeError as error:
+            raise TraceValidationError(f"header config invalid: {error}", line) from None
+
+    @staticmethod
+    def _validate_event(record: dict, line: int) -> int:
+        kind = record["kind"]
+        day = record.get("day")
+        if not isinstance(day, int) or day < 0:
+            raise TraceValidationError(f"{kind} event needs a non-negative integer day", line)
+        if kind == "onboard":
+            columns = record.get("columns")
+            if not isinstance(columns, dict):
+                raise TraceValidationError("onboard event needs a columns mapping", line)
+            missing = [name for name in TABLE_COLUMNS if name not in columns]
+            if missing:
+                raise TraceValidationError(f"onboard columns missing {missing}", line)
+            lengths = {len(columns[name]) for name in TABLE_COLUMNS}
+            if len(lengths) != 1:
+                raise TraceValidationError(
+                    f"onboard column lengths differ: {sorted(lengths)}", line
+                )
+            if record.get("count") != lengths.pop():
+                raise TraceValidationError("onboard count does not match column length", line)
+        elif kind == "day":
+            for name in ("indices", "tiny", "mid", "large"):
+                if not isinstance(record.get(name), list):
+                    raise TraceValidationError(f"day event needs list {name!r}", line)
+            n = len(record["indices"])
+            if any(len(record[name]) != n for name in ("tiny", "mid", "large")):
+                raise TraceValidationError("day event delta lists must align", line)
+        elif kind == "compact":
+            state = record.get("state")
+            if not isinstance(state, dict):
+                raise TraceValidationError("compact event needs a state mapping", line)
+            missing = [name for name in COMPACT_STATE_FIELDS if name not in state]
+            if missing:
+                raise TraceValidationError(f"compact state missing {missing}", line)
+            if not isinstance(record.get("index"), int):
+                raise TraceValidationError("compact event needs an integer index", line)
+        return day

@@ -11,15 +11,18 @@ from repro.simulation.clock import SimClock
 from repro.simulation.events import Event, EventQueue
 from repro.simulation.rng import derive_rng, derive_seed
 from repro.simulation.simulator import Simulator
+from repro.simulation.taps import FLEET_EVENT_KINDS, TapBus
 from repro.simulation.telemetry import MetricSeries, ScopedTelemetry, Telemetry
 
 __all__ = [
     "Event",
     "EventQueue",
+    "FLEET_EVENT_KINDS",
     "MetricSeries",
     "ScopedTelemetry",
     "SimClock",
     "Simulator",
+    "TapBus",
     "Telemetry",
     "derive_rng",
     "derive_seed",

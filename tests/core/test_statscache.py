@@ -19,7 +19,13 @@ from repro.core import (
 )
 from repro.engine import Cluster
 from repro.errors import ValidationError
-from repro.fleet import AutoCompStrategy, FleetConfig, FleetConnector, FleetModel
+from repro.fleet import (
+    AutoCompStrategy,
+    FleetConfig,
+    FleetConnector,
+    FleetModel,
+    ShardedAutoCompStrategy,
+)
 from repro.units import DAY, MiB
 
 from tests.conftest import fragment_table
@@ -399,3 +405,90 @@ class TestReviewRegressions:
         # ahead of the just-compacted one instead of re-selecting it.
         assert second.selected and second.selected[0] != compacted
         assert pipeline.connector.stats_cache.invalidations >= 1
+
+
+class TestVersionSlack:
+    """Opt-in approximate staleness tolerance (version_slack, default off)."""
+
+    def test_statscache_slack_serves_slightly_stale_entries(self):
+        cache = StatsCache(version_slack=2)
+        key, stats = _table_key(), _stats()
+        cache.put(key, stats, token=10)
+        assert cache.get(key, token=11) is stats  # 1 version behind: hit
+        assert cache.get(key, token=12) is stats  # 2 behind: still inside slack
+        assert cache.get(key, token=13) is None   # 3 behind: stale
+        assert cache.expirations == 1
+
+    def test_statscache_slack_defaults_to_exact(self):
+        cache = StatsCache()
+        key, stats = _table_key(), _stats()
+        cache.put(key, stats, token=10)
+        assert cache.get(key, token=11) is None
+
+    def test_statscache_slack_never_accepts_backwards_tokens(self):
+        cache = StatsCache(version_slack=5)
+        key, stats = _table_key(), _stats()
+        cache.put(key, stats, token=10)
+        assert cache.get(key, token=9) is None  # token regressed: not a hit
+
+    def test_statscache_slack_requires_integer_tokens(self):
+        cache = StatsCache(version_slack=5)
+        key, stats = _table_key(), _stats()
+        cache.put(key, stats, token="etag-a")
+        assert cache.get(key, token="etag-b") is None
+
+    def test_indexed_cache_slack(self):
+        cache = IndexedCandidateCache(version_slack=1)
+        candidate = Candidate(key=_table_key(), statistics=_stats())
+        cache.put(0, candidate, token=5)
+        assert cache.get(0, token=6) is candidate
+        assert cache.get(0, token=7) is None
+
+    def test_rejects_negative_slack(self):
+        with pytest.raises(ValidationError):
+            StatsCache(version_slack=-1)
+        with pytest.raises(ValidationError):
+            IndexedCandidateCache(version_slack=-1)
+
+    def test_fleet_connector_honours_slack(self):
+        model = FleetModel(FleetConfig(initial_tables=40, seed=2))
+        model.step_day()
+        cache = IndexedCandidateCache(version_slack=1)
+        connector = FleetConnector(model, min_small_files=1, stats_cache=cache)
+        keys = connector.list_candidates()
+        first = connector.observe(keys)
+        stats_before = first[0].statistics
+        index = int(keys[0].table[len("table"):])
+        # One version of drift stays within slack: the cached statistics
+        # are served even though the table compacted.
+        model.compact(index)
+        second = connector.observe(keys)
+        assert second[0].statistics is stats_before
+        # A second version bump exceeds the slack: re-observed.
+        model.compact(index)
+        third = connector.observe(keys)
+        assert third[0].statistics is not stats_before
+
+    def test_sharded_strategy_slack_increases_hit_rate(self):
+        def hit_rate(slack: int) -> float:
+            model = FleetModel(FleetConfig(initial_tables=150, seed=9))
+            model.step_day()
+            strategy = ShardedAutoCompStrategy(
+                model, n_shards=2, k=3, version_slack=slack
+            )
+            for _ in range(5):
+                strategy.run_day(model, model.day)
+                model.step_day()
+            (cache,) = strategy.caches
+            return cache.hit_rate
+
+        assert hit_rate(3) > hit_rate(0)
+
+    def test_statscache_slack_accepts_numpy_integer_tokens(self):
+        import numpy as np
+
+        cache = StatsCache(version_slack=2)
+        key, stats = _table_key(), _stats()
+        cache.put(key, stats, token=np.int64(10))
+        assert cache.get(key, token=np.int64(11)) is stats
+        assert cache.get(key, token=np.int64(13)) is None

@@ -1,0 +1,78 @@
+"""Property tests for the Policy Lab's replay guarantees.
+
+Two invariants hold for *every* recorded workload and policy variant:
+
+* replaying the same trace under the same variant twice yields
+  byte-identical cycle reports (the determinism guarantee), and
+* verbatim replay reconstructs the source fleet's per-table file counts
+  exactly (the recorder/replayer round-trip guarantee).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import AutoCompStrategy, FleetConfig, FleetSimulator
+from repro.replay import PolicyVariant, TraceRecorder, TraceReplayer
+from repro.simulation import TapBus
+
+#: Small-but-varied recorded workloads (fleet size, days, seed, source k).
+workloads = st.tuples(
+    st.integers(min_value=10, max_value=60),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=1, max_value=8),
+)
+
+#: Policy variants covering weights, budgets, cadence and control planes.
+variants = st.builds(
+    PolicyVariant,
+    name=st.just("prop"),
+    ranking=st.sampled_from(["weighted", "quota_aware"]),
+    benefit_weight=st.floats(min_value=0.35, max_value=0.9),
+    k=st.integers(min_value=1, max_value=15),
+    min_small_files=st.integers(min_value=0, max_value=4),
+    trigger_interval_days=st.integers(min_value=1, max_value=3),
+    scheduler=st.sampled_from(["sequential", "concurrent"]),
+    n_shards=st.sampled_from([1, 2]),
+)
+
+
+def _record(tables: int, days: int, seed: int, k: int) -> tuple[str, FleetSimulator]:
+    taps = TapBus()
+    config = FleetConfig(initial_tables=tables, onboarded_per_month=5, seed=seed)
+    buffer = io.StringIO()
+    recorder = TraceRecorder(buffer, taps, config=config)
+    sim = FleetSimulator(config, taps=taps)
+    sim.set_strategy(0, AutoCompStrategy(sim.model, k=k))
+    sim.run_days(days)
+    recorder.close()
+    return buffer.getvalue(), sim
+
+
+@settings(max_examples=12, deadline=None)
+@given(workload=workloads, variant=variants)
+def test_replay_same_variant_is_byte_identical(workload, variant):
+    trace_text, _ = _record(*workload)
+    first = TraceReplayer(io.StringIO(trace_text)).replay(variant)
+    second = TraceReplayer(io.StringIO(trace_text)).replay(variant)
+    assert first.report_bytes() == second.report_bytes()
+
+
+@settings(max_examples=12, deadline=None)
+@given(workload=workloads)
+def test_verbatim_replay_reconstructs_file_counts_exactly(workload):
+    trace_text, sim = _record(*workload)
+    replayed = TraceReplayer(io.StringIO(trace_text)).replay_verbatim()
+    source = sim.model
+    assert replayed.count == source.count
+    assert replayed.day == source.day
+    for name in ("tiny_files", "mid_files", "large_files", "tiny_bytes", "mid_bytes", "large_bytes"):
+        assert np.array_equal(
+            getattr(replayed, name)[: replayed.count],
+            getattr(source, name)[: source.count],
+        ), name
+    assert replayed.total_files == source.total_files

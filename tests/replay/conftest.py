@@ -1,0 +1,45 @@
+"""Shared fixtures for the Policy Lab tests: one small recorded fleet run."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.fleet import AutoCompStrategy, FleetConfig, FleetSimulator
+from repro.replay import TraceRecorder
+from repro.simulation import TapBus
+
+
+def record_fleet_run(
+    initial_tables: int = 80,
+    days: int = 12,
+    seed: int = 20250730,
+    k: int = 5,
+    onboarded_per_month: int = 10,
+) -> tuple[str, FleetSimulator]:
+    """Run a small fleet under AutoComp while recording; returns (trace, sim)."""
+    taps = TapBus()
+    config = FleetConfig(
+        initial_tables=initial_tables,
+        onboarded_per_month=onboarded_per_month,
+        seed=seed,
+    )
+    buffer = io.StringIO()
+    recorder = TraceRecorder(buffer, taps, config=config)
+    sim = FleetSimulator(config, taps=taps)
+    sim.set_strategy(0, AutoCompStrategy(sim.model, k=k))
+    sim.run_days(days)
+    recorder.close()
+    return buffer.getvalue(), sim
+
+
+@pytest.fixture(scope="module")
+def recorded_run() -> tuple[str, FleetSimulator]:
+    """A 12-day, 80-table recorded AutoComp run (module-cached)."""
+    return record_fleet_run()
+
+
+@pytest.fixture(scope="module")
+def trace_text(recorded_run) -> str:
+    return recorded_run[0]

@@ -1,0 +1,121 @@
+"""Trace format: schema validation, ordering, canonical serialization."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.fleet.model import FleetConfig
+from repro.replay import (
+    TRACE_SCHEMA_VERSION,
+    TraceReader,
+    TraceValidationError,
+    TraceWriter,
+)
+from repro.replay.trace import canonical_json
+
+
+def _header(config: FleetConfig | None = None) -> dict:
+    import dataclasses
+
+    config = config if config is not None else FleetConfig(initial_tables=4, seed=1)
+    return {
+        "kind": "header",
+        "schema": TRACE_SCHEMA_VERSION,
+        "seed": config.seed,
+        "config": dataclasses.asdict(config),
+    }
+
+
+def _day(day: int, indices=(0,), tiny=(1,), mid=(0,), large=(0,)) -> dict:
+    return {
+        "kind": "day",
+        "day": day,
+        "indices": list(indices),
+        "tiny": list(tiny),
+        "mid": list(mid),
+        "large": list(large),
+    }
+
+
+def _lines(*records: dict) -> list[str]:
+    return [canonical_json(record) for record in records]
+
+
+class TestTraceReader:
+    def test_round_trips_header_and_events(self):
+        trace = TraceReader(_lines(_header(), _day(0), _day(1))).read()
+        assert trace.schema == TRACE_SCHEMA_VERSION
+        assert trace.seed == 1
+        assert trace.days == 2
+        assert trace.config() == FleetConfig(initial_tables=4, seed=1)
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(TraceValidationError, match="first record must be the header"):
+            TraceReader(_lines(_day(0))).read()
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(TraceValidationError, match="empty trace"):
+            TraceReader([]).read()
+
+    def test_rejects_wrong_schema_version(self):
+        header = _header()
+        header["schema"] = TRACE_SCHEMA_VERSION + 1
+        with pytest.raises(TraceValidationError, match="unsupported schema version"):
+            TraceReader(_lines(header)).read()
+
+    def test_rejects_duplicate_header(self):
+        with pytest.raises(TraceValidationError, match="duplicate header"):
+            TraceReader(_lines(_header(), _header())).read()
+
+    def test_rejects_unknown_event_kind(self):
+        with pytest.raises(TraceValidationError, match="unknown event kind"):
+            TraceReader(_lines(_header(), {"kind": "mystery", "day": 0})).read()
+
+    def test_rejects_out_of_order_days(self):
+        with pytest.raises(TraceValidationError, match="non-decreasing"):
+            TraceReader(_lines(_header(), _day(3), _day(1))).read()
+
+    def test_rejects_misaligned_day_deltas(self):
+        bad = _day(0, indices=(0, 1), tiny=(1,), mid=(0, 0), large=(0, 0))
+        with pytest.raises(TraceValidationError, match="must align"):
+            TraceReader(_lines(_header(), bad)).read()
+
+    def test_rejects_invalid_json_with_line_number(self):
+        lines = _lines(_header()) + ["{not json"]
+        with pytest.raises(TraceValidationError, match="line 2"):
+            TraceReader(lines).read()
+
+    def test_rejects_onboard_missing_columns(self):
+        event = {"kind": "onboard", "day": 0, "count": 1, "columns": {"archetype": [0]}}
+        with pytest.raises(TraceValidationError, match="onboard columns missing"):
+            TraceReader(_lines(_header(), event)).read()
+
+    def test_rejects_compact_missing_state(self):
+        event = {"kind": "compact", "day": 0, "index": 0, "state": {"tiny_files": 0}}
+        with pytest.raises(TraceValidationError, match="compact state missing"):
+            TraceReader(_lines(_header(), event)).read()
+
+    def test_reads_recorded_run(self, trace_text):
+        trace = TraceReader(io.StringIO(trace_text)).read()
+        kinds = {event["kind"] for event in trace.events}
+        assert kinds == {"onboard", "day", "compact", "cycle"}
+        assert trace.days == 12
+        assert trace.ingested_bytes() > 0
+
+
+class TestTraceWriter:
+    def test_writes_canonical_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TraceWriter(path)
+        writer.write(_header())
+        writer.write(_day(0))
+        writer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        # Canonical: sorted keys, no spaces; byte-stable under reserialization.
+        for line in lines:
+            assert line == canonical_json(json.loads(line))
+        assert TraceReader(path).read().days == 1
