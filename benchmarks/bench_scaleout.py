@@ -1,4 +1,4 @@
-"""Scale-out control plane: cycle latency vs fleet size and shard count.
+"""Scale-out control plane: cycle latency vs fleet size, shards and workers.
 
 The §7 deployment holds a daily cycle cadence while the fleet grows by
 thousands of tables per month, so control-plane cycle latency must stay
@@ -11,27 +11,39 @@ latency for:
 * the **sharded control plane** —
   :class:`~repro.fleet.ShardedAutoCompStrategy`: consistent-hash sharding
   plus per-shard incremental observation caches (version-token
-  invalidation), global selection.
+  invalidation), global selection;
+* (with ``--workers processes``) **thread- vs process-mode shard
+  workers** under a CPU-bound observe workload (``--observe-cost`` burns
+  deterministic per-candidate CPU emulating real statistics-collection
+  cost): threads serialize that work on the GIL, process workers spread
+  it across cores via picklable :class:`~repro.core.workers.ShardWorkSpec`
+  round trips.
 
-Both run the same decisions (global selection is exactly equivalent to the
-unsharded pipeline), so measured latency differences are pure control-plane
-overhead.  On a single-core host the speedup comes from the incremental
-observe path (O(dirty tables), vectorised batch statistics for the
-misses); on multi-core hosts the per-shard thread pool adds to it.
+All configurations run the same decisions (global selection is exactly
+equivalent to the unsharded pipeline, and worker modes produce identical
+cycle reports), so measured latency differences are pure control-plane
+overhead.
 
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_scaleout.py [--smoke]
+        [--workers processes] [--observe-cost N] [--json BENCH_scaleout.json]
 
-``--smoke`` runs a small fleet (CI-sized) and skips the speedup assertion;
-the full run asserts the >=2x speedup at 4 shards on a 2,000-table fleet
-and that sharded selections are deterministic across repeated runs.
+``--smoke`` runs a small fleet (CI-sized) and skips the speedup
+assertions; the full run asserts the >=2x sharding speedup at 4 shards on
+a 2,000-table fleet, that sharded selections are deterministic across
+repeated runs, and — under ``--workers processes`` on a >=4-core host —
+that process workers beat thread workers by >=1.5x on the CPU-bound
+observe workload.  ``--json`` writes the measured metrics for the CI
+perf-regression gate (``benchmarks/check_regression.py``).
 """
 
 from __future__ import annotations
 
 import argparse
 import gc
+import json
+import os
 import statistics
 import time
 
@@ -45,6 +57,11 @@ from repro.units import DAY
 
 #: Selection budget per daily cycle (the paper's conservative rollout k).
 TOP_K = 10
+
+#: Default per-candidate CPU units for the worker-mode comparison: enough
+#: that observation dominates the cycle (the regime process workers exist
+#: for), small enough that smoke runs stay CI-sized.
+OBSERVE_COST = 100
 
 
 def _banner(title: str, claim: str) -> str:
@@ -89,6 +106,8 @@ def measure(tables: int, shard_counts: list[int], days: int, seed: int) -> dict:
                     latencies[name].append(elapsed)
     finally:
         gc.enable()
+        for _, strategy, _ in configs[1:]:
+            strategy.close()
 
     rows: dict[str, dict] = {}
     base_latency = statistics.median(latencies["baseline"])
@@ -105,17 +124,91 @@ def measure(tables: int, shard_counts: list[int], days: int, seed: int) -> dict:
     return rows
 
 
+def measure_worker_modes(
+    tables: int, n_shards: int, days: int, seed: int, observe_cost: int
+) -> dict:
+    """Thread- vs process-mode sharded latency under CPU-bound observation.
+
+    Both modes run identical fleets with the same ``observe_cost`` burned
+    per statistics rebuild (in the coordinator for threads, in the worker
+    processes for processes), interleaved day by day; per-cycle selections
+    are recorded and compared, so the table demonstrates both the
+    multi-core speedup and the modes' identical decisions.
+    """
+    runs: list[tuple[str, ShardedAutoCompStrategy, FleetModel]] = []
+    for mode in ("threads", "processes"):
+        model = _fresh_model(tables, seed)
+        strategy = ShardedAutoCompStrategy(
+            model,
+            n_shards=n_shards,
+            k=TOP_K,
+            workers=mode,
+            # Explicit width: the process path must engage even when the
+            # host advertises a single core (correctness is measured
+            # everywhere; the speedup assertion is gated on cores).
+            max_workers=n_shards,
+            observe_cost=observe_cost,
+        )
+        runs.append((mode, strategy, model))
+
+    latencies: dict[str, list[float]] = {mode: [] for mode, _, _ in runs}
+    selections: dict[str, list[tuple]] = {mode: [] for mode, _, _ in runs}
+    gc.collect()
+    gc.disable()
+    try:
+        for cycle in range(1 + days):  # first cycle warms caches + pools
+            for mode, strategy, model in runs:
+                now = float(model.day) * DAY
+                start = time.perf_counter()
+                sharded = strategy.pipeline.run_cycle(now=now)
+                elapsed = time.perf_counter() - start
+                model.step_day()
+                selections[mode].append(
+                    tuple(str(key) for key in sharded.report.selected)
+                )
+                if cycle > 0:
+                    latencies[mode].append(elapsed)
+    finally:
+        gc.enable()
+        for _, strategy, _ in runs:
+            strategy.close()
+
+    thread_latency = statistics.median(latencies["threads"])
+    process_latency = statistics.median(latencies["processes"])
+    return {
+        "threads": {"latency_s": thread_latency, "speedup": 1.0},
+        "processes": {
+            "latency_s": process_latency,
+            "speedup": thread_latency / process_latency,
+        },
+        "identical_selections": selections["threads"] == selections["processes"],
+    }
+
+
 def selected_keys_per_day(tables: int, n_shards: int, days: int, seed: int) -> list[tuple]:
     """The sharded control plane's daily selections, as hashable tuples."""
     model = _fresh_model(tables, seed)
-    strategy = ShardedAutoCompStrategy(model, n_shards=n_shards, k=TOP_K)
-    selections = []
-    for _ in range(days):
-        day = model.day
-        sharded = strategy.pipeline.run_cycle(now=float(day) * DAY)
-        selections.append(tuple(str(key) for key in sharded.report.selected))
-        model.step_day()
+    with ShardedAutoCompStrategy(model, n_shards=n_shards, k=TOP_K) as strategy:
+        selections = []
+        for _ in range(days):
+            day = model.day
+            sharded = strategy.pipeline.run_cycle(now=float(day) * DAY)
+            selections.append(tuple(str(key) for key in sharded.report.selected))
+            model.step_day()
     return selections
+
+
+def _print_rows(rows: dict) -> None:
+    header = f"{'configuration':<14} {'cycle latency':>14} {'speedup':>9} {'cache hit rate':>15}"
+    print(header)
+    print("-" * len(header))
+    for name, row in rows.items():
+        if not isinstance(row, dict):
+            continue
+        hit = f"{row['hit_rate']:.0%}" if "hit_rate" in row else "-"
+        print(
+            f"{name:<14} {row['latency_s'] * 1e3:>12.2f}ms {row['speedup']:>8.2f}x {hit:>15}"
+        )
 
 
 def main() -> int:
@@ -126,27 +219,55 @@ def main() -> int:
     parser.add_argument("--tables", type=int, default=None, help="fleet size override")
     parser.add_argument("--days", type=int, default=None, help="measured cycles")
     parser.add_argument("--seed", type=int, default=20250730)
+    parser.add_argument(
+        "--workers",
+        choices=["threads", "processes"],
+        default=None,
+        help="also compare shard worker modes (threads vs processes) "
+        "under a CPU-bound observe workload",
+    )
+    parser.add_argument(
+        "--observe-cost",
+        type=int,
+        default=OBSERVE_COST,
+        help="per-candidate CPU units for the worker-mode comparison",
+    )
+    parser.add_argument(
+        "--json", default=None, help="write measured metrics to this path"
+    )
     args = parser.parse_args()
 
     tables = args.tables or (500 if args.smoke else 2000)
     days = args.days or (2 if args.smoke else 7)
     shard_counts = [2] if args.smoke else [1, 2, 4, 8]
+    worker_shards = 2 if args.smoke else 4
+    cores = os.cpu_count() or 1
 
     print(
         _banner(
             f"Scale-out control plane — cycle latency, {tables}-table fleet",
             "Target: >=2x steady-state cycle-latency speedup at 4 shards "
-            "(sharding + incremental observation) vs the unsharded baseline",
+            "(sharding + incremental observation) vs the unsharded baseline; "
+            ">=1.5x process-worker speedup over threads on CPU-bound observe "
+            "(4-core host)",
         )
     )
     rows = measure(tables, shard_counts, days, args.seed)
-    header = f"{'configuration':<14} {'cycle latency':>14} {'speedup':>9} {'cache hit rate':>15}"
-    print(header)
-    print("-" * len(header))
-    for name, row in rows.items():
-        hit = f"{row['hit_rate']:.0%}" if "hit_rate" in row else "-"
+    _print_rows(rows)
+
+    worker_rows = None
+    if args.workers is not None:
         print(
-            f"{name:<14} {row['latency_s'] * 1e3:>12.2f}ms {row['speedup']:>8.2f}x {hit:>15}"
+            f"\nworker modes — {worker_shards} shards, observe cost "
+            f"{args.observe_cost} units/candidate (CPU-bound observe):"
+        )
+        worker_rows = measure_worker_modes(
+            tables, worker_shards, days, args.seed, args.observe_cost
+        )
+        _print_rows(worker_rows)
+        print(
+            "worker-mode selections: "
+            + ("identical" if worker_rows["identical_selections"] else "DIVERGED")
         )
 
     print("\ndeterminism: repeated sharded runs with the same seed ...", end=" ")
@@ -158,10 +279,55 @@ def main() -> int:
     failures = []
     if not identical:
         failures.append("sharded selections are not deterministic")
+    if worker_rows is not None and not worker_rows["identical_selections"]:
+        failures.append("process-mode selections diverged from thread mode")
     if not args.smoke:
         speedup = rows["sharded-4"]["speedup"]
         if speedup < 2.0:
             failures.append(f"sharded-4 speedup {speedup:.2f}x below the 2x target")
+        if worker_rows is not None:
+            worker_speedup = worker_rows["processes"]["speedup"]
+            if cores >= 4:
+                if worker_speedup < 1.5:
+                    failures.append(
+                        f"process-worker speedup {worker_speedup:.2f}x below the "
+                        "1.5x target"
+                    )
+            else:
+                print(
+                    f"(worker speedup assertion skipped: only {cores} CPU core(s))"
+                )
+
+    if args.json:
+        sharded_key = f"sharded-{shard_counts[-1]}"
+        metrics: dict[str, float] = {
+            "sharded_speedup": rows[sharded_key]["speedup"],
+            "cache_hit_rate": rows[sharded_key]["hit_rate"],
+            "deterministic": int(identical),
+            "selected_total": sum(len(day) for day in reference),
+        }
+        if worker_rows is not None:
+            metrics["worker_speedup"] = worker_rows["processes"]["speedup"]
+            metrics["worker_modes_identical"] = int(
+                worker_rows["identical_selections"]
+            )
+        payload = {
+            "bench": "scaleout",
+            "config": {
+                "tables": tables,
+                "days": days,
+                "seed": args.seed,
+                "shards": shard_counts,
+                "smoke": args.smoke,
+                "cores": cores,
+            },
+            "metrics": metrics,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote metrics to {args.json}")
+
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:

@@ -17,16 +17,20 @@ cost.  This bench exercises the full Policy Lab loop:
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_whatif.py [--smoke]
+        [--json BENCH_whatif.json]
 
 ``--smoke`` runs a tiny fleet with 2 variants (CI-sized) and skips the
 speedup assertion; the full run sweeps >=8 variants and asserts parallel
 what-if execution is >=2x faster than sequential when at least 4 CPU cores
 are available (the speedup target is defined on a 4-core runner).
+``--json`` writes the measured metrics for the CI perf-regression gate
+(``benchmarks/check_regression.py``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import tempfile
 import time
@@ -93,6 +97,9 @@ def main() -> int:
     parser.add_argument("--days", type=int, default=None, help="recorded days")
     parser.add_argument("--workers", type=int, default=None, help="parallel pool width")
     parser.add_argument("--seed", type=int, default=20250730)
+    parser.add_argument(
+        "--json", default=None, help="write measured metrics to this path"
+    )
     args = parser.parse_args()
 
     tables = args.tables or (150 if args.smoke else 1200)
@@ -149,6 +156,7 @@ def main() -> int:
         start = time.perf_counter()
         parallel = runner.run(workers=workers)
         parallel_s = time.perf_counter() - start
+        runner.close()
         speedup = sequential_s / parallel_s if parallel_s else float("inf")
         print(
             f"\nsweep: {len(variants)} variants — sequential {sequential_s:.2f}s, "
@@ -157,9 +165,10 @@ def main() -> int:
         print(parallel.render())
         print(f"\noffline priors for autotune: {parallel.to_priors()}")
 
-        if [s.report_digest for s in sequential.scores] != [
+        parallel_matches = [s.report_digest for s in sequential.scores] == [
             s.report_digest for s in parallel.scores
-        ]:
+        ]
+        if not parallel_matches:
             failures.append("parallel scores diverged from sequential")
         cores = os.cpu_count() or 1
         if not args.smoke:
@@ -168,6 +177,33 @@ def main() -> int:
                     failures.append(f"parallel speedup {speedup:.2f}x below the 2x target")
             else:
                 print(f"(speedup assertion skipped: only {cores} CPU core(s) available)")
+
+        if args.json:
+            best = parallel.best()
+            payload = {
+                "bench": "whatif",
+                "config": {
+                    "tables": tables,
+                    "days": days,
+                    "variants": len(variants),
+                    "workers": workers,
+                    "seed": args.seed,
+                    "smoke": args.smoke,
+                    "cores": cores,
+                },
+                "metrics": {
+                    "round_trip": int(round_trip_ok),
+                    "deterministic": int(deterministic),
+                    "parallel_matches_sequential": int(parallel_matches),
+                    "best_files_reduced": best.files_reduced,
+                    "best_efficiency": best.efficiency,
+                    "parallel_speedup": speedup,
+                },
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"\nwrote metrics to {args.json}")
 
     for failure in failures:
         print(f"FAIL: {failure}")

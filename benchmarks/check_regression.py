@@ -1,0 +1,172 @@
+"""CI perf-regression gate: compare bench JSON against a committed baseline.
+
+The smoke benchmarks (``bench_scaleout.py --smoke --json …``,
+``bench_whatif.py --smoke --json …``) emit a ``metrics`` mapping; this
+script compares it against a baseline file under ``benchmarks/baselines/``
+and exits non-zero on regression, failing the workflow.
+
+Baselines declare, per metric, *how* to compare — because CI runners are
+shared and noisy, timing-derived metrics get tolerance bands while
+seed-deterministic metrics are held (near-)exact:
+
+* ``exact`` — current must equal the baseline value (determinism flags,
+  selection counts);
+* ``min_ratio`` — current must be at least ``value * (1 - tolerance)``
+  (speedups, hit rates: may improve freely, may degrade only within the
+  band);
+* ``max_ratio`` — current must be at most ``value * (1 + tolerance)``
+  (latencies, costs);
+* ``ratio`` — current must be within ``±tolerance`` (relative) of the
+  value (deterministic floats that may drift slightly across library
+  versions).
+
+Metrics present in the run but absent from the baseline are informational
+only; metrics promised by the baseline but missing from the run fail the
+gate (a silently dropped metric is itself a regression).
+
+Baselines also pin the bench ``config`` keys that make runs comparable
+(tables, days, seed, smoke …).  A run whose config differs on a pinned
+key fails with an explicit mismatch — comparing a full run against a
+smoke baseline is a usage error, not a perf regression.  Machine-shaped
+keys (``cores``) are deliberately not pinned.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_scaleout.json \
+        --baseline benchmarks/baselines/scaleout.json
+
+``--write-baseline PATH`` writes a baseline skeleton from the current run
+(exact for integer metrics, ``min_ratio`` 0.5 for floats) for maintainers
+to hand-tune when intentionally moving a baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Supported comparison kinds.
+CHECKS = ("exact", "min_ratio", "max_ratio", "ratio")
+
+
+def compare(name: str, current: float, spec: dict) -> tuple[bool, str]:
+    """One metric's verdict: (ok, human-readable explanation)."""
+    value = spec["value"]
+    check = spec.get("check", "exact")
+    tolerance = float(spec.get("tolerance", 0.0))
+    if check not in CHECKS:
+        return False, f"{name}: unknown check kind {check!r}"
+    if check == "exact":
+        ok = current == value
+        bound = f"== {value}"
+    elif check == "min_ratio":
+        floor = value * (1.0 - tolerance)
+        ok = current >= floor
+        bound = f">= {floor:.6g} ({value} - {tolerance:.0%})"
+    elif check == "max_ratio":
+        ceiling = value * (1.0 + tolerance)
+        ok = current <= ceiling
+        bound = f"<= {ceiling:.6g} ({value} + {tolerance:.0%})"
+    else:  # ratio
+        ok = abs(current - value) <= tolerance * abs(value)
+        bound = f"within ±{tolerance:.0%} of {value}"
+    status = "ok" if ok else "REGRESSION"
+    return ok, f"{name:<30} {current:>14.6g}  {bound:<34} {status}"
+
+
+def check(current: dict, baseline: dict) -> list[str]:
+    """All failures of ``current`` against ``baseline`` (empty = pass)."""
+    failures: list[str] = []
+    current_metrics = current.get("metrics", {})
+    baseline_metrics = baseline.get("metrics", {})
+    if current.get("bench") != baseline.get("bench"):
+        failures.append(
+            f"bench mismatch: run is {current.get('bench')!r}, "
+            f"baseline is {baseline.get('bench')!r}"
+        )
+    current_config = current.get("config", {})
+    mismatched = [
+        f"{key}: run={current_config.get(key)!r} baseline={pinned!r}"
+        for key, pinned in sorted(baseline.get("config", {}).items())
+        if current_config.get(key) != pinned
+    ]
+    if mismatched:
+        failures.append(
+            "config mismatch — run is not comparable to this baseline "
+            f"({'; '.join(mismatched)}); re-run the bench with the "
+            "baseline's configuration or refresh the baseline"
+        )
+        for line in mismatched:
+            print(f"config {line}  MISMATCH")
+        return failures
+    for name, spec in sorted(baseline_metrics.items()):
+        if name not in current_metrics:
+            failures.append(f"{name}: promised by baseline but missing from run")
+            print(f"{name:<30} {'<missing>':>14}  {'':<34} REGRESSION")
+            continue
+        ok, line = compare(name, current_metrics[name], spec)
+        print(line)
+        if not ok:
+            failures.append(line)
+    extras = sorted(set(current_metrics) - set(baseline_metrics))
+    for name in extras:
+        print(f"{name:<30} {current_metrics[name]:>14.6g}  (informational, not gated)")
+    return failures
+
+
+def write_baseline(current: dict, path: str) -> None:
+    """A baseline skeleton from the current run, for hand-tuning."""
+    metrics = {}
+    for name, value in sorted(current.get("metrics", {}).items()):
+        if isinstance(value, int):
+            metrics[name] = {"value": value, "check": "exact"}
+        else:
+            metrics[name] = {"value": value, "check": "min_ratio", "tolerance": 0.5}
+    config = {
+        key: value
+        for key, value in sorted(current.get("config", {}).items())
+        if key != "cores"  # machine-shaped, never pinned
+    }
+    payload = {"bench": current.get("bench"), "config": config, "metrics": metrics}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote baseline skeleton to {path}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="bench JSON produced by a --json run")
+    parser.add_argument("--baseline", help="committed baseline to compare against")
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write a baseline skeleton from the current run and exit",
+    )
+    args = parser.parse_args()
+
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    if args.write_baseline:
+        write_baseline(current, args.write_baseline)
+        return 0
+    if not args.baseline:
+        parser.error("--baseline is required (or use --write-baseline)")
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    print(f"perf-regression gate: {current.get('bench')} vs {args.baseline}")
+    failures = check(current, baseline)
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  FAIL: {failure}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,9 @@ The OODA-structured automatic-compaction framework (§3–§5):
 * **assembly** — :func:`~repro.core.service.openhouse_pipeline` and
   :class:`~repro.core.service.AutoCompService`;
 * **scale-out** — :mod:`repro.core.sharding` (sharded parallel OODA
-  cycles) and :mod:`repro.core.statscache` (incremental observation).
+  cycles), :mod:`repro.core.workers` (process-based shard workers behind
+  picklable work contracts) and :mod:`repro.core.statscache` (incremental
+  observation).
 """
 
 from repro.core.candidates import (
@@ -76,6 +78,15 @@ from repro.core.sharding import (
     split_selector,
 )
 from repro.core.statscache import IndexedCandidateCache, StatsCache
+from repro.core.workers import (
+    WORKER_MODES,
+    CacheDelta,
+    ShardCycleResult,
+    ShardWorkSpec,
+    WorkerPool,
+    process_workers_available,
+    run_shard_work,
+)
 from repro.core.traits import (
     BENEFIT,
     COST,
@@ -101,6 +112,7 @@ __all__ = [
     "CandidateFilter",
     "CandidateKey",
     "CandidateScope",
+    "CacheDelta",
     "CandidateStatistics",
     "CompactionTask",
     "ComputeCostTrait",
@@ -139,6 +151,8 @@ __all__ = [
     "Scheduler",
     "Selector",
     "SequentialScheduler",
+    "ShardCycleResult",
+    "ShardWorkSpec",
     "ShardedCycleReport",
     "ShardedPipeline",
     "SmallFileBytesTrait",
@@ -148,12 +162,16 @@ __all__ = [
     "Trait",
     "TraitRegistry",
     "TuningResult",
+    "WORKER_MODES",
     "WeightLearner",
     "WeightedSumPolicy",
+    "WorkerPool",
     "knee_point",
     "min_max_normalize",
     "openhouse_pipeline",
     "pareto_front",
+    "process_workers_available",
+    "run_shard_work",
     "shard_for_key",
     "split_selector",
 ]

@@ -149,6 +149,21 @@ class CandidateStatistics:
             return 0.0
         return self.small_file_count / self.file_count
 
+    # Statistics cross the shard-worker process boundary
+    # (:mod:`repro.core.workers`), but the frozen ``custom`` mapping is a
+    # ``MappingProxyType``, which pickle rejects; serialize it as a plain
+    # dict and re-freeze on the way back in.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["custom"] = dict(state["custom"])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        custom = state["custom"]
+        state["custom"] = MappingProxyType(custom) if custom else _EMPTY_CUSTOM
+        # Frozen dataclass: restore through __dict__, not __setattr__.
+        self.__dict__.update(state)
+
     @classmethod
     def build_unchecked(
         cls,

@@ -49,6 +49,14 @@ class Connector(abc.ABC):
     #: candidates that already carry every registered trait.
     reuses_candidates = False
 
+    #: True when this connector can split observation into local cache
+    #: hits plus a *picklable* :class:`~repro.core.workers.ShardWorkSpec`
+    #: (:meth:`export_shard_work` / :meth:`merge_shard_result`) — the
+    #: contract process-mode shard workers require.  Connectors whose
+    #: observation reads live, unpicklable state (e.g. a catalog of open
+    #: tables) leave this False and stay on the thread-pool fallback.
+    supports_worker_observe = False
+
     @abc.abstractmethod
     def list_candidates(self, strategy: str = "table") -> list[CandidateKey]:
         """Generate candidate keys under a generation strategy.
@@ -87,6 +95,51 @@ class Connector(abc.ABC):
         """Write-event hook: evict ``key``'s table from the stats cache."""
         if self.stats_cache is not None:
             self.stats_cache.invalidate(key)
+
+    # --- process-mode shard-worker contract ---------------------------------
+    #
+    # The scale-out control plane's process workers cannot touch this
+    # connector's live state; instead the coordinator asks it to (a) resolve
+    # cache hits locally and snapshot the miss inputs into a picklable
+    # spec, then (b) merge the worker's result — candidates plus a cache
+    # delta — back in.  Only connectors declaring
+    # ``supports_worker_observe`` implement the pair.
+
+    def export_shard_work(self, keys: list[CandidateKey], shard_index: int, traits):
+        """Split ``keys`` into local hits and a picklable miss spec.
+
+        Args:
+            keys: the shard's candidate keys, in generation order.
+            shard_index: which shard the work belongs to.
+            traits: the shard pipeline's
+                :class:`~repro.core.traits.TraitRegistry` (shipped in the
+                spec — workers orient what they observe).
+
+        Returns:
+            ``(placed, spec)`` — ``placed`` is a candidate list with
+            ``None`` holes at miss positions, ``spec`` the
+            :class:`~repro.core.workers.ShardWorkSpec` covering the holes
+            in order (``None`` when everything hit).
+
+        Raises:
+            ValidationError: connectors without worker-observe support.
+        """
+        raise ValidationError(
+            f"{type(self).__name__} cannot export shard work for process "
+            "workers (supports_worker_observe is False); run the sharded "
+            "pipeline with workers='threads'"
+        )
+
+    def merge_shard_result(self, placed: list, result) -> list[Candidate]:
+        """Fill ``placed``'s holes from a worker result and merge its cache delta.
+
+        Raises:
+            ValidationError: connectors without worker-observe support.
+        """
+        raise ValidationError(
+            f"{type(self).__name__} cannot merge shard worker results "
+            "(supports_worker_observe is False)"
+        )
 
 
 class LstConnector(Connector):

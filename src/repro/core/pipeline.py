@@ -179,12 +179,29 @@ class AutoCompPipeline:
         concurrently by different shards.
         """
         candidates = self.connector.observe(keys)
+        return self.orient(
+            candidates, now, report, only_missing=self.connector.reuses_candidates
+        )
+
+    def orient(
+        self,
+        candidates: list[Candidate],
+        now: float,
+        report: CycleReport | None = None,
+        only_missing: bool = True,
+    ) -> list[Candidate]:
+        """Orient phase over already observed candidates: filter, annotate, filter.
+
+        Split out of :meth:`observe_orient` for callers that observe
+        elsewhere — the process-mode sharded control plane receives
+        observed *and* trait-annotated candidates back from shard workers
+        and only needs the filter passes here (``only_missing=True`` then
+        skips the already-annotated candidates).
+        """
         candidates = apply_filters(self.stats_filters, candidates, now)
         if report is not None:
             report.after_stats_filters = len(candidates)
-        self.traits.annotate_all(
-            candidates, only_missing=self.connector.reuses_candidates
-        )
+        self.traits.annotate_all(candidates, only_missing=only_missing)
         candidates = apply_filters(self.trait_filters, candidates, now)
         if report is not None:
             report.after_trait_filters = len(candidates)

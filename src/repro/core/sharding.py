@@ -9,8 +9,11 @@ per-shard :class:`~repro.core.pipeline.AutoCompPipeline` instances:
   (:func:`shard_for_key` — a stable content hash, so a key lands on the
   same shard in every cycle and every process);
 * each shard runs the expensive **observe/orient** phases over only its
-  slice, optionally on a thread pool and optionally backed by an
-  incremental :class:`~repro.core.statscache.StatsCache`;
+  slice — inline, on a persistent thread pool, or (for connectors that can
+  export picklable :class:`~repro.core.workers.ShardWorkSpec` snapshots)
+  on a persistent **process pool** that sidesteps the GIL for CPU-bound
+  observation — optionally backed by an incremental
+  :class:`~repro.core.statscache.StatsCache`;
 * the **decide** phase runs either globally (``selection="global"``:
   per-shard candidates are merged back into generation order and ranked
   once, making the merged cycle *exactly* equivalent to an unsharded one)
@@ -38,6 +41,7 @@ from repro.core.candidates import Candidate, CandidateKey
 from repro.core.pipeline import AutoCompPipeline, CycleReport
 from repro.core.ranking import RankingPolicy
 from repro.core.selection import AllSelector, BudgetSelector, Selector, TopKSelector
+from repro.core.workers import WORKER_MODES, WorkerPool, run_shard_work
 from repro.errors import ValidationError
 from repro.simulation.simulator import Simulator
 from repro.simulation.telemetry import Telemetry
@@ -149,10 +153,22 @@ class ShardedPipeline:
             policies (every built-in policy normalises over the candidate
             *set* and ends in a key-tie-broken total-order sort, so input
             order never matters).
-        max_workers: observe/orient thread-pool width; defaults to
+        workers: observe/orient execution mode — ``"threads"`` (the
+            default: a persistent thread pool, works with any connector,
+            overlaps numpy-released work) or ``"processes"`` (a persistent
+            process pool for true multi-core CPU-bound observation; every
+            shard connector must declare
+            :attr:`~repro.core.connectors.Connector.supports_worker_observe`,
+            i.e. be able to export picklable shard work).  Both modes
+            produce byte-identical cycle reports for the same inputs.
+        max_workers: pool width; defaults to
             ``min(len(shards), cpu_count)``; 1 runs shards inline.
         telemetry: fleet-level metric sink (per-shard metrics are recorded
             under ``autocomp.shard<i>`` scopes of this sink).
+
+    The pool is part of the pipeline's lifecycle: spawned lazily on the
+    first concurrent cycle, reused by every later cycle, and shut down by
+    :meth:`close` (the pipeline is also a context manager).
     """
 
     def __init__(
@@ -163,6 +179,7 @@ class ShardedPipeline:
         generation: str | None = None,
         selection: str = "global",
         merge_order: str = "generation",
+        workers: str = "threads",
         max_workers: int | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
@@ -176,17 +193,39 @@ class ShardedPipeline:
             raise ValidationError(
                 f"unknown merge order {merge_order!r}; expected 'generation' or 'any'"
             )
+        if workers not in WORKER_MODES:
+            raise ValidationError(
+                f"unknown worker mode {workers!r}; expected one of {WORKER_MODES}"
+            )
         self.merge_order = merge_order
         self.shards = list(shards)
         self.policy = policy if policy is not None else self.shards[0].policy
         self.selector = selector if selector is not None else self.shards[0].selector
         self.generation = generation if generation is not None else self.shards[0].generation
         self.selection = selection
+        if workers == "processes":
+            unsupported = [
+                type(shard.connector).__name__
+                for shard in self.shards
+                if not shard.connector.supports_worker_observe
+            ]
+            if unsupported:
+                raise ValidationError(
+                    "workers='processes' needs every shard connector to "
+                    "support worker observation (export picklable shard "
+                    f"work); these do not: {sorted(set(unsupported))}. "
+                    "Use the thread-pool fallback (workers='threads')."
+                )
+        self.workers = workers
         if max_workers is None:
             max_workers = min(len(self.shards), os.cpu_count() or 1)
         if max_workers <= 0:
             raise ValidationError("max_workers must be positive")
         self.max_workers = max_workers
+        # Persistent worker pool (satellite of the same lifecycle bug: a
+        # fresh executor per cycle pays spawn cost every cycle).  Spawned
+        # lazily — single-shard or inline pipelines never start one.
+        self._pool = WorkerPool(mode=workers, max_workers=max_workers)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._shard_telemetry = [
             self.telemetry.scoped(f"autocomp.shard{i:02d}") for i in range(len(self.shards))
@@ -212,6 +251,21 @@ class ShardedPipeline:
     def n_shards(self) -> int:
         """Number of shards."""
         return len(self.shards)
+
+    def close(self) -> None:
+        """Shut the shard worker pool down (idempotent).
+
+        Call when the pipeline is done (or use the pipeline as a context
+        manager); a garbage-collected pipeline's pool is also shut down by
+        its finalizer, so forgotten pipelines never strand processes.
+        """
+        self._pool.close()
+
+    def __enter__(self) -> "ShardedPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _shard_for(self, key: CandidateKey) -> int:
         memo = self._shard_of
@@ -330,6 +384,12 @@ class ShardedPipeline:
         shard_reports: list[CycleReport],
         now: float,
     ) -> tuple[list[list[Candidate]], list[float]]:
+        if (
+            self.workers == "processes"
+            and self.max_workers > 1
+            and len(self.shards) > 1
+        ):
+            return self._observe_processes(shard_keys, shard_reports, now)
         observe_wall = [0.0] * len(self.shards)
 
         def observe(i: int) -> list[Candidate]:
@@ -340,12 +400,64 @@ class ShardedPipeline:
 
         indices = range(len(self.shards))
         if self.max_workers > 1 and len(self.shards) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                per_shard = list(pool.map(observe, indices))
+            per_shard = self._pool.run_tasks(
+                [lambda i=i: observe(i) for i in indices]
+            )
         else:
             per_shard = [observe(i) for i in indices]
+        return per_shard, observe_wall
+
+    def _observe_processes(
+        self,
+        shard_keys: list[list[CandidateKey]],
+        shard_reports: list[CycleReport],
+        now: float,
+    ) -> tuple[list[list[Candidate]], list[float]]:
+        """Observe/orient on the process pool.
+
+        Three steps per shard: the *coordinator* resolves cache hits and
+        snapshots the misses into a picklable
+        :class:`~repro.core.workers.ShardWorkSpec`; a *worker process*
+        builds statistics and traits for the misses; the coordinator
+        merges the result — filling the miss holes and replaying the
+        worker's cache delta so invalidation tokens survive the round
+        trip — then runs the (cheap) filter passes locally.  Every value
+        is produced by the same code paths as thread mode, so the two
+        modes' cycle reports are byte-identical.
+
+        Shards with no misses skip the pool entirely (their wall time is
+        the local hit-resolution cost, effectively the thread-mode
+        number for a fully warm cycle).
+        """
+        observe_wall = [0.0] * len(self.shards)
+        placed_specs = []
+        futures = {}
+        for i, shard in enumerate(self.shards):
+            start = time.perf_counter()
+            placed, spec = shard.connector.export_shard_work(
+                shard_keys[i], i, shard.traits
+            )
+            observe_wall[i] = time.perf_counter() - start
+            placed_specs.append((placed, spec))
+            if spec is not None:
+                # Submit immediately: shard 0's workers compute while later
+                # shards are still exporting.
+                futures[i] = self._pool.submit(run_shard_work, spec)
+        per_shard: list[list[Candidate]] = []
+        for i, shard in enumerate(self.shards):
+            placed, spec = placed_specs[i]
+            if spec is None:
+                candidates = [c for c in placed if c is not None]
+            else:
+                result = futures[i].result()
+                observe_wall[i] += result.observe_wall_s
+                start = time.perf_counter()
+                candidates = shard.connector.merge_shard_result(placed, result)
+                observe_wall[i] += time.perf_counter() - start
+            candidates = shard.orient(
+                candidates, now, shard_reports[i], only_missing=True
+            )
+            per_shard.append(candidates)
         return per_shard, observe_wall
 
     def _decide_global(

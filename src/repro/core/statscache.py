@@ -158,6 +158,32 @@ class StatsCache:
         self.invalidations += 1
         return True
 
+    def apply_delta(self, delta, statistics: list[CandidateStatistics]) -> int:
+        """Merge a shard worker's :class:`~repro.core.workers.CacheDelta`.
+
+        Process-mode shard workers observe in another address space, so
+        their cache writes would be lost with the worker's memory;
+        replaying the delta here keeps invalidation tokens alive across
+        the round trip — the next cycle's lookups hit exactly as if the
+        observation had happened in-process.
+
+        Args:
+            delta: slots are :class:`~repro.core.candidates.CandidateKey`
+                objects for this key-hashed cache.
+            statistics: position-aligned statistics to store.
+
+        Returns:
+            Entries written.
+        """
+        if len(delta.slots) != len(statistics):
+            raise ValidationError(
+                f"cache delta has {len(delta.slots)} slots for "
+                f"{len(statistics)} statistics"
+            )
+        for key, token, stats in zip(delta.slots, delta.tokens, statistics):
+            self.put(key, stats, now=delta.stored_at, token=token)
+        return len(statistics)
+
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
         self._entries.clear()
@@ -296,6 +322,27 @@ class IndexedCandidateCache:
         self._candidates[index] = candidate
         self._tokens[index] = token
         self._stored_at[index] = now
+
+    def apply_delta(self, delta, candidates: list[Candidate]) -> int:
+        """Merge a shard worker's :class:`~repro.core.workers.CacheDelta`.
+
+        The dense counterpart of :meth:`StatsCache.apply_delta`: slots are
+        integer indices and the stored value is the whole oriented
+        candidate, so after the merge the next cycle reuses the worker's
+        observation *and* its trait computation.  Shards own disjoint index
+        slices, so concurrent merges never race on a slot.
+
+        Returns:
+            Entries written.
+        """
+        if len(delta.slots) != len(candidates):
+            raise ValidationError(
+                f"cache delta has {len(delta.slots)} slots for "
+                f"{len(candidates)} candidates"
+            )
+        for index, token, candidate in zip(delta.slots, delta.tokens, candidates):
+            self.put(index, candidate, now=delta.stored_at, token=token)
+        return len(candidates)
 
     def invalidate_index(self, index: int) -> bool:
         """Write-event eviction; returns whether an entry existed."""

@@ -1,0 +1,356 @@
+"""Shard workers: the process boundary of the scale-out control plane.
+
+The sharded control plane (:mod:`repro.core.sharding`) partitions the
+observe/orient work of one OODA cycle across shards.  Threads overlap the
+numpy-released portions of that work, but CPU-bound statistics
+construction and trait math serialize on the GIL — so true multi-core
+cycles need shard work to cross a *process* boundary, and everything that
+crosses must become an explicit, versioned, picklable contract:
+
+* :class:`ShardWorkSpec` — one shard's unit of work: the candidate keys
+  that missed the coordinator's stats cache, a picklable **connector
+  snapshot** (parallel columns of observation inputs, e.g. a
+  :meth:`~repro.fleet.model.ObserveView.take` slice), the cache slot
+  indices and freshness **tokens** those keys map to, and the orient-phase
+  trait registry;
+* :class:`ShardCycleResult` — what comes back: fully observed *and*
+  oriented candidates plus a :class:`CacheDelta`, so the coordinator's
+  :class:`~repro.core.statscache.StatsCache` /
+  :class:`~repro.core.statscache.IndexedCandidateCache` learn the worker's
+  observations instead of silently dropping them (the next cycle stays
+  O(dirty tables) in every worker mode);
+* :func:`run_shard_work` — the module-level worker entry point (process
+  pools can only ship module-level callables).
+
+Only the *miss* slice crosses the boundary: the coordinator resolves cache
+hits locally (a token compare per key), so steady-state specs stay small.
+The decide phase never leaves the coordinator — global selection must see
+every shard's survivors at once, which is also what keeps process- and
+thread-mode cycle reports byte-identical (property-tested).
+
+:class:`WorkerPool` is the persistent executor behind both the sharded
+pipeline and the Policy Lab's what-if sweeps
+(:class:`~repro.replay.whatif.WhatIfRunner`): spawned once, reused across
+cycles to amortize fork/spawn cost, shut down via :meth:`WorkerPool.close`
+(or a ``weakref`` finalizer if the owner is garbage-collected first).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+import time
+import weakref
+from concurrent.futures import Executor, Future
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.candidates import Candidate, CandidateKey, CandidateStatistics
+from repro.core.traits import TraitRegistry
+from repro.errors import ValidationError
+
+#: Supported shard-worker execution modes.  ``threads`` is the default —
+#: it needs no picklable connector snapshot and works on every platform;
+#: ``processes`` is the true multi-core mode for CPU-bound observe work.
+WORKER_MODES = ("threads", "processes")
+
+#: Contract version stamped on every spec/result; a coordinator refuses a
+#: result whose version it does not understand (mixed-version pools after
+#: an upgrade must fail loudly, not corrupt caches).
+WORK_SPEC_VERSION = 1
+
+#: Column names a :class:`ShardWorkSpec` snapshot must carry — exactly the
+#: per-candidate inputs of
+#: :meth:`~repro.core.candidates.CandidateStatistics.build_unchecked`
+#: (``target_file_size`` is a scalar on the spec).
+SPEC_COLUMNS = (
+    "file_count",
+    "total_bytes",
+    "small_file_count",
+    "small_file_bytes",
+    "partition_count",
+    "created_at",
+    "last_modified_at",
+    "quota_utilization",
+)
+
+
+def process_workers_available() -> bool:
+    """Whether this platform can run process-mode shard workers safely.
+
+    Process mode leans on ``fork`` so workers inherit the imported modules
+    (spawn/forkserver re-import the world — and re-run ``__main__`` — per
+    worker, which both dwarfs a cycle and breaks script/REPL callers).
+    Restricted to Linux: macOS exposes ``os.fork`` but forking after any
+    thread has started crashes in system frameworks, and Windows has no
+    fork at all — both stay on the thread-pool fallback.  Forked children
+    here only ever touch the pool's own freshly created pipes/queues (the
+    classic fork-after-threads deadlocks involve re-using the parent's
+    locked state, which :func:`run_shard_work` never does).
+    """
+    return sys.platform.startswith("linux") and hasattr(os, "fork")
+
+
+def burn_cpu(units: int, seed: bytes = b"observe") -> int:
+    """Deterministically burn ``units`` rounds of CPU; returns a checksum.
+
+    Emulates the statistics-collection cost a real connector pays per
+    candidate (manifest parsing, file listing, column-stat decoding) that
+    the in-memory fleet model skips.  Pure CPU with no allocation, so it
+    holds the GIL — which is the point: it makes observe workloads
+    CPU-bound the way production ones are, letting benchmarks compare
+    worker modes honestly.
+    """
+    digest = seed
+    for _ in range(max(units, 0)):
+        digest = hashlib.blake2b(digest, digest_size=16).digest()
+    return digest[0]
+
+
+@dataclass(frozen=True)
+class CacheDelta:
+    """A worker's cache updates, replayed into the coordinator's cache.
+
+    Position-aligned with the result's candidates: entry ``i`` says "store
+    candidate ``i`` under slot ``slots[i]`` with freshness ``tokens[i]``,
+    observed at ``stored_at``".  Slots are dense integers for
+    :class:`~repro.core.statscache.IndexedCandidateCache` and
+    :class:`~repro.core.candidates.CandidateKey` objects for the key-hashed
+    :class:`~repro.core.statscache.StatsCache`.
+    """
+
+    slots: tuple = ()
+    tokens: tuple = ()
+    stored_at: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+@dataclass(frozen=True)
+class ShardWorkSpec:
+    """One shard's picklable unit of observe/orient work.
+
+    Attributes:
+        version: contract version (:data:`WORK_SPEC_VERSION`).
+        shard_index: which shard this work belongs to.
+        keys: candidate keys that missed the coordinator's cache, in
+            generation order.
+        columns: the connector snapshot — name → per-key tuple for every
+            :data:`SPEC_COLUMNS` name.
+        slots: cache slot per key (int index or the key itself).
+        tokens: freshness token per key (what the cache delta stores, so
+            invalidation state survives the round trip).
+        target_file_size: scalar compaction target for every key.
+        now: observation time (stamped on the cache delta).
+        traits: the orient-phase registry (applied in the worker — trait
+            math is the CPU-bound half of orientation).
+        observe_cost: per-candidate CPU units handed to :func:`burn_cpu`,
+            emulating real statistics-collection cost.
+    """
+
+    shard_index: int
+    keys: tuple[CandidateKey, ...]
+    columns: dict[str, tuple]
+    slots: tuple
+    tokens: tuple
+    target_file_size: int
+    now: float
+    traits: TraitRegistry
+    observe_cost: int = 0
+    version: int = WORK_SPEC_VERSION
+
+    def __post_init__(self) -> None:
+        missing = [name for name in SPEC_COLUMNS if name not in self.columns]
+        if missing:
+            raise ValidationError(f"shard work spec missing columns: {missing}")
+        n = len(self.keys)
+        bad = [
+            name for name in SPEC_COLUMNS if len(self.columns[name]) != n
+        ]
+        if bad or len(self.slots) != n or len(self.tokens) != n:
+            raise ValidationError(
+                f"shard work spec columns/slots/tokens must all have {n} rows "
+                f"(mismatched: {bad or 'slots/tokens'})"
+            )
+
+
+@dataclass
+class ShardCycleResult:
+    """What one shard worker sends back across the process boundary.
+
+    Attributes:
+        version: contract version (must match the coordinator's).
+        shard_index: echo of the spec's shard.
+        candidates: observed + oriented candidates, in spec key order.
+        cache_delta: the cache updates the coordinator merges (see
+            :class:`CacheDelta`); without it, process-mode cycles would
+            re-observe every table every cycle.
+        observe_wall_s: wall-clock seconds the worker spent.
+    """
+
+    shard_index: int
+    candidates: list[Candidate] = field(default_factory=list)
+    cache_delta: CacheDelta = field(default_factory=CacheDelta)
+    observe_wall_s: float = 0.0
+    version: int = WORK_SPEC_VERSION
+
+
+def run_shard_work(spec: ShardWorkSpec) -> ShardCycleResult:
+    """Worker entry point: observe + orient one spec's candidates.
+
+    Module-level so process pools can pickle it.  Statistics go through
+    the same trusted constructor as the in-process fast path and traits
+    through the same registry batch compute, so the returned candidates
+    are value-identical to thread-mode observation of the same inputs —
+    the foundation of the modes' byte-identical cycle reports.
+    """
+    if spec.version != WORK_SPEC_VERSION:
+        raise ValidationError(
+            f"shard work spec version {spec.version} != {WORK_SPEC_VERSION} "
+            "(coordinator and workers must run the same build)"
+        )
+    start = time.perf_counter()
+    build = CandidateStatistics.build_unchecked
+    columns = spec.columns
+    target = spec.target_file_size
+    files = columns["file_count"]
+    total_b = columns["total_bytes"]
+    small = columns["small_file_count"]
+    small_b = columns["small_file_bytes"]
+    partitions = columns["partition_count"]
+    created = columns["created_at"]
+    modified = columns["last_modified_at"]
+    quota = columns["quota_utilization"]
+    cost = spec.observe_cost
+    candidates: list[Candidate] = []
+    append = candidates.append
+    for i, key in enumerate(spec.keys):
+        if cost:
+            burn_cpu(cost, str(key).encode("utf-8"))
+        stats = build(
+            file_count=files[i],
+            total_bytes=total_b[i],
+            small_file_count=small[i],
+            small_file_bytes=small_b[i],
+            target_file_size=target,
+            partition_count=partitions[i],
+            created_at=created[i],
+            last_modified_at=modified[i],
+            quota_utilization=quota[i],
+        )
+        append(Candidate(key=key, statistics=stats))
+    spec.traits.annotate_all(candidates)
+    return ShardCycleResult(
+        shard_index=spec.shard_index,
+        candidates=candidates,
+        cache_delta=CacheDelta(
+            slots=spec.slots, tokens=spec.tokens, stored_at=spec.now
+        ),
+        observe_wall_s=time.perf_counter() - start,
+    )
+
+
+def _shutdown_executor(executor: Executor) -> None:
+    """Finalizer target: must not capture the owning pool (GC safety)."""
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+class WorkerPool:
+    """A persistent thread- or process-backed executor with one lifecycle.
+
+    Construction is cheap — the underlying executor spawns lazily on first
+    use and is then *reused* across cycles (spawning a process pool per
+    cycle costs more than many cycles' work).  Owners call :meth:`close`
+    when done; a ``weakref`` finalizer backstops owners that forget, so
+    garbage-collected pools never strand worker processes.
+
+    Args:
+        mode: one of :data:`WORKER_MODES`.
+        max_workers: executor width.
+    """
+
+    def __init__(self, mode: str = "threads", max_workers: int = 1) -> None:
+        if mode not in WORKER_MODES:
+            raise ValidationError(
+                f"unknown worker mode {mode!r}; expected one of {WORKER_MODES}"
+            )
+        if max_workers <= 0:
+            raise ValidationError(f"max_workers must be positive, got {max_workers}")
+        if mode == "processes" and not process_workers_available():
+            raise ValidationError(
+                "process workers need fork on Linux; use the thread-pool "
+                "fallback (mode='threads') on this platform"
+            )
+        self.mode = mode
+        self.max_workers = max_workers
+        self._executor: Executor | None = None
+        self._finalizer: weakref.finalize | None = None
+
+    @property
+    def started(self) -> bool:
+        """Whether the underlying executor has been spawned."""
+        return self._executor is not None
+
+    def _ensure(self) -> Executor:
+        executor = self._executor
+        if executor is None:
+            if self.mode == "processes":
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            else:
+                from concurrent.futures import ThreadPoolExecutor
+
+                executor = ThreadPoolExecutor(max_workers=self.max_workers)
+            self._executor = executor
+            self._finalizer = weakref.finalize(self, _shutdown_executor, executor)
+        return executor
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
+        """Submit one task (spawning the executor on first use)."""
+        return self._ensure().submit(fn, *args, **kwargs)
+
+    def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        """Run ``fn`` over ``items``, results in submission order.
+
+        Results are assembled in input order regardless of completion
+        order, so callers' outputs stay deterministic whatever the pool
+        width.
+        """
+        futures = [self.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+    def run_tasks(self, thunks: Sequence[Callable[[], object]]) -> list:
+        """Run zero-argument callables, results in submission order.
+
+        Thread mode only: closures cannot cross a process boundary, which
+        is exactly the constraint the spec/result contracts exist to lift.
+        """
+        if self.mode == "processes":
+            raise ValidationError(
+                "process pools cannot run closures; submit a module-level "
+                "function with a picklable spec instead"
+            )
+        futures = [self._ensure().submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; waits for running work)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

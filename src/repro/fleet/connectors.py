@@ -29,6 +29,12 @@ from repro.core.scheduling import (
     PreparedJob,
 )
 from repro.core.statscache import IndexedCandidateCache
+from repro.core.workers import (
+    WORK_SPEC_VERSION,
+    ShardCycleResult,
+    ShardWorkSpec,
+    burn_cpu,
+)
 from repro.errors import ValidationError
 from repro.fleet.model import FleetModel
 from repro.units import DAY
@@ -80,20 +86,34 @@ class FleetConnector(Connector):
     never change), so steady-state generation allocates no new key objects.
     """
 
+    #: Observation state is exportable as picklable column slices, so this
+    #: connector can feed process-mode shard workers.
+    supports_worker_observe = True
+
     def __init__(
         self,
         model: FleetModel,
         min_small_files: int = 1,
         stats_cache: IndexedCandidateCache | None = None,
+        observe_cost: int = 0,
     ) -> None:
         if stats_cache is not None and not isinstance(stats_cache, IndexedCandidateCache):
             raise ValidationError(
                 "FleetConnector takes the index-addressed cache "
                 f"(IndexedCandidateCache), got {type(stats_cache).__name__}"
             )
+        if observe_cost < 0:
+            raise ValidationError(f"observe_cost must be >= 0, got {observe_cost}")
         self.model = model
         self.min_small_files = min_small_files
         self.stats_cache = stats_cache
+        #: Per-candidate CPU units burned on every statistics (re)build
+        #: (:func:`~repro.core.workers.burn_cpu`), emulating the
+        #: collection cost — manifest parsing, file listing — a live
+        #: connector pays.  Applied identically on the in-process and
+        #: worker-process observe paths, so worker-mode comparisons stay
+        #: honest.  0 (the default) disables the emulation entirely.
+        self.observe_cost = observe_cost
         #: Interned keys by table index (None = not yet built).
         self._keys_by_index: list[CandidateKey | None] = []
         #: Consistent-hash digests per table index (uint64; grown lazily).
@@ -194,45 +214,51 @@ class FleetConnector(Connector):
             ]
         return self._observe_incremental(keys)
 
-    def _observe_incremental(self, keys: list[CandidateKey]) -> list[Candidate]:
-        """Cache-first observation: only dirty tables rebuild statistics.
+    def _split_cache_hits(
+        self, keys: list[CandidateKey], indices: list[int], view, now: float
+    ) -> tuple[list[Candidate | None], list[CandidateKey], list[int]]:
+        """The single source of the cache hit-validity rule.
 
-        The validity check runs inline over the cache's slot lists (one
-        list index + compare per key), stale slots reuse their Candidate
-        object (statistics swapped, traits cleared for re-orientation),
-        and fresh statistics come from the model's per-cycle
-        :meth:`~repro.fleet.model.FleetModel.observe_view` — plain list
-        reads shared across every shard of a sharded cycle.
+        A key is served from cache iff its slot's freshness token is
+        within ``version_slack`` of the live version *and* the entry is
+        younger than the TTL; hits get their database-level quota
+        re-stamped in place (it drifts while the table stays clean), so
+        cached observations stay exactly equal to fresh ones.  The
+        shipped traits read only per-table file statistics — custom
+        traits that read quota_utilization should not be combined with a
+        stats cache.
+
+        Shared by the in-process observe path and the process-worker
+        export, so the two can never disagree about which keys need
+        rebuilding — the worker modes' byte-identical cycle reports
+        depend on exactly that.
+
+        Returns:
+            ``(placed, miss_keys, miss_indices, miss_positions)`` —
+            ``placed`` holds the hit candidates with ``None`` holes at
+            miss positions; the three miss lists describe the holes in
+            order (keys, table indices, and positions within ``placed``).
         """
-        model = self.model
+        count = self.model.count
         cache = self.stats_cache
-        count = model.count
-        now = float(model.day) * DAY
-        ttl = cache.ttl_s
-        slack = cache.version_slack
+        placed: list[Candidate | None] = [None] * len(keys)
+        miss_keys: list[CandidateKey] = []
+        miss_indices: list[int] = []
+        miss_positions: list[int] = []
+        if cache is None:
+            for index in indices:
+                if not 0 <= index < count:
+                    raise ValidationError(f"fleet table index {index} out of range")
+            return placed, list(keys), list(indices), list(range(len(keys)))
         cache.ensure_capacity(count)
         slots = cache.candidates
         tokens = cache.tokens
         stored_ats = cache.stored_ats
-        view = model.observe_view()
-        versions = view.versions
-        target = model.config.target_file_size
-        build = CandidateStatistics.build_unchecked
-        files, total_b = view.files, view.total_bytes
-        small, small_b = view.small_files, view.small_bytes
-        created, modified, quota = view.created_s, view.modified_s, view.quota
-        # Observing our own most recent listing (the common cycle path):
-        # its index list is already resolved.
-        last = self._last_listing
-        if last is not None and keys is last[0]:
-            indices = last[1]
-        else:
-            indices = [_index_for_key(key) for key in keys]
-        candidates: list[Candidate] = []
-        append = candidates.append
+        ttl = cache.ttl_s
+        slack = cache.version_slack
+        versions, quota = view.versions, view.quota
         hits = 0
-        misses = 0
-        for key, index in zip(keys, indices):
+        for pos, (key, index) in enumerate(zip(keys, indices)):
             if not 0 <= index < count:
                 raise ValidationError(f"fleet table index {index} out of range")
             candidate = slots[index]
@@ -242,19 +268,51 @@ class FleetConnector(Connector):
                 and now - stored_ats[index] < ttl
             ):
                 hits += 1
-                # Quota is database-level, so it drifts even while the
-                # table itself is clean; re-stamp it in place so cached
-                # observations stay exactly equal to fresh ones.  The
-                # shipped traits read only per-table file statistics —
-                # custom traits that read quota_utilization should not be
-                # combined with a stats cache.
                 stats = candidate.statistics
                 fresh_quota = quota[index]
                 if stats.quota_utilization != fresh_quota:
                     object.__setattr__(stats, "quota_utilization", fresh_quota)
-                append(candidate)
-                continue
-            misses += 1
+                placed[pos] = candidate
+            else:
+                miss_keys.append(key)
+                miss_indices.append(index)
+                miss_positions.append(pos)
+        cache.record_lookups(hits, len(miss_keys))
+        return placed, miss_keys, miss_indices, miss_positions
+
+    def _observe_incremental(self, keys: list[CandidateKey]) -> list[Candidate]:
+        """Cache-first observation: only dirty tables rebuild statistics.
+
+        The hit pass (:meth:`_split_cache_hits`) runs inline over the
+        cache's slot lists (one list index + compare per key); stale slots
+        reuse their Candidate object (statistics swapped, traits cleared
+        for re-orientation), and fresh statistics come from the model's
+        per-cycle :meth:`~repro.fleet.model.FleetModel.observe_view` —
+        plain list reads shared across every shard of a sharded cycle.
+        """
+        model = self.model
+        cache = self.stats_cache
+        now = float(model.day) * DAY
+        view = model.observe_view()
+        indices = self._resolve_indices(keys)
+        placed, miss_keys, miss_indices, miss_positions = self._split_cache_hits(
+            keys, indices, view, now
+        )
+        if not miss_keys:
+            return placed  # type: ignore[return-value] — no holes
+        slots = cache.candidates
+        tokens = cache.tokens
+        stored_ats = cache.stored_ats
+        versions = view.versions
+        target = model.config.target_file_size
+        build = CandidateStatistics.build_unchecked
+        files, total_b = view.files, view.total_bytes
+        small, small_b = view.small_files, view.small_bytes
+        created, modified, quota = view.created_s, view.modified_s, view.quota
+        observe_cost = self.observe_cost
+        for key, index, pos in zip(miss_keys, miss_indices, miss_positions):
+            if observe_cost:
+                burn_cpu(observe_cost, str(key).encode("utf-8"))
             stats = build(
                 file_count=files[index],
                 total_bytes=total_b[index],
@@ -266,24 +324,110 @@ class FleetConnector(Connector):
                 last_modified_at=modified[index],
                 quota_utilization=quota[index],
             )
-            if candidate is not None:
+            stale = slots[index]
+            if stale is not None:
                 # Reuse the stale candidate in place: new statistics,
                 # traits dropped so orient recomputes them.
-                candidate.statistics = stats
-                candidate.traits.clear()
+                stale.statistics = stats
+                stale.traits.clear()
+                candidate = stale
             else:
                 candidate = Candidate(key=key, statistics=stats)
                 slots[index] = candidate
             tokens[index] = versions[index]
             stored_ats[index] = now
-            append(candidate)
-        cache.record_lookups(hits, misses)
-        return candidates
+            placed[pos] = candidate
+        return placed  # type: ignore[return-value] — all holes filled
+
+    def _resolve_indices(self, keys: list[CandidateKey]) -> list[int]:
+        """Table indices for ``keys``.
+
+        Observing our own most recent listing (the common cycle path) skips
+        per-key resolution: the listing's index list is already computed.
+        """
+        last = self._last_listing
+        if last is not None and keys is last[0]:
+            return last[1]
+        return [_index_for_key(key) for key in keys]
+
+    # --- process-mode shard workers ---------------------------------------------
+
+    def export_shard_work(
+        self, keys: list[CandidateKey], shard_index: int, traits
+    ) -> tuple[list[Candidate | None], ShardWorkSpec | None]:
+        """Resolve cache hits locally; snapshot the misses into a picklable spec.
+
+        The hit pass *is* :meth:`_split_cache_hits` — the same code the
+        in-process path runs — so a key is shipped to a worker if and only
+        if :meth:`_observe_incremental` would have rebuilt it.  The spec's
+        columns are plain-list slices of the memoised
+        :meth:`~repro.fleet.model.FleetModel.observe_view` — only the dirty
+        rows cross the process boundary.
+        """
+        model = self.model
+        now = float(model.day) * DAY
+        view = model.observe_view()
+        indices = self._resolve_indices(keys)
+        placed, miss_keys, miss_indices, _ = self._split_cache_hits(
+            keys, indices, view, now
+        )
+        if not miss_keys:
+            return placed, None
+        sliced = view.take(miss_indices)
+        spec = ShardWorkSpec(
+            shard_index=shard_index,
+            keys=tuple(miss_keys),
+            columns={
+                "file_count": tuple(sliced.files),
+                "total_bytes": tuple(sliced.total_bytes),
+                "small_file_count": tuple(sliced.small_files),
+                "small_file_bytes": tuple(sliced.small_bytes),
+                "partition_count": (1,) * len(miss_keys),
+                "created_at": tuple(sliced.created_s),
+                "last_modified_at": tuple(sliced.modified_s),
+                "quota_utilization": tuple(sliced.quota),
+            },
+            slots=tuple(miss_indices),
+            tokens=tuple(sliced.versions),
+            target_file_size=model.config.target_file_size,
+            now=now,
+            traits=traits,
+            observe_cost=self.observe_cost,
+        )
+        return placed, spec
+
+    def merge_shard_result(
+        self, placed: list[Candidate | None], result: ShardCycleResult
+    ) -> list[Candidate]:
+        """Fill the miss holes from a worker's result; replay its cache delta.
+
+        Applying the delta is what keeps process-mode cycles incremental:
+        the worker's freshness tokens land in the coordinator's cache, so
+        the next cycle's hit pass sees the observation as if it had
+        happened here.
+        """
+        if result.version != WORK_SPEC_VERSION:
+            raise ValidationError(
+                f"shard result version {result.version} != {WORK_SPEC_VERSION} "
+                "(coordinator and workers must run the same build)"
+            )
+        holes = sum(1 for candidate in placed if candidate is None)
+        if holes != len(result.candidates):
+            raise ValidationError(
+                f"shard result carries {len(result.candidates)} candidates "
+                f"for {holes} miss positions"
+            )
+        if self.stats_cache is not None:
+            self.stats_cache.apply_delta(result.cache_delta, result.candidates)
+        fill = iter(result.candidates)
+        return [c if c is not None else next(fill) for c in placed]
 
     def collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
         return self._statistics(key, self.model.database_quota_utilization())
 
     def _statistics(self, key: CandidateKey, quota_by_db) -> CandidateStatistics:
+        if self.observe_cost:
+            burn_cpu(self.observe_cost, str(key).encode("utf-8"))
         model = self.model
         i = _index_for_key(key)
         if not 0 <= i < model.count:

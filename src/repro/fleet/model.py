@@ -127,6 +127,33 @@ class ObserveView:
     quota: list[float]
     versions: list[int]
 
+    #: Column names, in declaration order (what :meth:`take` copies).
+    COLUMNS = (
+        "files",
+        "small_files",
+        "small_bytes",
+        "total_bytes",
+        "created_s",
+        "modified_s",
+        "quota",
+        "versions",
+    )
+
+    def take(self, indices: list[int]) -> "ObserveView":
+        """The view restricted to ``indices``, row for row.
+
+        Everything inside is a plain Python list, so the result is a
+        picklable connector snapshot — exactly what a
+        :class:`~repro.core.workers.ShardWorkSpec` ships to a shard worker
+        process: only the dirty slice crosses the boundary, never the
+        whole fleet.
+        """
+        picked = {}
+        for name in self.COLUMNS:
+            column = getattr(self, name)
+            picked[name] = [column[i] for i in indices]
+        return ObserveView(**picked)
+
 
 #: Per-table state columns, in canonical order.  One name per array attribute
 #: of :class:`FleetModel`; capacity growth, trace capture

@@ -224,9 +224,19 @@ class ShardedAutoCompStrategy(CompactionStrategy):
             hits on trickle-writing tables.
         selection: ``"global"`` (exactly the unsharded decisions) or
             ``"local"`` (split budgets, fully independent shards).
-        max_workers: observe-phase thread-pool width (see
+        workers: shard execution mode — ``"threads"`` (default) or
+            ``"processes"`` (true multi-core observe/orient via picklable
+            shard work; see :mod:`repro.core.workers`).  Both produce
+            byte-identical cycle reports.
+        max_workers: worker-pool width (see
             :class:`~repro.core.sharding.ShardedPipeline`).
+        observe_cost: per-candidate CPU units emulating real statistics-
+            collection cost (see
+            :attr:`~repro.fleet.connectors.FleetConnector.observe_cost`).
         telemetry: fleet-level metric sink.
+
+    The strategy owns a persistent worker pool; call :meth:`close` (or use
+    the strategy as a context manager) when done with it.
     """
 
     name = "autocomp-sharded"
@@ -241,7 +251,9 @@ class ShardedAutoCompStrategy(CompactionStrategy):
         stats_cache_ttl_s: float = 7 * DAY,
         version_slack: int = 0,
         selection: str = "global",
+        workers: str = "threads",
         max_workers: int | None = None,
+        observe_cost: int = 0,
         telemetry: Telemetry | None = None,
     ) -> None:
         if n_shards <= 0:
@@ -256,7 +268,12 @@ class ShardedAutoCompStrategy(CompactionStrategy):
         self.caches = [cache]
         shards = [
             AutoCompPipeline(
-                connector=FleetConnector(model, min_small_files=2, stats_cache=cache),
+                connector=FleetConnector(
+                    model,
+                    min_small_files=2,
+                    stats_cache=cache,
+                    observe_cost=observe_cost,
+                ),
                 backend=FleetBackend(model),
                 traits=traits,
                 policy=policy,
@@ -272,6 +289,7 @@ class ShardedAutoCompStrategy(CompactionStrategy):
             # The fleet policies normalise over the candidate set and sort
             # into a key-tie-broken total order, so merge order is free.
             merge_order="any",
+            workers=workers,
             max_workers=max_workers,
             telemetry=telemetry,
         )
@@ -279,6 +297,16 @@ class ShardedAutoCompStrategy(CompactionStrategy):
     def run_day(self, model: FleetModel, day: int) -> DailyCompactionOutcome:
         sharded = self.pipeline.run_cycle(now=float(day) * DAY)
         return _outcome_from_results(day, sharded.report.results)
+
+    def close(self) -> None:
+        """Shut the pipeline's worker pool down."""
+        self.pipeline.close()
+
+    def __enter__(self) -> "ShardedAutoCompStrategy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class FleetSimulator:

@@ -8,12 +8,15 @@ the no-compaction baseline, GBHr spent, write amplification, task-failure
 rate — and returns a ranked :class:`WhatIfReport`.
 
 Replays are embarrassingly parallel (each variant owns its reconstructed
-fleet), so the runner reuses the concurrency-cap idiom of
-:class:`~repro.core.scheduling.ConcurrentScheduler`: at most ``workers``
-replays in flight, results always assembled in deterministic variant order
+fleet), so the runner fans variants out over the scale-out plane's
+persistent :class:`~repro.core.workers.WorkerPool` (the same subsystem
+behind process-mode shard workers): at most ``workers`` replays in
+flight, results always assembled in deterministic variant order
 regardless of completion order.  Replay is CPU-bound Python, so traces
-read from a *path* are evaluated on a **process** pool (each worker parses
-and replays independently); in-memory traces fall back to a thread pool.
+read from a *path* are evaluated in **process** mode (each worker parses
+and replays independently); in-memory traces fall back to thread mode.
+The pool persists across :meth:`WhatIfRunner.run` calls — close the
+runner (or use it as a context manager) when done.
 
 The report's winner doubles as an offline prior: :meth:`WhatIfReport.to_priors`
 feeds :meth:`repro.core.autotune.Optimizer.optimize`'s warm start and
@@ -33,6 +36,7 @@ from repro.analysis.metrics import (
     write_amplification,
 )
 from repro.analysis.reporting import bar_chart, render_table
+from repro.core.workers import WorkerPool, process_workers_available
 from repro.errors import ValidationError
 from repro.replay.replayer import ReplayResult, TraceReplayer
 from repro.replay.trace import Trace, TraceReader
@@ -246,6 +250,30 @@ class WhatIfRunner:
         # computed once and shared by every run() call.
         self._replayer: TraceReplayer | None = None
         self._baseline: ReplayResult | None = None
+        # Persistent worker pool, shared across run() calls (recreated only
+        # when a run asks for a different width).
+        self._pool: WorkerPool | None = None
+
+    @property
+    def worker_mode(self) -> str:
+        """The pool mode sweeps use: processes for on-disk traces (replay
+        is CPU-bound Python), threads for in-memory ones (the parsed trace
+        cannot cheaply cross a process boundary)."""
+        if self._trace_path is not None and process_workers_available():
+            return "processes"
+        return "threads"
+
+    def close(self) -> None:
+        """Shut the persistent sweep pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "WhatIfRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(self, workers: int | None = None) -> WhatIfReport:
         """Evaluate every variant and return the ranked report.
@@ -292,24 +320,24 @@ class WhatIfRunner:
 
     def _run_pool(self, workers: int, replayer: TraceReplayer) -> list[dict]:
         """Capped fan-out; results in variant order regardless of completion."""
-        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-
-        if self._trace_path is not None and hasattr(os, "fork"):
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_replay_variant, self._trace_path, variant)
-                    for variant in self.variants
-                ]
-                return [future.result() for future in futures]
-        # In-memory trace: threads sharing the parent replayer (its base
-        # snapshot is already warm from the baseline replay; each replay
-        # restores into its own model, so variants never share state).
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        mode = self.worker_mode
+        pool = self._pool
+        if pool is None or pool.mode != mode or pool.max_workers != workers:
+            if pool is not None:
+                pool.close()
+            pool = self._pool = WorkerPool(mode=mode, max_workers=workers)
+        if mode == "processes":
             futures = [
-                pool.submit(lambda v=variant: _summarize(replayer.replay(v)))
+                pool.submit(_replay_variant, self._trace_path, variant)
                 for variant in self.variants
             ]
             return [future.result() for future in futures]
+        # In-memory trace: threads sharing the parent replayer (its base
+        # snapshot is already warm from the baseline replay; each replay
+        # restores into its own model, so variants never share state).
+        return pool.run_tasks(
+            [lambda v=variant: _summarize(replayer.replay(v)) for variant in self.variants]
+        )
 
     @staticmethod
     def _score(

@@ -1,0 +1,139 @@
+"""Property tests for the shard worker process boundary.
+
+Two guarantees the scale-out control plane leans on:
+
+* **mode equivalence** — thread- and process-mode sharded cycles produce
+  *identical* :class:`~repro.core.sharding.ShardedCycleReport` contents
+  for the same seeded fleet (the decide/act phases never notice which
+  side of a process boundary observation happened on);
+* **contract round-trip** — :class:`~repro.core.workers.ShardWorkSpec`
+  and :class:`~repro.core.workers.ShardCycleResult` survive pickling
+  bit-for-bit, whatever the column values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CandidateKey, CandidateScope, ShardWorkSpec, run_shard_work
+from repro.core.traits import (
+    ComputeCostTrait,
+    FileCountReductionTrait,
+    TraitRegistry,
+)
+from repro.fleet import FleetConfig, FleetModel, ShardedAutoCompStrategy
+from repro.units import DAY, GiB
+
+
+def _report_fields(sharded) -> dict:
+    return {
+        "report": dataclasses.asdict(sharded.report),
+        "shards": [dataclasses.asdict(r) for r in sharded.shard_reports],
+    }
+
+
+class TestWorkerModeEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_shards=st.integers(min_value=1, max_value=3),
+        tables=st.integers(min_value=60, max_value=160),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_thread_and_process_cycles_are_identical(self, seed, n_shards, tables):
+        """Every field of every cycle report — counts, selections, realised
+        results — must match across worker modes, over multiple days so the
+        second cycle exercises the cross-process cache delta path."""
+        config = FleetConfig(initial_tables=tables, seed=seed)
+        model_t, model_p = FleetModel(config), FleetModel(config)
+        model_t.step_day()
+        model_p.step_day()
+        with ShardedAutoCompStrategy(
+            model_t, n_shards=n_shards, k=8, workers="threads"
+        ) as threads, ShardedAutoCompStrategy(
+            model_p, n_shards=n_shards, k=8, workers="processes", max_workers=2
+        ) as processes:
+            for day in range(3):
+                now = float(day) * DAY
+                thread_cycle = threads.pipeline.run_cycle(now=now)
+                process_cycle = processes.pipeline.run_cycle(now=now)
+                assert _report_fields(thread_cycle) == _report_fields(process_cycle)
+                model_t.step_day()
+                model_p.step_day()
+
+
+_columns = st.integers(min_value=3, max_value=6).flatmap(
+    lambda n: st.fixed_dictionaries(
+        {
+            "file_count": st.tuples(*[st.integers(5, 500)] * n),
+            "total_bytes": st.tuples(*[st.integers(0, 10**12)] * n),
+            "small_file_count": st.tuples(*[st.integers(0, 5)] * n),
+            "small_file_bytes": st.tuples(*[st.integers(0, 10**9)] * n),
+            "partition_count": st.tuples(*[st.integers(1, 8)] * n),
+            "created_at": st.tuples(*[st.floats(0, 1e9, allow_nan=False)] * n),
+            "last_modified_at": st.tuples(*[st.floats(0, 1e9, allow_nan=False)] * n),
+            "quota_utilization": st.tuples(*[st.floats(0, 1, allow_nan=False)] * n),
+        }
+    )
+)
+
+
+class TestContractRoundTrip:
+    @given(
+        columns=_columns,
+        shard_index=st.integers(min_value=0, max_value=7),
+        now=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        observe_cost=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_spec_and_result_survive_pickling(
+        self, columns, shard_index, now, observe_cost
+    ):
+        n = len(columns["file_count"])
+        spec = ShardWorkSpec(
+            shard_index=shard_index,
+            keys=tuple(
+                CandidateKey("db", f"table{i:06d}", CandidateScope.TABLE)
+                for i in range(n)
+            ),
+            columns=columns,
+            slots=tuple(range(n)),
+            tokens=tuple(i + 1 for i in range(n)),
+            target_file_size=512,
+            now=now,
+            traits=TraitRegistry(
+                [
+                    FileCountReductionTrait(),
+                    ComputeCostTrait(
+                        executor_memory_gb=192.0, rewrite_bytes_per_hour=768 * GiB
+                    ),
+                ]
+            ),
+            observe_cost=observe_cost,
+        )
+        thawed = pickle.loads(pickle.dumps(spec))
+        assert thawed.keys == spec.keys
+        assert thawed.columns == spec.columns
+        assert (thawed.slots, thawed.tokens, thawed.now) == (
+            spec.slots,
+            spec.tokens,
+            spec.now,
+        )
+        # The worker's output is the same whether computed from the
+        # original spec or its pickled twin, and itself round-trips.
+        result = run_shard_work(spec)
+        twin = run_shard_work(thawed)
+        assert [c.statistics for c in result.candidates] == [
+            c.statistics for c in twin.candidates
+        ]
+        assert [c.traits for c in result.candidates] == [
+            c.traits for c in twin.candidates
+        ]
+        revived = pickle.loads(pickle.dumps(result))
+        assert [c.statistics for c in revived.candidates] == [
+            c.statistics for c in result.candidates
+        ]
+        assert revived.cache_delta == result.cache_delta
