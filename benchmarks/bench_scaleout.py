@@ -24,10 +24,19 @@ equivalent to the unsharded pipeline, and worker modes produce identical
 cycle reports), so measured latency differences are pure control-plane
 overhead.
 
+With ``--connector lst`` the same worker-mode comparison runs over the
+*realistic* catalog path instead of the vectorised fleet model: a
+:class:`~repro.core.connectors.LstConnector` over live simulated tables,
+exporting frozen :class:`~repro.catalog.snapshot.CatalogObservationSlice`
+shard work, with ``selection="local"`` so process cycles exercise
+worker-side decide — and a payload measurement comparing the shipped-back
+bytes/candidates with decide in the worker vs on the coordinator.
+
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_scaleout.py [--smoke]
-        [--workers processes] [--observe-cost N] [--json BENCH_scaleout.json]
+        [--workers processes] [--observe-cost N] [--connector lst]
+        [--json BENCH_scaleout.json]
 
 ``--smoke`` runs a small fleet (CI-sized) and skips the speedup
 assertions; the full run asserts the >=2x sharding speedup at 4 shards on
@@ -44,6 +53,7 @@ import argparse
 import gc
 import json
 import os
+import pickle
 import statistics
 import time
 
@@ -53,7 +63,7 @@ from repro.fleet import (
     FleetModel,
     ShardedAutoCompStrategy,
 )
-from repro.units import DAY
+from repro.units import DAY, MiB
 
 #: Selection budget per daily cycle (the paper's conservative rollout k).
 TOP_K = 10
@@ -185,6 +195,174 @@ def measure_worker_modes(
     }
 
 
+def _build_lst_catalog(tables: int, seed: int):
+    """A deterministic catalog: two tenants, mixed partitioned/flat tables."""
+    from repro.catalog import Catalog
+    from repro.lst import Field, MonthTransform, PartitionField, PartitionSpec, Schema
+
+    catalog = Catalog()
+    schema = Schema.of(Field("id", "long"), Field("event_date", "date"))
+    monthly = PartitionSpec.of(PartitionField("event_date", MonthTransform()))
+    catalog.create_database("tenant0", quota_objects=tables * 200)
+    catalog.create_database("tenant1")
+    for i in range(tables):
+        db = f"tenant{i % 2}"
+        files = 3 + (i * 7 + seed) % 6
+        if i % 4 == 0:
+            table = catalog.create_table(f"{db}.part{i:04d}", schema, spec=monthly)
+            partitions = [(0,), (1,)]
+        else:
+            table = catalog.create_table(f"{db}.flat{i:04d}", schema)
+            partitions = [()]
+        _append_files(table, partitions, files)
+    return catalog
+
+
+def _append_files(table, partitions, files_per_partition, file_size=8 * MiB):
+    txn = table.new_append()
+    for partition in partitions:
+        for _ in range(files_per_partition):
+            txn.add_file(file_size, partition=partition)
+    txn.commit()
+
+
+def _lst_daily_writes(catalog, day: int) -> None:
+    """Dirty a deterministic rotating ~10% of the tables, then advance a day."""
+    names = sorted(str(ident) for ident in catalog.list_tables())
+    dirty = max(len(names) // 10, 1)
+    for offset in range(dirty):
+        table = catalog.load_table(names[(day * dirty + offset) % len(names)])
+        partition = (0,) if table.spec.is_partitioned else ()
+        _append_files(table, [partition], 2)
+    catalog.clock.advance_by(DAY)
+
+
+def _lst_pipeline(catalog, n_shards, workers, max_workers=None, worker_decide=None):
+    from repro.core import IndexedCandidateCache, openhouse_sharded_pipeline
+    from repro.engine import Cluster
+
+    return openhouse_sharded_pipeline(
+        catalog,
+        Cluster("maint", executors=2),
+        n_shards=n_shards,
+        stats_cache=IndexedCandidateCache(),
+        selection="local",
+        workers=workers,
+        worker_decide=worker_decide,
+        max_workers=max_workers,
+        k=TOP_K,
+        min_table_age_s=0.0,
+    )
+
+
+def measure_lst_worker_modes(tables: int, n_shards: int, days: int, seed: int) -> dict:
+    """Thread- vs process-mode sharded cycles over the live-catalog connector.
+
+    Unlike the fleet rows, LST observation is real per-table Python work
+    (file listing, policy lookup, statistics from raw sizes), so this is
+    the paper-shaped workload; ``selection="local"`` lets process cycles
+    run worker-side decide (the default), so the comparison covers the
+    full in-worker OODA path.
+    """
+    runs = []
+    for mode in ("threads", "processes"):
+        catalog = _build_lst_catalog(tables, seed)
+        pipeline = _lst_pipeline(catalog, n_shards, mode, max_workers=n_shards)
+        runs.append((mode, catalog, pipeline))
+
+    latencies: dict[str, list[float]] = {mode: [] for mode, _, _ in runs}
+    selections: dict[str, list[tuple]] = {mode: [] for mode, _, _ in runs}
+    gc.collect()
+    gc.disable()
+    try:
+        for cycle in range(1 + days):  # first cycle warms caches + pools
+            for mode, catalog, pipeline in runs:
+                start = time.perf_counter()
+                sharded = pipeline.run_cycle(now=catalog.clock.now)
+                elapsed = time.perf_counter() - start
+                selections[mode].append(
+                    tuple(str(key) for key in sharded.report.selected)
+                )
+                _lst_daily_writes(catalog, cycle)
+                if cycle > 0:
+                    latencies[mode].append(elapsed)
+    finally:
+        gc.enable()
+        for _, _, pipeline in runs:
+            pipeline.close()
+
+    thread_latency = statistics.median(latencies["threads"])
+    process_latency = statistics.median(latencies["processes"])
+    return {
+        "threads": {"latency_s": thread_latency, "speedup": 1.0},
+        "processes": {
+            "latency_s": process_latency,
+            "speedup": thread_latency / process_latency,
+        },
+        "identical_selections": selections["threads"] == selections["processes"],
+        "selected_total": sum(len(day) for day in selections["threads"]),
+    }
+
+
+def measure_lst_payload(tables: int, n_shards: int, seed: int) -> dict:
+    """Shipped-back payload, decide-on-coordinator vs decide-in-worker.
+
+    Replays one cold shard cycle's export → worker → result sequence
+    inline (no pool, so the results can be pickled and sized exactly) and
+    compares what crosses back: all observed candidates without worker
+    decide, only the selected ones with it.
+    """
+    from repro.core import (
+        ShardDecideSpec,
+        TopKSelector,
+        run_shard_work,
+        shard_for_key,
+        split_selector,
+    )
+
+    sizes: dict[bool, dict[str, int]] = {}
+    for decide in (False, True):
+        import dataclasses
+
+        catalog = _build_lst_catalog(tables, seed)
+        pipeline = _lst_pipeline(catalog, n_shards, "threads")
+        try:
+            shard0 = pipeline.shards[0]
+            keys = shard0.connector.list_candidates(shard0.generation)
+            selectors = split_selector(TopKSelector(TOP_K), n_shards)
+            total_bytes = 0
+            total_candidates = 0
+            for i, shard in enumerate(pipeline.shards):
+                subset = [k for k in keys if shard_for_key(k, n_shards) == i]
+                placed, spec = shard.connector.export_shard_work(subset, i, shard.traits)
+                if spec is None:
+                    continue
+                if decide:
+                    spec = dataclasses.replace(
+                        spec,
+                        decide=ShardDecideSpec(
+                            policy=shard.policy,
+                            selector=selectors[i],
+                            stats_filters=tuple(shard.stats_filters),
+                            trait_filters=tuple(shard.trait_filters),
+                            hits=tuple(placed),
+                        ),
+                    )
+                result = run_shard_work(spec)
+                total_bytes += len(pickle.dumps(result))
+                total_candidates += len(
+                    result.decision.selected if decide else result.candidates
+                )
+        finally:
+            pipeline.close()
+        sizes[decide] = {"bytes": total_bytes, "candidates": total_candidates}
+    return {
+        "coordinator_decide": sizes[False],
+        "worker_decide": sizes[True],
+        "bytes_reduction": sizes[False]["bytes"] / max(sizes[True]["bytes"], 1),
+    }
+
+
 def selected_keys_per_day(tables: int, n_shards: int, days: int, seed: int) -> list[tuple]:
     """The sharded control plane's daily selections, as hashable tuples."""
     model = _fresh_model(tables, seed)
@@ -233,9 +411,20 @@ def main() -> int:
         help="per-candidate CPU units for the worker-mode comparison",
     )
     parser.add_argument(
+        "--connector",
+        choices=["fleet", "lst"],
+        default="fleet",
+        help="fleet: vectorised fleet model (default); lst: the realistic "
+        "live-catalog connector with picklable snapshot export and "
+        "worker-side decide",
+    )
+    parser.add_argument(
         "--json", default=None, help="write measured metrics to this path"
     )
     args = parser.parse_args()
+
+    if args.connector == "lst":
+        return main_lst(args)
 
     tables = args.tables or (500 if args.smoke else 2000)
     days = args.days or (2 if args.smoke else 7)
@@ -325,6 +514,76 @@ def main() -> int:
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote metrics to {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+def main_lst(args) -> int:
+    """The ``--connector lst`` flow: live-catalog worker modes + payload."""
+    tables = args.tables or (120 if args.smoke else 400)
+    days = args.days or (2 if args.smoke else 5)
+    n_shards = 2 if args.smoke else 4
+    cores = os.cpu_count() or 1
+
+    print(
+        _banner(
+            f"Scale-out control plane — LST catalog connector, {tables} tables",
+            "Realistic catalog path on process workers: snapshot export, "
+            "worker-side decide (selection='local'), O(selected) return "
+            "payload; selections must be identical across worker modes",
+        )
+    )
+    rows = measure_lst_worker_modes(tables, n_shards, days, args.seed)
+    _print_rows(rows)
+    print(
+        "worker-mode selections: "
+        + ("identical" if rows["identical_selections"] else "DIVERGED")
+    )
+
+    payload = measure_lst_payload(tables, n_shards, args.seed)
+    coordinator, worker = payload["coordinator_decide"], payload["worker_decide"]
+    print(
+        f"\ncold-cycle return payload — decide on coordinator: "
+        f"{coordinator['candidates']} candidates / {coordinator['bytes']} B; "
+        f"decide in worker: {worker['candidates']} candidates / "
+        f"{worker['bytes']} B ({payload['bytes_reduction']:.1f}x smaller)"
+    )
+
+    failures = []
+    if not rows["identical_selections"]:
+        failures.append("LST process-mode selections diverged from thread mode")
+    if worker["bytes"] >= coordinator["bytes"]:
+        failures.append("worker-side decide did not shrink the return payload")
+
+    if args.json:
+        payload_metrics = {
+            "lst_worker_speedup": rows["processes"]["speedup"],
+            "lst_modes_identical": int(rows["identical_selections"]),
+            "lst_selected_total": rows["selected_total"],
+            "lst_returned_coordinator_decide": coordinator["candidates"],
+            "lst_returned_worker_decide": worker["candidates"],
+            "lst_payload_bytes_reduction": payload["bytes_reduction"],
+        }
+        blob = {
+            "bench": "scaleout_lst",
+            "config": {
+                "tables": tables,
+                "days": days,
+                "seed": args.seed,
+                "shards": n_shards,
+                "smoke": args.smoke,
+                "cores": cores,
+            },
+            "metrics": payload_metrics,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"\nwrote metrics to {args.json}")
 

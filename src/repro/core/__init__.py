@@ -70,8 +70,13 @@ from repro.core.scheduling import (
     SequentialScheduler,
 )
 from repro.core.selection import AllSelector, BudgetSelector, Selector, TopKSelector
-from repro.core.service import AutoCompService, openhouse_pipeline
+from repro.core.service import (
+    AutoCompService,
+    openhouse_pipeline,
+    openhouse_sharded_pipeline,
+)
 from repro.core.sharding import (
+    PIPELINE_WORKER_MODES,
     ShardedCycleReport,
     ShardedPipeline,
     shard_for_key,
@@ -82,6 +87,8 @@ from repro.core.workers import (
     WORKER_MODES,
     CacheDelta,
     ShardCycleResult,
+    ShardDecideSpec,
+    ShardDecision,
     ShardWorkSpec,
     WorkerPool,
     process_workers_available,
@@ -137,6 +144,7 @@ __all__ = [
     "Objective",
     "OffPeakScheduler",
     "OptimizeAfterWriteHook",
+    "PIPELINE_WORKER_MODES",
     "ParallelScheduler",
     "Parameter",
     "ParetoFrontPolicy",
@@ -152,6 +160,8 @@ __all__ = [
     "Selector",
     "SequentialScheduler",
     "ShardCycleResult",
+    "ShardDecideSpec",
+    "ShardDecision",
     "ShardWorkSpec",
     "ShardedCycleReport",
     "ShardedPipeline",
@@ -169,6 +179,7 @@ __all__ = [
     "knee_point",
     "min_max_normalize",
     "openhouse_pipeline",
+    "openhouse_sharded_pipeline",
     "pareto_front",
     "process_workers_available",
     "run_shard_work",

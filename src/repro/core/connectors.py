@@ -15,8 +15,10 @@ Two implementations ship with the library:
 from __future__ import annotations
 
 import abc
+import threading
 
 from repro.catalog.catalog import Catalog
+from repro.catalog.snapshot import CatalogObservationSlice, build_candidate_statistics
 from repro.core.candidates import (
     Candidate,
     CandidateKey,
@@ -141,6 +143,22 @@ class Connector(abc.ABC):
             "(supports_worker_observe is False)"
         )
 
+    def apply_shard_delta(self, result) -> None:
+        """Replay a worker result's cache delta without filling holes.
+
+        The decide-in-worker path: the worker returns only the *selected*
+        candidates (position-aligned with the delta), so there is nothing
+        to merge into a placed list — the coordinator just absorbs the
+        cache updates.
+
+        Raises:
+            ValidationError: connectors without worker-observe support.
+        """
+        raise ValidationError(
+            f"{type(self).__name__} cannot apply shard worker cache deltas "
+            "(supports_worker_observe is False)"
+        )
+
 
 class LstConnector(Connector):
     """Catalog-of-live-tables connector.
@@ -164,7 +182,21 @@ class LstConnector(Connector):
             read ``quota_utilization`` should not be combined with a
             candidate-reusing cache (quota is re-stamped on hits, but
             traits are not recomputed).
+
+    The bulk :meth:`observe` path passes each table's metadata ``version``
+    as the freshness token for *both* cache kinds, so cached entries
+    self-heal when a table commits even if no write event arrives — and,
+    because :meth:`export_shard_work` applies the identical hit rule, a
+    key is shipped to a process worker if and only if the in-process path
+    would have re-observed it (the worker modes' byte-identical cycle
+    reports depend on exactly that).  The single-key
+    :meth:`collect_statistics` API keeps the event/TTL-only trust model.
     """
+
+    #: Observation snapshots to a frozen, picklable
+    #: :class:`~repro.catalog.snapshot.CatalogObservationSlice`, so this
+    #: connector can feed process-mode shard workers.
+    supports_worker_observe = True
 
     def __init__(
         self,
@@ -181,6 +213,11 @@ class LstConnector(Connector):
         self._index_of: dict[CandidateKey, int] = {}
         #: Reverse mapping for table-granular write-event invalidation.
         self._indices_by_table: dict[str, list[int]] = {}
+        # Sharded pipelines observe disjoint key slices of one shared
+        # connector on a thread pool; interning a *new* key reads then
+        # grows two dicts, which must not interleave across threads (two
+        # keys racing len() would share a slot).
+        self._intern_lock = threading.Lock()
 
     @property
     def _dense(self) -> bool:
@@ -199,38 +236,95 @@ class LstConnector(Connector):
     def _dense_index(self, key: CandidateKey) -> int:
         index = self._index_of.get(key)
         if index is None:
-            index = self._index_of[key] = len(self._index_of)
-            self._indices_by_table.setdefault(key.qualified_table, []).append(index)
+            with self._intern_lock:
+                index = self._index_of.get(key)
+                if index is None:
+                    index = self._index_of[key] = len(self._index_of)
+                    self._indices_by_table.setdefault(key.qualified_table, []).append(
+                        index
+                    )
         return index
 
-    def observe(self, keys: list[CandidateKey]) -> list[Candidate]:
-        if not self._dense:
-            return super().observe(keys)
+    def _restamp_quota(self, key: CandidateKey, statistics: CandidateStatistics) -> None:
+        # Quota drifts through *other* tables' writes while this table's
+        # version holds still; re-stamp it so cached observations stay
+        # exactly equal to fresh ones.
+        quota = self._quota(key)
+        if statistics.quota_utilization != quota:
+            object.__setattr__(statistics, "quota_utilization", quota)
+
+    def _split_hits(
+        self, keys: list[CandidateKey], now: float
+    ) -> tuple[list[Candidate | None], list[CandidateKey], list, list, list[int]]:
+        """The single source of the bulk-observation hit-validity rule.
+
+        A key hits iff its cache entry was stored under the table's
+        current metadata ``version`` (and is younger than the TTL); hits
+        get their database-level quota re-stamped in place.  Shared by
+        :meth:`observe` and :meth:`export_shard_work`, so the in-process
+        and worker paths can never disagree about which keys need
+        rebuilding.
+
+        Returns:
+            ``(placed, miss_keys, miss_slots, miss_tokens,
+            miss_positions)`` — ``placed`` holds the hit candidates with
+            ``None`` holes; the miss lists describe the holes in order
+            (keys, cache slots, freshness tokens, hole positions).
+        """
         cache = self.stats_cache
-        assert isinstance(cache, IndexedCandidateCache)
-        now = self.catalog.clock.now
-        candidates: list[Candidate] = []
-        for key in keys:
-            index = self._dense_index(key)
+        dense = self._dense
+        placed: list[Candidate | None] = [None] * len(keys)
+        miss_keys: list[CandidateKey] = []
+        miss_slots: list = []
+        miss_tokens: list = []
+        miss_positions: list[int] = []
+        for pos, key in enumerate(keys):
             # The version read is the cheap per-table change counter: one
             # catalog lookup instead of a full file listing + statistics
             # build for clean tables.
             token = self.table_for(key).version
-            candidate = cache.get(index, now, token)
-            if candidate is not None:
-                # Quota drifts through *other* tables' writes while this
-                # table's version holds still; re-stamp it so cached
-                # observations stay exactly equal to fresh ones.
-                stats = candidate.statistics
-                quota = self._quota(key)
-                if stats.quota_utilization != quota:
-                    object.__setattr__(stats, "quota_utilization", quota)
-                candidates.append(candidate)
-                continue
-            candidate = Candidate(key=key, statistics=self._collect_statistics(key))
-            cache.put(index, candidate, now, token)
-            candidates.append(candidate)
-        return candidates
+            if dense:
+                slot: object = self._dense_index(key)
+                candidate = cache.get(slot, now, token)  # type: ignore[union-attr, arg-type]
+                if candidate is not None:
+                    self._restamp_quota(key, candidate.statistics)
+                    placed[pos] = candidate
+                    continue
+            elif cache is not None:
+                slot = key
+                statistics = cache.get(key, now, token)  # type: ignore[union-attr]
+                if statistics is not None:
+                    self._restamp_quota(key, statistics)
+                    placed[pos] = Candidate(key=key, statistics=statistics)
+                    continue
+            else:
+                slot = key
+            miss_keys.append(key)
+            miss_slots.append(slot)
+            miss_tokens.append(token)
+            miss_positions.append(pos)
+        return placed, miss_keys, miss_slots, miss_tokens, miss_positions
+
+    def observe(self, keys: list[CandidateKey]) -> list[Candidate]:
+        now = self.catalog.clock.now
+        placed, miss_keys, miss_slots, miss_tokens, miss_positions = self._split_hits(
+            keys, now
+        )
+        if not miss_keys:
+            return placed  # type: ignore[return-value] — no holes
+        cache = self.stats_cache
+        dense = self._dense
+        for key, slot, token, pos in zip(
+            miss_keys, miss_slots, miss_tokens, miss_positions
+        ):
+            statistics = self._collect_statistics(key)
+            candidate = Candidate(key=key, statistics=statistics)
+            if dense:
+                cache.put(slot, candidate, now, token)  # type: ignore[union-attr, arg-type]
+            elif cache is not None:
+                cache.put(key, statistics, now, token)  # type: ignore[union-attr]
+            placed[pos] = candidate
+        return placed  # type: ignore[return-value] — all holes filled
 
     def invalidate(self, key: CandidateKey) -> None:
         """Write-event hook: evict ``key``'s table from either cache kind."""
@@ -346,7 +440,18 @@ class LstConnector(Connector):
         except ValidationError:
             return 0.0
 
-    def _collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
+    def _observation_row(self, key: CandidateKey) -> tuple:
+        """The raw per-candidate observation inputs, in snapshot column order.
+
+        ``(file_sizes, target_file_size, partition_count,
+        delete_file_count, created_at, last_modified_at,
+        quota_utilization, version)`` — everything
+        :func:`~repro.catalog.snapshot.build_candidate_statistics` needs,
+        plus the table's metadata version as the freshness token.  Both
+        the live statistics build and the worker-bound
+        :class:`~repro.catalog.snapshot.CatalogObservationSlice` come from
+        this method, so the two observation paths cannot drift.
+        """
         table = self.table_for(key)
         policy = self.catalog.policy(key.qualified_table)
         files = self.files_for(key)
@@ -359,13 +464,95 @@ class LstConnector(Connector):
         else:
             partition_count = max(len({f.partition for f in files}), 1)
             last_modified = table.last_modified_at
-        quota = self._quota(key)
-        return CandidateStatistics.from_file_sizes(
-            [f.size_bytes for f in files],
-            target_file_size=policy.target_file_size,
-            partition_count=partition_count,
-            delete_file_count=table.delete_file_count,
-            created_at=table.created_at,
-            last_modified_at=last_modified,
-            quota_utilization=quota,
+        return (
+            tuple(f.size_bytes for f in files),
+            policy.target_file_size,
+            partition_count,
+            table.delete_file_count,
+            table.created_at,
+            last_modified,
+            self._quota(key),
+            table.version,
         )
+
+    def _collect_statistics(self, key: CandidateKey) -> CandidateStatistics:
+        row = self._observation_row(key)
+        return build_candidate_statistics(*row[:-1])
+
+    # --- process-mode shard workers ---------------------------------------------
+
+    def export_shard_work(
+        self, keys: list[CandidateKey], shard_index: int, traits
+    ) -> tuple[list[Candidate | None], "object | None"]:
+        """Resolve cache hits locally; snapshot the misses into a picklable spec.
+
+        The hit pass *is* :meth:`_split_hits` — the same code the
+        in-process :meth:`observe` path runs — and the miss rows are
+        captured into a frozen
+        :class:`~repro.catalog.snapshot.CatalogObservationSlice` carrying
+        per-key file sizes, policy targets and ``table.version`` freshness
+        tokens.  Only the dirty slice crosses the process boundary, never
+        the live catalog.
+        """
+        from repro.core.workers import ShardWorkSpec
+
+        now = self.catalog.clock.now
+        placed, miss_keys, miss_slots, miss_tokens, _ = self._split_hits(keys, now)
+        if not miss_keys:
+            return placed, None
+        rows = [self._observation_row(key) for key in miss_keys]
+        snapshot = CatalogObservationSlice(
+            file_sizes=tuple(row[0] for row in rows),
+            target_file_sizes=tuple(row[1] for row in rows),
+            partition_counts=tuple(row[2] for row in rows),
+            delete_file_counts=tuple(row[3] for row in rows),
+            created_ats=tuple(row[4] for row in rows),
+            last_modified_ats=tuple(row[5] for row in rows),
+            quota_utilizations=tuple(row[6] for row in rows),
+            versions=tuple(row[7] for row in rows),
+        )
+        spec = ShardWorkSpec(
+            shard_index=shard_index,
+            keys=tuple(miss_keys),
+            columns={},
+            slots=tuple(miss_slots),
+            tokens=tuple(miss_tokens),
+            target_file_size=1,  # unused: the snapshot carries per-key targets
+            now=now,
+            traits=traits,
+            snapshot=snapshot,
+        )
+        return placed, spec
+
+    def apply_shard_delta(self, result) -> None:
+        """Replay a worker result's cache delta into whichever cache kind is wired."""
+        from repro.core.workers import WORK_SPEC_VERSION
+
+        if result.version != WORK_SPEC_VERSION:
+            raise ValidationError(
+                f"shard result version {result.version} != {WORK_SPEC_VERSION} "
+                "(coordinator and workers must run the same build)"
+            )
+        cache = self.stats_cache
+        if cache is None:
+            return
+        if self._dense:
+            cache.apply_delta(result.cache_delta, result.candidates)
+        else:
+            cache.apply_delta(
+                result.cache_delta, [c.statistics for c in result.candidates]
+            )
+
+    def merge_shard_result(
+        self, placed: list[Candidate | None], result
+    ) -> list[Candidate]:
+        """Fill the miss holes from a worker's result; replay its cache delta."""
+        holes = sum(1 for candidate in placed if candidate is None)
+        if holes != len(result.candidates):
+            raise ValidationError(
+                f"shard result carries {len(result.candidates)} candidates "
+                f"for {holes} miss positions"
+            )
+        self.apply_shard_delta(result)
+        fill = iter(result.candidates)
+        return [c if c is not None else next(fill) for c in placed]

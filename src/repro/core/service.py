@@ -138,6 +138,83 @@ def openhouse_pipeline(
     )
 
 
+def openhouse_sharded_pipeline(
+    catalog: Catalog,
+    compaction_cluster: Cluster,
+    n_shards: int = 4,
+    stats_cache: "object | None" = None,
+    selection: str = "global",
+    workers: str = "threads",
+    worker_decide: bool | None = None,
+    max_workers: int | None = None,
+    telemetry=None,
+    **pipeline_kwargs,
+):
+    """The OpenHouse configuration behind the scale-out control plane.
+
+    Builds ``n_shards`` :func:`openhouse_pipeline`-shaped shards that
+    *share* one :class:`~repro.core.connectors.LstConnector` (and its
+    optional stats cache): the sharded control plane partitions the work,
+    not the catalog, and a shared connector keeps dense-cache slot
+    interning consistent across shards.  The LST connector exports
+    picklable :class:`~repro.catalog.snapshot.CatalogObservationSlice`
+    shard work, so ``workers="processes"`` / ``"auto"`` run the realistic
+    catalog path on true multi-core workers.
+
+    Args:
+        catalog: control plane holding the tables.
+        compaction_cluster: dedicated cluster for rewrite jobs.
+        n_shards: shard count.
+        stats_cache: optional shared incremental-observation cache
+            (:class:`~repro.core.statscache.StatsCache` or
+            :class:`~repro.core.statscache.IndexedCandidateCache`).
+        selection / workers / worker_decide / max_workers: forwarded to
+            :class:`~repro.core.sharding.ShardedPipeline`.
+        telemetry: fleet-level metric sink (defaults to the catalog's).
+        **pipeline_kwargs: forwarded to :func:`openhouse_pipeline`
+            (``k``, ``budget_gbhr``, ``generation``, filters, …).
+
+    Returns:
+        A ready :class:`~repro.core.sharding.ShardedPipeline`.
+    """
+    from repro.core.sharding import ShardedPipeline
+
+    if n_shards <= 0:
+        raise ValidationError("n_shards must be positive")
+    template = openhouse_pipeline(catalog, compaction_cluster, **pipeline_kwargs)
+    connector = template.connector
+    connector.stats_cache = stats_cache
+    shards = [template]
+    for _ in range(n_shards - 1):
+        shards.append(
+            AutoCompPipeline(
+                connector=connector,
+                backend=template.backend,
+                traits=template.traits,
+                policy=template.policy,
+                selector=template.selector,
+                # Shared on purpose: schedulers hold configuration only
+                # (no cross-call state), and the sharded control plane
+                # runs shard act phases serially on the coordinator — a
+                # fresh default-constructed copy would silently drop any
+                # caller-configured scheduling limits.
+                scheduler=template.scheduler,
+                generation=template.generation,
+                stats_filters=template.stats_filters,
+                trait_filters=template.trait_filters,
+                telemetry=template.telemetry,
+            )
+        )
+    return ShardedPipeline(
+        shards,
+        selection=selection,
+        workers=workers,
+        worker_decide=worker_decide,
+        max_workers=max_workers,
+        telemetry=telemetry if telemetry is not None else catalog.telemetry,
+    )
+
+
 class AutoCompService:
     """Standalone AutoComp service: periodic cycles plus a hook inbox.
 

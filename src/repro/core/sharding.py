@@ -31,9 +31,11 @@ deterministic order.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import time
+from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -41,13 +43,24 @@ from repro.core.candidates import Candidate, CandidateKey
 from repro.core.pipeline import AutoCompPipeline, CycleReport
 from repro.core.ranking import RankingPolicy
 from repro.core.selection import AllSelector, BudgetSelector, Selector, TopKSelector
-from repro.core.workers import WORKER_MODES, WorkerPool, run_shard_work
-from repro.errors import ValidationError
+from repro.core.workers import (
+    ShardDecideSpec,
+    ShardDecision,
+    WorkerPool,
+    process_workers_available,
+    run_shard_work,
+)
+from repro.errors import ValidationError, WorkerError
 from repro.simulation.simulator import Simulator
 from repro.simulation.telemetry import Telemetry
 
 #: Valid decide-phase placements.
 SELECTION_MODES = ("global", "local")
+
+#: Valid pipeline-level worker modes: the two pool modes plus ``auto``,
+#: which probes both once and then picks per cycle from observed
+#: observe-phase wall times (with hysteresis, so it does not flap).
+PIPELINE_WORKER_MODES = ("threads", "processes", "auto")
 
 
 def shard_for_key(key: CandidateKey, n_shards: int) -> int:
@@ -155,16 +168,43 @@ class ShardedPipeline:
             order never matters).
         workers: observe/orient execution mode — ``"threads"`` (the
             default: a persistent thread pool, works with any connector,
-            overlaps numpy-released work) or ``"processes"`` (a persistent
+            overlaps numpy-released work), ``"processes"`` (a persistent
             process pool for true multi-core CPU-bound observation; every
             shard connector must declare
             :attr:`~repro.core.connectors.Connector.supports_worker_observe`,
-            i.e. be able to export picklable shard work).  Both modes
-            produce byte-identical cycle reports for the same inputs.
+            i.e. be able to export picklable shard work) or ``"auto"``
+            (probe threads then processes once each, then pick per cycle
+            whichever mode's observed observe-phase wall time is lower —
+            with hysteresis, so a mode must beat the incumbent by
+            ``auto_hysteresis`` to take over; degrades to pure thread mode
+            when process workers are unavailable).  All modes produce
+            byte-identical cycle reports for the same inputs, so the
+            adaptive choice is purely an execution decision.
+        worker_decide: ship the decide phase into process workers for
+            ``selection="local"`` cycles.  ``None`` (default) enables it
+            exactly when a cycle runs on the process pool with local
+            selection; ``True`` requires local selection and forces it on
+            process cycles; ``False`` keeps decide on the coordinator.
+            Worker-side decide shrinks the per-shard return payload from
+            O(shard candidates) to O(selected) — the worker sends back
+            counts plus the selected candidates only — at the cost of
+            cache warmth for unselected dirty tables (their observations
+            die with the worker).  Reports stay byte-identical either
+            way.
         max_workers: pool width; defaults to
             ``min(len(shards), cpu_count)``; 1 runs shards inline.
+        auto_hysteresis: relative improvement the non-incumbent mode must
+            show before ``workers="auto"`` switches (default 20%).
+        auto_probe_interval: every this many auto cycles, run one cycle in
+            the *non-incumbent* mode to refresh its wall sample (default
+            16; 0 disables).  Without re-probing, the loser's sample
+            would freeze at whatever its last — possibly cold-cache —
+            probe measured, and auto mode could latch onto the wrong
+            executor permanently.
         telemetry: fleet-level metric sink (per-shard metrics are recorded
-            under ``autocomp.shard<i>`` scopes of this sink).
+            under ``autocomp.shard<i>`` scopes of this sink; auto mode
+            also records ``autocomp.fleet.worker_mode`` and per-mode
+            observe walls there).
 
     The pool is part of the pipeline's lifecycle: spawned lazily on the
     first concurrent cycle, reused by every later cycle, and shut down by
@@ -180,7 +220,10 @@ class ShardedPipeline:
         selection: str = "global",
         merge_order: str = "generation",
         workers: str = "threads",
+        worker_decide: bool | None = None,
         max_workers: int | None = None,
+        auto_hysteresis: float = 0.2,
+        auto_probe_interval: int = 16,
         telemetry: Telemetry | None = None,
     ) -> None:
         if not shards:
@@ -193,9 +236,23 @@ class ShardedPipeline:
             raise ValidationError(
                 f"unknown merge order {merge_order!r}; expected 'generation' or 'any'"
             )
-        if workers not in WORKER_MODES:
+        if workers not in PIPELINE_WORKER_MODES:
             raise ValidationError(
-                f"unknown worker mode {workers!r}; expected one of {WORKER_MODES}"
+                f"unknown worker mode {workers!r}; expected one of {PIPELINE_WORKER_MODES}"
+            )
+        if worker_decide and selection != "local":
+            raise ValidationError(
+                "worker_decide=True needs selection='local': global "
+                "selection must see every shard's survivors at once, so "
+                "it always decides on the coordinator"
+            )
+        if not 0.0 <= auto_hysteresis < 1.0:
+            raise ValidationError(
+                f"auto_hysteresis must be in [0, 1), got {auto_hysteresis}"
+            )
+        if auto_probe_interval < 0:
+            raise ValidationError(
+                f"auto_probe_interval must be >= 0, got {auto_probe_interval}"
             )
         self.merge_order = merge_order
         self.shards = list(shards)
@@ -203,29 +260,43 @@ class ShardedPipeline:
         self.selector = selector if selector is not None else self.shards[0].selector
         self.generation = generation if generation is not None else self.shards[0].generation
         self.selection = selection
-        if workers == "processes":
+        worker_observe_capable = all(
+            shard.connector.supports_worker_observe for shard in self.shards
+        )
+        if workers == "processes" and not worker_observe_capable:
             unsupported = [
                 type(shard.connector).__name__
                 for shard in self.shards
                 if not shard.connector.supports_worker_observe
             ]
-            if unsupported:
-                raise ValidationError(
-                    "workers='processes' needs every shard connector to "
-                    "support worker observation (export picklable shard "
-                    f"work); these do not: {sorted(set(unsupported))}. "
-                    "Use the thread-pool fallback (workers='threads')."
-                )
+            raise ValidationError(
+                "workers='processes' needs every shard connector to "
+                "support worker observation (export picklable shard "
+                f"work); these do not: {sorted(set(unsupported))}. "
+                "Use the thread-pool fallback (workers='threads')."
+            )
         self.workers = workers
+        self.worker_decide = worker_decide
+        self.auto_hysteresis = auto_hysteresis
+        self.auto_probe_interval = auto_probe_interval
         if max_workers is None:
             max_workers = min(len(self.shards), os.cpu_count() or 1)
         if max_workers <= 0:
             raise ValidationError("max_workers must be positive")
         self.max_workers = max_workers
-        # Persistent worker pool (satellite of the same lifecycle bug: a
-        # fresh executor per cycle pays spawn cost every cycle).  Spawned
-        # lazily — single-shard or inline pipelines never start one.
-        self._pool = WorkerPool(mode=workers, max_workers=max_workers)
+        # Persistent worker pools, one per pool mode actually used: a
+        # fresh executor per cycle would pay spawn cost every cycle.
+        # Spawned lazily — single-shard or inline pipelines never start
+        # one, and auto mode only starts the pools it tries.
+        self._pools: dict[str, WorkerPool] = {}
+        #: Whether ``auto`` may try the process pool at all.
+        self._process_capable = worker_observe_capable and process_workers_available()
+        #: EWMA of the observe-phase wall per mode (auto mode's evidence).
+        self._mode_walls: dict[str, float | None] = {"threads": None, "processes": None}
+        #: Auto mode's incumbent once both modes have been probed.
+        self._auto_mode = "threads"
+        #: Auto cycles decided since warm-up (drives periodic re-probes).
+        self._auto_cycles = 0
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._shard_telemetry = [
             self.telemetry.scoped(f"autocomp.shard{i:02d}") for i in range(len(self.shards))
@@ -253,13 +324,22 @@ class ShardedPipeline:
         return len(self.shards)
 
     def close(self) -> None:
-        """Shut the shard worker pool down (idempotent).
+        """Shut the shard worker pools down (idempotent).
 
         Call when the pipeline is done (or use the pipeline as a context
-        manager); a garbage-collected pipeline's pool is also shut down by
-        its finalizer, so forgotten pipelines never strand processes.
+        manager); a garbage-collected pipeline's pools are also shut down
+        by their finalizers, so forgotten pipelines never strand processes.
         """
-        self._pool.close()
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+
+    def _pool(self, mode: str) -> WorkerPool:
+        """The persistent pool for ``mode`` (created on first use)."""
+        pool = self._pools.get(mode)
+        if pool is None:
+            pool = self._pools[mode] = WorkerPool(mode=mode, max_workers=self.max_workers)
+        return pool
 
     def __enter__(self) -> "ShardedPipeline":
         return self
@@ -335,8 +415,14 @@ class ShardedPipeline:
         for report, subset in zip(shard_reports, shard_keys):
             report.candidates_generated = len(subset)
 
-        # Observe + orient each shard's slice (concurrently when possible).
-        per_shard, observe_wall = self._observe_all(shard_keys, shard_reports, now)
+        # Observe + orient each shard's slice (concurrently when possible),
+        # in whichever worker mode this cycle runs.
+        mode = self._cycle_worker_mode()
+        observe_start = time.perf_counter()
+        per_shard, observe_wall, decisions = self._observe_all(
+            shard_keys, shard_reports, now, mode
+        )
+        self._note_observe_wall(mode, time.perf_counter() - observe_start, now)
 
         if self.selection == "global":
             selected = self._decide_global(keys, per_shard, fleet_report, shard_reports)
@@ -356,7 +442,7 @@ class ShardedPipeline:
                 selected, fleet_report, simulator=simulator, on_result=invalidate_owner
             )
         else:
-            selected = self._decide_local(per_shard, fleet_report, shard_reports)
+            selected = self._decide_local(per_shard, fleet_report, shard_reports, decisions)
             for shard, report, chosen in zip(self.shards, shard_reports, selected):
                 shard.act(
                     chosen,
@@ -378,17 +464,62 @@ class ShardedPipeline:
 
     # --- phases ----------------------------------------------------------------
 
+    def _cycle_worker_mode(self) -> str:
+        """The worker mode this cycle runs in (fixed, or auto's pick)."""
+        if self.workers != "auto":
+            return self.workers
+        if (
+            not self._process_capable
+            or self.max_workers <= 1
+            or len(self.shards) <= 1
+        ):
+            return "threads"
+        # Warm-up: probe each mode once (threads first — it also warms the
+        # caches, giving the process probe a steady-state-shaped cycle).
+        for mode in ("threads", "processes"):
+            if self._mode_walls[mode] is None:
+                return mode
+        incumbent = self._auto_mode
+        other = "processes" if incumbent == "threads" else "threads"
+        other_wall, incumbent_wall = self._mode_walls[other], self._mode_walls[incumbent]
+        # Hysteresis: the challenger must beat the incumbent by the
+        # configured margin, so near-ties do not flap between modes.
+        if other_wall < incumbent_wall * (1.0 - self.auto_hysteresis):
+            self._auto_mode = other
+        self._auto_cycles += 1
+        if (
+            self.auto_probe_interval
+            and self._auto_cycles % self.auto_probe_interval == 0
+            and self._auto_mode != other  # a fresh switch already refreshes
+        ):
+            # Periodic re-probe: run this one cycle in the non-incumbent
+            # mode so its wall sample cannot go permanently stale (the
+            # loser's last measurement may date from a cold-cache probe).
+            # The incumbent is unchanged — only the evidence refreshes.
+            return other
+        return self._auto_mode
+
+    def _note_observe_wall(self, mode: str, wall_s: float, now: float) -> None:
+        """Feed one cycle's observe-phase wall into auto mode's evidence."""
+        if self.workers == "auto":
+            previous = self._mode_walls.get(mode)
+            self._mode_walls[mode] = (
+                wall_s if previous is None else 0.5 * previous + 0.5 * wall_s
+            )
+        self.telemetry.record(f"autocomp.fleet.observe_wall.{mode}", now, wall_s)
+        self.telemetry.record(
+            "autocomp.fleet.worker_mode", now, 1.0 if mode == "processes" else 0.0
+        )
+
     def _observe_all(
         self,
         shard_keys: list[list[CandidateKey]],
         shard_reports: list[CycleReport],
         now: float,
-    ) -> tuple[list[list[Candidate]], list[float]]:
-        if (
-            self.workers == "processes"
-            and self.max_workers > 1
-            and len(self.shards) > 1
-        ):
+        mode: str,
+    ) -> tuple[list[list[Candidate]], list[float], list[ShardDecision | None]]:
+        decisions: list[ShardDecision | None] = [None] * len(self.shards)
+        if mode == "processes" and self.max_workers > 1 and len(self.shards) > 1:
             return self._observe_processes(shard_keys, shard_reports, now)
         observe_wall = [0.0] * len(self.shards)
 
@@ -400,65 +531,124 @@ class ShardedPipeline:
 
         indices = range(len(self.shards))
         if self.max_workers > 1 and len(self.shards) > 1:
-            per_shard = self._pool.run_tasks(
+            per_shard = self._pool("threads").run_tasks(
                 [lambda i=i: observe(i) for i in indices]
             )
         else:
             per_shard = [observe(i) for i in indices]
-        return per_shard, observe_wall
+        return per_shard, observe_wall, decisions
+
+    def _worker_decide_active(self) -> bool:
+        """Whether this process-mode cycle ships the decide phase to workers."""
+        if self.selection != "local":
+            return False
+        return self.worker_decide is not False
 
     def _observe_processes(
         self,
         shard_keys: list[list[CandidateKey]],
         shard_reports: list[CycleReport],
         now: float,
-    ) -> tuple[list[list[Candidate]], list[float]]:
-        """Observe/orient on the process pool.
+    ) -> tuple[list[list[Candidate]], list[float], list[ShardDecision | None]]:
+        """Observe/orient (and optionally decide) on the process pool.
 
-        Three steps per shard: the *coordinator* resolves cache hits and
-        snapshots the misses into a picklable
-        :class:`~repro.core.workers.ShardWorkSpec`; a *worker process*
-        builds statistics and traits for the misses; the coordinator
-        merges the result — filling the miss holes and replaying the
-        worker's cache delta so invalidation tokens survive the round
-        trip — then runs the (cheap) filter passes locally.  Every value
-        is produced by the same code paths as thread mode, so the two
-        modes' cycle reports are byte-identical.
+        Per shard: the *coordinator* resolves cache hits and snapshots the
+        misses into a picklable :class:`~repro.core.workers.ShardWorkSpec`;
+        a *worker process* builds statistics and traits for the misses;
+        the coordinator merges the result — filling the miss holes and
+        replaying the worker's cache delta so invalidation tokens survive
+        the round trip — then runs the (cheap) filter passes locally.
+        When worker-side decide is active (``selection="local"``), the
+        spec additionally carries the shard's policy, split selector,
+        filter chains and resolved hits; the worker then returns only its
+        decision and the selected candidates.  Every value is produced by
+        the same code paths as thread mode, so the modes' cycle reports
+        are byte-identical.
 
         Shards with no misses skip the pool entirely (their wall time is
-        the local hit-resolution cost, effectively the thread-mode
-        number for a fully warm cycle).
+        the local hit-resolution cost, effectively the thread-mode number
+        for a fully warm cycle); with worker decide on, such shards also
+        decide on the coordinator — there is nothing to ship.
+
+        A worker failure mid-cycle cancels and drains every outstanding
+        shard future before surfacing a :class:`~repro.errors.WorkerError`
+        (with the worker's exception chained), so no shard work is left
+        in flight behind a half-begun cycle.
         """
         observe_wall = [0.0] * len(self.shards)
+        decisions: list[ShardDecision | None] = [None] * len(self.shards)
+        decide_active = self._worker_decide_active()
         placed_specs = []
         futures = {}
-        for i, shard in enumerate(self.shards):
-            start = time.perf_counter()
-            placed, spec = shard.connector.export_shard_work(
-                shard_keys[i], i, shard.traits
-            )
-            observe_wall[i] = time.perf_counter() - start
-            placed_specs.append((placed, spec))
-            if spec is not None:
-                # Submit immediately: shard 0's workers compute while later
-                # shards are still exporting.
-                futures[i] = self._pool.submit(run_shard_work, spec)
         per_shard: list[list[Candidate]] = []
-        for i, shard in enumerate(self.shards):
-            placed, spec = placed_specs[i]
-            if spec is None:
-                candidates = [c for c in placed if c is not None]
-            else:
-                result = futures[i].result()
-                observe_wall[i] += result.observe_wall_s
+        pool = self._pool("processes")
+        shard_index = 0
+        try:
+            for shard_index, shard in enumerate(self.shards):
                 start = time.perf_counter()
-                candidates = shard.connector.merge_shard_result(placed, result)
-                observe_wall[i] += time.perf_counter() - start
-            candidates = shard.orient(
-                candidates, now, shard_reports[i], only_missing=True
-            )
-            per_shard.append(candidates)
-        return per_shard, observe_wall
+                placed, spec = shard.connector.export_shard_work(
+                    shard_keys[shard_index], shard_index, shard.traits
+                )
+                if spec is not None and decide_active:
+                    assert self._local_selectors is not None
+                    spec = dataclasses.replace(
+                        spec,
+                        decide=ShardDecideSpec(
+                            policy=shard.policy,
+                            selector=self._local_selectors[shard_index],
+                            stats_filters=tuple(shard.stats_filters),
+                            trait_filters=tuple(shard.trait_filters),
+                            hits=tuple(placed),
+                        ),
+                    )
+                observe_wall[shard_index] = time.perf_counter() - start
+                placed_specs.append((placed, spec))
+                if spec is not None:
+                    # Submit immediately: shard 0's workers compute while
+                    # later shards are still exporting.
+                    futures[shard_index] = pool.submit(run_shard_work, spec)
+            returned = 0
+            for shard_index, shard in enumerate(self.shards):
+                placed, spec = placed_specs[shard_index]
+                if spec is None:
+                    candidates = [c for c in placed if c is not None]
+                elif spec.decide is not None:
+                    result = futures.pop(shard_index).result()
+                    observe_wall[shard_index] += result.observe_wall_s
+                    returned += len(result.decision.selected)
+                    start = time.perf_counter()
+                    shard.connector.apply_shard_delta(result)
+                    observe_wall[shard_index] += time.perf_counter() - start
+                    decisions[shard_index] = result.decision
+                    per_shard.append([])  # the decision replaces the survivors
+                    continue
+                else:
+                    result = futures.pop(shard_index).result()
+                    observe_wall[shard_index] += result.observe_wall_s
+                    returned += len(result.candidates)
+                    start = time.perf_counter()
+                    candidates = shard.connector.merge_shard_result(placed, result)
+                    observe_wall[shard_index] += time.perf_counter() - start
+                candidates = shard.orient(
+                    candidates, now, shard_reports[shard_index], only_missing=True
+                )
+                per_shard.append(candidates)
+        except Exception as exc:
+            # A failed export, worker task or merge must not strand the
+            # sibling shards' futures: cancel what has not started, drain
+            # what has, then surface one clear error.
+            outstanding = [f for f in futures.values() if not f.done()]
+            for future in futures.values():
+                future.cancel()
+            wait_futures(list(futures.values()))
+            raise WorkerError(
+                f"shard {shard_index} failed mid-cycle ({exc}); cancelled or "
+                f"drained {len(outstanding)} outstanding shard task(s)"
+            ) from exc
+        # Return-payload accounting: with worker-side decide this is
+        # O(selected) instead of O(shard candidates).
+        self.telemetry.record("autocomp.fleet.returned_candidates", now, returned)
+        return per_shard, observe_wall, decisions
 
     def _decide_global(
         self,
@@ -507,20 +697,34 @@ class ShardedPipeline:
         per_shard: list[list[Candidate]],
         fleet_report: CycleReport,
         shard_reports: list[CycleReport],
+        decisions: list[ShardDecision | None] | None = None,
     ) -> list[list[Candidate]]:
-        """Per-shard rank and select under split budgets."""
+        """Per-shard rank and select under split budgets.
+
+        Shards whose worker already decided (``decisions[i]`` set) just
+        adopt the worker's counts and selection; the rest rank/select here
+        — the exact sequence the worker runs, so the two placements are
+        value-identical.
+        """
         assert self._local_selectors is not None
-        fleet_report.after_stats_filters = sum(r.after_stats_filters for r in shard_reports)
-        fleet_report.after_trait_filters = sum(r.after_trait_filters for r in shard_reports)
         selected: list[list[Candidate]] = []
-        for shard, local_selector, candidates, report in zip(
-            self.shards, self._local_selectors, per_shard, shard_reports
+        for i, (shard, local_selector, candidates, report) in enumerate(
+            zip(self.shards, self._local_selectors, per_shard, shard_reports)
         ):
-            ranked = shard.policy.rank(candidates)
-            report.ranked = len(ranked)
-            chosen = local_selector.select(ranked)
+            decision = decisions[i] if decisions is not None else None
+            if decision is not None:
+                report.after_stats_filters = decision.after_stats_filters
+                report.after_trait_filters = decision.after_trait_filters
+                report.ranked = decision.ranked
+                chosen = decision.selected
+            else:
+                ranked = shard.policy.rank(candidates)
+                report.ranked = len(ranked)
+                chosen = local_selector.select(ranked)
             report.selected = [c.key for c in chosen]
             selected.append(chosen)
+        fleet_report.after_stats_filters = sum(r.after_stats_filters for r in shard_reports)
+        fleet_report.after_trait_filters = sum(r.after_trait_filters for r in shard_reports)
         fleet_report.ranked = sum(r.ranked for r in shard_reports)
         fleet_report.selected = [key for r in shard_reports for key in r.selected]
         return selected

@@ -66,6 +66,12 @@ class StatsCache:
         invalidations: entries dropped by :meth:`invalidate` /
             :meth:`invalidate_key`.
         expirations: entries dropped by TTL or token mismatch.
+
+    Thread safety: shards of a sharded pipeline may share one key-hashed
+    cache on a thread pool (their key slices are disjoint, but ``hits`` /
+    ``misses`` and the two dicts are not), so every mutating method takes
+    the cache's lock — the same discipline as
+    :class:`IndexedCandidateCache`'s cross-slot mutations.
     """
 
     def __init__(self, ttl_s: float = math.inf, version_slack: int = 0) -> None:
@@ -81,6 +87,9 @@ class StatsCache:
         self.expirations = 0
         self._entries: dict[CandidateKey, _Entry] = {}
         self._by_table: dict[str, set[CandidateKey]] = {}
+        # Reentrant: apply_delta holds it across its batch while reusing
+        # put(), and get() drops entries it finds stale.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -100,29 +109,30 @@ class StatsCache:
             token: optional freshness token; when given, the entry is only
                 valid if it was stored under an equal token.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        expired = now - entry.stored_at >= self.ttl_s
-        stale = token is not None and entry.token != token
-        if (
-            stale
-            and self.version_slack
-            and isinstance(token, numbers.Integral)
-            and isinstance(entry.token, numbers.Integral)
-            and 0 <= token - entry.token <= self.version_slack
-        ):
-            # Approximate-freshness hit: the table advanced, but by few
-            # enough versions that the cached statistics are close enough.
-            stale = False
-        if expired or stale:
-            self._drop(key)
-            self.expirations += 1
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry.statistics
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            expired = now - entry.stored_at >= self.ttl_s
+            stale = token is not None and entry.token != token
+            if (
+                stale
+                and self.version_slack
+                and isinstance(token, numbers.Integral)
+                and isinstance(entry.token, numbers.Integral)
+                and 0 <= token - entry.token <= self.version_slack
+            ):
+                # Approximate-freshness hit: the table advanced, but by few
+                # enough versions that the cached statistics are close enough.
+                stale = False
+            if expired or stale:
+                self._drop(key)
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry.statistics
 
     def put(
         self,
@@ -132,8 +142,9 @@ class StatsCache:
         token: object | None = None,
     ) -> None:
         """Store ``statistics`` for ``key`` observed at ``now``."""
-        self._entries[key] = _Entry(statistics, now, token)
-        self._by_table.setdefault(key.qualified_table, set()).add(key)
+        with self._lock:
+            self._entries[key] = _Entry(statistics, now, token)
+            self._by_table.setdefault(key.qualified_table, set()).add(key)
 
     def invalidate(self, key: CandidateKey) -> int:
         """Drop every entry touching ``key``'s table; returns the count.
@@ -142,21 +153,23 @@ class StatsCache:
         partition append changes the table-scope statistics too), so
         invalidation is deliberately table-granular.
         """
-        keys = self._by_table.pop(key.qualified_table, None)
-        if not keys:
-            return 0
-        for cached_key in keys:
-            self._entries.pop(cached_key, None)
-        self.invalidations += len(keys)
-        return len(keys)
+        with self._lock:
+            keys = self._by_table.pop(key.qualified_table, None)
+            if not keys:
+                return 0
+            for cached_key in keys:
+                self._entries.pop(cached_key, None)
+            self.invalidations += len(keys)
+            return len(keys)
 
     def invalidate_key(self, key: CandidateKey) -> bool:
         """Drop exactly one entry; returns whether it existed."""
-        if key not in self._entries:
-            return False
-        self._drop(key)
-        self.invalidations += 1
-        return True
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._drop(key)
+            self.invalidations += 1
+            return True
 
     def apply_delta(self, delta, statistics: list[CandidateStatistics]) -> int:
         """Merge a shard worker's :class:`~repro.core.workers.CacheDelta`.
@@ -180,14 +193,16 @@ class StatsCache:
                 f"cache delta has {len(delta.slots)} slots for "
                 f"{len(statistics)} statistics"
             )
-        for key, token, stats in zip(delta.slots, delta.tokens, statistics):
-            self.put(key, stats, now=delta.stored_at, token=token)
+        with self._lock:
+            for key, token, stats in zip(delta.slots, delta.tokens, statistics):
+                self.put(key, stats, now=delta.stored_at, token=token)
         return len(statistics)
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
-        self._entries.clear()
-        self._by_table.clear()
+        with self._lock:
+            self._entries.clear()
+            self._by_table.clear()
 
     def _drop(self, key: CandidateKey) -> None:
         self._entries.pop(key, None)
@@ -243,6 +258,10 @@ class IndexedCandidateCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: Entries dropped by TTL or token mismatch — parity with
+        #: :attr:`StatsCache.expirations`, so the two cache kinds report
+        #: identical accounting for the same lookup scenario.
+        self.expirations = 0
         self._candidates: list[Candidate | None] = []
         self._tokens: list[int] = []
         self._stored_at: list[float] = []
@@ -267,11 +286,17 @@ class IndexedCandidateCache:
                 self._tokens.extend([-1] * grow)
                 self._stored_at.extend([-math.inf] * grow)
 
-    def record_lookups(self, hits: int, misses: int) -> None:
-        """Bulk counter update for connectors classifying inline (thread-safe)."""
+    def record_lookups(self, hits: int, misses: int, expirations: int = 0) -> None:
+        """Bulk counter update for connectors classifying inline (thread-safe).
+
+        ``expirations`` counts the misses whose slot held an entry that
+        failed the token/TTL check — the inline twin of the eviction
+        accounting :meth:`get` does itself.
+        """
         with self._lock:
             self.hits += hits
             self.misses += misses
+            self.expirations += expirations
 
     # Bulk accessors: vectorised connectors run the validity check inline
     # over these parallel lists (a method call per lookup would dominate a
@@ -299,9 +324,15 @@ class IndexedCandidateCache:
         An entry is valid iff ``0 <= token - stored_token <= version_slack``
         (exact equality when slack is 0, the default) and it is younger
         than the TTL; stale entries are evicted.
+
+        Thread-sharded connectors call this concurrently for disjoint
+        indices (e.g. the catalog connector's per-key dense path), so the
+        shared counters are updated under the lock — the slot accesses
+        themselves need none, because shards own disjoint slices.
         """
         if index >= len(self._candidates):
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         candidate = self._candidates[index]
         if (
@@ -309,11 +340,16 @@ class IndexedCandidateCache:
             or not 0 <= token - self._tokens[index] <= self.version_slack
             or now - self._stored_at[index] >= self.ttl_s
         ):
-            if candidate is not None:
+            expired = candidate is not None
+            if expired:
                 self._candidates[index] = None
-            self.misses += 1
+            with self._lock:
+                if expired:
+                    self.expirations += 1
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return candidate
 
     def put(self, index: int, candidate: Candidate, now: float = 0.0, token: int = 0) -> None:
@@ -349,7 +385,8 @@ class IndexedCandidateCache:
         if index >= len(self._candidates) or self._candidates[index] is None:
             return False
         self._candidates[index] = None
-        self.invalidations += 1
+        with self._lock:
+            self.invalidations += 1
         return True
 
     def clear(self) -> None:

@@ -24,9 +24,20 @@ crosses must become an explicit, versioned, picklable contract:
 
 Only the *miss* slice crosses the boundary: the coordinator resolves cache
 hits locally (a token compare per key), so steady-state specs stay small.
-The decide phase never leaves the coordinator — global selection must see
-every shard's survivors at once, which is also what keeps process- and
-thread-mode cycle reports byte-identical (property-tested).
+
+The decide phase can cross the boundary too — but only for *local*
+selection.  Global selection must see every shard's survivors at once, so
+it always decides on the coordinator; a ``selection="local"`` shard, by
+contrast, ranks and selects under its own split budget, which a worker can
+do entirely in-process when the spec carries a :class:`ShardDecideSpec`
+(picklable policy + selector + filter chains + the coordinator-resolved
+cache hits).  The worker then returns a :class:`ShardDecision` — counts
+plus the *selected* candidates only — shrinking the return payload from
+O(shard candidates) to O(selected).  The trade-off is cache warmth: only
+selected misses ride back in the cache delta, so unselected dirty tables
+are re-observed next cycle (a fair trade when observation is CPU-bound
+and fans out across workers anyway).  Either way the cycle reports stay
+byte-identical to thread/inline mode (property-tested).
 
 :class:`WorkerPool` is the persistent executor behind both the sharded
 pipeline and the Policy Lab's what-if sweeps
@@ -47,6 +58,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.core.candidates import Candidate, CandidateKey, CandidateStatistics
+from repro.core.filters import CandidateFilter, apply_filters
+from repro.core.ranking import RankingPolicy
+from repro.core.selection import Selector
 from repro.core.traits import TraitRegistry
 from repro.errors import ValidationError
 
@@ -57,8 +71,10 @@ WORKER_MODES = ("threads", "processes")
 
 #: Contract version stamped on every spec/result; a coordinator refuses a
 #: result whose version it does not understand (mixed-version pools after
-#: an upgrade must fail loudly, not corrupt caches).
-WORK_SPEC_VERSION = 1
+#: an upgrade must fail loudly, not corrupt caches).  Version 2 added the
+#: catalog-snapshot observation payload and the worker-side decide
+#: contract (:class:`ShardDecideSpec` / :class:`ShardDecision`).
+WORK_SPEC_VERSION = 2
 
 #: Column names a :class:`ShardWorkSpec` snapshot must carry — exactly the
 #: per-candidate inputs of
@@ -129,8 +145,43 @@ class CacheDelta:
 
 
 @dataclass(frozen=True)
+class ShardDecideSpec:
+    """The decide phase, shipped into a worker (``selection="local"`` only).
+
+    Attributes:
+        policy: the shard's ranking policy (picklable — every built-in
+            policy is plain data).
+        selector: the shard's *split* selection budget.
+        stats_filters: post-observe filter chain.
+        trait_filters: post-orient filter chain.
+        hits: the coordinator-resolved candidate list in generation order,
+            with ``None`` holes at the spec's miss positions — the worker
+            fills the holes with its own observations, so rank/select see
+            the exact candidate set the coordinator would have.
+    """
+
+    policy: RankingPolicy
+    selector: Selector
+    stats_filters: tuple[CandidateFilter, ...] = ()
+    trait_filters: tuple[CandidateFilter, ...] = ()
+    hits: tuple = ()
+
+
+@dataclass
+class ShardDecision:
+    """A worker's decide-phase outcome (mirrors the CycleReport fields)."""
+
+    after_stats_filters: int = 0
+    after_trait_filters: int = 0
+    ranked: int = 0
+    #: Selected candidates in rank order — the only candidates that cross
+    #: back when workers decide.
+    selected: list[Candidate] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
 class ShardWorkSpec:
-    """One shard's picklable unit of observe/orient work.
+    """One shard's picklable unit of observe/orient (and optionally decide) work.
 
     Attributes:
         version: contract version (:data:`WORK_SPEC_VERSION`).
@@ -138,16 +189,27 @@ class ShardWorkSpec:
         keys: candidate keys that missed the coordinator's cache, in
             generation order.
         columns: the connector snapshot — name → per-key tuple for every
-            :data:`SPEC_COLUMNS` name.
+            :data:`SPEC_COLUMNS` name (ignored when ``snapshot`` is set).
         slots: cache slot per key (int index or the key itself).
         tokens: freshness token per key (what the cache delta stores, so
             invalidation state survives the round trip).
-        target_file_size: scalar compaction target for every key.
+        target_file_size: scalar compaction target for every key (unused
+            when ``snapshot`` carries per-key targets).
         now: observation time (stamped on the cache delta).
         traits: the orient-phase registry (applied in the worker — trait
             math is the CPU-bound half of orientation).
         observe_cost: per-candidate CPU units handed to :func:`burn_cpu`,
             emulating real statistics-collection cost.
+        snapshot: alternative observation payload for connectors whose
+            statistics do not fit :data:`SPEC_COLUMNS` — any picklable
+            object with ``__len__`` and ``statistics(i) ->
+            CandidateStatistics`` (e.g.
+            :class:`repro.catalog.snapshot.CatalogObservationSlice`, which
+            carries per-key file sizes and ``table.version`` tokens).
+        decide: when set, the worker runs the full local decide phase
+            after observe/orient and returns a :class:`ShardDecision`
+            instead of the observed candidates (see the module docstring
+            for the payload trade-off).
     """
 
     shard_index: int
@@ -159,21 +221,40 @@ class ShardWorkSpec:
     now: float
     traits: TraitRegistry
     observe_cost: int = 0
+    snapshot: object | None = None
+    decide: ShardDecideSpec | None = None
     version: int = WORK_SPEC_VERSION
 
     def __post_init__(self) -> None:
-        missing = [name for name in SPEC_COLUMNS if name not in self.columns]
-        if missing:
-            raise ValidationError(f"shard work spec missing columns: {missing}")
         n = len(self.keys)
-        bad = [
-            name for name in SPEC_COLUMNS if len(self.columns[name]) != n
-        ]
-        if bad or len(self.slots) != n or len(self.tokens) != n:
+        if self.snapshot is not None:
+            if len(self.snapshot) != n:  # type: ignore[arg-type]
+                raise ValidationError(
+                    f"shard work snapshot has {len(self.snapshot)} rows "  # type: ignore[arg-type]
+                    f"for {n} keys"
+                )
+        else:
+            missing = [name for name in SPEC_COLUMNS if name not in self.columns]
+            if missing:
+                raise ValidationError(f"shard work spec missing columns: {missing}")
+            bad = [
+                name for name in SPEC_COLUMNS if len(self.columns[name]) != n
+            ]
+            if bad:
+                raise ValidationError(
+                    f"shard work spec columns must all have {n} rows "
+                    f"(mismatched: {bad})"
+                )
+        if len(self.slots) != n or len(self.tokens) != n:
             raise ValidationError(
-                f"shard work spec columns/slots/tokens must all have {n} rows "
-                f"(mismatched: {bad or 'slots/tokens'})"
+                f"shard work spec slots/tokens must both have {n} rows"
             )
+        if self.decide is not None:
+            holes = sum(1 for c in self.decide.hits if c is None)
+            if holes != n:
+                raise ValidationError(
+                    f"decide spec carries {holes} miss holes for {n} miss keys"
+                )
 
 
 @dataclass
@@ -183,35 +264,39 @@ class ShardCycleResult:
     Attributes:
         version: contract version (must match the coordinator's).
         shard_index: echo of the spec's shard.
-        candidates: observed + oriented candidates, in spec key order.
+        candidates: observed + oriented candidates, position-aligned with
+            ``cache_delta``.  Without a decide spec these are *all* the
+            spec's candidates in key order; with one, only the selected
+            misses (the rest never cross back).
         cache_delta: the cache updates the coordinator merges (see
             :class:`CacheDelta`); without it, process-mode cycles would
             re-observe every table every cycle.
+        decision: the worker's decide-phase outcome (only when the spec
+            carried a :class:`ShardDecideSpec`).
         observe_wall_s: wall-clock seconds the worker spent.
     """
 
     shard_index: int
     candidates: list[Candidate] = field(default_factory=list)
     cache_delta: CacheDelta = field(default_factory=CacheDelta)
+    decision: ShardDecision | None = None
     observe_wall_s: float = 0.0
     version: int = WORK_SPEC_VERSION
 
 
-def run_shard_work(spec: ShardWorkSpec) -> ShardCycleResult:
-    """Worker entry point: observe + orient one spec's candidates.
-
-    Module-level so process pools can pickle it.  Statistics go through
-    the same trusted constructor as the in-process fast path and traits
-    through the same registry batch compute, so the returned candidates
-    are value-identical to thread-mode observation of the same inputs —
-    the foundation of the modes' byte-identical cycle reports.
-    """
-    if spec.version != WORK_SPEC_VERSION:
-        raise ValidationError(
-            f"shard work spec version {spec.version} != {WORK_SPEC_VERSION} "
-            "(coordinator and workers must run the same build)"
-        )
-    start = time.perf_counter()
+def _observe_spec(spec: ShardWorkSpec) -> list[Candidate]:
+    """Observe phase over a spec's miss keys (columns or snapshot payload)."""
+    cost = spec.observe_cost
+    candidates: list[Candidate] = []
+    append = candidates.append
+    snapshot = spec.snapshot
+    if snapshot is not None:
+        statistics = snapshot.statistics  # type: ignore[attr-defined]
+        for i, key in enumerate(spec.keys):
+            if cost:
+                burn_cpu(cost, str(key).encode("utf-8"))
+            append(Candidate(key=key, statistics=statistics(i)))
+        return candidates
     build = CandidateStatistics.build_unchecked
     columns = spec.columns
     target = spec.target_file_size
@@ -223,9 +308,6 @@ def run_shard_work(spec: ShardWorkSpec) -> ShardCycleResult:
     created = columns["created_at"]
     modified = columns["last_modified_at"]
     quota = columns["quota_utilization"]
-    cost = spec.observe_cost
-    candidates: list[Candidate] = []
-    append = candidates.append
     for i, key in enumerate(spec.keys):
         if cost:
             burn_cpu(cost, str(key).encode("utf-8"))
@@ -241,13 +323,91 @@ def run_shard_work(spec: ShardWorkSpec) -> ShardCycleResult:
             quota_utilization=quota[i],
         )
         append(Candidate(key=key, statistics=stats))
-    spec.traits.annotate_all(candidates)
+    return candidates
+
+
+def _decide_in_worker(
+    spec: ShardWorkSpec, observed: list[Candidate]
+) -> tuple[ShardDecision, list[Candidate], CacheDelta]:
+    """Run the local decide phase exactly as the coordinator would.
+
+    Filter → orient → filter → rank → select, over the full generation-
+    order candidate list (coordinator hits with the observed misses filled
+    into their holes) — the same sequence as
+    :meth:`~repro.core.pipeline.AutoCompPipeline.orient` followed by the
+    sharded pipeline's local decide, so the decision is value-identical
+    to a coordinator-side one.
+
+    Returns the decision plus the cache-delta slice: only the *selected
+    misses* (candidates observed this call) ride back to the coordinator's
+    cache — unselected observations stay in the worker and die with it.
+    """
+    decide = spec.decide
+    assert decide is not None
+    fill = iter(observed)
+    candidates = [c if c is not None else next(fill) for c in decide.hits]
+    survivors = apply_filters(list(decide.stats_filters), candidates, spec.now)
+    after_stats = len(survivors)
+    spec.traits.annotate_all(survivors, only_missing=True)
+    survivors = apply_filters(list(decide.trait_filters), survivors, spec.now)
+    after_traits = len(survivors)
+    ranked = decide.policy.rank(survivors)
+    selected = decide.selector.select(ranked)
+    slot_of = {
+        id(c): (slot, token)
+        for c, slot, token in zip(observed, spec.slots, spec.tokens)
+    }
+    delta_candidates: list[Candidate] = []
+    slots: list = []
+    tokens: list = []
+    for candidate in selected:
+        entry = slot_of.get(id(candidate))
+        if entry is not None:
+            delta_candidates.append(candidate)
+            slots.append(entry[0])
+            tokens.append(entry[1])
+    decision = ShardDecision(
+        after_stats_filters=after_stats,
+        after_trait_filters=after_traits,
+        ranked=len(ranked),
+        selected=list(selected),
+    )
+    delta = CacheDelta(tuple(slots), tuple(tokens), stored_at=spec.now)
+    return decision, delta_candidates, delta
+
+
+def run_shard_work(spec: ShardWorkSpec) -> ShardCycleResult:
+    """Worker entry point: observe + orient (+ optionally decide) one spec.
+
+    Module-level so process pools can pickle it.  Statistics go through
+    the same constructors as the in-process paths and traits through the
+    same registry batch compute, so the returned candidates are
+    value-identical to thread-mode observation of the same inputs —
+    the foundation of the modes' byte-identical cycle reports.
+    """
+    if spec.version != WORK_SPEC_VERSION:
+        raise ValidationError(
+            f"shard work spec version {spec.version} != {WORK_SPEC_VERSION} "
+            "(coordinator and workers must run the same build)"
+        )
+    start = time.perf_counter()
+    candidates = _observe_spec(spec)
+    if spec.decide is None:
+        spec.traits.annotate_all(candidates)
+        return ShardCycleResult(
+            shard_index=spec.shard_index,
+            candidates=candidates,
+            cache_delta=CacheDelta(
+                slots=spec.slots, tokens=spec.tokens, stored_at=spec.now
+            ),
+            observe_wall_s=time.perf_counter() - start,
+        )
+    decision, delta_candidates, delta = _decide_in_worker(spec, candidates)
     return ShardCycleResult(
         shard_index=spec.shard_index,
-        candidates=candidates,
-        cache_delta=CacheDelta(
-            slots=spec.slots, tokens=spec.tokens, stored_at=spec.now
-        ),
+        candidates=delta_candidates,
+        cache_delta=delta,
+        decision=decision,
         observe_wall_s=time.perf_counter() - start,
     )
 

@@ -77,3 +77,13 @@ class CommitConflictError(TableError):
 
 class SchedulingError(ReproError):
     """A compaction task could not be scheduled."""
+
+
+class WorkerError(ReproError):
+    """A shard worker failed mid-cycle.
+
+    Raised by the sharded control plane when a worker's observe/decide
+    task errors: outstanding sibling futures are cancelled and drained
+    first, so no shard work is left in flight, and the worker's original
+    exception is chained as ``__cause__``.
+    """

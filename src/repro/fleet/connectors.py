@@ -258,6 +258,7 @@ class FleetConnector(Connector):
         slack = cache.version_slack
         versions, quota = view.versions, view.quota
         hits = 0
+        expirations = 0
         for pos, (key, index) in enumerate(zip(keys, indices)):
             if not 0 <= index < count:
                 raise ValidationError(f"fleet table index {index} out of range")
@@ -274,10 +275,16 @@ class FleetConnector(Connector):
                     object.__setattr__(stats, "quota_utilization", fresh_quota)
                 placed[pos] = candidate
             else:
+                if candidate is not None:
+                    # Slot held an entry that failed the token/TTL check —
+                    # the inline twin of IndexedCandidateCache.get's
+                    # eviction accounting (the slot itself is reused in
+                    # place by the rebuild, so no separate None store).
+                    expirations += 1
                 miss_keys.append(key)
                 miss_indices.append(index)
                 miss_positions.append(pos)
-        cache.record_lookups(hits, len(miss_keys))
+        cache.record_lookups(hits, len(miss_keys), expirations)
         return placed, miss_keys, miss_indices, miss_positions
 
     def _observe_incremental(self, keys: list[CandidateKey]) -> list[Candidate]:
@@ -396,10 +403,8 @@ class FleetConnector(Connector):
         )
         return placed, spec
 
-    def merge_shard_result(
-        self, placed: list[Candidate | None], result: ShardCycleResult
-    ) -> list[Candidate]:
-        """Fill the miss holes from a worker's result; replay its cache delta.
+    def apply_shard_delta(self, result: ShardCycleResult) -> None:
+        """Replay a worker result's cache delta (no hole filling).
 
         Applying the delta is what keeps process-mode cycles incremental:
         the worker's freshness tokens land in the coordinator's cache, so
@@ -411,14 +416,20 @@ class FleetConnector(Connector):
                 f"shard result version {result.version} != {WORK_SPEC_VERSION} "
                 "(coordinator and workers must run the same build)"
             )
+        if self.stats_cache is not None:
+            self.stats_cache.apply_delta(result.cache_delta, result.candidates)
+
+    def merge_shard_result(
+        self, placed: list[Candidate | None], result: ShardCycleResult
+    ) -> list[Candidate]:
+        """Fill the miss holes from a worker's result; replay its cache delta."""
         holes = sum(1 for candidate in placed if candidate is None)
         if holes != len(result.candidates):
             raise ValidationError(
                 f"shard result carries {len(result.candidates)} candidates "
                 f"for {holes} miss positions"
             )
-        if self.stats_cache is not None:
-            self.stats_cache.apply_delta(result.cache_delta, result.candidates)
+        self.apply_shard_delta(result)
         fill = iter(result.candidates)
         return [c if c is not None else next(fill) for c in placed]
 

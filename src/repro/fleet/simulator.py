@@ -224,10 +224,14 @@ class ShardedAutoCompStrategy(CompactionStrategy):
             hits on trickle-writing tables.
         selection: ``"global"`` (exactly the unsharded decisions) or
             ``"local"`` (split budgets, fully independent shards).
-        workers: shard execution mode — ``"threads"`` (default) or
+        workers: shard execution mode — ``"threads"`` (default),
             ``"processes"`` (true multi-core observe/orient via picklable
-            shard work; see :mod:`repro.core.workers`).  Both produce
-            byte-identical cycle reports.
+            shard work; see :mod:`repro.core.workers`) or ``"auto"``
+            (per-cycle adaptive choice from observed observe walls).  All
+            produce byte-identical cycle reports.
+        worker_decide: ship the decide phase into process workers for
+            local selection (see
+            :class:`~repro.core.sharding.ShardedPipeline`).
         max_workers: worker-pool width (see
             :class:`~repro.core.sharding.ShardedPipeline`).
         observe_cost: per-candidate CPU units emulating real statistics-
@@ -252,6 +256,7 @@ class ShardedAutoCompStrategy(CompactionStrategy):
         version_slack: int = 0,
         selection: str = "global",
         workers: str = "threads",
+        worker_decide: bool | None = None,
         max_workers: int | None = None,
         observe_cost: int = 0,
         telemetry: Telemetry | None = None,
@@ -290,6 +295,7 @@ class ShardedAutoCompStrategy(CompactionStrategy):
             # into a key-tie-broken total order, so merge order is free.
             merge_order="any",
             workers=workers,
+            worker_decide=worker_decide,
             max_workers=max_workers,
             telemetry=telemetry,
         )

@@ -85,7 +85,10 @@ class WhatIfReport:
     def ranked(self) -> list[VariantScore]:
         """Scores best-first under ``rank_by`` (ties broken by variant name)."""
         if self.rank_by == "gbhr":
-            key = lambda s: (s.gbhr, s.variant.name)  # noqa: E731 — cheapest first
+            # Cheapest first, but among equally cheap variants prefer the
+            # one that reduced more files — otherwise a do-nothing variant
+            # (0 GBHr, 0 files reduced) always ranks first.
+            key = lambda s: (s.gbhr, -s.files_reduced, s.variant.name)  # noqa: E731
             return sorted(self.scores, key=key)
         attribute = {"efficiency": "efficiency", "files_reduced": "files_reduced"}[
             self.rank_by

@@ -223,3 +223,105 @@ class TestDenseLstCache:
         first = connector.observe(keys)
         second = connector.observe(keys)
         assert all(a is b for a, b in zip(first, second))
+
+
+class TestLstWorkerObservation:
+    """The catalog connector's picklable shard-work contract."""
+
+    def _dense(self, populated_catalog):
+        from repro.core.statscache import IndexedCandidateCache
+
+        cache = IndexedCandidateCache()
+        return LstConnector(populated_catalog, stats_cache=cache), cache
+
+    def test_snapshot_statistics_match_live_observation(self, populated_catalog):
+        from repro.core import TraitRegistry
+        from repro.core.workers import run_shard_work
+
+        connector = LstConnector(populated_catalog)
+        keys = connector.list_candidates("hybrid")
+        placed, spec = connector.export_shard_work(keys, 0, TraitRegistry([]))
+        assert placed == [None] * len(keys)  # no cache: everything misses
+        assert spec is not None and spec.snapshot is not None
+        result = run_shard_work(spec)
+        merged = connector.merge_shard_result(placed, result)
+        live = LstConnector(populated_catalog).observe(keys)
+        assert [c.key for c in merged] == [c.key for c in live]
+        assert [c.statistics for c in merged] == [c.statistics for c in live]
+        # file_sizes survive the snapshot (entropy-style traits need them).
+        assert all(c.statistics.file_sizes for c in merged)
+
+    def test_spec_is_picklable_and_worker_output_stable(self, populated_catalog):
+        import pickle
+
+        from repro.core import TraitRegistry
+        from repro.core.workers import run_shard_work
+
+        connector = LstConnector(populated_catalog)
+        keys = connector.list_candidates("table")
+        _, spec = connector.export_shard_work(keys, 2, TraitRegistry([]))
+        thawed = pickle.loads(pickle.dumps(spec))
+        assert [c.statistics for c in run_shard_work(thawed).candidates] == [
+            c.statistics for c in run_shard_work(spec).candidates
+        ]
+
+    def test_dense_cache_hits_stay_local(self, populated_catalog):
+        from repro.core import TraitRegistry
+
+        connector, cache = self._dense(populated_catalog)
+        keys = connector.list_candidates("table")
+        connector.observe(keys)  # warm
+        placed, spec = connector.export_shard_work(keys, 0, TraitRegistry([]))
+        assert spec is None  # fully warm: nothing crosses the boundary
+        assert all(c is not None for c in placed)
+
+    def test_version_bump_exports_only_the_dirty_table(self, populated_catalog):
+        from repro.core import TraitRegistry
+        from tests.conftest import fragment_table
+
+        connector, cache = self._dense(populated_catalog)
+        keys = connector.list_candidates("table")
+        connector.observe(keys)
+        fragment_table(populated_catalog.load_table("db1.flat"), partitions=[()])
+        placed, spec = connector.export_shard_work(keys, 0, TraitRegistry([]))
+        assert spec is not None
+        assert [str(k) for k in spec.keys] == ["db1.flat"]
+        # The freshness token is the table's post-write metadata version.
+        assert spec.tokens == (populated_catalog.load_table("db1.flat").version,)
+
+    def test_sparse_observe_self_heals_on_version_bump(self, populated_catalog):
+        from repro.core.statscache import StatsCache
+        from tests.conftest import fragment_table
+
+        cache = StatsCache()
+        connector = LstConnector(populated_catalog, stats_cache=cache)
+        keys = connector.list_candidates("table")
+        first = {str(c.key): c for c in connector.observe(keys)}
+        fragment_table(populated_catalog.load_table("db1.flat"), partitions=[()])
+        second = {str(c.key): c for c in connector.observe(keys)}
+        # No notify event arrived, but the bulk path's version token evicts
+        # the written table's entry on its own...
+        assert (
+            second["db1.flat"].statistics.file_count
+            == first["db1.flat"].statistics.file_count + 10
+        )
+        assert cache.expirations == 1
+        # ...while clean tables keep hitting.
+        assert second["db2.other"].statistics is first["db2.other"].statistics
+
+    def test_apply_shard_delta_feeds_either_cache_kind(self, populated_catalog):
+        from repro.core import TraitRegistry
+        from repro.core.statscache import StatsCache
+        from repro.core.workers import run_shard_work
+
+        for cache in (StatsCache(), None):
+            connector = LstConnector(populated_catalog, stats_cache=cache)
+            keys = connector.list_candidates("table")
+            placed, spec = connector.export_shard_work(keys, 0, TraitRegistry([]))
+            result = run_shard_work(spec)
+            connector.apply_shard_delta(result)
+            if cache is not None:
+                assert len(cache) == len(keys)
+                # Next bulk pass hits without re-collection.
+                _, spec2 = connector.export_shard_work(keys, 0, TraitRegistry([]))
+                assert spec2 is None

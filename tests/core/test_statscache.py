@@ -492,3 +492,133 @@ class TestVersionSlack:
         cache.put(key, stats, token=np.int64(10))
         assert cache.get(key, token=np.int64(11)) is stats
         assert cache.get(key, token=np.int64(13)) is None
+
+
+class TestStatsCacheThreadSafety:
+    """Shards sharing one key-hashed cache on a thread pool must not race."""
+
+    def test_concurrent_disjoint_shards_keep_exact_accounting(self):
+        import threading
+
+        cache = StatsCache()
+        n_threads, n_keys, rounds = 8, 40, 25
+        barrier = threading.Barrier(n_threads)
+        errors: list[BaseException] = []
+
+        def shard(worker: int) -> None:
+            try:
+                keys = [
+                    _table_key(db=f"db{worker}", table=f"t{i}") for i in range(n_keys)
+                ]
+                barrier.wait()
+                for _ in range(rounds):
+                    for key in keys:
+                        if cache.get(key, now=0.0) is None:
+                            cache.put(key, _stats(), now=0.0)
+                    cache.invalidate(keys[0])
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=shard, args=(worker,)) for worker in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        lookups = n_threads * rounds * n_keys
+        # Exact accounting under contention: every lookup was classified
+        # exactly once (lost updates would leave the sum short).
+        assert cache.hits + cache.misses == lookups
+        # Each round's invalidate forces exactly one re-observation per
+        # thread after round one.
+        assert cache.invalidations == n_threads * rounds
+        # The final round's invalidate leaves each thread's first key out.
+        assert len(cache) == n_threads * (n_keys - 1)
+
+
+class TestIndexedCacheThreadSafety:
+    def test_concurrent_disjoint_gets_keep_exact_accounting(self):
+        """Thread-sharded connectors call get() concurrently for disjoint
+        slots; the shared hit/miss/expiration counters must not lose
+        updates."""
+        import threading
+
+        n_threads, n_slots, rounds = 8, 50, 40
+        cache = IndexedCandidateCache()
+        for index in range(n_threads * n_slots):
+            cache.put(index, Candidate(key=_table_key(), statistics=_stats()), token=1)
+        barrier = threading.Barrier(n_threads)
+
+        def shard(worker: int) -> None:
+            base = worker * n_slots
+            barrier.wait()
+            for round_index in range(rounds):
+                for offset in range(n_slots):
+                    # Alternate valid and never-cached lookups so hits and
+                    # misses both race.
+                    index = base + offset if round_index % 2 == 0 else 10**6 + base
+                    cache.get(index, token=1)
+
+        threads = [
+            threading.Thread(target=shard, args=(worker,)) for worker in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Even rounds are all hits, odd rounds all (out-of-capacity) misses.
+        assert cache.hits == n_threads * (rounds // 2) * n_slots
+        assert cache.misses == n_threads * (rounds // 2) * n_slots
+        assert cache.expirations == 0
+
+
+class TestEvictionAccountingParity:
+    """Both cache kinds must report identical accounting for one scenario."""
+
+    def _scenario_sparse(self) -> tuple[int, int, int, int]:
+        cache = StatsCache(ttl_s=100.0)
+        key = _table_key()
+        cache.put(key, _stats(), now=0.0, token=1)
+        assert cache.get(key, now=1.0, token=1) is not None  # hit
+        assert cache.get(key, now=1.0, token=2) is None  # token expiration
+        cache.put(key, _stats(), now=1.0, token=2)
+        assert cache.get(key, now=500.0, token=2) is None  # TTL expiration
+        cache.put(key, _stats(), now=500.0, token=2)
+        cache.invalidate(key)  # write event
+        assert cache.get(key, now=500.0, token=2) is None  # plain miss
+        return (cache.hits, cache.misses, cache.invalidations, cache.expirations)
+
+    def _scenario_dense(self) -> tuple[int, int, int, int]:
+        cache = IndexedCandidateCache(ttl_s=100.0)
+        candidate = Candidate(key=_table_key(), statistics=_stats())
+        cache.put(0, candidate, now=0.0, token=1)
+        assert cache.get(0, now=1.0, token=1) is not None  # hit
+        assert cache.get(0, now=1.0, token=2) is None  # token expiration
+        cache.put(0, candidate, now=1.0, token=2)
+        assert cache.get(0, now=500.0, token=2) is None  # TTL expiration
+        cache.put(0, candidate, now=500.0, token=2)
+        cache.invalidate_index(0)  # write event
+        assert cache.get(0, now=500.0, token=2) is None  # plain miss
+        return (cache.hits, cache.misses, cache.invalidations, cache.expirations)
+
+    def test_same_scenario_same_counters(self):
+        assert self._scenario_sparse() == self._scenario_dense()
+        assert self._scenario_sparse() == (1, 3, 1, 2)
+
+    def test_dense_bulk_path_counts_expirations(self):
+        """The fleet connector's inline hit pass must account evictions the
+        same way IndexedCandidateCache.get does."""
+        model = FleetModel(FleetConfig(initial_tables=60, seed=3))
+        model.step_day()
+        cache = IndexedCandidateCache()
+        connector = FleetConnector(model, min_small_files=2, stats_cache=cache)
+        keys = connector.list_candidates("table")
+        connector.observe(keys)
+        assert cache.expirations == 0
+        model.step_day()  # writes bump versions: cached entries turn stale
+        keys = connector.list_candidates("table")
+        connector.observe(keys)
+        assert cache.expirations > 0
+        assert cache.expirations <= cache.misses

@@ -221,6 +221,7 @@ class TestShardedPipelineWorkerModes:
         from repro.catalog import Catalog
         from repro.core import (
             AutoCompPipeline,
+            Connector,
             LstConnector,
             LstExecutionBackend,
             SequentialScheduler,
@@ -230,11 +231,23 @@ class TestShardedPipelineWorkerModes:
         )
         from repro.engine import Cluster
 
-        connector = LstConnector(Catalog())
+        class LiveOnlyConnector(Connector):
+            """A connector whose observation cannot leave the process."""
+
+            def list_candidates(self, strategy="table"):
+                return []
+
+            def collect_statistics(self, key):
+                raise NotImplementedError
+
+        connector = LiveOnlyConnector()
         assert not connector.supports_worker_observe
+        # The catalog connector, by contrast, snapshots to picklable slices.
+        assert LstConnector(Catalog()).supports_worker_observe
+        lst = LstConnector(Catalog())
         pipeline = AutoCompPipeline(
             connector=connector,
-            backend=LstExecutionBackend(connector, Cluster("maint", executors=1)),
+            backend=LstExecutionBackend(lst, Cluster("maint", executors=1)),
             traits=_registry(),
             policy=WeightedSumPolicy(
                 [Objective("file_count_reduction", 1.0, maximize=True)]
@@ -248,6 +261,8 @@ class TestShardedPipelineWorkerModes:
             connector.export_shard_work([], 0, _registry())
         with pytest.raises(ValidationError, match="worker"):
             connector.merge_shard_result([], None)
+        with pytest.raises(ValidationError, match="worker"):
+            connector.apply_shard_delta(None)
 
     def test_rejects_unknown_worker_mode(self):
         model = FleetModel(FleetConfig(initial_tables=50, seed=1))
@@ -263,14 +278,14 @@ class TestShardedPipelineWorkerModes:
         ) as strategy:
             pipeline = strategy.pipeline
             pipeline.run_cycle(now=0.0)
-            executor = pipeline._pool._executor
+            executor = pipeline._pool("processes")._executor
             assert executor is not None
             model.step_day()
             pipeline.run_cycle(now=DAY)
-            assert pipeline._pool._executor is executor, (
+            assert pipeline._pool("processes")._executor is executor, (
                 "the worker pool must persist across cycles"
             )
-        assert not pipeline._pool.started
+        assert not pipeline._pools
 
     def test_process_cycles_stay_incremental_via_cache_delta(self):
         model = FleetModel(FleetConfig(initial_tables=150, seed=11))
@@ -286,3 +301,249 @@ class TestShardedPipelineWorkerModes:
             assert cache.hits > 0, (
                 "worker observations must land in the coordinator cache"
             )
+
+
+class TestWorkerSideDecide:
+    """The decide contract: filter → orient → rank → select in the worker."""
+
+    def _decided_spec(self, k: int = 2):
+        from repro.core import ShardDecideSpec, TopKSelector, WeightedSumPolicy, Objective
+
+        spec = _spec(4)
+        decide = ShardDecideSpec(
+            policy=WeightedSumPolicy(
+                [Objective("file_count_reduction", 1.0, maximize=True)]
+            ),
+            selector=TopKSelector(k),
+            hits=(None,) * 4,  # every key missed the coordinator cache
+        )
+        return dataclasses.replace(spec, decide=decide)
+
+    def test_decision_matches_coordinator_side_decide(self):
+        spec = self._decided_spec(k=2)
+        result = run_shard_work(spec)
+        assert result.decision is not None
+        # Coordinator-side reference: observe + orient + rank + select the
+        # same inputs with the same components.
+        reference = run_shard_work(dataclasses.replace(spec, decide=None))
+        ranked = spec.decide.policy.rank(list(reference.candidates))
+        expected = spec.decide.selector.select(ranked)
+        assert [c.key for c in result.decision.selected] == [c.key for c in expected]
+        assert [c.statistics for c in result.decision.selected] == [
+            c.statistics for c in expected
+        ]
+        assert result.decision.ranked == len(ranked)
+        assert result.decision.after_stats_filters == 4
+        assert result.decision.after_trait_filters == 4
+
+    def test_return_payload_shrinks_to_selected(self):
+        spec = self._decided_spec(k=1)
+        result = run_shard_work(spec)
+        # Only the selected miss crosses back — candidates and the cache
+        # delta are O(selected), not O(shard candidates).
+        assert len(result.candidates) == 1
+        assert len(result.cache_delta) == 1
+        assert result.candidates[0] is result.decision.selected[0]
+        undecided = run_shard_work(dataclasses.replace(spec, decide=None))
+        assert len(undecided.candidates) == 4
+        assert len(pickle.dumps(result)) < len(pickle.dumps(undecided))
+
+    def test_delta_slots_follow_the_selected_misses(self):
+        spec = self._decided_spec(k=4)
+        result = run_shard_work(spec)
+        # TopK(4) selects all four misses; the delta must carry each one's
+        # original slot/token pairing, in rank order.
+        key_to_slot = dict(zip(spec.keys, spec.slots))
+        assert list(result.cache_delta.slots) == [
+            key_to_slot[c.key] for c in result.candidates
+        ]
+
+    def test_decide_spec_validates_hole_count(self):
+        from repro.core import ShardDecideSpec, TopKSelector, WeightedSumPolicy, Objective
+
+        spec = _spec(3)
+        decide = ShardDecideSpec(
+            policy=WeightedSumPolicy(
+                [Objective("file_count_reduction", 1.0, maximize=True)]
+            ),
+            selector=TopKSelector(1),
+            hits=(None,),  # 1 hole for 3 miss keys
+        )
+        with pytest.raises(ValidationError, match="hole"):
+            dataclasses.replace(spec, decide=decide)
+
+    def test_worker_decide_requires_local_selection(self):
+        model = FleetModel(FleetConfig(initial_tables=50, seed=1))
+        strategy = ShardedAutoCompStrategy(model, n_shards=2, k=4)
+        with pytest.raises(ValidationError, match="local"):
+            ShardedPipeline(
+                strategy.pipeline.shards, selection="global", worker_decide=True
+            )
+
+
+class TestWorkerFailureHandling:
+    def test_poisoned_spec_surfaces_worker_error_and_drains_futures(self):
+        from repro.errors import WorkerError
+
+        model = FleetModel(FleetConfig(initial_tables=120, seed=6))
+        model.step_day()
+        with ShardedAutoCompStrategy(
+            model, n_shards=3, k=5, workers="processes", max_workers=2
+        ) as strategy:
+            pipeline = strategy.pipeline
+            victim = pipeline.shards[1].connector
+            original = victim.export_shard_work
+
+            def poisoned(keys, shard_index, traits):
+                placed, spec = original(keys, shard_index, traits)
+                if spec is not None:
+                    spec = dataclasses.replace(spec, version=99)
+                return placed, spec
+
+            victim.export_shard_work = poisoned
+            with pytest.raises(WorkerError, match="shard 1"):
+                pipeline.run_cycle(now=0.0)
+            # Outstanding sibling futures were cancelled/drained: the pool
+            # is immediately reusable and the next cycle completes.
+            del victim.export_shard_work
+            model.step_day()
+            report = pipeline.run_cycle(now=DAY)
+            assert report.report.candidates_generated > 0
+
+    def test_worker_error_chains_the_original_exception(self):
+        from repro.errors import WorkerError
+
+        model = FleetModel(FleetConfig(initial_tables=80, seed=7))
+        model.step_day()
+        with ShardedAutoCompStrategy(
+            model, n_shards=2, k=5, workers="processes", max_workers=2
+        ) as strategy:
+            pipeline = strategy.pipeline
+            victim = pipeline.shards[0].connector
+            original = victim.export_shard_work
+            victim.export_shard_work = lambda keys, i, traits: (_ for _ in ()).throw(
+                RuntimeError("export exploded")
+            )
+            try:
+                pipeline.run_cycle(now=0.0)
+                raise AssertionError("expected WorkerError")
+            except WorkerError as exc:
+                assert isinstance(exc.__cause__, RuntimeError)
+            finally:
+                victim.export_shard_work = original
+
+
+class TestAutoWorkerMode:
+    def _pipeline(self, **kwargs):
+        model = FleetModel(FleetConfig(initial_tables=100, seed=2))
+        model.step_day()
+        strategy = ShardedAutoCompStrategy(
+            model, n_shards=2, k=5, workers="auto", max_workers=2, **kwargs
+        )
+        return model, strategy
+
+    def test_warmup_probes_threads_then_processes(self):
+        model, strategy = self._pipeline()
+        with strategy:
+            pipeline = strategy.pipeline
+            assert pipeline._cycle_worker_mode() == "threads"
+            pipeline.run_cycle(now=0.0)
+            assert pipeline._mode_walls["threads"] is not None
+            assert pipeline._cycle_worker_mode() == "processes"
+            model.step_day()
+            pipeline.run_cycle(now=DAY)
+            assert pipeline._mode_walls["processes"] is not None
+
+    def test_hysteresis_prevents_flapping(self):
+        _, strategy = self._pipeline()
+        with strategy:
+            pipeline = strategy.pipeline
+            pipeline._mode_walls.update({"threads": 1.0, "processes": 0.95})
+            # 5% better does not clear the 20% hysteresis bar.
+            assert pipeline._cycle_worker_mode() == "threads"
+            pipeline._mode_walls["processes"] = 0.5
+            assert pipeline._cycle_worker_mode() == "processes"
+            # Once processes is the incumbent, a near-tie keeps it.
+            pipeline._mode_walls["threads"] = 0.45
+            assert pipeline._cycle_worker_mode() == "processes"
+            pipeline._mode_walls["threads"] = 0.1
+            assert pipeline._cycle_worker_mode() == "threads"
+
+    def test_periodic_probe_refreshes_the_loser(self):
+        """The non-incumbent mode's wall sample must be re-measured on a
+        schedule — otherwise a cold-cache probe could latch the wrong mode
+        forever."""
+        _, strategy = self._pipeline()
+        with strategy:
+            pipeline = strategy.pipeline
+            pipeline.auto_probe_interval = 3
+            pipeline._mode_walls.update({"threads": 0.1, "processes": 5.0})
+            modes = [pipeline._cycle_worker_mode() for _ in range(6)]
+            assert modes == [
+                "threads",
+                "threads",
+                "processes",  # probe cycle: refresh the loser's sample
+                "threads",
+                "threads",
+                "processes",
+            ]
+            assert pipeline._auto_mode == "threads"  # incumbent unchanged
+
+    def test_auto_reports_match_thread_reports(self):
+        config = FleetConfig(initial_tables=140, seed=21)
+        model_a, model_b = FleetModel(config), FleetModel(config)
+        model_a.step_day()
+        model_b.step_day()
+        with ShardedAutoCompStrategy(
+            model_a, n_shards=2, k=8, workers="threads"
+        ) as threads, ShardedAutoCompStrategy(
+            model_b, n_shards=2, k=8, workers="auto", max_workers=2
+        ) as auto:
+            for day in range(4):
+                now = float(day) * DAY
+                a = threads.pipeline.run_cycle(now=now)
+                b = auto.pipeline.run_cycle(now=now)
+                assert dataclasses.asdict(a.report) == dataclasses.asdict(b.report)
+                model_a.step_day()
+                model_b.step_day()
+            # The adaptive choice is visible in telemetry.
+            series = auto.pipeline.telemetry.series("autocomp.fleet.worker_mode")
+            assert len(series) == 4
+
+    def test_auto_degrades_to_threads_without_worker_observe(self):
+        from repro.catalog import Catalog
+        from repro.core import (
+            AutoCompPipeline,
+            Connector,
+            LstConnector,
+            LstExecutionBackend,
+            SequentialScheduler,
+            TopKSelector,
+            WeightedSumPolicy,
+            Objective,
+        )
+        from repro.engine import Cluster
+
+        class LiveOnlyConnector(Connector):
+            def list_candidates(self, strategy="table"):
+                return []
+
+            def collect_statistics(self, key):
+                raise NotImplementedError
+
+        lst = LstConnector(Catalog())
+        pipeline = AutoCompPipeline(
+            connector=LiveOnlyConnector(),
+            backend=LstExecutionBackend(lst, Cluster("maint", executors=1)),
+            traits=_registry(),
+            policy=WeightedSumPolicy(
+                [Objective("file_count_reduction", 1.0, maximize=True)]
+            ),
+            selector=TopKSelector(3),
+            scheduler=SequentialScheduler(),
+        )
+        # auto does not hard-fail on unsupported connectors — it stays on
+        # the thread pool (unlike workers="processes", which raises).
+        with ShardedPipeline([pipeline, pipeline], workers="auto", max_workers=2) as sharded:
+            assert sharded._cycle_worker_mode() == "threads"
+            sharded.run_cycle(now=0.0)

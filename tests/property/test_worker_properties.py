@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 import pickle
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -79,6 +80,194 @@ _columns = st.integers(min_value=3, max_value=6).flatmap(
         }
     )
 )
+
+
+class TestLocalSelectionModeEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_shards=st.integers(min_value=2, max_value=3),
+        tables=st.integers(min_value=60, max_value=140),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_local_cycles_identical_across_modes_and_decide_placement(
+        self, seed, n_shards, tables
+    ):
+        """selection="local" must produce identical cycle reports whether the
+        decide phase runs inline, on threads, or inside process workers —
+        with worker-side decide both off and on."""
+        config = FleetConfig(initial_tables=tables, seed=seed)
+        variants = [
+            {"workers": "threads", "max_workers": 1},  # inline
+            {"workers": "threads", "max_workers": 2},
+            {"workers": "processes", "max_workers": 2, "worker_decide": False},
+            {"workers": "processes", "max_workers": 2, "worker_decide": True},
+        ]
+        models, strategies = [], []
+        for kwargs in variants:
+            model = FleetModel(config)
+            model.step_day()
+            models.append(model)
+            strategies.append(
+                ShardedAutoCompStrategy(
+                    model, n_shards=n_shards, k=9, selection="local", **kwargs
+                )
+            )
+        try:
+            for day in range(3):
+                now = float(day) * DAY
+                reports = [s.pipeline.run_cycle(now=now) for s in strategies]
+                reference = _report_fields(reports[0])
+                for report in reports[1:]:
+                    assert _report_fields(report) == reference
+                for model in models:
+                    model.step_day()
+        finally:
+            for strategy in strategies:
+                strategy.close()
+
+    def test_worker_decide_shrinks_the_return_payload(self):
+        """With worker-side decide the shipped-back candidate count is
+        O(selected); without it, O(shard misses)."""
+        config = FleetConfig(initial_tables=200, seed=5)
+        counts = {}
+        for decide in (False, True):
+            model = FleetModel(config)
+            model.step_day()
+            with ShardedAutoCompStrategy(
+                model,
+                n_shards=2,
+                k=6,
+                selection="local",
+                workers="processes",
+                max_workers=2,
+                worker_decide=decide,
+            ) as strategy:
+                strategy.pipeline.run_cycle(now=0.0)
+                series = strategy.pipeline.telemetry.series(
+                    "autocomp.fleet.returned_candidates"
+                )
+                counts[decide] = series.last()
+        assert counts[True] <= 6  # at most the split top-k selection
+        assert counts[True] < counts[False]
+
+
+def _build_lst_catalog():
+    """A deterministic catalog: two tenants, mixed partitioned/flat tables."""
+    from repro.catalog import Catalog
+    from repro.lst import Field, MonthTransform, PartitionField, PartitionSpec, Schema
+
+    from tests.conftest import fragment_table
+
+    catalog = Catalog()
+    schema = Schema.of(Field("id", "long"), Field("event_date", "date"))
+    monthly = PartitionSpec.of(PartitionField("event_date", MonthTransform()))
+    catalog.create_database("tenant0", quota_objects=50_000)
+    catalog.create_database("tenant1")
+    for i in range(10):
+        db = f"tenant{i % 2}"
+        if i % 3 == 0:
+            table = catalog.create_table(f"{db}.part{i:02d}", schema, spec=monthly)
+            fragment_table(
+                table, partitions=[(0,), (1,)], files_per_partition=3 + i % 4
+            )
+        else:
+            table = catalog.create_table(f"{db}.flat{i:02d}", schema)
+            fragment_table(table, partitions=[()], files_per_partition=4 + i % 5)
+    return catalog
+
+
+def _lst_daily_writes(catalog, day: int) -> None:
+    """Deterministically dirty a rotating subset of tables."""
+    from repro.units import DAY as _DAY
+
+    from tests.conftest import fragment_table
+
+    names = sorted(str(ident) for ident in catalog.list_tables())
+    for offset in range(3):
+        name = names[(day * 3 + offset) % len(names)]
+        table = catalog.load_table(name)
+        partition = (0,) if table.spec.is_partitioned else ()
+        fragment_table(table, partitions=[partition], files_per_partition=2)
+    catalog.clock.advance_by(_DAY)
+
+
+class TestLstConnectorModeEquivalence:
+    """The realistic catalog path through process workers (tentpole)."""
+
+    @pytest.mark.parametrize(
+        "cache_kind,selection,worker_decide",
+        [
+            ("none", "global", None),
+            ("sparse", "global", None),
+            ("dense", "global", None),
+            ("dense", "local", False),
+            ("dense", "local", True),
+            ("sparse", "local", True),
+        ],
+    )
+    def test_thread_and_process_lst_cycles_are_identical(
+        self, cache_kind, selection, worker_decide
+    ):
+        from repro.core import IndexedCandidateCache, StatsCache, openhouse_sharded_pipeline
+        from repro.engine import Cluster
+
+        def cache():
+            return {
+                "none": lambda: None,
+                "sparse": StatsCache,
+                "dense": IndexedCandidateCache,
+            }[cache_kind]()
+
+        def pipeline(catalog, workers):
+            return openhouse_sharded_pipeline(
+                catalog,
+                Cluster("maint", executors=2),
+                n_shards=2,
+                stats_cache=cache(),
+                selection=selection,
+                workers=workers,
+                worker_decide=worker_decide,
+                max_workers=2,
+                k=6,
+                min_table_age_s=0.0,
+                generation="hybrid",
+            )
+
+        catalog_t, catalog_p = _build_lst_catalog(), _build_lst_catalog()
+        with pipeline(catalog_t, "threads") as threads, pipeline(
+            catalog_p, "processes"
+        ) as processes:
+            for day in range(3):
+                now = catalog_t.clock.now
+                thread_cycle = threads.run_cycle(now=now)
+                process_cycle = processes.run_cycle(now=now)
+                assert _report_fields(thread_cycle) == _report_fields(process_cycle), (
+                    f"diverged on day {day}"
+                )
+                _lst_daily_writes(catalog_t, day)
+                _lst_daily_writes(catalog_p, day)
+
+    def test_lst_process_cycles_stay_incremental(self):
+        from repro.core import IndexedCandidateCache, openhouse_sharded_pipeline
+        from repro.engine import Cluster
+
+        catalog = _build_lst_catalog()
+        cache = IndexedCandidateCache()
+        with openhouse_sharded_pipeline(
+            catalog,
+            Cluster("maint", executors=2),
+            n_shards=2,
+            stats_cache=cache,
+            workers="processes",
+            max_workers=2,
+            k=0,  # no act-phase writes: the second cycle must be all hits
+            min_table_age_s=0.0,
+        ) as pipeline:
+            pipeline.run_cycle(now=catalog.clock.now)
+            assert cache.hits == 0 and cache.misses > 0
+            pipeline.run_cycle(now=catalog.clock.now)
+            assert cache.misses == len(cache)  # no new misses
+            assert cache.hits > 0
 
 
 class TestContractRoundTrip:

@@ -94,6 +94,37 @@ class TestWhatIfRunner:
         with pytest.raises(ValidationError, match="rank_by"):
             WhatIfRunner(trace, VARIANTS, rank_by="vibes")
 
+    def test_gbhr_ties_prefer_more_files_reduced(self):
+        """A do-nothing variant (0 GBHr, 0 files reduced) must not outrank a
+        variant that reduced files for the same zero cost."""
+        from repro.replay.whatif import VariantScore, WhatIfReport
+
+        def score(name: str, gbhr: float, files_reduced: int) -> VariantScore:
+            return VariantScore(
+                variant=PolicyVariant(name=name),
+                files_final=1000 - files_reduced,
+                files_reduced=files_reduced,
+                reduction_vs_baseline=files_reduced / 1000,
+                gbhr=gbhr,
+                write_amplification=0.0,
+                task_failure_rate=0.0,
+                efficiency=0.0,
+                cycles=1,
+                tasks=0,
+                report_digest="d",
+            )
+
+        report = WhatIfReport(
+            scores=[
+                score("do-nothing", 0.0, 0),
+                score("free-lunch", 0.0, 40),
+                score("expensive", 5.0, 90),
+            ],
+            rank_by="gbhr",
+        )
+        names = [s.variant.name for s in report.ranked()]
+        assert names == ["free-lunch", "do-nothing", "expensive"]
+
 
 class TestOfflinePriors:
     def test_priors_warm_start_cfo(self, trace):
