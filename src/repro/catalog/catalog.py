@@ -22,7 +22,14 @@ from repro.lst.partitioning import PartitionSpec
 from repro.lst.schema import Schema
 from repro.lst.table import IcebergTable
 from repro.catalog.policies import TablePolicy
+from repro.catalog.serde import (
+    serialize_policy,
+    serialize_properties,
+    serialize_schema,
+    serialize_spec,
+)
 from repro.simulation.clock import SimClock
+from repro.simulation.taps import TapBus
 from repro.simulation.telemetry import Telemetry
 from repro.storage.filesystem import SimulatedFileSystem
 
@@ -53,6 +60,13 @@ class Catalog:
         clock: simulated clock (falls back to the filesystem's).
         telemetry: metric sink (falls back to the filesystem's).
         warehouse: storage root under which databases live.
+        taps: optional event bus; when present the catalog publishes the
+            Policy Lab's catalog-scoped trace events — ``db_create`` /
+            ``table_create`` on creation, and ``table_commit`` (with the
+            exact per-commit file delta and the post-commit
+            ``table.version`` freshness token) from a hook installed on
+            every table it creates.  A bus can also be attached later via
+            :meth:`attach_taps`.
     """
 
     def __init__(
@@ -61,13 +75,63 @@ class Catalog:
         clock: SimClock | None = None,
         telemetry: Telemetry | None = None,
         warehouse: str = "/data",
+        taps: TapBus | None = None,
     ) -> None:
         self.fs = fs if fs is not None else SimulatedFileSystem()
         self.clock = clock if clock is not None else self.fs.clock
         self.telemetry = telemetry if telemetry is not None else self.fs.telemetry
         self.warehouse = warehouse.rstrip("/") or "/data"
+        self.taps = taps
         self._databases: dict[str, Database] = {}
         self._policies: dict[str, TablePolicy] = {}
+
+    # --- event taps --------------------------------------------------------------
+
+    def attach_taps(self, taps: TapBus) -> TapBus:
+        """Attach an event bus after construction; returns the bus.
+
+        Installs the ``table_commit`` hook on every already-registered
+        table, so a recorder subscribed to the bus sees all *future*
+        commits.  Past history is not replayed — recorders that attach
+        mid-life start from a checkpoint (see
+        :mod:`repro.replay.catalog_trace`).
+        """
+        self.taps = taps
+        for database in self._databases.values():
+            for table in database.tables.values():
+                self._install_commit_tap(table)
+        return taps
+
+    def _install_commit_tap(self, table: BaseTable) -> None:
+        if any(getattr(hook, "_catalog_tap", False) for hook in table.commit_hooks):
+            return
+
+        def publish_commit(table, operation, added_data, added_deletes, removed_ids):
+            taps = self.taps
+            if taps is None or not taps.has_subscribers("table_commit"):
+                return
+            ident = table.identifier
+            taps.publish(
+                "table_commit",
+                {
+                    "t": table.clock.now,
+                    "database": ident.database,
+                    "table": ident.name,
+                    "op": operation,
+                    # Added files in materialization order, so a replayer
+                    # re-staging them allocates identical file ids.
+                    "added": [[list(f.partition), f.size_bytes] for f in added_data],
+                    "deletes": [
+                        [list(d.partition), d.size_bytes, sorted(d.references)]
+                        for d in added_deletes
+                    ],
+                    "removed": sorted(removed_ids),
+                    "version": table.version,
+                },
+            )
+
+        publish_commit._catalog_tap = True  # type: ignore[attr-defined]
+        table.commit_hooks.append(publish_commit)
 
     # --- databases ---------------------------------------------------------------
 
@@ -94,6 +158,11 @@ class Catalog:
         if quota_objects is not None:
             self.fs.set_quota(location, quota_objects)
         self._databases[name] = database
+        if self.taps is not None and self.taps.has_subscribers("db_create"):
+            self.taps.publish(
+                "db_create",
+                {"t": self.clock.now, "name": name, "quota_objects": quota_objects},
+            )
         return database
 
     def database(self, name: str) -> Database:
@@ -175,6 +244,22 @@ class Catalog:
         database.tables[identifier.name] = table
         self._policies[str(identifier)] = policy
         self.telemetry.increment("catalog.tables.created")
+        if self.taps is not None:
+            self._install_commit_tap(table)
+            if self.taps.has_subscribers("table_create"):
+                self.taps.publish(
+                    "table_create",
+                    {
+                        "t": self.clock.now,
+                        "database": identifier.database,
+                        "table": identifier.name,
+                        "format": table_format,
+                        "schema": serialize_schema(schema),
+                        "spec": serialize_spec(table.spec),
+                        "properties": serialize_properties(merged_properties),
+                        "policy": serialize_policy(policy),
+                    },
+                )
         return table
 
     def load_table(self, identifier: TableIdentifier | str) -> BaseTable:

@@ -95,6 +95,12 @@ class AutoCompPipeline:
         telemetry: metric sink for cycle statistics.
         feedback_hooks: callables invoked with each finished
             :class:`CycleReport` (the optional act→observe loop).
+        taps: optional event bus; when set, every finished cycle publishes
+            a ``cycle`` event carrying the fully serialized report — the
+            Policy Lab's catalog-trace cadence marker.  Assignable after
+            construction too (``pipeline.taps = bus``).  Leave unset on
+            the per-shard pipelines of a sharded plane (the coordinator
+            publishes the merged report instead).
     """
 
     def __init__(
@@ -110,6 +116,7 @@ class AutoCompPipeline:
         trait_filters: Sequence[CandidateFilter] = (),
         telemetry: Telemetry | None = None,
         feedback_hooks: Sequence[Callable[[CycleReport], None]] = (),
+        taps=None,
     ) -> None:
         self.connector = connector
         self.backend = backend
@@ -124,7 +131,16 @@ class AutoCompPipeline:
         self.trait_filters = list(trait_filters)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.feedback_hooks = list(feedback_hooks)
+        self.taps = taps
         self._cycle_index = 0
+
+    def invalidate(self, key: CandidateKey) -> None:
+        """Write-event hook: forward a notification to the connector's cache.
+
+        The uniform entry point service inboxes call — the sharded plane
+        overrides it to route each key to the shard that owns it.
+        """
+        self.connector.invalidate(key)
 
     def run_cycle(self, now: float = 0.0, simulator: Simulator | None = None) -> CycleReport:
         """Run one full OODA pass.
@@ -256,8 +272,21 @@ class AutoCompPipeline:
         del sync_results
 
     def finish_cycle(self, report: CycleReport, now: float) -> None:
-        """Record cycle telemetry and fire the feedback hooks."""
+        """Record cycle telemetry, publish the cycle event, fire feedback hooks."""
         self._record_cycle(report, now)
+        if self.taps is not None and self.taps.has_subscribers("cycle"):
+            # Imported lazily: repro.replay sits above repro.core in the
+            # layering, so a module-level import would be circular.
+            from repro.replay.trace import serialize_cycle_report
+
+            # Callers that never pass `now` (it defaults to 0.0) must not
+            # stamp a cycle event *before* the commits already recorded at
+            # catalog-clock time — that trace would fail the reader's
+            # non-decreasing-time validation.  The connector's clock, when
+            # it has one, is the authoritative floor.
+            catalog = getattr(self.connector, "catalog", None)
+            t = now if catalog is None else max(now, catalog.clock.now)
+            self.taps.publish("cycle", {"t": t, "report": serialize_cycle_report(report)})
         for hook in self.feedback_hooks:
             hook(report)
 

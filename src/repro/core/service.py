@@ -219,7 +219,10 @@ class AutoCompService:
     """Standalone AutoComp service: periodic cycles plus a hook inbox.
 
     Args:
-        pipeline: the configured pipeline.
+        pipeline: the configured pipeline — a plain
+            :class:`~repro.core.pipeline.AutoCompPipeline` or a
+            :class:`~repro.core.sharding.ShardedPipeline` (notifications
+            are routed to the owning shard's connector either way).
         interval_s: periodic cycle spacing.
 
     Attributes:
@@ -236,6 +239,8 @@ class AutoCompService:
         self.reports: list[CycleReport] = []
         self.notifications: list[CandidateKey] = []
         self._trigger: PeriodicTrigger | None = None
+        self._history = None
+        self._history_taps = None
 
     def notify(self, key: CandidateKey) -> None:
         """Inbox endpoint for decoupled optimize-after-write hooks."""
@@ -244,16 +249,20 @@ class AutoCompService:
     def run_cycle(self, now: float = 0.0, simulator: Simulator | None = None) -> CycleReport:
         """Run one cycle immediately, draining the notification inbox.
 
-        Each drained write event invalidates the connector's stats cache
-        (when one is configured), so the next observe phase re-collects
-        statistics exactly for the tables that wrote — the incremental
-        observation loop of the scale-out control plane.
+        Each drained write event invalidates the stats cache of the
+        connector that owns the key (when one is configured), so the next
+        observe phase re-collects statistics exactly for the tables that
+        wrote — the incremental observation loop of the scale-out control
+        plane.  The inbox is deduplicated first, preserving first-seen
+        order: a hot table notifying N times between cycles costs one
+        cache invalidation, not N.
         """
-        for key in self.notifications:
-            self.pipeline.connector.invalidate(key)
+        for key in dict.fromkeys(self.notifications):
+            self.pipeline.invalidate(key)
         self.notifications.clear()
         report = self.pipeline.run_cycle(now=now, simulator=simulator)
         self.reports.append(report)
+        self._publish_cycle(report, now if simulator is None else simulator.now)
         return report
 
     def attach(self, simulator: Simulator, until: float | None = None) -> "AutoCompService":
@@ -264,3 +273,126 @@ class AutoCompService:
 
         simulator.every(self.interval_s, fire, name="autocomp-service", until=until)
         return self
+
+    # --- self-evaluation (Policy Lab over the service's own history) ------------
+
+    def _catalog(self) -> Catalog:
+        connector = getattr(self.pipeline, "connector", None)
+        if connector is None:
+            shards = getattr(self.pipeline, "shards", None)
+            if shards:
+                connector = shards[0].connector
+        catalog = getattr(connector, "catalog", None)
+        if catalog is None:
+            raise ValidationError(
+                "self-evaluation needs an LST-catalog pipeline "
+                "(the connector carries no catalog)"
+            )
+        return catalog
+
+    def _compaction_cluster(self):
+        backend = getattr(self.pipeline, "backend", None)
+        if backend is None:
+            shards = getattr(self.pipeline, "shards", None)
+            if shards:
+                backend = shards[0].backend
+        return getattr(backend, "cluster", None)
+
+    def enable_history(
+        self,
+        segment_cycles: int = 8,
+        max_segments: int = 8,
+        seed: int = 0,
+    ):
+        """Start ring-buffering this deployment's own history for replay.
+
+        Wires a :class:`~repro.replay.catalog_trace.CatalogHistoryRing`
+        onto the pipeline's catalog: every subsequent table commit and
+        service cycle is captured into bounded, checkpoint-delimited trace
+        segments (oldest evicted beyond ``max_segments``), from which
+        :meth:`evaluate_recent` replays candidate policies offline.
+        Returns the ring (idempotent — a second call returns the same one).
+        """
+        if self._history is not None:
+            return self._history
+        from repro.replay.catalog_trace import CatalogHistoryRing
+        from repro.simulation.taps import TapBus
+
+        catalog = self._catalog()
+        taps = catalog.taps if catalog.taps is not None else catalog.attach_taps(TapBus())
+        self._history_taps = taps
+        if getattr(self.pipeline, "taps", None) is None and not hasattr(
+            self.pipeline, "shards"
+        ):
+            # Unsharded pipelines publish their own cycle events; sharded
+            # planes leave shard taps unset and the service publishes the
+            # merged fleet report instead (see _publish_cycle).
+            self.pipeline.taps = taps
+        self._history = CatalogHistoryRing(
+            catalog,
+            taps,
+            seed=seed,
+            cluster=self._compaction_cluster(),
+            segment_cycles=segment_cycles,
+            max_segments=max_segments,
+        )
+        return self._history
+
+    def _publish_cycle(self, report, now: float) -> None:
+        """Publish a cycle marker for the history ring when the pipeline won't."""
+        taps = self._history_taps
+        if taps is None or not taps.has_subscribers("cycle"):
+            return
+        if getattr(self.pipeline, "taps", None) is taps:
+            return  # the pipeline already published this cycle
+        from repro.replay.trace import serialize_cycle_report
+
+        merged = getattr(report, "report", report)  # ShardedCycleReport → fleet report
+        # Floor the stamp at the catalog clock so a caller omitting `now`
+        # cannot publish a cycle event earlier than already-recorded commits.
+        t = max(now, self._history.catalog.clock.now)
+        taps.publish("cycle", {"t": t, "report": serialize_cycle_report(merged)})
+
+    def evaluate_recent(
+        self,
+        variants,
+        window: int | None = None,
+        rank_by: str = "efficiency",
+        workers: int = 1,
+        perturb=None,
+    ):
+        """Rank candidate policies against this deployment's recent history.
+
+        Replays the last ``window`` history segments (None = the whole
+        ring) under each :class:`~repro.replay.variants.PolicyVariant`
+        offline — the live catalog is never touched — and returns the
+        ranked :class:`~repro.replay.whatif.WhatIfReport`.  The §5
+        deployment loop this closes: a running service can ask "would a
+        different k / weight / cadence have served the last weeks better?"
+        and warm-start tuning from the answer
+        (:meth:`~repro.replay.whatif.WhatIfReport.to_priors`).
+
+        Args:
+            variants: policy points to evaluate (unique names).
+            window: most-recent history segments to replay.
+            rank_by: report ranking key (``efficiency`` / ``files_reduced``
+                / ``gbhr``).
+            workers: replays in flight (history traces are in-memory, so
+                sweeps run on threads; replay work is CPU-bound Python and
+                1 is usually right).
+            perturb: optional workload perturbation applied to every
+                replay, baseline included.
+
+        Raises:
+            ValidationError: when :meth:`enable_history` was never called.
+        """
+        if self._history is None:
+            raise ValidationError(
+                "call enable_history() before evaluate_recent() — the service "
+                "has no recorded history to replay"
+            )
+        from repro.replay.whatif import WhatIfRunner
+
+        trace = self._history.trace(window)
+        with WhatIfRunner(trace, list(variants), rank_by=rank_by, perturb=perturb) as runner:
+            return runner.run(workers=workers)

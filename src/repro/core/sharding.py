@@ -347,6 +347,19 @@ class ShardedPipeline:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def invalidate(self, key: CandidateKey) -> None:
+        """Write-event hook: evict ``key`` from the cache of its owning shard.
+
+        Routes through the same consistent hash that places the key's
+        observation work (:func:`shard_for_key`), so service notification
+        inboxes work unchanged against a sharded plane — a key's cached
+        statistics always live (if anywhere) behind the connector of the
+        shard that observes it.  With a connector shared across shards
+        (the OpenHouse LST assembly) routing is a no-op distinction, but
+        per-shard connectors (the fleet plane) genuinely need it.
+        """
+        self.shards[self._shard_for(key)].connector.invalidate(key)
+
     def _shard_for(self, key: CandidateKey) -> int:
         memo = self._shard_of
         entry = memo.get(id(key))

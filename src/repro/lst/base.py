@@ -391,6 +391,11 @@ class BaseTable(abc.ABC):
         self._next_file_id = 1
         self._next_snapshot_id = 1
         self._partition_last_modified: dict[tuple, float] = {}
+        #: Observers invoked after every successful commit with
+        #: ``(table, operation, added_data, added_deletes, removed_ids)``.
+        #: The catalog installs one to publish ``table_commit`` trace events;
+        #: aborted/conflicted transactions never reach a hook.
+        self.commit_hooks: list = []
 
     # --- format hooks -----------------------------------------------------------
 
@@ -635,7 +640,100 @@ class BaseTable(abc.ABC):
             for partition in txn._touched_partitions():
                 self._partition_last_modified[partition] = self.clock.now
         self.telemetry.increment(f"lst.commits.{txn.operation}")
+        if self.commit_hooks:
+            for hook in list(self.commit_hooks):
+                hook(self, txn.operation, added_data, added_deletes, removed_ids)
         return snapshot
+
+    # --- replay support -----------------------------------------------------------
+
+    def restore_state(
+        self,
+        *,
+        version: int,
+        next_file_id: int,
+        next_snapshot_id: int,
+        current_snapshot_id: int | None,
+        created_at: float,
+        last_modified_at: float,
+        files: list[tuple[int, tuple, int]],
+        deletes: list[tuple[int, tuple, int, frozenset[int]]] = (),
+        partition_mtimes: dict[tuple, float] | None = None,
+    ) -> None:
+        """Load a checkpointed live-file layout directly, bypassing commits.
+
+        The Policy Lab's catalog traces rotate on *checkpoints* — frozen
+        per-table layouts — so a replayer can reconstruct mid-history state
+        without the events that produced it.  Restoration recreates every
+        live data/delete file on the filesystem (same deterministic paths
+        as :meth:`_materialize`) under a single synthetic snapshot and pins
+        the version/file-id/snapshot-id counters to the checkpointed
+        values, so commits replayed *after* the checkpoint allocate exactly
+        the ids the source run allocated.  Snapshot history before the
+        checkpoint is not reconstructed (it is unreachable from a trace
+        window); only the live layout and the counters matter for replay.
+
+        Raises:
+            ValidationError: when called on a table that already has commits.
+        """
+        if self._version != 0 or self._snapshots:
+            raise ValidationError("restore_state requires a freshly created table")
+        data_files: list[DataFile] = []
+        for file_id, partition, size_bytes in files:
+            partition = tuple(partition)
+            partition_dir = self.spec.partition_path(partition)
+            subdir = f"data/{partition_dir}" if partition_dir else "data"
+            path = f"{self.location}/{subdir}/part-{file_id:08d}.parquet"
+            self.fs.create_file(path, size_bytes)
+            data_files.append(
+                DataFile(
+                    file_id=int(file_id),
+                    path=path,
+                    size_bytes=int(size_bytes),
+                    record_count=max(1, int(size_bytes) // DEFAULT_ROW_BYTES),
+                    partition=partition,
+                )
+            )
+        delete_files: list[DeleteFile] = []
+        for file_id, partition, size_bytes, references in deletes:
+            partition = tuple(partition)
+            partition_dir = self.spec.partition_path(partition)
+            subdir = f"data/{partition_dir}" if partition_dir else "data"
+            path = f"{self.location}/{subdir}/delete-{file_id:08d}.parquet"
+            self.fs.create_file(path, size_bytes)
+            delete_files.append(
+                DeleteFile(
+                    file_id=int(file_id),
+                    path=path,
+                    size_bytes=int(size_bytes),
+                    record_count=max(1, int(size_bytes) // DEFAULT_ROW_BYTES),
+                    partition=partition,
+                    references=frozenset(int(r) for r in references),
+                )
+            )
+        self._version = int(version)
+        self._next_file_id = int(next_file_id)
+        self._next_snapshot_id = int(next_snapshot_id)
+        self.created_at = float(created_at)
+        self.last_modified_at = float(last_modified_at)
+        self._partition_last_modified = {
+            tuple(partition): float(t) for partition, t in (partition_mtimes or {}).items()
+        }
+        if current_snapshot_id is not None:
+            snapshot = Snapshot(
+                snapshot_id=int(current_snapshot_id),
+                parent_id=None,
+                sequence_number=self._version,
+                timestamp=self.last_modified_at,
+                operation="checkpoint",
+                live_files=frozenset(data_files),
+                delete_files=frozenset(delete_files),
+                manifest_paths=(),
+                exclusive_metadata_paths=(),
+                summary={"total-data-files": len(data_files)},
+            )
+            self._snapshots[snapshot.snapshot_id] = snapshot
+            self._current_id = snapshot.snapshot_id
 
     def _validate(self, txn: Transaction) -> None:
         concurrent = self._commit_log[txn.base_version :]

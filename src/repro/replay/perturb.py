@@ -1,0 +1,104 @@
+"""Counterfactual workload perturbation for trace replay.
+
+What-if search answers "which policy wins on the workload we *saw*"; the
+scheduling analyses of online merge compaction (PAPERS.md) additionally ask
+"which policy wins if the workload *shifts*".  A :class:`Perturbation`
+deterministically rescales the recorded workload before replay, so one
+trace yields a family of counterfactual workloads — more tables writing,
+heavier ingest — without re-running the source system:
+
+* ``growth_scale`` multiplies *how much is written*: per-class file-count
+  deltas in fleet ``day`` events, and the added-file list of catalog
+  ``table_commit`` events (replicated cyclically / truncated to the scaled
+  count, preserving order so replays stay deterministic);
+* ``ingest_scale`` multiplies *how large the writes are*: applied to the
+  fleet file-count deltas as a byte proxy (fleet bytes derive from counts)
+  and to per-file sizes in catalog commits.
+
+Scaling is plain integer arithmetic — no RNG — so a perturbed replay is
+exactly as deterministic as an unperturbed one, and the
+:class:`~repro.replay.whatif.WhatIfRunner` scores perturbed replays
+against the *perturbed* ingest volume.
+
+Catalog caveat: growth-scaled commits shift file-id allocation, so later
+recorded removals may name files the counterfactual run no longer holds;
+the catalog replayer applies removals best-effort (exactly the
+approximation a live deployment's retry-with-fresh-metadata would make).
+Custom hooks work too: anything with ``transform_day(event)`` /
+``transform_commit(event)`` methods is accepted wherever a
+``Perturbation`` is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+def _scale_count(count: int, factor: float) -> int:
+    """Deterministic non-negative integer scaling (round-half-up)."""
+    return max(0, int(count * factor + 0.5))
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """A deterministic workload rescaling applied before replay.
+
+    Args:
+        growth_scale: multiplier on the number of files written
+            (must be > 0; 1.0 = unchanged).
+        ingest_scale: multiplier on written byte volume (> 0).
+    """
+
+    growth_scale: float = 1.0
+    ingest_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.growth_scale <= 0:
+            raise ValidationError("growth_scale must be positive")
+        if self.ingest_scale <= 0:
+            raise ValidationError("ingest_scale must be positive")
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether this perturbation changes nothing."""
+        return self.growth_scale == 1.0 and self.ingest_scale == 1.0
+
+    def transform_day(self, event: dict) -> dict:
+        """A fleet ``day`` event with scaled per-class file deltas.
+
+        Fleet byte deltas are derived from file counts, so both scales act
+        on the counts (their product is the effective byte multiplier).
+        """
+        if self.is_identity:
+            return event
+        factor = self.growth_scale * self.ingest_scale
+        return {
+            **event,
+            "tiny": [_scale_count(c, factor) for c in event["tiny"]],
+            "mid": [_scale_count(c, factor) for c in event["mid"]],
+            "large": [_scale_count(c, factor) for c in event["large"]],
+        }
+
+    def transform_commit(self, event: dict) -> dict:
+        """A catalog ``table_commit`` event with a rescaled file delta.
+
+        Rewrite (``replace``) commits pass through untouched — they are
+        the *policy's* output, not workload, and what-if replay skips them
+        anyway.  Added files are size-scaled by ``ingest_scale`` and
+        count-scaled by ``growth_scale`` (cyclic replication / prefix
+        truncation); removals and delete files are preserved verbatim.
+        """
+        if self.is_identity or event.get("op") == "replace":
+            return event
+        added = event["added"]
+        if self.growth_scale != 1.0 and added:
+            target = max(1, _scale_count(len(added), self.growth_scale))
+            added = [added[i % len(added)] for i in range(target)]
+        if self.ingest_scale != 1.0:
+            added = [
+                [partition, max(0, int(size * self.ingest_scale + 0.5))]
+                for partition, size in added
+            ]
+        return {**event, "added": added}

@@ -46,6 +46,11 @@ class TraceRecorder:
             arrives — i.e. before the recorded :class:`~repro.fleet.FleetModel`
             is constructed, since construction onboards the initial
             population.
+        segment_records: chunk the trace into segment files of this many
+            events (see :class:`~repro.replay.trace.TraceWriter`; requires
+            a path sink).  Month-scale fleets should chunk: a 30-day
+            1.2k-table trace is ~8 MiB as one plain file.
+        compress: gzip each segment deterministically (implies chunking).
     """
 
     def __init__(
@@ -53,8 +58,10 @@ class TraceRecorder:
         sink: str | os.PathLike | IO[str],
         taps: TapBus,
         config: FleetConfig | None = None,
+        segment_records: int | None = None,
+        compress: bool = False,
     ) -> None:
-        self._writer = TraceWriter(sink)
+        self._writer = TraceWriter(sink, segment_records=segment_records, compress=compress)
         self._taps = taps
         self._header_written = False
         self._config = config
@@ -96,6 +103,10 @@ class TraceRecorder:
             }
         )
         self._header_written = True
+
+    def rotate(self) -> None:
+        """Seal the current trace segment (chunked writers only)."""
+        self._writer.rotate()
 
     def _on_event(self, kind: str, payload: dict) -> None:
         if self._closed:

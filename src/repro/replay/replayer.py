@@ -175,14 +175,19 @@ class TraceReplayer:
 
     # --- what-if replay ---------------------------------------------------------
 
-    def _apply_workload(self, model: FleetModel, cursor: int, on_day=None) -> int:
+    def _apply_workload(
+        self, model: FleetModel, cursor: int, on_day=None, perturb=None
+    ) -> int:
         """Apply the recorded workload (onboards + write days) from ``cursor``.
 
         Recorded compactions and cycle summaries are ignored — the what-if
         caller supplies its own decisions via ``on_day`` (invoked after each
-        applied write day with the 1-based day count).  Returns the number
-        of write days applied.  Shared by :meth:`replay` and
-        :meth:`replay_baseline` so the two can never drift.
+        applied write day with the 1-based day count).  ``perturb``
+        (a :class:`~repro.replay.perturb.Perturbation` or compatible hook)
+        rescales each day's deltas first — the counterfactual-workload
+        path.  Returns the number of write days applied.  Shared by
+        :meth:`replay` and :meth:`replay_baseline` so the two can never
+        drift.
         """
         days_seen = 0
         for event in self.trace.events[cursor:]:
@@ -190,6 +195,8 @@ class TraceReplayer:
             if kind == "onboard":
                 model.load_tables(event["columns"])
             elif kind == "day":
+                if perturb is not None:
+                    event = perturb.transform_day(event)
                 model.apply_growth(
                     event["indices"], event["tiny"], event["mid"], event["large"]
                 )
@@ -198,17 +205,19 @@ class TraceReplayer:
                     on_day(days_seen)
         return days_seen
 
-    def replay(self, variant: PolicyVariant) -> ReplayResult:
+    def replay(self, variant: PolicyVariant, perturb=None) -> ReplayResult:
         """Re-drive the recorded workload under ``variant``'s policy.
 
         Recorded compactions and cycle summaries are ignored; after every
         ``variant.trigger_interval_days``-th recorded write day, one OODA
         cycle runs against the reconstructed state (mirroring the source
-        deployment's step-then-compact cadence).
+        deployment's step-then-compact cadence).  ``perturb`` replays a
+        counterfactually rescaled workload instead of the recorded one.
 
         Returns:
             The :class:`ReplayResult`, whose :meth:`ReplayResult.report_bytes`
-            is identical across repeated calls with an equal variant.
+            is identical across repeated calls with an equal variant (and
+            equal perturbation).
         """
         model, cursor = self._base_state()
         # The what-if run's only stochasticity is realised compaction noise;
@@ -225,19 +234,21 @@ class TraceReplayer:
                     report = report.report
                 result.reports.append(report)
 
-        result.days = self._apply_workload(model, cursor, on_day=run_cycle_if_due)
+        result.days = self._apply_workload(
+            model, cursor, on_day=run_cycle_if_due, perturb=perturb
+        )
         result.files_final = model.total_files
         result.files_below_threshold_final = model.files_below_threshold
         return result
 
-    def replay_baseline(self) -> ReplayResult:
+    def replay_baseline(self, perturb=None) -> ReplayResult:
         """The no-compaction reference replay (workload only, no cycles)."""
         model, cursor = self._base_state()
         result = ReplayResult(
             variant=PolicyVariant(name="baseline-none", k=0),
             files_initial=model.total_files,
         )
-        result.days = self._apply_workload(model, cursor)
+        result.days = self._apply_workload(model, cursor, perturb=perturb)
         result.files_final = model.total_files
         result.files_below_threshold_final = model.files_below_threshold
         return result

@@ -57,11 +57,16 @@ class PolicyVariant:
         quiesce_days: skip tables written within this many days
             (0 disables the write-activity filter).
         trigger_interval_days: run a cycle every N recorded days (the
-            paper's daily deployment cadence is 1).
+            paper's daily deployment cadence is 1).  Catalog replay reads
+            it as "every Nth recorded cycle marker".
         scheduler: ``sequential`` or ``concurrent`` (chain-grouped
             :class:`~repro.core.scheduling.ConcurrentScheduler`).
         n_shards: >1 runs the variant behind the sharded control plane
-            with a shared incremental-observation cache.
+            with a shared incremental-observation cache (fleet replay
+            only; catalog what-if replays unsharded).
+        generation: candidate-generation strategy for catalog replay
+            (``table`` / ``partition`` / ``hybrid`` — the §6 strategy
+            axis).  Fleet replay is always table-scoped and ignores it.
     """
 
     name: str
@@ -74,6 +79,7 @@ class PolicyVariant:
     trigger_interval_days: int = 1
     scheduler: str = "sequential"
     n_shards: int = 1
+    generation: str = "table"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -98,6 +104,13 @@ class PolicyVariant:
             raise ValidationError("quiesce_days must be >= 0")
         if self.n_shards <= 0:
             raise ValidationError("n_shards must be positive")
+        from repro.core.candidates import GENERATION_STRATEGIES
+
+        if self.generation not in GENERATION_STRATEGIES:
+            raise ValidationError(
+                f"unknown generation {self.generation!r}; "
+                f"expected one of {GENERATION_STRATEGIES}"
+            )
 
     def renamed(self, name: str) -> "PolicyVariant":
         """A copy under a different name."""
@@ -168,6 +181,37 @@ class PolicyVariant:
         cache = IndexedCandidateCache()
         shards = [shard_pipeline(cache) for _ in range(self.n_shards)]
         return ShardedPipeline(shards, selection="global", merge_order="any", max_workers=1)
+
+    def build_catalog_pipeline(
+        self, catalog, compaction_cluster, cost_model=None
+    ) -> AutoCompPipeline:
+        """A runnable OpenHouse-shaped pipeline over a live (or replayed) catalog.
+
+        The catalog analogue of :meth:`build_pipeline`, built through
+        :func:`~repro.core.service.openhouse_pipeline` so the policy a
+        catalog what-if run crowns best is byte-for-byte the policy a §6
+        deployment would run.  Recording a live run driven through this
+        same factory (with synchronous cycles) is what makes
+        record → replay byte-identity hold for catalog traces.
+        """
+        from repro.core.service import openhouse_pipeline
+
+        pipeline = openhouse_pipeline(
+            catalog,
+            compaction_cluster,
+            cost_model=cost_model,
+            generation=self.generation,
+            k=self.k,
+            budget_gbhr=self.budget_gbhr,
+            benefit_weight=self.benefit_weight,
+            min_table_age_s=0.0,
+            min_small_files=self.min_small_files,
+            quiesce_s=self.quiesce_days * DAY,
+            scheduler=self.build_scheduler(),
+        )
+        if self.ranking == "quota_aware":
+            pipeline.policy = QuotaAwareWeightedSumPolicy()
+        return pipeline
 
 
 def variant_grid(

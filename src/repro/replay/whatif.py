@@ -190,13 +190,30 @@ def _summarize(result: ReplayResult) -> dict:
     }
 
 
+def build_replayer(trace: Trace | str | os.PathLike):
+    """The right replayer for a trace: fleet or catalog, by header type.
+
+    The single dispatch seam the what-if machinery goes through, so
+    catalog traces (schema v2) sweep through exactly the same runner,
+    scoring and ranking as fleet traces.
+    """
+    parsed = trace if isinstance(trace, Trace) else TraceReader(trace).read()
+    if parsed.trace_type == "catalog":
+        from repro.replay.catalog_replay import CatalogReplayer
+
+        return CatalogReplayer(parsed)
+    return TraceReplayer(parsed)
+
+
 #: Per-process replayer memo: pool workers handle many variants, so each
 #: worker parses (and base-snapshots) a given trace file exactly once.
 #: Keyed by (path, size, mtime) so a rewritten trace is never served stale.
-_REPLAYER_CACHE: dict[tuple, TraceReplayer] = {}
+_REPLAYER_CACHE: dict[tuple, object] = {}
 
 
-def _replay_variant(trace_source: str | Trace, variant: PolicyVariant) -> dict:
+def _replay_variant(
+    trace_source: str | Trace, variant: PolicyVariant, perturb=None
+) -> dict:
     """Worker entry point: replay one variant, return its summary.
 
     Module-level (not a closure) so process pools can pickle it; paths go
@@ -204,15 +221,15 @@ def _replay_variant(trace_source: str | Trace, variant: PolicyVariant) -> dict:
     directly.
     """
     if isinstance(trace_source, Trace):
-        replayer = TraceReplayer(trace_source)
+        replayer = build_replayer(trace_source)
     else:
         stat = os.stat(trace_source)
         key = (os.path.abspath(trace_source), stat.st_size, stat.st_mtime_ns)
         replayer = _REPLAYER_CACHE.get(key)
         if replayer is None:
             _REPLAYER_CACHE.clear()
-            replayer = _REPLAYER_CACHE[key] = TraceReplayer(trace_source)
-    return _summarize(replayer.replay(variant))
+            replayer = _REPLAYER_CACHE[key] = build_replayer(trace_source)
+    return _summarize(replayer.replay(variant, perturb=perturb))
 
 
 class WhatIfRunner:
@@ -220,9 +237,16 @@ class WhatIfRunner:
 
     Args:
         trace: a trace path (enables process-pool parallelism) or a parsed
-            :class:`~repro.replay.trace.Trace` (thread pool only).
+            :class:`~repro.replay.trace.Trace` (thread pool only).  Fleet
+            and catalog traces both work — the runner dispatches on the
+            header's ``trace_type``.
         variants: the policy points to evaluate; names must be unique.
         rank_by: ranking key for the report (one of :data:`RANK_MODES`).
+        perturb: optional :class:`~repro.replay.perturb.Perturbation`
+            (or compatible hook) applied to the recorded workload in every
+            replay *including the baseline*, so counterfactual sweeps are
+            scored against the workload they actually saw.  Must be
+            picklable for process-pool sweeps over on-disk traces.
     """
 
     def __init__(
@@ -230,6 +254,7 @@ class WhatIfRunner:
         trace: str | os.PathLike | Trace,
         variants: list[PolicyVariant],
         rank_by: str = "efficiency",
+        perturb=None,
     ) -> None:
         if not variants:
             raise ValidationError("what-if search needs at least one variant")
@@ -248,10 +273,12 @@ class WhatIfRunner:
             self._trace = TraceReader(self._trace_path).read()
         self.variants = list(variants)
         self.rank_by = rank_by
-        # Trace and variants are fixed at construction, so the replayer
-        # (with its base-state snapshot) and the no-compaction baseline are
-        # computed once and shared by every run() call.
-        self._replayer: TraceReplayer | None = None
+        self.perturb = perturb
+        # Trace, variants and perturbation are fixed at construction, so
+        # the replayer (with its base-state snapshot) and the
+        # no-compaction baseline are computed once and shared by every
+        # run() call.
+        self._replayer: object | None = None
         self._baseline: ReplayResult | None = None
         # Persistent worker pool, shared across run() calls (recreated only
         # when a run asks for a different width).
@@ -297,18 +324,19 @@ class WhatIfRunner:
 
         start = time.perf_counter()
         if self._replayer is None:
-            self._replayer = TraceReplayer(self._trace)
+            self._replayer = build_replayer(self._trace)
         replayer = self._replayer
         if self._baseline is None:
-            self._baseline = replayer.replay_baseline()
+            self._baseline = replayer.replay_baseline(perturb=self.perturb)
         baseline = self._baseline
         if workers <= 1:
             summaries = [
-                _summarize(replayer.replay(variant)) for variant in self.variants
+                _summarize(replayer.replay(variant, perturb=self.perturb))
+                for variant in self.variants
             ]
         else:
             summaries = self._run_pool(workers, replayer)
-        ingested = self._trace.ingested_bytes()
+        ingested = self._trace.ingested_bytes(perturb=self.perturb)
         scores = [
             self._score(variant, summary, baseline.files_final, ingested)
             for variant, summary in zip(self.variants, summaries)
@@ -321,7 +349,7 @@ class WhatIfRunner:
             workers=workers,
         )
 
-    def _run_pool(self, workers: int, replayer: TraceReplayer) -> list[dict]:
+    def _run_pool(self, workers: int, replayer) -> list[dict]:
         """Capped fan-out; results in variant order regardless of completion."""
         mode = self.worker_mode
         pool = self._pool
@@ -331,7 +359,7 @@ class WhatIfRunner:
             pool = self._pool = WorkerPool(mode=mode, max_workers=workers)
         if mode == "processes":
             futures = [
-                pool.submit(_replay_variant, self._trace_path, variant)
+                pool.submit(_replay_variant, self._trace_path, variant, self.perturb)
                 for variant in self.variants
             ]
             return [future.result() for future in futures]
@@ -339,7 +367,10 @@ class WhatIfRunner:
         # snapshot is already warm from the baseline replay; each replay
         # restores into its own model, so variants never share state).
         return pool.run_tasks(
-            [lambda v=variant: _summarize(replayer.replay(v)) for variant in self.variants]
+            [
+                lambda v=variant: _summarize(replayer.replay(v, perturb=self.perturb))
+                for variant in self.variants
+            ]
         )
 
     @staticmethod

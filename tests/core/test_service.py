@@ -98,3 +98,66 @@ class TestAutoCompService:
         assert service.notifications == [key]
         service.run_cycle(now=fleet_catalog.clock.now)
         assert service.notifications == []  # drained by the cycle
+
+
+class TestNotificationRouting:
+    """Inbox → connector routing, including the sharded-pipeline regression."""
+
+    def test_notify_through_sharded_pipeline(self, fleet_catalog):
+        """Regression: run_cycle used to crash with AttributeError because
+        ShardedPipeline has no single ``connector`` to invalidate."""
+        from repro.core.service import openhouse_sharded_pipeline
+        from repro.core.statscache import StatsCache
+
+        pipeline = openhouse_sharded_pipeline(
+            fleet_catalog,
+            Cluster("maint", executors=3),
+            n_shards=2,
+            stats_cache=StatsCache(),
+            k=5,
+        )
+        with pipeline:
+            service = AutoCompService(pipeline)
+            key = CandidateKey("db", "t0", CandidateScope.TABLE)
+            service.notify(key)
+            report = service.run_cycle(now=fleet_catalog.clock.now)
+        assert service.notifications == []
+        assert report.report.candidates_generated == 3
+
+    def test_sharded_invalidate_routes_to_owning_shard(self, fleet_catalog):
+        """Each key's eviction lands on the shard the consistent hash owns."""
+        from repro.core.sharding import ShardedPipeline, shard_for_key
+        from repro.core.statscache import StatsCache
+
+        def shard():
+            pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+            pipeline.connector.stats_cache = StatsCache()
+            return pipeline
+
+        shards = [shard(), shard()]
+        pipeline = ShardedPipeline(shards, max_workers=1)
+        with pipeline:
+            for i in range(3):
+                key = CandidateKey("db", f"t{i}", CandidateScope.TABLE)
+                owner = shard_for_key(key, 2)
+                statistics = shards[owner].connector.collect_statistics(key)
+                before = [s.connector.stats_cache.invalidations for s in shards]
+                pipeline.invalidate(key)
+                after = [s.connector.stats_cache.invalidations for s in shards]
+                # Exactly the owner's cache dropped the (cached) entry.
+                assert after[owner] == before[owner] + 1
+                assert after[1 - owner] == before[1 - owner]
+                assert statistics is not None
+
+    def test_inbox_deduped_preserving_first_seen_order(self, fleet_catalog):
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        drained: list[CandidateKey] = []
+        pipeline.invalidate = drained.append  # shadow the bound method
+        service = AutoCompService(pipeline)
+        first = CandidateKey("db", "t0", CandidateScope.TABLE)
+        second = CandidateKey("db", "t1", CandidateScope.TABLE)
+        for key in (first, first, second, first, second):
+            service.notify(key)
+        service.run_cycle(now=fleet_catalog.clock.now)
+        assert drained == [first, second]
+        assert service.notifications == []

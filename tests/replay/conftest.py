@@ -1,4 +1,4 @@
-"""Shared fixtures for the Policy Lab tests: one small recorded fleet run."""
+"""Shared fixtures for the Policy Lab tests: recorded fleet and catalog runs."""
 
 from __future__ import annotations
 
@@ -6,9 +6,13 @@ import io
 
 import pytest
 
+from repro.catalog import Catalog
+from repro.engine import Cluster, EngineSession
 from repro.fleet import AutoCompStrategy, FleetConfig, FleetSimulator
-from repro.replay import TraceRecorder
-from repro.simulation import TapBus
+from repro.replay import CatalogTraceRecorder, PolicyVariant, TraceRecorder
+from repro.simulation import Simulator, TapBus
+from repro.units import HOUR, MiB
+from repro.workloads import CabConfig, CabWorkload
 
 
 def record_fleet_run(
@@ -43,3 +47,78 @@ def recorded_run() -> tuple[str, FleetSimulator]:
 @pytest.fixture(scope="module")
 def trace_text(recorded_run) -> str:
     return recorded_run[0]
+
+
+# --- catalog (§6 CAB) recording harness -----------------------------------------
+
+
+def small_cab_config(seed: int = 99, **overrides) -> CabConfig:
+    """A laptop-instant CAB shape shared by the catalog Policy Lab tests."""
+    params = dict(
+        databases=2,
+        data_bytes_per_db=256 * MiB,
+        duration_s=3 * HOUR,
+        lineitem_months=6,
+        ro_rate_per_hour=2.0,
+        rw_rate_per_hour=2.0,
+        spike_events_per_db=2.0,
+        insert_bytes_mean=24 * MiB,
+        shuffle_partitions=12,
+        seed=seed,
+    )
+    params.update(overrides)
+    return CabConfig(**params)
+
+
+def record_cab_run(
+    sink,
+    config: CabConfig | None = None,
+    variant: PolicyVariant | None = None,
+    **writer_kwargs,
+):
+    """Run a tiny §6 CAB catalog workload under AutoComp while recording.
+
+    Cycles run *synchronously* (no simulator handed to the pipeline) on an
+    hourly cadence driven between simulator windows — the recordable
+    step-then-compact setting replay reproduces byte-for-byte.  Returns
+    ``(catalog, workload, reports, variant)``.
+    """
+    config = config or small_cab_config()
+    variant = variant or PolicyVariant(name="w0.70-k10", k=10)
+    taps = TapBus()
+    catalog = Catalog(taps=taps)
+    cluster = Cluster("compaction", executors=3)
+    recorder = CatalogTraceRecorder(
+        sink, taps, seed=config.seed, catalog=catalog, cluster=cluster, **writer_kwargs
+    )
+    session = EngineSession(
+        Cluster("query", executors=4),
+        telemetry=catalog.telemetry,
+        clock=catalog.clock,
+        seed=config.seed,
+    )
+    session.attach_filesystem(catalog.fs)
+    workload = CabWorkload(catalog, session, config)
+    workload.load()
+    simulator = Simulator(catalog.clock)
+    workload.attach(simulator)
+    pipeline = variant.build_catalog_pipeline(catalog, cluster)
+    pipeline.taps = taps
+    reports = []
+    hours = int(config.duration_s // HOUR)
+    for hour in range(1, hours + 1):
+        simulator.run_until(hour * HOUR)
+        reports.append(pipeline.run_cycle(now=catalog.clock.now))
+    simulator.run_until(config.duration_s + HOUR)
+    recorder.close()
+    return catalog, workload, reports, variant
+
+
+def catalog_layout(catalog: Catalog) -> dict:
+    """Per-table live file layout — the verbatim-replay equality witness."""
+    return {
+        str(table.identifier): sorted(
+            (f.file_id, f.size_bytes, f.partition) for f in table.live_files()
+        )
+        for table in catalog.all_tables()
+    }
