@@ -1,0 +1,199 @@
+"""Daemon soak: two concurrent AutoComp daemons, one catalog, zero collisions.
+
+The §7 production rule the daemonized control plane must uphold is
+*no unit is ever double-compacted*, however many AutoComp instances share
+a warehouse.  This soak runs two :class:`~repro.core.daemon.AutoCompDaemon`
+instances against one live catalog and one shared lock directory while an
+ingest thread keeps re-fragmenting every table (so both daemons always
+want the same work), injects a recurring worker failure into one of them
+(a daemon must outlive bad cycles), then drains both gracefully and
+replays the shared lock audit log.
+
+The exit code *is* the verdict: 0 when
+:func:`~repro.core.locks.verify_audit` finds a clean log (every
+compaction under a held lock, no key double-held, no (key, trigger) pair
+compacted twice) and every liveness check holds; 1 otherwise.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/soak_daemon.py [--duration 60]
+        [--interval 0.05] [--tables 3] [--databases 2]
+        [--json BENCH_daemon_soak.json]
+
+CI runs the 60-second soak next to the perf-regression gate; use a small
+``--duration`` (>= 2s) for a local smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.catalog import Catalog
+from repro.core import (
+    AdmissionController,
+    AutoCompDaemon,
+    AutoCompService,
+    LockManager,
+    openhouse_pipeline,
+    verify_audit,
+)
+from repro.core.locks import LOCK_SUFFIX
+from repro.engine import Cluster
+from repro.lst import Field, MonthTransform, PartitionField, PartitionSpec, Schema
+from repro.units import HOUR, MiB
+
+
+def build_fleet(databases: int, tables: int) -> tuple[Catalog, list]:
+    catalog = Catalog()
+    schema = Schema.of(Field("id", "long"), Field("event_date", "date"))
+    spec = PartitionSpec.of(PartitionField("event_date", MonthTransform()))
+    fleet_tables = []
+    for d in range(databases):
+        catalog.create_database(f"db{d}", quota_objects=1_000_000)
+        for t in range(tables):
+            table = catalog.create_table(f"db{d}.t{t}", schema, spec=spec)
+            txn = table.new_append()
+            for _ in range(8):
+                txn.add_file(8 * MiB, partition=(0,))
+            txn.commit()
+            fleet_tables.append(table)
+    catalog.clock.advance_by(2 * HOUR)  # age past the recent-table filter
+    return catalog, fleet_tables
+
+
+def build_daemon(catalog, lock_dir, owner, interval_s, **daemon_kwargs):
+    pipeline = openhouse_pipeline(catalog, Cluster("maint", executors=3))
+    service = AutoCompService(pipeline)
+    locks = LockManager(lock_dir, owner=owner, stale_after_s=30.0)
+    return AutoCompDaemon(service, locks, interval_s=interval_s, **daemon_kwargs)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="two-daemon lock-audit soak")
+    parser.add_argument("--duration", type=float, default=60.0, help="soak seconds")
+    parser.add_argument("--interval", type=float, default=0.05, help="cycle cadence")
+    parser.add_argument("--databases", type=int, default=2)
+    parser.add_argument("--tables", type=int, default=3, help="tables per database")
+    parser.add_argument(
+        "--failure-every",
+        type=int,
+        default=5,
+        help="inject a worker failure into daemon beta every Nth cycle",
+    )
+    parser.add_argument("--json", help="write the soak metrics JSON here")
+    args = parser.parse_args(argv)
+    if args.duration < 2.0:
+        parser.error("--duration must be >= 2 seconds to observe any cadence")
+
+    catalog, fleet_tables = build_fleet(args.databases, args.tables)
+    workdir = tempfile.mkdtemp(prefix="autocomp-soak-")
+    lock_dir = os.path.join(workdir, "locks")
+    spill_path = os.path.join(workdir, "history.spill.jsonl")
+
+    alpha = build_daemon(
+        catalog,
+        lock_dir,
+        owner="alpha",
+        interval_s=args.interval,
+        admission=AdmissionController(max_per_database=2),
+        spill_path=spill_path,
+    )
+    alpha.service.enable_history(segment_cycles=4, max_segments=4)
+    beta = build_daemon(catalog, lock_dir, owner="beta", interval_s=args.interval)
+
+    # Injected worker failure: beta's every Nth cycle raises mid-service.
+    # The daemon must count it, swallow it, and keep its cadence.
+    real_run_cycle = beta.service.run_cycle
+    cycle_calls = [0]
+
+    def flaky_run_cycle(now=0.0, simulator=None):
+        cycle_calls[0] += 1
+        if args.failure_every and cycle_calls[0] % args.failure_every == 0:
+            raise RuntimeError("injected worker failure")
+        return real_run_cycle(now=now, simulator=simulator)
+
+    beta.service.run_cycle = flaky_run_cycle
+
+    stop_ingest = threading.Event()
+
+    def ingest():
+        # Keep every table fragmented so both daemons always contend.
+        while not stop_ingest.wait(0.01):
+            for table in fleet_tables:
+                txn = table.new_append()
+                for _ in range(3):
+                    txn.add_file(4 * MiB, partition=(0,))
+                txn.commit()
+
+    ingester = threading.Thread(target=ingest, daemon=True)
+    started = time.monotonic()
+    alpha.start()
+    beta.start()
+    ingester.start()
+    time.sleep(args.duration)
+    stop_ingest.set()
+    ingester.join(timeout=10.0)
+    alpha.stop()  # graceful drain: finish in-flight work, spill history
+    beta.stop()
+    elapsed = time.monotonic() - started
+
+    summary = verify_audit(lock_dir)
+    leftover_locks = [
+        name for name in os.listdir(lock_dir) if name.endswith(LOCK_SUFFIX)
+    ]
+    metrics = {
+        "duration_s": round(elapsed, 3),
+        "cycles_alpha": alpha.cycles_run,
+        "cycles_beta": beta.cycles_run,
+        "cycle_errors_beta": beta.cycle_errors,
+        "audit_events": summary.events,
+        "acquires": summary.acquires,
+        "contends": summary.contends,
+        "compact_commits": summary.compact_commits,
+        "double_compactions": summary.double_compactions,
+        "violations": summary.violations,
+        "leftover_locks": leftover_locks,
+        "history_spilled": os.path.exists(spill_path)
+        and os.path.getsize(spill_path) > 0,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(metrics, stream, indent=2, sort_keys=True)
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+
+    failures = []
+    if not summary.ok:
+        failures.append(f"lock audit violations: {summary.violations}")
+    if summary.compact_commits == 0:
+        failures.append("soak compacted nothing — no coverage")
+    if alpha.cycles_run + beta.cycles_run < 4:
+        failures.append("fewer than 4 combined cycles — cadence never ran")
+    if args.failure_every and beta.cycle_errors == 0 and cycle_calls[0] >= args.failure_every:
+        failures.append("injected failures were not counted")
+    if beta.cycles_run == 0 and cycle_calls[0] > args.failure_every:
+        failures.append("beta never completed a cycle after injected failures")
+    if leftover_locks:
+        failures.append(f"locks leaked past graceful drain: {leftover_locks}")
+    if not metrics["history_spilled"]:
+        failures.append("graceful drain did not spill the history ring")
+    if failures:
+        print("SOAK FAILED:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"SOAK OK: {alpha.cycles_run + beta.cycles_run} cycles, "
+        f"{summary.compact_commits} commits, {summary.contends} lock contentions, "
+        f"{beta.cycle_errors} injected errors survived, audit clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

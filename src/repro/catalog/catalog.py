@@ -82,6 +82,7 @@ class Catalog:
         self.telemetry = telemetry if telemetry is not None else self.fs.telemetry
         self.warehouse = warehouse.rstrip("/") or "/data"
         self.taps = taps
+        self.lock_manager = None
         self._databases: dict[str, Database] = {}
         self._policies: dict[str, TablePolicy] = {}
 
@@ -132,6 +133,39 @@ class Catalog:
 
         publish_commit._catalog_tap = True  # type: ignore[attr-defined]
         table.commit_hooks.append(publish_commit)
+
+    # --- compaction lock audit ----------------------------------------------------
+
+    def attach_locks(self, manager) -> None:
+        """Audit every compaction commit against a lock manager's state.
+
+        Installs a commit hook on every registered (and future) table
+        that, on each ``replace`` commit — the operation compaction
+        performs — asks the
+        :class:`~repro.core.locks.LockManager` to record whether the
+        table was covered by a lock at commit time.  The manager reads
+        lock files from disk, so commits driven by *other* daemon
+        instances sharing the lock directory are attributed correctly;
+        :func:`~repro.core.locks.verify_audit` then proves the
+        no-double-compaction invariant over the combined log.
+        """
+        self.lock_manager = manager
+        for database in self._databases.values():
+            for table in database.tables.values():
+                self._install_lock_hook(table)
+
+    def _install_lock_hook(self, table: BaseTable) -> None:
+        if any(getattr(hook, "_lock_audit", False) for hook in table.commit_hooks):
+            return
+
+        def audit_commit(table, operation, added_data, added_deletes, removed_ids):
+            manager = self.lock_manager
+            if manager is None or operation != "replace":
+                return
+            manager.audit_compaction(str(table.identifier), version=table.version)
+
+        audit_commit._lock_audit = True  # type: ignore[attr-defined]
+        table.commit_hooks.append(audit_commit)
 
     # --- databases ---------------------------------------------------------------
 
@@ -244,6 +278,8 @@ class Catalog:
         database.tables[identifier.name] = table
         self._policies[str(identifier)] = policy
         self.telemetry.increment("catalog.tables.created")
+        if self.lock_manager is not None:
+            self._install_lock_hook(table)
         if self.taps is not None:
             self._install_commit_tap(table)
             if self.taps.has_subscribers("table_create"):

@@ -15,7 +15,11 @@ The OODA-structured automatic-compaction framework (§3–§5):
 * **scale-out** — :mod:`repro.core.sharding` (sharded parallel OODA
   cycles), :mod:`repro.core.workers` (process-based shard workers behind
   picklable work contracts) and :mod:`repro.core.statscache` (incremental
-  observation).
+  observation);
+* **daemonization** — :mod:`repro.core.daemon` (scheduled multi-tenant
+  cycles with crash-safe resume), :mod:`repro.core.locks` (per-table lock
+  files + audit) and :mod:`repro.core.fairness` (per-database admission
+  quotas).
 """
 
 from repro.core.candidates import (
@@ -25,6 +29,15 @@ from repro.core.candidates import (
     CandidateStatistics,
 )
 from repro.core.connectors import Connector, LstConnector
+from repro.core.daemon import AutoCompDaemon, ResumableStateMachine
+from repro.core.fairness import AdmissionController
+from repro.core.locks import (
+    AuditSummary,
+    LockInfo,
+    LockManager,
+    read_audit,
+    verify_audit,
+)
 from repro.core.filters import (
     CandidateFilter,
     MaxTraitFilter,
@@ -109,7 +122,10 @@ from repro.core.traits import (
 from repro.core.triggers import OptimizeAfterWriteHook, PeriodicTrigger
 
 __all__ = [
+    "AdmissionController",
     "AllSelector",
+    "AuditSummary",
+    "AutoCompDaemon",
     "AutoCompPipeline",
     "AutoCompService",
     "BENEFIT",
@@ -133,6 +149,8 @@ __all__ = [
     "FileCountReductionTrait",
     "FileEntropyTrait",
     "IndexedCandidateCache",
+    "LockInfo",
+    "LockManager",
     "LstConnector",
     "LstExecutionBackend",
     "MaxTraitFilter",
@@ -156,6 +174,7 @@ __all__ = [
     "RandomSearchOptimizer",
     "RankingPolicy",
     "RelativeFileCountReductionTrait",
+    "ResumableStateMachine",
     "Scheduler",
     "Selector",
     "SequentialScheduler",
@@ -182,7 +201,9 @@ __all__ = [
     "openhouse_sharded_pipeline",
     "pareto_front",
     "process_workers_available",
+    "read_audit",
     "run_shard_work",
     "shard_for_key",
     "split_selector",
+    "verify_audit",
 ]

@@ -1,0 +1,502 @@
+"""The AutoComp daemon: scheduled multi-tenant cycles that survive crashes.
+
+The paper's §7 production story is a *continuously running* compaction
+service; :class:`AutoCompDaemon` is that run-forever layer over
+:class:`~repro.core.service.AutoCompService`:
+
+* **cadence** — a background thread fires ``service.run_cycle`` every
+  ``interval_s`` wall-clock seconds, anchored to cycle *completion* (a
+  long cycle delays the next tick instead of stacking overdue firings);
+* **concurrency safety** — before any selected candidate executes, the
+  daemon's act gates run: an optional
+  :class:`~repro.core.fairness.AdmissionController` applies per-database
+  quotas, then every candidate must win its per-table/partition lock file
+  (:class:`~repro.core.locks.LockManager`).  Two daemon instances sharing
+  one lock directory therefore never double-compact, however their
+  schedules interleave — the lock audit log proves it after the fact
+  (:func:`~repro.core.locks.verify_audit`);
+* **crash safety** — :meth:`AutoCompDaemon.start` reclaims stale locks
+  (dead pid or stale heartbeat mtime) left by crashed siblings, and a
+  heartbeat thread keeps this instance's locks visibly alive;
+* **graceful drain** — :meth:`AutoCompDaemon.stop` finishes or cancels
+  in-flight shard work with a bounded timeout
+  (:meth:`~repro.core.workers.WorkerPool.close`), releases all locks, and
+  spills the service's :class:`~repro.replay.catalog_trace.CatalogHistoryRing`
+  to chunked trace segments so ``evaluate_recent`` history survives the
+  restart;
+* **durable progress** — :meth:`AutoCompDaemon.backfill` walks a large
+  unit list through a file-based resumable state machine
+  (:class:`ResumableStateMachine`, ``INIT → LOCKED → RUNNING → COMPLETE``
+  per unit with :meth:`ResumableStateMachine.get_next_chunk` resume), so
+  a 10k-table backfill killed with ``kill -9`` mid-fleet resumes from the
+  last ``COMPLETE`` unit instead of starting over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.core.candidates import Candidate
+from repro.core.fairness import AdmissionController
+from repro.core.locks import LockManager, lock_slug
+from repro.core.scheduling import CompactionTask, ExecutionResult
+from repro.core.service import AutoCompService
+from repro.errors import ValidationError
+
+#: Resumable-unit lifecycle states, in order.
+UNIT_STATES = ("INIT", "LOCKED", "RUNNING", "COMPLETE")
+
+
+class ResumableStateMachine:
+    """File-backed per-unit progress: ``INIT → LOCKED → RUNNING → COMPLETE``.
+
+    One JSON file per unit under ``state_dir`` (atomic tmp-write +
+    ``os.replace`` transitions), so progress survives ``kill -9`` at any
+    point: on restart, :meth:`recover` demotes units caught mid-flight
+    (``LOCKED``/``RUNNING``) back to ``INIT`` — their work may or may not
+    have happened, and redoing an idempotent compaction unit is safe while
+    skipping one is not — and :meth:`get_next_chunk` hands out only units
+    still in ``INIT``, never touching ``COMPLETE`` ones.
+
+    Args:
+        state_dir: directory of unit state files (created if missing).
+        clock: timestamp source for ``updated_at`` stamps.
+    """
+
+    def __init__(self, state_dir: str | os.PathLike, clock=time.time) -> None:
+        self.state_dir = os.fspath(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self._clock = clock
+        self._mutex = threading.Lock()
+        self._states: dict[str, dict] = {}
+        self._scan()
+
+    def _path_for(self, unit: str) -> str:
+        return os.path.join(self.state_dir, lock_slug(unit) + ".json")
+
+    def _scan(self) -> None:
+        for name in sorted(os.listdir(self.state_dir)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.state_dir, name), encoding="utf-8") as stream:
+                    record = json.load(stream)
+            except (OSError, json.JSONDecodeError):
+                continue  # torn write mid-crash: unit re-registers as INIT
+            unit = record.get("unit")
+            if unit and record.get("state") in UNIT_STATES:
+                self._states[unit] = record
+
+    def _write(self, record: dict) -> None:
+        path = self._path_for(record["unit"])
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as stream:
+            json.dump(record, stream)
+        os.replace(tmp, path)  # atomic: readers see old or new, never torn
+
+    def register(self, units) -> int:
+        """Ensure a state file exists for every unit (new ones start INIT).
+
+        Returns how many units were newly registered; already-known units
+        (any state) are left untouched, so re-running a backfill with the
+        same unit list is a no-op for completed work.
+        """
+        added = 0
+        with self._mutex:
+            for unit in units:
+                unit = str(unit)
+                if unit in self._states:
+                    continue
+                record = {
+                    "unit": unit,
+                    "state": "INIT",
+                    "updated_at": self._clock(),
+                    "attempts": 0,
+                }
+                self._write(record)
+                self._states[unit] = record
+                added += 1
+        return added
+
+    def recover(self) -> list[str]:
+        """Demote mid-flight units (``LOCKED``/``RUNNING``) back to ``INIT``.
+
+        Call on startup after a crash; returns the demoted unit names.
+        """
+        reset = []
+        with self._mutex:
+            for unit, record in sorted(self._states.items()):
+                if record["state"] in ("LOCKED", "RUNNING"):
+                    self._transition(unit, "INIT")
+                    reset.append(unit)
+        return reset
+
+    def _transition(self, unit: str, state: str) -> None:
+        record = dict(self._states[unit])
+        record["state"] = state
+        record["updated_at"] = self._clock()
+        if state == "RUNNING":
+            record["attempts"] = record.get("attempts", 0) + 1
+        self._write(record)
+        self._states[unit] = record
+
+    def get_next_chunk(self, n: int = 1, exclude=()) -> list[str]:
+        """Claim up to ``n`` INIT units (moved to ``LOCKED``), sorted order.
+
+        Empty list means the backfill is drained (or everything left is
+        already claimed/complete).  Units in ``exclude`` are skipped —
+        callers pass the units they just deferred (lock contention,
+        unknown key) so releasing one back to ``INIT`` cannot make the
+        claim loop spin on it.
+        """
+        if n <= 0:
+            raise ValidationError("chunk size must be positive")
+        claimed = []
+        with self._mutex:
+            for unit, record in sorted(self._states.items()):
+                if record["state"] != "INIT" or unit in exclude:
+                    continue
+                self._transition(unit, "LOCKED")
+                claimed.append(unit)
+                if len(claimed) >= n:
+                    break
+        return claimed
+
+    def mark_running(self, unit: str) -> None:
+        """LOCKED → RUNNING (work is about to execute; attempts += 1)."""
+        with self._mutex:
+            self._transition(unit, "RUNNING")
+
+    def mark_complete(self, unit: str) -> None:
+        """→ COMPLETE (terminal; never handed out again)."""
+        with self._mutex:
+            self._transition(unit, "COMPLETE")
+
+    def release(self, unit: str) -> None:
+        """Put a claimed-but-unworked unit back to INIT (e.g. lock contention)."""
+        with self._mutex:
+            self._transition(unit, "INIT")
+
+    def state_of(self, unit: str) -> str | None:
+        """Current state of one unit (None = unknown)."""
+        with self._mutex:
+            record = self._states.get(str(unit))
+            return record["state"] if record is not None else None
+
+    def attempts_of(self, unit: str) -> int:
+        """How many times the unit has entered ``RUNNING`` (0 = never)."""
+        with self._mutex:
+            record = self._states.get(str(unit))
+            return int(record.get("attempts", 0)) if record is not None else 0
+
+    def counts(self) -> dict[str, int]:
+        """Units per state, every state present (possibly 0)."""
+        totals = dict.fromkeys(UNIT_STATES, 0)
+        with self._mutex:
+            for record in self._states.values():
+                totals[record["state"]] += 1
+        return totals
+
+    def complete_units(self) -> list[str]:
+        """All COMPLETE unit names, sorted."""
+        with self._mutex:
+            return sorted(
+                u for u, r in self._states.items() if r["state"] == "COMPLETE"
+            )
+
+
+class AutoCompDaemon:
+    """Run an :class:`AutoCompService` continuously, safely, recoverably.
+
+    Args:
+        service: the service to drive (its pipeline may be sharded).
+        locks: the lock manager shared (via its directory) by every daemon
+            instance coordinating on this catalog.
+        admission: optional per-database fairness quotas applied before
+            lock acquisition each cycle.
+        interval_s: wall-clock seconds between scheduled cycles.
+        spill_path: when set, :meth:`stop` spills the service's history
+            ring here (and :meth:`start` restores it when the file
+            exists), so ``evaluate_recent`` sees the same history across
+            restarts.
+        drain_timeout_s: bound on finishing in-flight shard work at
+            shutdown (forwarded to the worker pools' draining close).
+
+    Attributes:
+        cycles_run: scheduled + manual cycles completed by this instance.
+        cycle_errors: cycles that raised (logged to telemetry and
+            swallowed — a daemon must outlive one bad cycle).
+    """
+
+    def __init__(
+        self,
+        service: AutoCompService,
+        locks: LockManager,
+        admission: AdmissionController | None = None,
+        interval_s: float = 60.0,
+        spill_path: str | os.PathLike | None = None,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValidationError("interval_s must be positive")
+        if drain_timeout_s <= 0:
+            raise ValidationError("drain_timeout_s must be positive")
+        self.service = service
+        self.locks = locks
+        self.admission = admission
+        self.interval_s = interval_s
+        self.spill_path = os.fspath(spill_path) if spill_path is not None else None
+        self.drain_timeout_s = drain_timeout_s
+        self.cycles_run = 0
+        self.cycle_errors = 0
+        self.reclaimed_on_start: list[str] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started = False
+        self._cycle_mutex = threading.Lock()
+
+    # --- wiring -----------------------------------------------------------------
+
+    def _pipelines(self) -> list:
+        shards = getattr(self.service.pipeline, "shards", None)
+        return list(shards) if shards else [self.service.pipeline]
+
+    def _telemetry(self):
+        return getattr(self.service.pipeline, "telemetry", None)
+
+    def _now(self) -> float:
+        # Simulated deployments carry their own clock; honour it so the
+        # daemon's cycles stamp the same timeline as the catalog's commits.
+        try:
+            return self.service._catalog().clock.now
+        except ValidationError:
+            return time.time()
+
+    def _attach_catalog_locks(self) -> None:
+        # Wire the compaction-audit hook onto the catalog so every replace
+        # commit is stamped against the shared lock directory's state.
+        try:
+            catalog = self.service._catalog()
+        except ValidationError:
+            return
+        catalog.attach_locks(self.locks)
+
+    def _lock_gate(self, selected: list[Candidate]) -> list[Candidate]:
+        admitted = []
+        for candidate in selected:
+            if self.locks.acquire(candidate.key):
+                admitted.append(candidate)
+            else:
+                telemetry = self._telemetry()
+                if telemetry is not None:
+                    telemetry.increment("autocomp.daemon.lock_contended")
+        return admitted
+
+    def _install_gates(self) -> None:
+        gates = []
+        if self.admission is not None:
+            gates.append(self.admission.admit)
+        gates.append(self._lock_gate)
+        for pipeline in self._pipelines():
+            for gate in gates:
+                if gate not in pipeline.act_gates:
+                    pipeline.act_gates.append(gate)
+
+    def _uninstall_gates(self) -> None:
+        mine = {self._lock_gate}
+        if self.admission is not None:
+            mine.add(self.admission.admit)
+        for pipeline in self._pipelines():
+            pipeline.act_gates = [g for g in pipeline.act_gates if g not in mine]
+
+    # --- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "AutoCompDaemon":
+        """Recover, arm the gates, and start the scheduler thread.
+
+        Startup order matters: stale locks are reclaimed *before* the
+        first cycle can contend on them, spilled history is restored
+        before any new cycle appends to the ring, and the heartbeat runs
+        before any lock is acquired so none of ours ever looks stale.
+        """
+        if self._started:
+            return self
+        self._started = True
+        self._attach_catalog_locks()
+        self.reclaimed_on_start = self.locks.recover_stale()
+        if self.spill_path is not None and os.path.exists(self.spill_path):
+            self.service.restore_history(self.spill_path)
+        self._install_gates()
+        self.locks.start_heartbeat()
+        self._stop.clear()
+        thread = threading.Thread(target=self._loop, name="autocomp-daemon", daemon=True)
+        self._thread = thread
+        thread.start()
+        return self
+
+    def _loop(self) -> None:
+        # wait() starts after run_once returns: completion-anchored
+        # cadence, matching the service's simulator attachment semantics.
+        while not self._stop.wait(self.interval_s):
+            self.run_once()
+
+    def run_once(self) -> object | None:
+        """Run one daemon cycle now (also the scheduler-thread body).
+
+        Admission counters reset, the lock context becomes this cycle's
+        trigger id, the service cycle runs behind the act gates, and —
+        win or lose — every lock this instance took is released before
+        returning.  A raising cycle is counted and swallowed: the daemon
+        must outlive one bad cycle.
+        """
+        if not self._cycle_mutex.acquire(blocking=False):
+            return None  # a manual run_once raced the scheduler tick
+        try:
+            # Both idempotent, so manual run_once works without start().
+            self._attach_catalog_locks()
+            self._install_gates()
+            cycle_id = f"{self.locks.owner}/cycle:{self.cycles_run}"
+            self.locks.context = cycle_id
+            if self.admission is not None:
+                self.admission.begin_cycle()
+            try:
+                report = self.service.run_cycle(now=self._now())
+            except Exception:
+                self.cycle_errors += 1
+                telemetry = self._telemetry()
+                if telemetry is not None:
+                    telemetry.increment("autocomp.daemon.cycle_errors")
+                return None
+            finally:
+                self.locks.release_all()
+                self.locks.context = None
+            self.cycles_run += 1
+            return report
+        finally:
+            self._cycle_mutex.release()
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop scheduling, drain, spill, release.
+
+        With ``drain`` (the default), in-flight shard work gets up to
+        ``drain_timeout_s`` to finish before worker children are joined
+        and, if necessary, terminated; without it, pools are told to
+        drop queued work immediately.  Either way the history ring is
+        spilled (when ``spill_path`` is set), the act gates are removed,
+        the heartbeat stops, and every held lock is released.
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval_s + self.drain_timeout_s)
+            self._thread = None
+        close = getattr(self.service.pipeline, "close", None)
+        if close is not None:
+            close(timeout=self.drain_timeout_s if drain else 0.001)
+        if self.spill_path is not None:
+            self.service.spill_history(self.spill_path)
+        self._uninstall_gates()
+        self.locks.stop_heartbeat()
+        self.locks.release_all()
+        self._started = False
+
+    def __enter__(self) -> "AutoCompDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # --- backfill ---------------------------------------------------------------
+
+    def _connector_and_backend(self):
+        pipeline = self._pipelines()[0]
+        return pipeline.connector, pipeline.backend
+
+    def _compact_one(self, candidate_key) -> ExecutionResult:
+        """Compact one unit immediately (the optimize-after-write sequence)."""
+        connector, backend = self._connector_and_backend()
+        stats = connector.collect_statistics(candidate_key)
+        candidate = Candidate(key=candidate_key, statistics=stats)
+        pipeline = self._pipelines()[0]
+        pipeline.traits.annotate_all([candidate])
+        task = CompactionTask.from_candidate(candidate)
+        job = backend.prepare(task)
+        now = self._now()
+        if job is None:
+            return ExecutionResult.skipped_result(task, now)
+        job.start()
+        result = job.finish()
+        connector.invalidate(candidate_key)
+        return result
+
+    def backfill(
+        self,
+        keys,
+        state_dir: str | os.PathLike,
+        chunk_size: int = 1,
+        unit_hook=None,
+    ) -> dict[str, int]:
+        """Compact every key once, durably, resumably.
+
+        Registers each key as a unit in a :class:`ResumableStateMachine`
+        under ``state_dir``, demotes units a previous (killed) run left
+        mid-flight, then claims and works chunks until the state machine
+        is drained: per unit, take the per-table lock (contended units go
+        back to ``INIT`` for whoever holds them to finish or for a later
+        pass), ``RUNNING``, compact, ``COMPLETE``, release.  Keys whose
+        unit is already ``COMPLETE`` are never re-compacted — the
+        restart-after-``kill -9`` guarantee.
+
+        Args:
+            keys: candidate keys to compact (``str(key)`` is the unit id).
+            state_dir: durable home of the unit state files.
+            chunk_size: units claimed per :meth:`~ResumableStateMachine.get_next_chunk`.
+            unit_hook: optional callable invoked with each unit name while
+                its lock is held and its state is ``RUNNING`` (test
+                instrumentation — e.g. journaling or widening a kill
+                window).
+
+        Returns:
+            The state machine's final :meth:`~ResumableStateMachine.counts`.
+        """
+        by_unit = {str(key): key for key in keys}
+        machine = ResumableStateMachine(state_dir)
+        machine.register(by_unit)
+        machine.recover()
+        self._attach_catalog_locks()
+        self.locks.recover_stale()
+        stalled: set[str] = set()
+        while True:
+            chunk = machine.get_next_chunk(chunk_size, exclude=stalled)
+            if not chunk:
+                break
+            for unit in chunk:
+                key = by_unit.get(unit)
+                if key is None:
+                    # Registered by an earlier run with a key this call
+                    # does not carry; leave it for the run that does.
+                    machine.release(unit)
+                    stalled.add(unit)
+                    continue
+                # The attempt number keys the lock context: a crash-retry
+                # is a *new* trigger, so its (legitimate, idempotent)
+                # re-compaction never reads as a double-compaction in the
+                # audit — only two commits for the same attempt would.
+                attempt = machine.attempts_of(unit) + 1
+                if not self.locks.acquire(key, context=f"backfill:{unit}#try{attempt}"):
+                    # Held elsewhere (e.g. a scheduled cycle): back to
+                    # INIT for a later pass or the current holder.
+                    machine.release(unit)
+                    stalled.add(unit)
+                    continue
+                try:
+                    machine.mark_running(unit)
+                    self._compact_one(key)
+                    if unit_hook is not None:
+                        unit_hook(unit)
+                    machine.mark_complete(unit)
+                finally:
+                    self.locks.release(key)
+        return machine.counts()

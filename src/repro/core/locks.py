@@ -1,0 +1,506 @@
+"""File-based per-table/partition compaction locks with crash-safe recovery.
+
+The daemonized control plane (:mod:`repro.core.daemon`) may run several
+AutoComp instances against one catalog — overlapping scheduled cycles in
+one process, or independent daemon processes sharing a warehouse.  The
+invariant they must uphold is the paper's §7 production rule: **no unit is
+ever double-compacted**.  :class:`LockManager` enforces it with plain
+lock *files* (the Arc compaction daemon's approach): a lock is an
+``O_CREAT | O_EXCL`` file in a shared directory, so acquisition is atomic
+across threads, processes and (on a shared filesystem) machines, and a
+crashed daemon leaves evidence — a lock file whose owning pid is dead or
+whose heartbeat mtime has gone stale — that :meth:`LockManager.recover_stale`
+reclaims on the next startup.
+
+Every lock transition is appended to a shared **audit log**
+(``audit.jsonl`` in the lock directory): ``acquire`` / ``release`` /
+``contend`` / ``reclaim``, plus ``compact_commit`` records written by the
+catalog's lock hooks (:meth:`repro.catalog.catalog.Catalog.attach_locks`)
+whenever a rewrite commits.  :func:`verify_audit` replays the log and
+proves the invariant after the fact: every compaction committed under a
+held lock, no key was ever held by two owners at once, and no
+(key, context) pair was compacted twice — the check the daemon soak and
+crash-recovery suites gate on.
+
+Ordering discipline: ``acquire`` lines are appended *after* the lock file
+is created, ``release``/``reclaim`` lines *before* it is removed.  Any
+later acquisition of the same key can only create its file after the
+previous holder removed it, so its audit line lands after the previous
+holder's release line — the log's per-key event order is therefore
+consistent even across racing processes (appends of one JSON line are
+atomic on POSIX for ``O_APPEND`` writes under ``PIPE_BUF``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+#: File name of the shared audit log inside the lock directory.
+AUDIT_LOG = "audit.jsonl"
+
+#: Suffix of lock files inside the lock directory.
+LOCK_SUFFIX = ".lock"
+
+_SLUG_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+#: Per-process counter so several managers in one process (e.g. two daemon
+#: instances in a soak test) get distinct owner identities.
+_OWNER_COUNTER = threading.Lock(), [0]
+
+
+def lock_slug(key: object) -> str:
+    """A filesystem-safe, collision-resistant file stem for a lock key.
+
+    Readable prefix (sanitised key string, truncated) plus a short content
+    hash, so distinct keys can never alias after sanitisation.
+    """
+    text = str(key)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=6).hexdigest()
+    prefix = _SLUG_UNSAFE.sub("_", text)[:80].strip("_") or "key"
+    return f"{prefix}.{digest}"
+
+
+def default_owner() -> str:
+    """A distinct owner identity: ``pid<pid>.<per-process counter>``."""
+    lock, counter = _OWNER_COUNTER
+    with lock:
+        counter[0] += 1
+        return f"pid{os.getpid()}.{counter[0]}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (best effort, POSIX)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """Parsed contents of one lock file."""
+
+    key: str
+    table: str
+    owner: str
+    pid: int
+    acquired_at: float
+    context: str | None = None
+    path: str = ""
+
+
+@dataclass
+class AuditSummary:
+    """Outcome of :func:`verify_audit` over one lock directory."""
+
+    events: int = 0
+    acquires: int = 0
+    releases: int = 0
+    contends: int = 0
+    reclaims: int = 0
+    compact_commits: int = 0
+    #: ``(key, context)`` pairs compacted more than once, with counts.
+    double_compactions: dict = field(default_factory=dict)
+    #: Human-readable invariant violations (empty = clean log).
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the log upholds every no-double-compaction invariant."""
+        return not self.violations
+
+
+class LockManager:
+    """Per-key compaction locks over a shared directory.
+
+    Args:
+        lock_dir: shared directory holding lock files and the audit log
+            (created if missing).  Concurrent daemons coordinating on one
+            catalog must point at the *same* directory.
+        owner: identity stamped into lock files and audit lines; defaults
+            to a per-process-unique ``pid<pid>.<n>``.
+        stale_after_s: a lock whose heartbeat mtime is older than this is
+            reclaimable even when its pid looks alive (covers hung
+            daemons and pid reuse); the holder's heartbeat must therefore
+            beat faster than this.
+        heartbeat_interval_s: cadence of the optional background
+            heartbeat thread (defaults to ``stale_after_s / 3``).
+        clock: wall-clock source for timestamps (monkeypatchable in tests).
+
+    Attributes:
+        context: free-form trigger/cycle identifier stamped into
+            subsequently acquired locks and their audit lines — the daemon
+            sets it per cycle (``cycle:<n>``) or per backfill unit, and
+            :func:`verify_audit` uses it to prove at-most-once-per-trigger
+            compaction.
+    """
+
+    def __init__(
+        self,
+        lock_dir: str | os.PathLike,
+        owner: str | None = None,
+        stale_after_s: float = 30.0,
+        heartbeat_interval_s: float | None = None,
+        clock=time.time,
+    ) -> None:
+        if stale_after_s <= 0:
+            raise ValidationError("stale_after_s must be positive")
+        if heartbeat_interval_s is not None and heartbeat_interval_s <= 0:
+            raise ValidationError("heartbeat_interval_s must be positive")
+        self.lock_dir = os.fspath(lock_dir)
+        os.makedirs(self.lock_dir, exist_ok=True)
+        self.owner = owner if owner is not None else default_owner()
+        self.stale_after_s = stale_after_s
+        self.heartbeat_interval_s = (
+            heartbeat_interval_s if heartbeat_interval_s is not None else stale_after_s / 3.0
+        )
+        self.context: str | None = None
+        self._clock = clock
+        self._held: dict[str, str] = {}  # key string -> lock file path
+        self._mutex = threading.Lock()
+        self._hb_stop: threading.Event | None = None
+        self._hb_thread: threading.Thread | None = None
+        self.audit_path = os.path.join(self.lock_dir, AUDIT_LOG)
+
+    # --- acquisition -----------------------------------------------------------
+
+    def _path_for(self, key: object) -> str:
+        return os.path.join(self.lock_dir, lock_slug(key) + LOCK_SUFFIX)
+
+    def acquire(self, key: object, context: str | None = None) -> bool:
+        """Try to take the lock for ``key``; never blocks.
+
+        Returns ``True`` on success (the key is now held by this manager)
+        and ``False`` when any holder — this manager included — already
+        has it.  Contended attempts are audited, so the soak's lock audit
+        shows how often concurrent daemons actually collided.
+        """
+        text = str(key)
+        path = self._path_for(key)
+        ctx = context if context is not None else self.context
+        payload = {
+            "key": text,
+            "table": getattr(key, "qualified_table", text),
+            "owner": self.owner,
+            "pid": os.getpid(),
+            "acquired_at": self._clock(),
+            "context": ctx,
+        }
+        with self._mutex:
+            if text in self._held:
+                self._audit("contend", key=text, context=ctx)
+                return False
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._audit("contend", key=text, context=ctx)
+                return False
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream)
+            self._held[text] = path
+            self._audit("acquire", key=text, context=ctx)
+            return True
+
+    def release(self, key: object) -> bool:
+        """Release a held lock; returns whether this manager held it."""
+        text = str(key)
+        with self._mutex:
+            path = self._held.pop(text, None)
+            if path is None:
+                return False
+            # Audit *before* unlinking: the next acquirer's audit line can
+            # then only land after ours (see module docstring).
+            self._audit("release", key=text)
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            return True
+
+    def release_all(self) -> int:
+        """Release every lock this manager holds; returns the count."""
+        with self._mutex:
+            held = list(self._held)
+        released = 0
+        for key in held:
+            released += bool(self.release(key))
+        return released
+
+    def held_keys(self) -> list[str]:
+        """Key strings currently held by this manager, sorted."""
+        with self._mutex:
+            return sorted(self._held)
+
+    def holds(self, key: object) -> bool:
+        """Whether this manager currently holds ``key``."""
+        with self._mutex:
+            return str(key) in self._held
+
+    # --- inspection / recovery -------------------------------------------------
+
+    def _read_lock(self, path: str) -> LockInfo | None:
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                data = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return LockInfo(
+            key=str(data.get("key", "")),
+            table=str(data.get("table", data.get("key", ""))),
+            owner=str(data.get("owner", "")),
+            pid=int(data.get("pid", 0)),
+            acquired_at=float(data.get("acquired_at", 0.0)),
+            context=data.get("context"),
+            path=path,
+        )
+
+    def list_locks(self) -> list[LockInfo]:
+        """Every lock file currently present in the directory, parsed."""
+        infos = []
+        try:
+            names = sorted(os.listdir(self.lock_dir))
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if not name.endswith(LOCK_SUFFIX):
+                continue
+            info = self._read_lock(os.path.join(self.lock_dir, name))
+            if info is not None:
+                infos.append(info)
+        return infos
+
+    def inspect_table(self, qualified_table: str) -> LockInfo | None:
+        """The current lock (any scope, any owner) over ``db.table``, if any.
+
+        Reads lock files from disk, so it sees locks held by *other*
+        daemon instances too — the catalog's compaction-audit hook uses it
+        to stamp each rewrite commit with the holder that covered it.
+        """
+        for info in self.list_locks():
+            if info.table == qualified_table or info.key == qualified_table:
+                return info
+        return None
+
+    def is_stale(self, info: LockInfo) -> bool:
+        """Whether a lock file is reclaimable (dead pid or stale heartbeat)."""
+        if info.key in self._held:
+            return False  # never reclaim our own
+        try:
+            mtime = os.path.getmtime(info.path)
+        except OSError:
+            return False  # vanished — nothing to reclaim
+        if not _pid_alive(info.pid):
+            return True
+        return (self._clock() - mtime) > self.stale_after_s
+
+    def recover_stale(self) -> list[str]:
+        """Reclaim crash-leftover locks; returns the reclaimed key strings.
+
+        Run once on daemon startup (and safe to run any time): a lock is
+        reclaimed when its owning pid is dead, or when its heartbeat mtime
+        is older than ``stale_after_s`` — a live holder heartbeats faster
+        than that, so only crashed or wedged owners lose their locks.
+        """
+        reclaimed = []
+        for info in self.list_locks():
+            if not self.is_stale(info):
+                continue
+            self._audit(
+                "reclaim",
+                key=info.key,
+                stale_owner=info.owner,
+                stale_pid=info.pid,
+                context=info.context,
+            )
+            try:
+                os.unlink(info.path)
+            except FileNotFoundError:
+                continue
+            reclaimed.append(info.key)
+        return reclaimed
+
+    # --- heartbeat --------------------------------------------------------------
+
+    def heartbeat(self) -> int:
+        """Touch every held lock's mtime; returns how many were touched."""
+        with self._mutex:
+            paths = list(self._held.values())
+        touched = 0
+        for path in paths:
+            try:
+                os.utime(path)
+                touched += 1
+            except OSError:
+                continue
+        return touched
+
+    def start_heartbeat(self) -> None:
+        """Start the background heartbeat thread (idempotent).
+
+        Keeps held locks' mtimes fresh so long-running cycles are never
+        mistaken for crashes by a sibling daemon's staleness check.
+        """
+        if self._hb_thread is not None:
+            return
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(self.heartbeat_interval_s):
+                self.heartbeat()
+
+        thread = threading.Thread(target=beat, name="lock-heartbeat", daemon=True)
+        self._hb_stop = stop
+        self._hb_thread = thread
+        thread.start()
+
+    def stop_heartbeat(self) -> None:
+        """Stop the background heartbeat thread (idempotent)."""
+        if self._hb_thread is None:
+            return
+        assert self._hb_stop is not None
+        self._hb_stop.set()
+        self._hb_thread.join(timeout=5.0)
+        self._hb_thread = None
+        self._hb_stop = None
+
+    # --- audit ------------------------------------------------------------------
+
+    def _audit(self, event: str, **payload: object) -> None:
+        record = {
+            "event": event,
+            "owner": self.owner,
+            "pid": os.getpid(),
+            "ts": self._clock(),
+            **payload,
+        }
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        fd = os.open(self.audit_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def audit_compaction(self, qualified_table: str, version: int | None = None) -> None:
+        """Record one rewrite commit against the current lock state.
+
+        Called by the catalog's lock hook on every ``replace`` commit: the
+        lock covering the table (held by *any* owner — read from disk) is
+        looked up and stamped into a ``compact_commit`` audit line, which
+        is what lets :func:`verify_audit` prove after the fact that every
+        compaction ran under a lock and that no (key, context) pair was
+        compacted twice.
+        """
+        info = self.inspect_table(qualified_table)
+        self._audit(
+            "compact_commit",
+            key=qualified_table,
+            held=info is not None,
+            holder=info.owner if info is not None else None,
+            context=info.context if info is not None else None,
+            version=version,
+        )
+
+    def close(self) -> None:
+        """Stop heartbeating and release everything this manager holds."""
+        self.stop_heartbeat()
+        self.release_all()
+
+    def __enter__(self) -> "LockManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_audit(lock_dir: str | os.PathLike) -> list[dict]:
+    """Parse the audit log of a lock directory (missing log = empty)."""
+    path = os.path.join(os.fspath(lock_dir), AUDIT_LOG)
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    except FileNotFoundError:
+        return []
+    return records
+
+
+def verify_audit(lock_dir: str | os.PathLike) -> AuditSummary:
+    """Replay an audit log and check the no-double-compaction invariants.
+
+    Violations collected:
+
+    * an ``acquire`` while the same key was still held by another owner
+      (no intervening ``release``/``reclaim``);
+    * a ``release``/``reclaim`` of a key held by a different owner than
+      the releaser claims (reclaims are exempt — they name the stale
+      owner explicitly);
+    * a ``compact_commit`` with ``held == False`` (a rewrite committed
+      outside any lock);
+    * the same ``(key, context)`` compacted more than once — the
+      "never twice for the same trigger" rule (commits with no context
+      are exempt: they predate lock-hook coverage).
+    """
+    summary = AuditSummary()
+    holder: dict[str, str] = {}
+    compacted: dict[tuple, int] = {}
+    for record in read_audit(lock_dir):
+        summary.events += 1
+        event = record.get("event")
+        key = record.get("key", "")
+        owner = record.get("owner", "")
+        if event == "acquire":
+            summary.acquires += 1
+            if key in holder:
+                summary.violations.append(
+                    f"acquire of {key!r} by {owner!r} while held by {holder[key]!r}"
+                )
+            holder[key] = owner
+        elif event == "release":
+            summary.releases += 1
+            current = holder.pop(key, None)
+            if current is not None and current != owner:
+                summary.violations.append(
+                    f"release of {key!r} by {owner!r} but holder was {current!r}"
+                )
+        elif event == "reclaim":
+            summary.reclaims += 1
+            holder.pop(key, None)
+        elif event == "contend":
+            summary.contends += 1
+        elif event == "compact_commit":
+            summary.compact_commits += 1
+            if not record.get("held", False):
+                summary.violations.append(f"compaction of {key!r} committed without a lock")
+            context = record.get("context")
+            if context is not None:
+                pair = (key, context)
+                compacted[pair] = compacted.get(pair, 0) + 1
+    for pair, count in sorted(compacted.items()):
+        if count > 1:
+            summary.double_compactions["/".join(pair)] = count
+            summary.violations.append(
+                f"{pair[0]!r} compacted {count}x for trigger {pair[1]!r}"
+            )
+    return summary

@@ -51,6 +51,9 @@ class CycleReport:
     after_stats_filters: int = 0
     after_trait_filters: int = 0
     ranked: int = 0
+    #: Selected candidates withheld by act gates (admission quotas, lock
+    #: contention) before execution.
+    gated: int = 0
     selected: list[CandidateKey] = field(default_factory=list)
     #: Results land here synchronously, or asynchronously as simulated
     #: compaction jobs complete (the list object is shared with the
@@ -132,6 +135,12 @@ class AutoCompPipeline:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.feedback_hooks = list(feedback_hooks)
         self.taps = taps
+        #: Act gates: callables ``gate(selected) -> selected`` applied in
+        #: order between decide and act.  The daemonized control plane
+        #: installs admission quotas and per-table lock acquisition here,
+        #: so concurrent cycles agree on who executes what *after* ranking
+        #: but *before* any task is built.
+        self.act_gates: list[Callable[[list[Candidate]], list[Candidate]]] = []
         self._cycle_index = 0
 
     def invalidate(self, key: CandidateKey) -> None:
@@ -252,6 +261,11 @@ class AutoCompPipeline:
             on_result: extra observer for each result (the sharded control
                 plane uses it to mirror results into the fleet report).
         """
+        selected = list(selected)
+        for gate in self.act_gates:
+            before = len(selected)
+            selected = list(gate(selected))
+            report.gated += before - len(selected)
         tasks = [CompactionTask.from_candidate(c) for c in selected]
 
         def record(result: ExecutionResult) -> None:

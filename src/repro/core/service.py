@@ -14,6 +14,8 @@ integration shown in Figure 5).
 
 from __future__ import annotations
 
+import threading
+
 from repro.catalog.catalog import Catalog
 from repro.core.candidates import CandidateKey
 from repro.core.connectors import LstConnector
@@ -238,13 +240,23 @@ class AutoCompService:
         self.interval_s = interval_s
         self.reports: list[CycleReport] = []
         self.notifications: list[CandidateKey] = []
+        #: Scheduled firings skipped because the previous cycle was still
+        #: running (see :meth:`attach`'s overlap guard).
+        self.overlap_skips = 0
+        self._inbox_lock = threading.Lock()
+        self._in_cycle = False
         self._trigger: PeriodicTrigger | None = None
         self._history = None
         self._history_taps = None
 
     def notify(self, key: CandidateKey) -> None:
-        """Inbox endpoint for decoupled optimize-after-write hooks."""
-        self.notifications.append(key)
+        """Inbox endpoint for decoupled optimize-after-write hooks.
+
+        Thread-safe: connector hooks and daemon worker threads may push
+        concurrently with a cycle draining the inbox.
+        """
+        with self._inbox_lock:
+            self.notifications.append(key)
 
     def run_cycle(self, now: float = 0.0, simulator: Simulator | None = None) -> CycleReport:
         """Run one cycle immediately, draining the notification inbox.
@@ -256,22 +268,69 @@ class AutoCompService:
         plane.  The inbox is deduplicated first, preserving first-seen
         order: a hot table notifying N times between cycles costs one
         cache invalidation, not N.
+
+        The drain swaps the inbox list out atomically under the same lock
+        :meth:`notify` takes, so notifications arriving mid-drain land in
+        the fresh inbox (served next cycle) instead of being cleared
+        unprocessed or invalidated twice.
         """
-        for key in dict.fromkeys(self.notifications):
+        with self._inbox_lock:
+            pending, self.notifications = self.notifications, []
+        for key in dict.fromkeys(pending):
             self.pipeline.invalidate(key)
-        self.notifications.clear()
-        report = self.pipeline.run_cycle(now=now, simulator=simulator)
+        self._in_cycle = True
+        try:
+            report = self.pipeline.run_cycle(now=now, simulator=simulator)
+        finally:
+            self._in_cycle = False
         self.reports.append(report)
         self._publish_cycle(report, now if simulator is None else simulator.now)
         return report
 
+    def cycle_in_flight(self) -> bool:
+        """Whether a cycle is mid-run or its async act work is unfinished.
+
+        Covers both a re-entrant call while :meth:`run_cycle` is on the
+        stack and simulated-mode cycles whose scheduled compaction jobs
+        have not all completed yet.
+        """
+        if self._in_cycle:
+            return True
+        if not self.reports:
+            return False
+        last = getattr(self.reports[-1], "report", self.reports[-1])
+        return len(last.results) < len(last.selected)
+
     def attach(self, simulator: Simulator, until: float | None = None) -> "AutoCompService":
-        """Arm periodic execution on a simulator; returns self."""
+        """Arm periodic execution on a simulator; returns self.
+
+        The next firing is anchored to the *completion* of the previous
+        cycle — each firing re-arms itself ``interval_s`` after it ran —
+        so a long cycle delays the schedule instead of drifting onto a
+        fixed grid that stacks overdue firings.  If a firing lands while
+        the previous cycle is still in flight (async act work pending),
+        it is skipped and counted (``overlap_skips`` and the
+        ``autocomp.service.overlap_skips`` telemetry counter) rather than
+        overlapping it.
+        """
 
         def fire() -> None:
-            self.run_cycle(simulator=simulator)
+            if self.cycle_in_flight():
+                self.overlap_skips += 1
+                telemetry = getattr(self.pipeline, "telemetry", None)
+                if telemetry is not None:
+                    telemetry.increment("autocomp.service.overlap_skips")
+            else:
+                self.run_cycle(simulator=simulator)
+            # Re-arm from completion (simulator.now has advanced past any
+            # time the cycle consumed), not from the original grid.
+            next_at = simulator.now + self.interval_s
+            if until is None or next_at < until:
+                simulator.at(next_at, fire, name="autocomp-service")
 
-        simulator.every(self.interval_s, fire, name="autocomp-service", until=until)
+        first = simulator.now + self.interval_s
+        if until is None or first < until:
+            simulator.at(first, fire, name="autocomp-service")
         return self
 
     # --- self-evaluation (Policy Lab over the service's own history) ------------
@@ -337,6 +396,24 @@ class AutoCompService:
             max_segments=max_segments,
         )
         return self._history
+
+    def spill_history(self, path, **writer_kwargs):
+        """Seal and persist the history ring to chunked trace segments.
+
+        The daemon calls this on graceful drain so :meth:`evaluate_recent`
+        history survives a restart; a later :meth:`restore_history` on a
+        fresh service yields identical replay rankings.  No-op (returns
+        ``None``) when history was never enabled.
+        """
+        if self._history is None:
+            return None
+        return self._history.spill(path, **writer_kwargs)
+
+    def restore_history(self, path, **ring_kwargs):
+        """Reload a spilled history ring (enabling history if needed)."""
+        ring = self.enable_history(**ring_kwargs)
+        ring.load(path)
+        return ring
 
     def _publish_cycle(self, report, now: float) -> None:
         """Publish a cycle marker for the history ring when the pipeline won't."""

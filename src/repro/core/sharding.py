@@ -323,15 +323,18 @@ class ShardedPipeline:
         """Number of shards."""
         return len(self.shards)
 
-    def close(self) -> None:
+    def close(self, timeout: float | None = None) -> None:
         """Shut the shard worker pools down (idempotent).
 
         Call when the pipeline is done (or use the pipeline as a context
         manager); a garbage-collected pipeline's pools are also shut down
         by their finalizers, so forgotten pipelines never strand processes.
+        With a ``timeout``, pools drain instead of blocking indefinitely
+        (see :meth:`~repro.core.workers.WorkerPool.close`) — the daemon's
+        graceful-shutdown path.
         """
         for pool in self._pools.values():
-            pool.close()
+            pool.close(timeout=timeout)
         self._pools.clear()
 
     def _pool(self, mode: str) -> WorkerPool:

@@ -53,7 +53,7 @@ import os
 import sys
 import time
 import weakref
-from concurrent.futures import Executor, Future
+from concurrent.futures import Executor, Future, wait
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -447,6 +447,7 @@ class WorkerPool:
         self.max_workers = max_workers
         self._executor: Executor | None = None
         self._finalizer: weakref.finalize | None = None
+        self._futures: list[Future] = []
 
     @property
     def started(self) -> bool:
@@ -474,7 +475,17 @@ class WorkerPool:
 
     def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
         """Submit one task (spawning the executor on first use)."""
-        return self._ensure().submit(fn, *args, **kwargs)
+        future = self._ensure().submit(fn, *args, **kwargs)
+        self._track(future)
+        return future
+
+    def _track(self, future: Future) -> None:
+        # Kept so close(timeout=...) can cancel-then-drain in-flight work;
+        # pruned opportunistically so long-lived pools don't accumulate
+        # references to every future they ever ran.
+        if len(self._futures) >= 64:
+            self._futures = [f for f in self._futures if not f.done()]
+        self._futures.append(future)
 
     def map_ordered(self, fn: Callable, items: Iterable) -> list:
         """Run ``fn`` over ``items``, results in submission order.
@@ -497,17 +508,52 @@ class WorkerPool:
                 "process pools cannot run closures; submit a module-level "
                 "function with a picklable spec instead"
             )
-        futures = [self._ensure().submit(thunk) for thunk in thunks]
+        futures = [self.submit(thunk) for thunk in thunks]
         return [future.result() for future in futures]
 
-    def close(self) -> None:
-        """Shut the executor down (idempotent; waits for running work)."""
+    def close(self, timeout: float | None = None) -> None:
+        """Shut the executor down (idempotent).
+
+        Args:
+            timeout: ``None`` (the default) waits for running work to
+                finish — the historical behaviour.  With a timeout, close
+                becomes a *drain*: queued-but-unstarted futures are
+                cancelled, running ones get up to ``timeout`` seconds to
+                finish, and any process children still alive after that
+                are terminated (then killed) and joined — so a daemon
+                shutting down mid-cycle never strands orphans for the
+                interpreter-teardown finalizer (which can run after the
+                executor machinery is already torn down).
+        """
         executor, self._executor = self._executor, None
-        if executor is not None:
-            if self._finalizer is not None:
-                self._finalizer.detach()
-                self._finalizer = None
+        futures, self._futures = self._futures, []
+        if executor is None:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if timeout is None:
             executor.shutdown(wait=True)
+            return
+        pending = [f for f in futures if not f.done()]
+        for future in pending:
+            future.cancel()  # unstarted work never runs
+        if pending:
+            wait(pending, timeout=timeout)
+        # Snapshot process children before shutdown forgets them, so we
+        # can join (and if necessary kill) stragglers ourselves.
+        children = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + timeout
+        for child in children:
+            child.join(timeout=max(deadline - time.monotonic(), 0.0))
+        for child in children:
+            if child.is_alive():
+                child.terminate()
+                child.join(timeout=1.0)
+            if child.is_alive():
+                child.kill()
+                child.join(timeout=1.0)
 
     def __enter__(self) -> "WorkerPool":
         return self

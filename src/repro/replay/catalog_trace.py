@@ -347,18 +347,27 @@ class CatalogHistoryRing:
         The first included segment contributes its opening checkpoint;
         later segments contribute events only (their checkpoints are
         redundant restatements of already-replayed state).
+
+        Ring edges degrade to "evaluate what exists" instead of raising:
+        a ``window`` larger than the recorded history clamps to the whole
+        ring (the unsealed trailing segment included), and ``window=0``
+        yields a minimal trace holding one fresh checkpoint of the
+        catalog's *current* state — replayable, zero recorded history.
+        Only a negative window is a caller error.
         """
-        if window is not None and window <= 0:
-            raise ValidationError("window must be positive")
-        segments = list(self._segments)
-        if window is not None:
-            segments = segments[-window:]
-        events: list[dict] = list(segments[0])
-        for segment in segments[1:]:
-            events.extend(e for e in segment if e["kind"] != "checkpoint")
+        if window is not None and window < 0:
+            raise ValidationError("window must be non-negative")
         header = catalog_header(
             self.seed, warehouse=self.catalog.warehouse, cluster=self.cluster
         )
+        if window == 0:
+            return Trace(header=header, events=[catalog_checkpoint(self.catalog)])
+        segments = list(self._segments)
+        if window is not None:
+            segments = segments[-window:]  # clamps when window > len
+        events: list[dict] = list(segments[0])
+        for segment in segments[1:]:
+            events.extend(e for e in segment if e["kind"] != "checkpoint")
         return Trace(header=header, events=events)
 
     def save(self, path: str | os.PathLike, window: int | None = None, **writer_kwargs) -> None:
@@ -371,6 +380,65 @@ class CatalogHistoryRing:
                 writer.write(event)
         finally:
             writer.close()
+
+    def spill(self, path: str | os.PathLike, compress: bool = True, **writer_kwargs) -> int:
+        """Persist the whole ring, one chunked trace segment per ring segment.
+
+        Unlike :meth:`save` (which flattens a window into one replayable
+        event stream), ``spill`` preserves the ring's *structure*: every
+        segment keeps its opening checkpoint and the writer rotates at
+        each segment boundary, so :meth:`load` can rebuild an equivalent
+        ring — same segment boundaries, same events — after a daemon
+        restart.  The unsealed trailing segment spills too.
+
+        Returns the number of ring segments written.
+        """
+        writer = TraceWriter(path, compress=compress, **writer_kwargs)
+        try:
+            writer.write(
+                catalog_header(
+                    self.seed, warehouse=self.catalog.warehouse, cluster=self.cluster
+                )
+            )
+            for segment in self._segments:
+                for event in segment:
+                    writer.write(event)
+                if writer.chunked:
+                    writer.rotate()  # one trace segment per ring segment
+        finally:
+            writer.close()
+        return len(self._segments)
+
+    def load(self, path: str | os.PathLike) -> int:
+        """Rebuild the ring from a :meth:`spill` file (or any catalog trace).
+
+        Replaces the current segments with the spilled ones, splitting the
+        event stream at ``checkpoint`` boundaries (each spilled ring
+        segment opened with one), trimming to ``max_segments``, and
+        resuming recording into the restored trailing segment — so a
+        restarted service's :meth:`trace` yields the same events, and
+        ``evaluate_recent`` the same rankings, as before the restart.
+
+        Returns the number of segments restored.
+        """
+        from repro.replay.trace import TraceReader
+
+        trace = TraceReader(path).read()
+        segments: list[list[dict]] = []
+        for event in trace.events:
+            if event["kind"] == "checkpoint" or not segments:
+                segments.append([])
+            segments[-1].append(event)
+        if not segments:
+            segments = [[catalog_checkpoint(self.catalog)]]
+        self._segments = deque(segments[-self.max_segments :])
+        self._cycles_in_segment = sum(
+            1 for e in self._segments[-1] if e["kind"] == "cycle"
+        )
+        self.events_recorded = sum(
+            1 for s in self._segments for e in s if e["kind"] != "checkpoint"
+        )
+        return len(self._segments)
 
     def close(self) -> None:
         """Unsubscribe from the bus (idempotent); segments stay readable."""

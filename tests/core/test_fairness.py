@@ -1,0 +1,120 @@
+"""Tests for per-database admission quotas and deficit round-robin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import Candidate, CandidateKey, CandidateScope, CandidateStatistics
+from repro.core.fairness import AdmissionController
+from repro.errors import ValidationError
+from repro.simulation import Telemetry
+from repro.units import MiB
+
+
+def candidate(db: str, table: str) -> Candidate:
+    key = CandidateKey(db, table, CandidateScope.TABLE)
+    stats = CandidateStatistics.build_unchecked(
+        file_count=10,
+        total_bytes=80 * MiB,
+        small_file_count=10,
+        small_file_bytes=80 * MiB,
+        target_file_size=128 * MiB,
+        partition_count=1,
+        created_at=0.0,
+        last_modified_at=0.0,
+        quota_utilization=0.0,
+    )
+    return Candidate(key=key, statistics=stats)
+
+
+class TestPerDatabaseCap:
+    def test_hot_tenant_is_capped(self):
+        controller = AdmissionController(max_per_database=2)
+        ranked = [candidate("hot", f"t{i}") for i in range(5)] + [candidate("cold", "t0")]
+        controller.begin_cycle()
+        admitted = controller.admit(ranked)
+        assert [str(c.key) for c in admitted] == ["hot.t0", "hot.t1", "cold.t0"]
+        assert controller.deferred_total == 3
+
+    def test_cap_spans_gate_calls_within_a_cycle(self):
+        # A sharded pipeline calls the gate once per shard; the per-db cap
+        # must hold across all of them.
+        controller = AdmissionController(max_per_database=2)
+        controller.begin_cycle()
+        first = controller.admit([candidate("db", "t0"), candidate("db", "t1")])
+        second = controller.admit([candidate("db", "t2"), candidate("db", "t3")])
+        assert len(first) == 2 and second == []
+
+    def test_begin_cycle_resets(self):
+        controller = AdmissionController(max_per_database=1)
+        controller.begin_cycle()
+        assert len(controller.admit([candidate("db", "t0"), candidate("db", "t1")])) == 1
+        controller.begin_cycle()
+        assert len(controller.admit([candidate("db", "t2")])) == 1
+
+    def test_unlimited_passes_everything(self):
+        controller = AdmissionController()
+        ranked = [candidate("db", f"t{i}") for i in range(4)]
+        controller.begin_cycle()
+        assert controller.admit(ranked) == ranked
+
+
+class TestGlobalCapAndDeficit:
+    def test_rank_order_preserved(self):
+        controller = AdmissionController(max_total=2)
+        ranked = [candidate("a", "t0"), candidate("b", "t0"), candidate("c", "t0")]
+        controller.begin_cycle()
+        admitted = controller.admit(ranked)
+        assert [str(c.key) for c in admitted] == ["a.t0", "b.t0"]
+
+    def test_starved_database_moves_up_next_cycle(self):
+        controller = AdmissionController(max_total=2)
+        # Cycle 1: hot's two top-ranked candidates squeeze cold out.
+        controller.begin_cycle()
+        admitted = controller.admit(
+            [candidate("hot", "t0"), candidate("hot", "t1"), candidate("cold", "t0")]
+        )
+        assert [c.key.database for c in admitted] == ["hot", "hot"]
+        assert controller.deficits() == {"cold": 1}
+        # Cycle 2, same ranking: cold's deficit pulls it ahead of hot's #2.
+        controller.begin_cycle()
+        admitted = controller.admit(
+            [candidate("hot", "t0"), candidate("hot", "t1"), candidate("cold", "t0")]
+        )
+        assert sorted(c.key.database for c in admitted) == ["cold", "hot"]
+        assert controller.deficits() == {"hot": 1}
+
+    def test_deficit_drains_on_admission(self):
+        controller = AdmissionController(max_total=1)
+        controller.begin_cycle()
+        controller.admit([candidate("a", "t0"), candidate("b", "t0")])
+        assert controller.deficits() == {"b": 1}
+        controller.begin_cycle()
+        controller.admit([candidate("b", "t0")])
+        assert controller.deficits() == {}
+
+    def test_empty_input_is_noop(self):
+        controller = AdmissionController(max_total=1)
+        controller.begin_cycle()
+        assert controller.admit([]) == []
+
+
+class TestTelemetryAndValidation:
+    def test_counters(self):
+        telemetry = Telemetry()
+        controller = AdmissionController(max_per_database=1, telemetry=telemetry)
+        controller.begin_cycle()
+        controller.admit([candidate("db", "t0"), candidate("db", "t1")])
+        assert telemetry.counter("autocomp.admission.admitted") == 1
+        assert telemetry.counter("autocomp.admission.deferred") == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AdmissionController(max_per_database=0)
+        with pytest.raises(ValidationError):
+            AdmissionController(max_total=0)
+
+    def test_callable_as_act_gate(self):
+        controller = AdmissionController(max_per_database=1)
+        controller.begin_cycle()
+        assert len(controller([candidate("db", "t0"), candidate("db", "t1")])) == 1

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core import AutoCompService, BudgetSelector, TopKSelector, openhouse_pipeline
@@ -161,3 +163,110 @@ class TestNotificationRouting:
         service.run_cycle(now=fleet_catalog.clock.now)
         assert drained == [first, second]
         assert service.notifications == []
+
+
+class TestInboxThreadSafety:
+    """Regression: notify() racing run_cycle's drain lost or double-drained keys."""
+
+    def test_hammered_inbox_loses_nothing(self, fleet_catalog):
+        from repro.core.pipeline import CycleReport
+
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        drained: list[CandidateKey] = []
+        pipeline.invalidate = drained.append  # shadow the bound method
+        pipeline.run_cycle = lambda now=0.0, simulator=None: CycleReport(
+            cycle_index=0, started_at=now
+        )
+        service = AutoCompService(pipeline)
+
+        n_threads, keys_per_thread = 8, 200
+        start = threading.Barrier(n_threads + 1)
+
+        def hammer(thread_index: int) -> None:
+            start.wait()
+            for i in range(keys_per_thread):
+                service.notify(
+                    CandidateKey("db", f"w{thread_index}_{i}", CandidateScope.TABLE)
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        # Drain concurrently with the producers: the old list-clear drain
+        # dropped whatever arrived between the iteration and the clear.
+        for _ in range(50):
+            service.run_cycle(now=fleet_catalog.clock.now)
+        for thread in threads:
+            thread.join()
+        service.run_cycle(now=fleet_catalog.clock.now)  # final sweep
+
+        expected = {
+            f"db.w{t}_{i}" for t in range(n_threads) for i in range(keys_per_thread)
+        }
+        drained_keys = [str(key) for key in drained]
+        assert set(drained_keys) == expected  # nothing lost
+        assert len(drained_keys) == len(expected)  # nothing double-invalidated
+        assert service.notifications == []
+
+
+class TestScheduleAnchoring:
+    """Regression: attach() fired on a fixed grid and could overlap itself."""
+
+    def test_next_fire_anchors_to_cycle_completion(self, fleet_catalog):
+        from repro.core.pipeline import CycleReport
+
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        long_cycle_s = HOUR / 2
+
+        def slow_cycle(now=0.0, simulator=None):
+            # A cycle that takes half an hour of simulated time.
+            if simulator is not None:
+                now = simulator.now
+            fleet_catalog.clock.advance_by(long_cycle_s)
+            return CycleReport(cycle_index=0, started_at=now)
+
+        pipeline.run_cycle = slow_cycle
+        service = AutoCompService(pipeline, interval_s=HOUR)
+        simulator = Simulator(fleet_catalog.clock)
+        base = fleet_catalog.clock.now
+        service.attach(simulator, until=base + 5 * HOUR)
+        simulator.run_until(base + 5 * HOUR)
+        starts = [report.started_at for report in service.reports]
+        # Completion-anchored: fires at base+1h, then every 1.5h (1h interval
+        # after each 0.5h cycle) — not on the fixed 1h grid.
+        assert starts[0] == base + HOUR
+        spacings = [b - a for a, b in zip(starts, starts[1:])]
+        assert spacings and all(s == HOUR + long_cycle_s for s in spacings)
+
+    def test_overlapping_fire_skips_and_counts(self, fleet_catalog):
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        service = AutoCompService(pipeline, interval_s=HOUR)
+        # Forge an unfinished cycle: selected work whose results are still
+        # outstanding (async act in flight).
+        stuck = pipeline.begin_cycle(fleet_catalog.clock.now)
+        stuck.selected = [CandidateKey("db", "t0", CandidateScope.TABLE)]
+        service.reports.append(stuck)
+        assert service.cycle_in_flight()
+
+        simulator = Simulator(fleet_catalog.clock)
+        base = fleet_catalog.clock.now
+        service.attach(simulator, until=base + 3 * HOUR)
+        simulator.run_until(base + 4 * HOUR)
+        # Fires at +1h and +2h (the +3h one falls at `until`): both skip.
+        assert service.overlap_skips == 2
+        assert service.reports == [stuck]
+        assert (
+            pipeline.telemetry.counter("autocomp.service.overlap_skips") == 2
+        )
+
+    def test_until_still_bounds_scheduling(self, fleet_catalog):
+        pipeline = openhouse_pipeline(fleet_catalog, Cluster("maint", executors=3))
+        service = AutoCompService(pipeline, interval_s=HOUR)
+        simulator = Simulator(fleet_catalog.clock)
+        base = fleet_catalog.clock.now
+        service.attach(simulator, until=base + 2.5 * HOUR)
+        simulator.run_until(base + 10 * HOUR)
+        assert len(service.reports) == 2  # fires at +1h and +2h only

@@ -107,6 +107,54 @@ class TestWorkerPool:
         assert [c.key for c in result.candidates] == list(spec.keys)
 
 
+class TestWorkerPoolDrain:
+    """Regression: close() mid-flight hung on slow work and orphaned children."""
+
+    def test_timed_close_does_not_wait_for_slow_process_work(self):
+        import multiprocessing
+        import time as _time
+
+        pool = WorkerPool(mode="processes", max_workers=2)
+        pool.submit(_time.sleep, 30)
+        pool.submit(_time.sleep, 30)
+        started = _time.monotonic()
+        pool.close(timeout=0.3)  # old close would block ~30s
+        elapsed = _time.monotonic() - started
+        assert elapsed < 10.0
+        assert not pool.started
+        # Children were terminated and joined, not orphaned to interpreter
+        # teardown (where the executor machinery may already be gone).
+        assert multiprocessing.active_children() == []
+        pool.close(timeout=0.3)  # idempotent
+
+    def test_timed_close_cancels_queued_thread_work(self):
+        import time as _time
+
+        pool = WorkerPool(mode="threads", max_workers=1)
+        running = pool.submit(_time.sleep, 0.2)
+        queued = pool.submit(_time.sleep, 0.2)
+        pool.close(timeout=5.0)
+        assert running.done()
+        assert queued.cancelled() or queued.done()
+
+    def test_untimed_close_still_waits(self):
+        import time as _time
+
+        pool = WorkerPool(mode="threads", max_workers=1)
+        future = pool.submit(_time.sleep, 0.05)
+        pool.close()  # historical behaviour: wait for running work
+        assert future.done() and not future.cancelled()
+
+    def test_future_tracking_is_pruned(self):
+        pool = WorkerPool(mode="threads", max_workers=2)
+        try:
+            for _ in range(300):
+                pool.submit(int).result()
+            assert len(pool._futures) <= 65
+        finally:
+            pool.close()
+
+
 class TestShardWorkContracts:
     def test_spec_validates_column_shape(self):
         spec = _spec()

@@ -1,0 +1,107 @@
+"""Subprocess harness for the daemon crash-recovery suite.
+
+Runs an :class:`~repro.core.daemon.AutoCompDaemon` backfill over a fresh
+fragmented fleet, journaling every compacted unit to ``journal.log`` in
+the work directory (one fsynced line per compaction, written while the
+unit's lock is held and its state is ``RUNNING``).  ``--slow`` inserts a
+sleep between the journal line and the unit's ``COMPLETE`` transition —
+the window the recovery test aims its ``SIGKILL`` at.
+
+The lock directory, state-machine directory and journal all live under
+``--workdir`` and persist across invocations; the catalog itself is
+rebuilt fresh each run (it is in-memory), which is exactly the point:
+only the durable state machine prevents a restarted run from
+re-compacting units the killed run already finished.
+
+Invoked by tests as ``python -m tests.integration.daemon_harness`` (or by
+path) with ``PYTHONPATH`` covering ``src`` and the repo root.  On a
+completed drain it writes ``done.json`` (the final state counts) and
+prints the same JSON to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def build_fleet(tables: int, files_per_table: int):
+    """A fresh catalog with ``tables`` fragmented tables and their keys."""
+    from repro.catalog import Catalog
+    from repro.core.candidates import CandidateKey, CandidateScope
+    from repro.lst import Field, MonthTransform, PartitionField, PartitionSpec, Schema
+    from repro.units import HOUR, MiB
+
+    catalog = Catalog()
+    catalog.create_database("db")
+    schema = Schema.of(Field("id", "long"), Field("event_date", "date"))
+    spec = PartitionSpec.of(PartitionField("event_date", MonthTransform()))
+    keys = []
+    for i in range(tables):
+        table = catalog.create_table(f"db.t{i:03d}", schema, spec=spec)
+        txn = table.new_append()
+        for _ in range(files_per_table):
+            txn.add_file(8 * MiB, partition=(0,))
+        txn.commit()
+        keys.append(CandidateKey("db", f"t{i:03d}", CandidateScope.TABLE))
+    catalog.clock.advance_by(2 * HOUR)  # age past the recent-table filter
+    return catalog, keys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", required=True, help="durable state home")
+    parser.add_argument("--tables", type=int, default=12)
+    parser.add_argument("--files-per-table", type=int, default=6)
+    parser.add_argument(
+        "--slow",
+        type=float,
+        default=0.0,
+        help="seconds to sleep per unit between journal write and COMPLETE",
+    )
+    parser.add_argument("--chunk-size", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    from repro.core import AutoCompDaemon, AutoCompService, LockManager
+    from repro.core.service import openhouse_pipeline
+    from repro.engine import Cluster
+
+    workdir = args.workdir
+    os.makedirs(workdir, exist_ok=True)
+    catalog, keys = build_fleet(args.tables, args.files_per_table)
+    pipeline = openhouse_pipeline(catalog, Cluster("maint", executors=3))
+    service = AutoCompService(pipeline)
+    locks = LockManager(os.path.join(workdir, "locks"), stale_after_s=30.0)
+    daemon = AutoCompDaemon(service, locks)
+
+    journal_path = os.path.join(workdir, "journal.log")
+
+    def journal_then_stall(unit: str) -> None:
+        # O_APPEND + fsync: the line is durable before the kill window
+        # opens, so the test can trust journal counts across a SIGKILL.
+        fd = os.open(journal_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (unit + "\n").encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        if args.slow > 0:
+            time.sleep(args.slow)
+
+    counts = daemon.backfill(
+        keys,
+        os.path.join(workdir, "state"),
+        chunk_size=args.chunk_size,
+        unit_hook=journal_then_stall,
+    )
+    with open(os.path.join(workdir, "done.json"), "w", encoding="utf-8") as stream:
+        json.dump(counts, stream)
+    print(json.dumps(counts))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Crash-recovery integration: SIGKILL a backfilling daemon, restart, resume.
+
+Drives :mod:`tests.integration.daemon_harness` as a real subprocess so the
+kill is a genuine ``kill -9`` — no atexit handlers, no finally blocks, no
+lock releases.  The durable artifacts under the shared work directory
+(lock files + audit log, resumable-state files, the compaction journal)
+are all that connects the two runs, exactly as for a production daemon
+restarting on the same warehouse.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.daemon import ResumableStateMachine
+from repro.core.locks import LOCK_SUFFIX, verify_audit
+
+HARNESS = os.path.join(os.path.dirname(__file__), "daemon_harness.py")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def launch(workdir, tables: int, slow: float = 0.0) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, env.get("PYTHONPATH")) if part
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            HARNESS,
+            "--workdir",
+            os.fspath(workdir),
+            "--tables",
+            str(tables),
+            "--slow",
+            str(slow),
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def run_to_completion(workdir, tables: int) -> dict:
+    proc = launch(workdir, tables=tables)
+    stdout, stderr = proc.communicate(timeout=120)
+    assert proc.returncode == 0, f"harness failed:\n{stderr}"
+    return json.loads(stdout.strip().splitlines()[-1])
+
+
+def journal_lines(workdir) -> list[str]:
+    path = os.path.join(os.fspath(workdir), "journal.log")
+    try:
+        with open(path, encoding="utf-8") as stream:
+            return [line for line in stream.read().splitlines() if line]
+    except FileNotFoundError:
+        return []
+
+
+def wait_for_journal(proc, workdir, n: int, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if len(journal_lines(workdir)) >= n:
+            return
+        if proc.poll() is not None:
+            pytest.fail(f"harness exited early:\n{proc.stderr.read()}")
+        time.sleep(0.02)
+    pytest.fail(f"journal never reached {n} lines")
+
+
+def lock_files(workdir) -> list[str]:
+    lock_dir = os.path.join(os.fspath(workdir), "locks")
+    try:
+        return sorted(n for n in os.listdir(lock_dir) if n.endswith(LOCK_SUFFIX))
+    except FileNotFoundError:
+        return []
+
+
+class TestCleanBackfill:
+    def test_single_run_drains_and_audits_clean(self, tmp_path):
+        counts = run_to_completion(tmp_path, tables=6)
+        assert counts["COMPLETE"] == 6
+        assert counts["INIT"] == counts["LOCKED"] == counts["RUNNING"] == 0
+        journal = journal_lines(tmp_path)
+        assert len(journal) == 6 == len(set(journal))
+        assert lock_files(tmp_path) == []  # every lock released
+        summary = verify_audit(tmp_path / "locks")
+        assert summary.ok, summary.violations
+        assert summary.compact_commits == 6
+
+    def test_rerun_after_success_recompacts_nothing(self, tmp_path):
+        run_to_completion(tmp_path, tables=5)
+        journal_before = journal_lines(tmp_path)
+        counts = run_to_completion(tmp_path, tables=5)
+        assert counts["COMPLETE"] == 5
+        # The second run found every unit COMPLETE and touched none.
+        assert journal_lines(tmp_path) == journal_before
+        summary = verify_audit(tmp_path / "locks")
+        assert summary.ok, summary.violations
+        assert summary.compact_commits == 5
+
+
+class TestKillDashNine:
+    TABLES = 12
+
+    def kill_mid_backfill(self, tmp_path) -> tuple[list[str], list[str], dict]:
+        """Run 1 with a widened per-unit window; SIGKILL after >=3 units.
+
+        Returns (pre-kill COMPLETE units, leftover lock files, pre-kill
+        state counts).
+        """
+        proc = launch(tmp_path, tables=self.TABLES, slow=0.25)
+        try:
+            wait_for_journal(proc, tmp_path, n=3)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+            proc.stdout.close()
+            proc.stderr.close()
+        machine = ResumableStateMachine(tmp_path / "state")
+        counts = machine.counts()
+        return machine.complete_units(), lock_files(tmp_path), counts
+
+    def test_restart_resumes_without_recompacting_complete_units(self, tmp_path):
+        completed_before, _, counts_before = self.kill_mid_backfill(tmp_path)
+        # The kill landed mid-fleet: real progress, real remaining work.
+        assert counts_before["COMPLETE"] >= 1
+        assert counts_before["COMPLETE"] < self.TABLES
+
+        counts = run_to_completion(tmp_path, tables=self.TABLES)
+        assert counts["COMPLETE"] == self.TABLES
+        assert counts["INIT"] == counts["LOCKED"] == counts["RUNNING"] == 0
+
+        journal = journal_lines(tmp_path)
+        # Units COMPLETE before the kill were journaled exactly once: the
+        # restarted run skipped them.  (A unit killed mid-RUNNING may
+        # legitimately appear twice — demoted to INIT and redone.)
+        for unit in completed_before:
+            assert journal.count(unit) == 1, f"{unit} re-compacted after restart"
+        assert set(journal) == {f"db.t{i:03d}" for i in range(self.TABLES)}
+
+    def test_stale_locks_reclaimed_and_audit_stays_clean(self, tmp_path):
+        _, leftover_locks, _ = self.kill_mid_backfill(tmp_path)
+        run_to_completion(tmp_path, tables=self.TABLES)
+        assert lock_files(tmp_path) == []  # crash leftovers reclaimed
+        summary = verify_audit(tmp_path / "locks")
+        assert summary.ok, summary.violations
+        assert summary.reclaims == len(leftover_locks)
+        assert summary.double_compactions == {}
+        assert summary.compact_commits >= self.TABLES

@@ -14,6 +14,7 @@ from repro.core.service import AutoCompService, openhouse_pipeline
 from repro.engine import Cluster, EngineSession
 from repro.errors import ValidationError
 from repro.replay import (
+    CatalogHistoryRing,
     CatalogReplayer,
     Perturbation,
     PolicyVariant,
@@ -24,6 +25,7 @@ from repro.replay import (
     trace_size_bytes,
 )
 from repro.simulation import Simulator
+from repro.simulation.taps import TapBus
 from repro.units import HOUR, MiB
 from repro.workloads import CabWorkload
 
@@ -382,6 +384,115 @@ class TestServiceSelfEvaluation:
         )
         priors = report.to_priors()
         assert priors["k"] == float(report.best().variant.k)
+
+
+class TestRingEdges:
+    """Regression: evaluate_recent raised at ring edges instead of degrading."""
+
+    def test_window_larger_than_history_clamps_to_everything(self):
+        service, ring, _ = build_service_run()
+        full = ring.trace()
+        clamped = ring.trace(window=ring.n_segments + 100)
+        assert clamped.events == full.events
+        report = service.evaluate_recent(
+            [PolicyVariant(name="k5", k=5)], window=10_000
+        )
+        assert len(report.scores) == 1
+
+    def test_window_zero_degrades_to_current_state(self):
+        service, ring, _ = build_service_run()
+        trace = ring.trace(window=0)
+        assert [e["kind"] for e in trace.events] == ["checkpoint"]
+        # Zero recorded history: every variant scores over "what exists".
+        report = service.evaluate_recent([PolicyVariant(name="k5", k=5)], window=0)
+        assert report.scores[0].cycles == 0
+
+    def test_negative_window_still_raises(self):
+        _, ring, _ = build_service_run()
+        with pytest.raises(ValidationError):
+            ring.trace(window=-1)
+
+    def test_empty_ring_evaluates_what_exists(self, catalog, simple_schema):
+        # History enabled but no cycle ever ran: the ring holds one open
+        # (unsealed) segment — just its opening checkpoint.
+        catalog.create_database("db")
+        catalog.create_table("db.t0", simple_schema)
+        pipeline = openhouse_pipeline(catalog, Cluster("maint", executors=2))
+        service = AutoCompService(pipeline)
+        ring = service.enable_history()
+        assert ring.n_segments == 1
+        report = service.evaluate_recent([PolicyVariant(name="k2", k=2)])
+        assert len(report.scores) == 1
+
+    def test_unsealed_trailing_segment_is_included(self):
+        service, ring, _ = build_service_run(segment_cycles=8)  # never seals
+        assert ring.n_segments == 1
+        trace = ring.trace(window=1)
+        assert any(e["kind"] == "cycle" for e in trace.events)
+
+
+class TestRingSpillLoad:
+    """Daemon drain persistence: spill → restart → identical history/rankings."""
+
+    VARIANTS = (
+        PolicyVariant(name="k2", k=2),
+        PolicyVariant(name="k10", k=10),
+        PolicyVariant(name="lazy", k=10, trigger_interval_days=2),
+    )
+
+    def test_spill_writes_one_trace_segment_per_ring_segment(self, tmp_path):
+        _, ring, _ = build_service_run(segment_cycles=1, max_segments=3)
+        path = tmp_path / "ring.spill.jsonl"
+        spilled = ring.spill(os.fspath(path))
+        assert spilled == ring.n_segments
+        manifest = [json.loads(line) for line in open(path)]
+        segments = [r for r in manifest if r["kind"] == "segment"]
+        assert len(segments) == ring.n_segments
+        assert all(r["codec"] == "gzip" for r in segments)
+
+    def test_load_rebuilds_identical_segments(self, tmp_path):
+        _, ring, _ = build_service_run(segment_cycles=1, max_segments=3)
+        path = tmp_path / "ring.spill.jsonl"
+        ring.spill(os.fspath(path))
+        restored = CatalogHistoryRing(
+            ring.catalog,
+            TapBus(),
+            seed=ring.seed,
+            cluster=ring.cluster,
+            segment_cycles=1,
+            max_segments=3,
+        )
+        assert restored.load(os.fspath(path)) == ring.n_segments
+        assert list(restored._segments) == list(ring._segments)
+        assert restored.trace().events == ring.trace().events
+        assert restored.events_recorded == sum(
+            1 for s in ring._segments for e in s if e["kind"] != "checkpoint"
+        )
+
+    def test_rankings_identical_across_restart(self, tmp_path):
+        service, ring, _ = build_service_run(segment_cycles=1, max_segments=3)
+        before = [
+            s.variant.name
+            for s in service.evaluate_recent(list(self.VARIANTS)).ranked()
+        ]
+        path = tmp_path / "ring.spill.jsonl"
+        assert service.spill_history(os.fspath(path)) == ring.n_segments
+        # A fresh service over the same catalog — the daemon-restart shape.
+        revived = AutoCompService(service.pipeline)
+        revived.restore_history(
+            os.fspath(path), segment_cycles=1, max_segments=3, seed=11
+        )
+        after = [
+            s.variant.name
+            for s in revived.evaluate_recent(list(self.VARIANTS)).ranked()
+        ]
+        assert after == before
+
+    def test_spill_without_history_is_noop(self, catalog):
+        catalog.create_database("db")
+        pipeline = openhouse_pipeline(catalog, Cluster("maint", executors=2))
+        service = AutoCompService(pipeline)
+        assert service.spill_history("/nonexistent/should/not/be/written") is None
 
 
 class TestCheckpointRestore:
