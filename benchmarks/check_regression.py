@@ -18,7 +18,11 @@ seed-deterministic metrics are held (near-)exact:
   (latencies, costs);
 * ``ratio`` — current must be within ``±tolerance`` (relative) of the
   value (deterministic floats that may drift slightly across library
-  versions).
+  versions);
+* ``max`` — current must be at most ``value``, an *absolute* ceiling
+  with no tolerance band (overhead ratios with a hard budget, e.g.
+  ``tracing_overhead`` must stay under 1.05);
+* ``min`` — current must be at least ``value``, an absolute floor.
 
 Metrics present in the run but absent from the baseline are informational
 only; metrics promised by the baseline but missing from the run fail the
@@ -47,7 +51,7 @@ import json
 import sys
 
 #: Supported comparison kinds.
-CHECKS = ("exact", "min_ratio", "max_ratio", "ratio")
+CHECKS = ("exact", "min_ratio", "max_ratio", "ratio", "max", "min")
 
 
 def compare(name: str, current: float, spec: dict) -> tuple[bool, str]:
@@ -68,6 +72,12 @@ def compare(name: str, current: float, spec: dict) -> tuple[bool, str]:
         ceiling = value * (1.0 + tolerance)
         ok = current <= ceiling
         bound = f"<= {ceiling:.6g} ({value} + {tolerance:.0%})"
+    elif check == "max":
+        ok = current <= value
+        bound = f"<= {value} (absolute)"
+    elif check == "min":
+        ok = current >= value
+        bound = f">= {value} (absolute)"
     else:  # ratio
         ok = abs(current - value) <= tolerance * abs(value)
         bound = f"within ±{tolerance:.0%} of {value}"

@@ -14,14 +14,22 @@ The exit code *is* the verdict: 0 when
 compaction under a held lock, no key double-held, no (key, trigger) pair
 compacted twice) and every liveness check holds; 1 otherwise.
 
+Daemon alpha additionally runs the full observability plane — a
+:class:`~repro.obs.tracing.Tracer` on its pipeline and a
+:class:`~repro.obs.exporter.MetricsExporter` flushing to ``--obs-dir``
+throughout the soak — and the final ``metrics.prom`` must round-trip
+through the strict Prometheus checker (:mod:`repro.obs.promcheck`), so
+the soak also proves the exporter stays valid under concurrent load.
+
 Run as a script::
 
     PYTHONPATH=src python benchmarks/soak_daemon.py [--duration 60]
         [--interval 0.05] [--tables 3] [--databases 2]
-        [--json BENCH_daemon_soak.json]
+        [--json BENCH_daemon_soak.json] [--obs-dir DIR]
 
-CI runs the 60-second soak next to the perf-regression gate; use a small
-``--duration`` (>= 2s) for a local smoke.
+CI runs the 60-second soak next to the perf-regression gate (uploading
+``--obs-dir`` as an artifact); use a small ``--duration`` (>= 2s) for a
+local smoke.
 """
 
 from __future__ import annotations
@@ -48,6 +56,8 @@ from repro.core import (
 from repro.core.locks import LOCK_SUFFIX
 from repro.engine import Cluster
 from repro.lst import Field, MonthTransform, PartitionField, PartitionSpec, Schema
+from repro.obs.promcheck import check_exposition
+from repro.obs.tracing import Tracer
 from repro.units import HOUR, MiB
 
 
@@ -89,6 +99,11 @@ def main(argv=None) -> int:
         help="inject a worker failure into daemon beta every Nth cycle",
     )
     parser.add_argument("--json", help="write the soak metrics JSON here")
+    parser.add_argument(
+        "--obs-dir",
+        help="daemon alpha's observability export directory "
+        "(default: a subdirectory of the soak workdir)",
+    )
     args = parser.parse_args(argv)
     if args.duration < 2.0:
         parser.error("--duration must be >= 2 seconds to observe any cadence")
@@ -98,6 +113,7 @@ def main(argv=None) -> int:
     lock_dir = os.path.join(workdir, "locks")
     spill_path = os.path.join(workdir, "history.spill.jsonl")
 
+    obs_dir = args.obs_dir or os.path.join(workdir, "obs")
     alpha = build_daemon(
         catalog,
         lock_dir,
@@ -105,6 +121,9 @@ def main(argv=None) -> int:
         interval_s=args.interval,
         admission=AdmissionController(max_per_database=2),
         spill_path=spill_path,
+        tracer=Tracer(),
+        obs_dir=obs_dir,
+        export_interval_s=max(args.interval * 4, 0.5),
     )
     alpha.service.enable_history(segment_cycles=4, max_segments=4)
     beta = build_daemon(catalog, lock_dir, owner="beta", interval_s=args.interval)
@@ -149,6 +168,21 @@ def main(argv=None) -> int:
     leftover_locks = [
         name for name in os.listdir(lock_dir) if name.endswith(LOCK_SUFFIX)
     ]
+
+    # The exporter's final flush ran inside alpha.stop(); the on-disk
+    # exposition must satisfy the strict Prometheus checker, and the
+    # trace dump must hold the spans of every alpha cycle.
+    prom_path = alpha.exporter.prom_path
+    prom_errors = ["metrics.prom was never written"]
+    if os.path.exists(prom_path):
+        with open(prom_path, encoding="utf-8") as stream:
+            prom_errors = check_exposition(stream.read())
+    trace_spans = 0
+    trace_path = alpha.exporter.trace_jsonl_path
+    if os.path.exists(trace_path):
+        with open(trace_path, encoding="utf-8") as stream:
+            trace_spans = sum(1 for line in stream if line.strip())
+
     metrics = {
         "duration_s": round(elapsed, 3),
         "cycles_alpha": alpha.cycles_run,
@@ -163,6 +197,11 @@ def main(argv=None) -> int:
         "leftover_locks": leftover_locks,
         "history_spilled": os.path.exists(spill_path)
         and os.path.getsize(spill_path) > 0,
+        "exports": alpha.exporter.exports,
+        "export_errors": alpha.exporter.export_errors,
+        "prom_errors": prom_errors,
+        "trace_spans": trace_spans,
+        "obs_dir": obs_dir,
     }
     if args.json:
         with open(args.json, "w", encoding="utf-8") as stream:
@@ -184,6 +223,12 @@ def main(argv=None) -> int:
         failures.append(f"locks leaked past graceful drain: {leftover_locks}")
     if not metrics["history_spilled"]:
         failures.append("graceful drain did not spill the history ring")
+    if prom_errors:
+        failures.append(f"prometheus exposition invalid: {prom_errors[:3]}")
+    if alpha.exporter.exports == 0:
+        failures.append("metrics exporter never exported")
+    if trace_spans == 0:
+        failures.append("tracer produced no spans across the whole soak")
     if failures:
         print("SOAK FAILED:", "; ".join(failures), file=sys.stderr)
         return 1

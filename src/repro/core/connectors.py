@@ -98,6 +98,25 @@ class Connector(abc.ABC):
         if self.stats_cache is not None:
             self.stats_cache.invalidate(key)
 
+    def cache_counters(self) -> dict | None:
+        """The stats cache's lookup counters, for hit-ratio telemetry.
+
+        Returns ``{"id", "hits", "misses", "expirations"}`` (``id`` is the
+        cache object's identity, letting the sharded plane deduplicate
+        shards that share one cache), or None when the connector carries
+        no cache.  Works for any cache exposing ``hits``/``misses``
+        counters, so new connectors get hit-ratio metrics for free.
+        """
+        cache = self.stats_cache
+        if cache is None:
+            return None
+        return {
+            "id": id(cache),
+            "hits": float(getattr(cache, "hits", 0)),
+            "misses": float(getattr(cache, "misses", 0)),
+            "expirations": float(getattr(cache, "expirations", 0)),
+        }
+
     # --- process-mode shard-worker contract ---------------------------------
     #
     # The scale-out control plane's process workers cannot touch this

@@ -29,7 +29,13 @@ service; :class:`AutoCompDaemon` is that run-forever layer over
   (:class:`ResumableStateMachine`, ``INIT → LOCKED → RUNNING → COMPLETE``
   per unit with :meth:`ResumableStateMachine.get_next_chunk` resume), so
   a 10k-table backfill killed with ``kill -9`` mid-fleet resumes from the
-  last ``COMPLETE`` unit instead of starting over.
+  last ``COMPLETE`` unit instead of starting over;
+* **observability** — with ``obs_dir`` set the daemon runs a
+  :class:`~repro.obs.exporter.MetricsExporter` that periodically writes
+  the telemetry sink (Prometheus text + JSONL snapshots), the attached
+  tracer's spans, and :meth:`AutoCompDaemon.status` to files under that
+  directory; :meth:`AutoCompDaemon.serve_status` additionally exposes
+  ``/status`` and ``/metrics`` over stdlib HTTP.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from repro.core.locks import LockManager, lock_slug
 from repro.core.scheduling import CompactionTask, ExecutionResult
 from repro.core.service import AutoCompService
 from repro.errors import ValidationError
+from repro.obs.exporter import MetricsExporter, render_prometheus
 
 #: Resumable-unit lifecycle states, in order.
 UNIT_STATES = ("INIT", "LOCKED", "RUNNING", "COMPLETE")
@@ -224,6 +231,15 @@ class AutoCompDaemon:
             restarts.
         drain_timeout_s: bound on finishing in-flight shard work at
             shutdown (forwarded to the worker pools' draining close).
+        tracer: optional :class:`~repro.obs.tracing.Tracer`; when given it
+            is installed on the service pipeline (propagating to every
+            shard) so cycles emit ``cycle → shard → observe/decide/act``
+            spans, and the exporter dumps them alongside the metrics.
+        obs_dir: when set, a :class:`~repro.obs.exporter.MetricsExporter`
+            writes ``metrics.prom``/``metrics.jsonl``/``status.json`` (and
+            trace dumps, when ``tracer`` is set) under this directory for
+            the daemon's whole lifetime.
+        export_interval_s: seconds between exporter flushes.
 
     Attributes:
         cycles_run: scheduled + manual cycles completed by this instance.
@@ -239,17 +255,25 @@ class AutoCompDaemon:
         interval_s: float = 60.0,
         spill_path: str | os.PathLike | None = None,
         drain_timeout_s: float = 30.0,
+        tracer=None,
+        obs_dir: str | os.PathLike | None = None,
+        export_interval_s: float = 5.0,
     ) -> None:
         if interval_s <= 0:
             raise ValidationError("interval_s must be positive")
         if drain_timeout_s <= 0:
             raise ValidationError("drain_timeout_s must be positive")
+        if export_interval_s <= 0:
+            raise ValidationError("export_interval_s must be positive")
         self.service = service
         self.locks = locks
         self.admission = admission
         self.interval_s = interval_s
         self.spill_path = os.fspath(spill_path) if spill_path is not None else None
         self.drain_timeout_s = drain_timeout_s
+        self.tracer = tracer
+        self.obs_dir = os.fspath(obs_dir) if obs_dir is not None else None
+        self.export_interval_s = export_interval_s
         self.cycles_run = 0
         self.cycle_errors = 0
         self.reclaimed_on_start: list[str] = []
@@ -257,6 +281,27 @@ class AutoCompDaemon:
         self._thread: threading.Thread | None = None
         self._started = False
         self._cycle_mutex = threading.Lock()
+        self._status_server = None
+        telemetry = self._telemetry()
+        if tracer is not None:
+            # Both pipeline flavours accept a tracer; the sharded one
+            # propagates the assignment to every shard pipeline.
+            self.service.pipeline.tracer = tracer
+        if telemetry is not None and self.locks.telemetry is None:
+            self.locks.telemetry = telemetry
+        if self.admission is not None and self.admission.telemetry is None:
+            self.admission.telemetry = telemetry
+        self.exporter: MetricsExporter | None = None
+        if self.obs_dir is not None:
+            if telemetry is None:
+                raise ValidationError("obs_dir requires a pipeline with telemetry")
+            self.exporter = MetricsExporter(
+                telemetry,
+                self.obs_dir,
+                tracer=tracer,
+                interval_s=export_interval_s,
+                status_fn=self.status,
+            )
 
     # --- wiring -----------------------------------------------------------------
 
@@ -331,6 +376,8 @@ class AutoCompDaemon:
             self.service.restore_history(self.spill_path)
         self._install_gates()
         self.locks.start_heartbeat()
+        if self.exporter is not None:
+            self.exporter.start()
         self._stop.clear()
         thread = threading.Thread(target=self._loop, name="autocomp-daemon", daemon=True)
         self._thread = thread
@@ -378,6 +425,60 @@ class AutoCompDaemon:
         finally:
             self._cycle_mutex.release()
 
+    # --- observability ----------------------------------------------------------
+
+    def status(self) -> dict:
+        """One JSON-safe snapshot of what the daemon is doing right now.
+
+        Covers scheduling (running, interval, cycles run/errored, whether
+        a cycle is in flight), coordination (owner id, currently held
+        lock keys, overlap skips, locks reclaimed at startup), and the
+        latency story (summary of every ``autocomp.hist.*`` histogram:
+        count/sum/min/max/p50/p95/p99).
+        """
+        telemetry = self._telemetry()
+        histograms: dict[str, dict] = {}
+        snapshot = getattr(telemetry, "snapshot", None)
+        if snapshot is not None:
+            histograms = {
+                name: hist.summary()
+                for name, hist in snapshot()["histograms"].items()
+                if name.startswith("autocomp.hist.")
+            }
+        return {
+            "owner": self.locks.owner,
+            "running": self._started,
+            "interval_s": self.interval_s,
+            "cycles_run": self.cycles_run,
+            "cycle_errors": self.cycle_errors,
+            "cycle_in_flight": self._cycle_mutex.locked(),
+            "overlap_skips": getattr(self.service, "overlap_skips", 0),
+            "held_locks": self.locks.held_keys(),
+            "reclaimed_on_start": list(self.reclaimed_on_start),
+            "histograms": histograms,
+        }
+
+    def serve_status(self, host: str = "127.0.0.1", port: int = 0):
+        """Start (and return) an HTTP server for ``/status`` + ``/metrics``.
+
+        Idempotent while running; :meth:`stop` shuts the server down with
+        the daemon.  Use ``port=0`` to bind an ephemeral port — the bound
+        address is ``server.address`` on the returned
+        :class:`~repro.obs.http.StatusServer`.
+        """
+        if self._status_server is not None:
+            return self._status_server
+        from repro.obs.http import StatusServer
+
+        telemetry = self._telemetry()
+        metrics_fn = None
+        if telemetry is not None:
+            metrics_fn = lambda: render_prometheus(telemetry)  # noqa: E731
+        server = StatusServer(self.status, metrics_fn=metrics_fn, host=host, port=port)
+        server.start()
+        self._status_server = server
+        return server
+
     def stop(self, drain: bool = True) -> None:
         """Graceful shutdown: stop scheduling, drain, spill, release.
 
@@ -401,6 +502,12 @@ class AutoCompDaemon:
         self.locks.stop_heartbeat()
         self.locks.release_all()
         self._started = False
+        if self._status_server is not None:
+            self._status_server.stop()
+            self._status_server = None
+        if self.exporter is not None:
+            # Last: the final export then reflects the fully-drained state.
+            self.exporter.stop()
 
     def __enter__(self) -> "AutoCompDaemon":
         return self.start()

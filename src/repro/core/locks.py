@@ -141,6 +141,10 @@ class LockManager:
         heartbeat_interval_s: cadence of the optional background
             heartbeat thread (defaults to ``stale_after_s / 3``).
         clock: wall-clock source for timestamps (monkeypatchable in tests).
+        telemetry: optional metric sink; every audit event also bumps an
+            ``autocomp.locks.<event>`` counter there, and acquire attempts
+            feed the ``autocomp.hist.lock_wait_s`` wait histogram — so the
+            exporter surfaces lock behavior without parsing the audit log.
 
     Attributes:
         context: free-form trigger/cycle identifier stamped into
@@ -157,6 +161,7 @@ class LockManager:
         stale_after_s: float = 30.0,
         heartbeat_interval_s: float | None = None,
         clock=time.time,
+        telemetry=None,
     ) -> None:
         if stale_after_s <= 0:
             raise ValidationError("stale_after_s must be positive")
@@ -170,6 +175,7 @@ class LockManager:
             heartbeat_interval_s if heartbeat_interval_s is not None else stale_after_s / 3.0
         )
         self.context: str | None = None
+        self.telemetry = telemetry
         self._clock = clock
         self._held: dict[str, str] = {}  # key string -> lock file path
         self._mutex = threading.Lock()
@@ -201,20 +207,29 @@ class LockManager:
             "acquired_at": self._clock(),
             "context": ctx,
         }
-        with self._mutex:
-            if text in self._held:
-                self._audit("contend", key=text, context=ctx)
-                return False
-            try:
-                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
-                self._audit("contend", key=text, context=ctx)
-                return False
-            with os.fdopen(fd, "w", encoding="utf-8") as stream:
-                json.dump(payload, stream)
-            self._held[text] = path
-            self._audit("acquire", key=text, context=ctx)
-            return True
+        wait_start = time.perf_counter()
+        try:
+            with self._mutex:
+                if text in self._held:
+                    self._audit("contend", key=text, context=ctx)
+                    return False
+                try:
+                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    self._audit("contend", key=text, context=ctx)
+                    return False
+                with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream)
+                self._held[text] = path
+                self._audit("acquire", key=text, context=ctx)
+                return True
+        finally:
+            if self.telemetry is not None:
+                # Mutex wait + lock-file creation: what a cycle actually
+                # stalls on when sibling threads/daemons contend.
+                self.telemetry.observe(
+                    "autocomp.hist.lock_wait_s", time.perf_counter() - wait_start
+                )
 
     def release(self, key: object) -> bool:
         """Release a held lock; returns whether this manager held it."""
@@ -381,6 +396,8 @@ class LockManager:
     # --- audit ------------------------------------------------------------------
 
     def _audit(self, event: str, **payload: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.increment(f"autocomp.locks.{event}")
         record = {
             "event": event,
             "owner": self.owner,

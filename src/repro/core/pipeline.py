@@ -21,6 +21,7 @@ component is swappable (NFR1).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -37,8 +38,9 @@ from repro.core.scheduling import (
 from repro.core.selection import Selector
 from repro.core.traits import Trait, TraitRegistry
 from repro.errors import ValidationError
+from repro.obs.tracing import Tracer, make_span
 from repro.simulation.simulator import Simulator
-from repro.simulation.telemetry import Telemetry
+from repro.simulation.telemetry import BYTES_BOUNDS, Telemetry
 
 
 @dataclass
@@ -96,6 +98,10 @@ class AutoCompPipeline:
         stats_filters: filters applied after observe.
         trait_filters: filters applied after orient.
         telemetry: metric sink for cycle statistics.
+        tracer: optional :class:`repro.obs.tracing.Tracer`; when set, each
+            ``run_cycle`` produces a ``cycle → observe/decide/act →
+            rewrite`` span tree and per-phase wall-clock histograms.  Also
+            assignable after construction (``pipeline.tracer = Tracer()``).
         feedback_hooks: callables invoked with each finished
             :class:`CycleReport` (the optional act→observe loop).
         taps: optional event bus; when set, every finished cycle publishes
@@ -118,6 +124,7 @@ class AutoCompPipeline:
         stats_filters: Sequence[CandidateFilter] = (),
         trait_filters: Sequence[CandidateFilter] = (),
         telemetry: Telemetry | None = None,
+        tracer: Tracer | None = None,
         feedback_hooks: Sequence[Callable[[CycleReport], None]] = (),
         taps=None,
     ) -> None:
@@ -133,6 +140,7 @@ class AutoCompPipeline:
         self.stats_filters = list(stats_filters)
         self.trait_filters = list(trait_filters)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.tracer = tracer
         self.feedback_hooks = list(feedback_hooks)
         self.taps = taps
         #: Act gates: callables ``gate(selected) -> selected`` applied in
@@ -167,12 +175,50 @@ class AutoCompPipeline:
         if simulator is not None:
             now = simulator.now
         report = self.begin_cycle(now)
-        keys = self.generate(report)
-        candidates = self.observe_orient(keys, now, report)
-        selected = self.decide(candidates, report)
-        self.act(selected, report, simulator=simulator)
-        self.finish_cycle(report, now)
+        tracer = self.tracer
+        cycle_start = time.perf_counter()
+        cycle_span = (
+            tracer.begin("cycle", cycle_index=report.cycle_index)
+            if tracer is not None
+            else None
+        )
+        try:
+            keys = self.generate(report)
+            candidates = self._timed_phase(
+                "observe",
+                "autocomp.hist.observe_wall_s",
+                lambda: self.observe_orient(keys, now, report),
+            )
+            selected = self._timed_phase(
+                "decide",
+                "autocomp.hist.decide_wall_s",
+                lambda: self.decide(candidates, report),
+            )
+            self._timed_phase(
+                "act",
+                "autocomp.hist.act_wall_s",
+                lambda: self.act(selected, report, simulator=simulator),
+            )
+            self.finish_cycle(report, now)
+        finally:
+            self.telemetry.observe(
+                "autocomp.hist.cycle_wall_s", time.perf_counter() - cycle_start
+            )
+            if cycle_span is not None:
+                tracer.end(cycle_span, selected=len(report.selected))
         return report
+
+    def _timed_phase(self, name: str, histogram: str, work: Callable):
+        """Run one phase under a span (when tracing) and a wall histogram."""
+        tracer = self.tracer
+        start = time.perf_counter()
+        try:
+            if tracer is not None:
+                with tracer.span(name):
+                    return work()
+            return work()
+        finally:
+            self.telemetry.observe(histogram, time.perf_counter() - start)
 
     # --- phases ----------------------------------------------------------------
     #
@@ -265,7 +311,10 @@ class AutoCompPipeline:
         for gate in self.act_gates:
             before = len(selected)
             selected = list(gate(selected))
-            report.gated += before - len(selected)
+            dropped = before - len(selected)
+            report.gated += dropped
+            if dropped:
+                self.telemetry.increment("autocomp.act.gated", dropped)
         tasks = [CompactionTask.from_candidate(c) for c in selected]
 
         def record(result: ExecutionResult) -> None:
@@ -279,8 +328,14 @@ class AutoCompPipeline:
             if on_result is not None:
                 on_result(result)
 
+        backend = self.backend
+        if self.tracer is not None and tasks:
+            # Wrap the backend so every prepared job carries a "rewrite"
+            # span from start() to finish(), parented under the act span
+            # (or whatever is current when the tasks are handed over).
+            backend = _TracedBackend(backend, self.tracer, self.tracer.current())
         sync_results = self.scheduler.schedule(
-            tasks, self.backend, simulator=simulator, on_result=record
+            tasks, backend, simulator=simulator, on_result=record
         )
         # Sync mode returns results directly; ``record`` already captured them.
         del sync_results
@@ -320,8 +375,74 @@ class AutoCompPipeline:
                 "autocomp.files_reduced", result.finished_at, result.actual_reduction
             )
             self.telemetry.record("autocomp.gbhr", result.finished_at, result.gbhr)
+            self.telemetry.observe(
+                "autocomp.hist.rewrite_bytes",
+                result.rewritten_bytes,
+                bounds=BYTES_BOUNDS,
+            )
         else:
             self.telemetry.increment("autocomp.results.conflict")
+
+
+class _TracedJob:
+    """Wraps a :class:`~repro.core.scheduling.PreparedJob` in a rewrite span.
+
+    Simulated jobs interleave, so the rewrite span never touches the
+    tracer's thread-local stack: ``start()`` stamps the wall clock,
+    ``finish()`` builds the :class:`~repro.obs.tracing.Span` in one shot
+    (cheaper than begin/end for the per-job hot path — a cycle acts on
+    many jobs) and hands it to :meth:`~repro.obs.tracing.Tracer.adopt`.
+    """
+
+    def __init__(self, job, task: CompactionTask, tracer: Tracer, parent) -> None:
+        self._job = job
+        self._task = task
+        self._tracer = tracer
+        self._parent = parent
+        self._start_s = None
+
+    def __getattr__(self, name):
+        return getattr(self._job, name)
+
+    def start(self):
+        self._start_s = time.time()
+        return self._job.start()
+
+    def finish(self):
+        result = self._job.finish()
+        if self._start_s is not None:
+            self._tracer.adopt([
+                make_span(
+                    "rewrite",
+                    self._parent,
+                    self._start_s,
+                    time.time(),
+                    key=str(self._task.candidate.key),
+                    success=result.success,
+                    skipped=result.skipped,
+                    rewritten_bytes=result.rewritten_bytes,
+                )
+            ])
+            self._start_s = None
+        return result
+
+
+class _TracedBackend:
+    """Backend proxy that emits one ``rewrite`` span per executed job."""
+
+    def __init__(self, backend: ExecutionBackend, tracer: Tracer, parent) -> None:
+        self._backend = backend
+        self._tracer = tracer
+        self._parent = parent
+
+    def __getattr__(self, name):
+        return getattr(self._backend, name)
+
+    def prepare(self, task: CompactionTask):
+        job = self._backend.prepare(task)
+        if job is None:
+            return None
+        return _TracedJob(job, task, self._tracer, self._parent)
 
 
 def validate_generation_strategy(strategy: str) -> str:

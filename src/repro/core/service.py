@@ -150,6 +150,7 @@ def openhouse_sharded_pipeline(
     worker_decide: bool | None = None,
     max_workers: int | None = None,
     telemetry=None,
+    tracer=None,
     **pipeline_kwargs,
 ):
     """The OpenHouse configuration behind the scale-out control plane.
@@ -173,6 +174,9 @@ def openhouse_sharded_pipeline(
         selection / workers / worker_decide / max_workers: forwarded to
             :class:`~repro.core.sharding.ShardedPipeline`.
         telemetry: fleet-level metric sink (defaults to the catalog's).
+        tracer: optional :class:`~repro.obs.tracing.Tracer` installed on
+            the sharded pipeline (and thus every shard), so cycles emit
+            stitched ``cycle → shard → observe/decide/act`` spans.
         **pipeline_kwargs: forwarded to :func:`openhouse_pipeline`
             (``k``, ``budget_gbhr``, ``generation``, filters, …).
 
@@ -214,6 +218,7 @@ def openhouse_sharded_pipeline(
         worker_decide=worker_decide,
         max_workers=max_workers,
         telemetry=telemetry if telemetry is not None else catalog.telemetry,
+        tracer=tracer,
     )
 
 

@@ -51,8 +51,9 @@ from repro.core.workers import (
     run_shard_work,
 )
 from repro.errors import ValidationError, WorkerError
+from repro.obs.tracing import Tracer
 from repro.simulation.simulator import Simulator
-from repro.simulation.telemetry import Telemetry
+from repro.simulation.telemetry import RATIO_BOUNDS, Telemetry
 
 #: Valid decide-phase placements.
 SELECTION_MODES = ("global", "local")
@@ -205,6 +206,13 @@ class ShardedPipeline:
             under ``autocomp.shard<i>`` scopes of this sink; auto mode
             also records ``autocomp.fleet.worker_mode`` and per-mode
             observe walls there).
+        tracer: optional :class:`repro.obs.tracing.Tracer`.  Each cycle
+            produces one ``cycle → observe → shard → …`` span tree; in
+            process mode the shard span's context ships inside the
+            :class:`~repro.core.workers.ShardWorkSpec` and the worker's
+            observe/decide spans are stitched back into this tracer.
+            Assigning ``pipeline.tracer`` after construction also works
+            (it propagates to every shard pipeline).
 
     The pool is part of the pipeline's lifecycle: spawned lazily on the
     first concurrent cycle, reused by every later cycle, and shut down by
@@ -225,6 +233,7 @@ class ShardedPipeline:
         auto_hysteresis: float = 0.2,
         auto_probe_interval: int = 16,
         telemetry: Telemetry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not shards:
             raise ValidationError("ShardedPipeline needs at least one shard")
@@ -317,6 +326,21 @@ class ShardedPipeline:
         #: cycle would otherwise grow it (and pin keys) without bound.
         self._shard_memo_limit = 262_144
         self._cycle_index = 0
+        self._tracer: Tracer | None = None
+        self.tracer = tracer
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The fleet tracer; assigning one also hands it to every shard
+        pipeline, so per-shard act phases emit rewrite spans into the same
+        trace."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value: Tracer | None) -> None:
+        self._tracer = value
+        for shard in self.shards:
+            shard.tracer = value
 
     @property
     def n_shards(self) -> int:
@@ -409,6 +433,28 @@ class ShardedPipeline:
         wall_start = time.perf_counter()
         fleet_report = CycleReport(cycle_index=self._cycle_index, started_at=now)
         self._cycle_index += 1
+        tracer = self._tracer
+        cycle_span = (
+            tracer.begin(
+                "cycle", cycle_index=fleet_report.cycle_index, shards=len(self.shards)
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            return self._run_cycle_phases(now, simulator, wall_start, fleet_report)
+        finally:
+            if cycle_span is not None:
+                tracer.end(cycle_span, selected=len(fleet_report.selected))
+
+    def _run_cycle_phases(
+        self,
+        now: float,
+        simulator: Simulator | None,
+        wall_start: float,
+        fleet_report: CycleReport,
+    ) -> ShardedCycleReport:
+        tracer = self._tracer
 
         # Generate: with order-insensitive merging each shard lists its own
         # consistent-hash slice directly (vectorised where the connector
@@ -435,13 +481,67 @@ class ShardedPipeline:
         # in whichever worker mode this cycle runs.
         mode = self._cycle_worker_mode()
         observe_start = time.perf_counter()
-        per_shard, observe_wall, decisions = self._observe_all(
-            shard_keys, shard_reports, now, mode
+        observe_span = (
+            tracer.begin("observe", mode=mode) if tracer is not None else None
         )
+        try:
+            per_shard, observe_wall, decisions = self._observe_all(
+                shard_keys, shard_reports, now, mode
+            )
+        finally:
+            if observe_span is not None:
+                tracer.end(observe_span)
         self._note_observe_wall(mode, time.perf_counter() - observe_start, now)
 
+        decide_start = time.perf_counter()
+        decide_span = tracer.begin("decide") if tracer is not None else None
+        try:
+            if self.selection == "global":
+                selected = self._decide_global(
+                    keys, per_shard, fleet_report, shard_reports
+                )
+            else:
+                selected = self._decide_local(
+                    per_shard, fleet_report, shard_reports, decisions
+                )
+        finally:
+            if decide_span is not None:
+                tracer.end(decide_span)
+        self.telemetry.observe(
+            "autocomp.hist.decide_wall_s", time.perf_counter() - decide_start
+        )
+
+        act_start = time.perf_counter()
+        act_span = tracer.begin("act") if tracer is not None else None
+        try:
+            self._act_all(selected, fleet_report, shard_reports, simulator)
+        finally:
+            if act_span is not None:
+                tracer.end(act_span)
+        self.telemetry.observe(
+            "autocomp.hist.act_wall_s", time.perf_counter() - act_start
+        )
+
+        for shard, report in zip(self.shards, shard_reports):
+            shard.finish_cycle(report, now)
+        sharded = ShardedCycleReport(
+            report=fleet_report,
+            shard_reports=shard_reports,
+            shard_observe_wall_s=observe_wall,
+            cycle_wall_s=time.perf_counter() - wall_start,
+        )
+        self._record_cycle(sharded, now)
+        return sharded
+
+    def _act_all(
+        self,
+        selected,
+        fleet_report: CycleReport,
+        shard_reports: list[CycleReport],
+        simulator: Simulator | None,
+    ) -> None:
+        """Act phase: one deterministic global pass, or one pass per shard."""
         if self.selection == "global":
-            selected = self._decide_global(keys, per_shard, fleet_report, shard_reports)
 
             def invalidate_owner(result) -> None:
                 # The act pass runs through shard 0, whose pipeline evicts
@@ -458,7 +558,6 @@ class ShardedPipeline:
                 selected, fleet_report, simulator=simulator, on_result=invalidate_owner
             )
         else:
-            selected = self._decide_local(per_shard, fleet_report, shard_reports, decisions)
             for shard, report, chosen in zip(self.shards, shard_reports, selected):
                 shard.act(
                     chosen,
@@ -466,17 +565,6 @@ class ShardedPipeline:
                     simulator=simulator,
                     on_result=fleet_report.results.append,
                 )
-
-        for shard, report in zip(self.shards, shard_reports):
-            shard.finish_cycle(report, now)
-        sharded = ShardedCycleReport(
-            report=fleet_report,
-            shard_reports=shard_reports,
-            shard_observe_wall_s=observe_wall,
-            cycle_wall_s=time.perf_counter() - wall_start,
-        )
-        self._record_cycle(sharded, now)
-        return sharded
 
     # --- phases ----------------------------------------------------------------
 
@@ -526,6 +614,7 @@ class ShardedPipeline:
         self.telemetry.record(
             "autocomp.fleet.worker_mode", now, 1.0 if mode == "processes" else 0.0
         )
+        self.telemetry.observe("autocomp.hist.observe_wall_s", wall_s)
 
     def _observe_all(
         self,
@@ -538,11 +627,28 @@ class ShardedPipeline:
         if mode == "processes" and self.max_workers > 1 and len(self.shards) > 1:
             return self._observe_processes(shard_keys, shard_reports, now)
         observe_wall = [0.0] * len(self.shards)
+        tracer = self._tracer
+        # Pool threads have empty span stacks, so the per-shard spans
+        # parent explicitly under the coordinator's observe span.
+        parent = tracer.current() if tracer is not None else None
 
         def observe(i: int) -> list[Candidate]:
+            span = (
+                tracer.begin(
+                    "shard", parent=parent, detached=True, shard=i, mode="threads"
+                )
+                if tracer is not None
+                else None
+            )
             start = time.perf_counter()
-            candidates = self.shards[i].observe_orient(shard_keys[i], now, shard_reports[i])
-            observe_wall[i] = time.perf_counter() - start
+            try:
+                candidates = self.shards[i].observe_orient(
+                    shard_keys[i], now, shard_reports[i]
+                )
+            finally:
+                observe_wall[i] = time.perf_counter() - start
+                if span is not None:
+                    tracer.end(span, keys=len(shard_keys[i]))
             return candidates
 
         indices = range(len(self.shards))
@@ -598,9 +704,22 @@ class ShardedPipeline:
         futures = {}
         per_shard: list[list[Candidate]] = []
         pool = self._pool("processes")
+        tracer = self._tracer
+        # One coordinator-side "shard" span per shard covers export →
+        # worker round trip → merge; its context ships inside the spec so
+        # the worker's observe/decide spans stitch under it.
+        shard_spans: list = [None] * len(self.shards)
         shard_index = 0
         try:
             for shard_index, shard in enumerate(self.shards):
+                if tracer is not None:
+                    shard_spans[shard_index] = tracer.begin(
+                        "shard",
+                        detached=True,
+                        shard=shard_index,
+                        mode="processes",
+                        keys=len(shard_keys[shard_index]),
+                    )
                 start = time.perf_counter()
                 placed, spec = shard.connector.export_shard_work(
                     shard_keys[shard_index], shard_index, shard.traits
@@ -617,6 +736,10 @@ class ShardedPipeline:
                             hits=tuple(placed),
                         ),
                     )
+                if spec is not None and shard_spans[shard_index] is not None:
+                    spec = dataclasses.replace(
+                        spec, trace=shard_spans[shard_index].context
+                    )
                 observe_wall[shard_index] = time.perf_counter() - start
                 placed_specs.append((placed, spec))
                 if spec is not None:
@@ -630,6 +753,7 @@ class ShardedPipeline:
                     candidates = [c for c in placed if c is not None]
                 elif spec.decide is not None:
                     result = futures.pop(shard_index).result()
+                    self._adopt_worker_spans(result)
                     observe_wall[shard_index] += result.observe_wall_s
                     returned += len(result.decision.selected)
                     start = time.perf_counter()
@@ -637,9 +761,11 @@ class ShardedPipeline:
                     observe_wall[shard_index] += time.perf_counter() - start
                     decisions[shard_index] = result.decision
                     per_shard.append([])  # the decision replaces the survivors
+                    self._end_shard_span(shard_spans, shard_index)
                     continue
                 else:
                     result = futures.pop(shard_index).result()
+                    self._adopt_worker_spans(result)
                     observe_wall[shard_index] += result.observe_wall_s
                     returned += len(result.candidates)
                     start = time.perf_counter()
@@ -649,6 +775,7 @@ class ShardedPipeline:
                     candidates, now, shard_reports[shard_index], only_missing=True
                 )
                 per_shard.append(candidates)
+                self._end_shard_span(shard_spans, shard_index)
         except Exception as exc:
             # A failed export, worker task or merge must not strand the
             # sibling shards' futures: cancel what has not started, drain
@@ -657,6 +784,8 @@ class ShardedPipeline:
             for future in futures.values():
                 future.cancel()
             wait_futures(list(futures.values()))
+            for i in range(len(shard_spans)):
+                self._end_shard_span(shard_spans, i, error=str(exc))
             raise WorkerError(
                 f"shard {shard_index} failed mid-cycle ({exc}); cancelled or "
                 f"drained {len(outstanding)} outstanding shard task(s)"
@@ -665,6 +794,18 @@ class ShardedPipeline:
         # O(selected) instead of O(shard candidates).
         self.telemetry.record("autocomp.fleet.returned_candidates", now, returned)
         return per_shard, observe_wall, decisions
+
+    def _adopt_worker_spans(self, result) -> None:
+        """Stitch a worker result's spans into the coordinator trace."""
+        if self._tracer is not None and getattr(result, "spans", None):
+            self._tracer.adopt(result.spans)
+
+    def _end_shard_span(self, shard_spans: list, index: int, **attrs) -> None:
+        """Close (at most once) the coordinator-side span for shard ``index``."""
+        span = shard_spans[index]
+        if span is not None:
+            shard_spans[index] = None
+            self._tracer.end(span, **attrs)
 
     def _decide_global(
         self,
@@ -752,6 +893,7 @@ class ShardedPipeline:
         self.telemetry.record("autocomp.fleet.candidates", now, report.candidates_generated)
         self.telemetry.record("autocomp.fleet.selected", now, len(report.selected))
         self.telemetry.record("autocomp.fleet.cycle_wall_s", now, sharded.cycle_wall_s)
+        self.telemetry.observe("autocomp.hist.cycle_wall_s", sharded.cycle_wall_s)
         self.telemetry.increment("autocomp.fleet.cycles")
         for scoped, shard_report, wall in zip(
             self._shard_telemetry, sharded.shard_reports, sharded.shard_observe_wall_s
@@ -760,3 +902,28 @@ class ShardedPipeline:
             scoped.record("after_trait_filters", now, shard_report.after_trait_filters)
             scoped.record("selected", now, len(shard_report.selected))
             scoped.record("observe_wall_s", now, wall)
+        self._record_cache_hit_ratio(now)
+
+    def _record_cache_hit_ratio(self, now: float) -> None:
+        """Surface the shard stats caches' aggregate hit ratio per cycle."""
+        hits = misses = 0.0
+        seen: set[int] = set()
+        for shard in self.shards:
+            counters = shard.connector.cache_counters()
+            if counters is None:
+                continue
+            cache_id = counters.get("id")
+            if cache_id is not None:
+                if cache_id in seen:  # shards may share one cache object
+                    continue
+                seen.add(cache_id)
+            hits += counters.get("hits", 0)
+            misses += counters.get("misses", 0)
+        total = hits + misses
+        if total <= 0:
+            return
+        ratio = hits / total
+        self.telemetry.record("autocomp.fleet.cache_hit_ratio", now, ratio)
+        self.telemetry.observe(
+            "autocomp.hist.cache_hit_ratio", ratio, bounds=RATIO_BOUNDS
+        )

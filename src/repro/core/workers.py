@@ -74,7 +74,10 @@ WORKER_MODES = ("threads", "processes")
 #: an upgrade must fail loudly, not corrupt caches).  Version 2 added the
 #: catalog-snapshot observation payload and the worker-side decide
 #: contract (:class:`ShardDecideSpec` / :class:`ShardDecision`).
-WORK_SPEC_VERSION = 2
+#: Version 3 added span propagation: ``ShardWorkSpec.trace`` carries the
+#: coordinator's span context in, ``ShardCycleResult.spans`` carries the
+#: worker-side observe/decide spans back.
+WORK_SPEC_VERSION = 3
 
 #: Column names a :class:`ShardWorkSpec` snapshot must carry — exactly the
 #: per-candidate inputs of
@@ -210,6 +213,11 @@ class ShardWorkSpec:
             after observe/orient and returns a :class:`ShardDecision`
             instead of the observed candidates (see the module docstring
             for the payload trade-off).
+        trace: when set, the coordinator's span context for this shard
+            (:class:`repro.obs.tracing.SpanContext`); the worker records
+            its observe/decide spans under it and ships them back in
+            :attr:`ShardCycleResult.spans` so per-process timings stitch
+            into one coordinator trace.
     """
 
     shard_index: int
@@ -223,6 +231,7 @@ class ShardWorkSpec:
     observe_cost: int = 0
     snapshot: object | None = None
     decide: ShardDecideSpec | None = None
+    trace: object | None = None
     version: int = WORK_SPEC_VERSION
 
     def __post_init__(self) -> None:
@@ -274,6 +283,9 @@ class ShardCycleResult:
         decision: the worker's decide-phase outcome (only when the spec
             carried a :class:`ShardDecideSpec`).
         observe_wall_s: wall-clock seconds the worker spent.
+        spans: worker-side :class:`repro.obs.tracing.Span` records (only
+            when the spec carried a ``trace`` context); the coordinator
+            adopts them into its tracer.
     """
 
     shard_index: int
@@ -281,6 +293,7 @@ class ShardCycleResult:
     cache_delta: CacheDelta = field(default_factory=CacheDelta)
     decision: ShardDecision | None = None
     observe_wall_s: float = 0.0
+    spans: list = field(default_factory=list)
     version: int = WORK_SPEC_VERSION
 
 
@@ -390,10 +403,24 @@ def run_shard_work(spec: ShardWorkSpec) -> ShardCycleResult:
             f"shard work spec version {spec.version} != {WORK_SPEC_VERSION} "
             "(coordinator and workers must run the same build)"
         )
+    recorder = None
+    if spec.trace is not None:
+        from repro.obs.tracing import SpanRecorder
+
+        recorder = SpanRecorder(spec.trace)
     start = time.perf_counter()
-    candidates = _observe_spec(spec)
+    if recorder is not None:
+        with recorder.span(
+            "observe", shard=spec.shard_index, keys=len(spec.keys)
+        ):
+            candidates = _observe_spec(spec)
+            if spec.decide is None:
+                spec.traits.annotate_all(candidates)
+    else:
+        candidates = _observe_spec(spec)
+        if spec.decide is None:
+            spec.traits.annotate_all(candidates)
     if spec.decide is None:
-        spec.traits.annotate_all(candidates)
         return ShardCycleResult(
             shard_index=spec.shard_index,
             candidates=candidates,
@@ -401,14 +428,20 @@ def run_shard_work(spec: ShardWorkSpec) -> ShardCycleResult:
                 slots=spec.slots, tokens=spec.tokens, stored_at=spec.now
             ),
             observe_wall_s=time.perf_counter() - start,
+            spans=recorder.spans if recorder is not None else [],
         )
-    decision, delta_candidates, delta = _decide_in_worker(spec, candidates)
+    if recorder is not None:
+        with recorder.span("decide", shard=spec.shard_index):
+            decision, delta_candidates, delta = _decide_in_worker(spec, candidates)
+    else:
+        decision, delta_candidates, delta = _decide_in_worker(spec, candidates)
     return ShardCycleResult(
         shard_index=spec.shard_index,
         candidates=delta_candidates,
         cache_delta=delta,
         decision=decision,
         observe_wall_s=time.perf_counter() - start,
+        spans=recorder.spans if recorder is not None else [],
     )
 
 

@@ -1,0 +1,304 @@
+"""Metrics exporter: Prometheus text exposition + JSONL snapshots.
+
+The :class:`MetricsExporter` is the daemon's bridge from the in-process
+:class:`~repro.simulation.telemetry.Telemetry` sink to on-disk files a
+scrape job, dashboard or human can read while the daemon keeps running:
+
+- ``metrics.prom`` — the whole sink in Prometheus text exposition format
+  (counters → ``counter``, series → last-value ``gauge``, histograms →
+  ``_bucket``/``_sum``/``_count`` families).
+- ``metrics.jsonl`` — a bounded ring of timestamped snapshots, one JSON
+  object per line (counters, last series values, histogram summaries).
+- ``trace.jsonl`` / ``trace.chrome.json`` — the attached tracer's spans,
+  when a tracer is wired in.
+- ``status.json`` — the daemon's ``status()`` report, when wired in.
+
+Every file is written to a temp path and atomically renamed into place,
+so a reader never sees a half-written exposition.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.simulation.telemetry import Histogram, Telemetry
+
+__all__ = [
+    "MetricsExporter",
+    "prom_name",
+    "render_prometheus",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: How many JSONL snapshots ``metrics.jsonl`` retains (oldest dropped).
+SNAPSHOT_RING = 4096
+
+
+def prom_name(name: str) -> str:
+    """Map a dotted metric name to a valid Prometheus metric name."""
+    candidate = _NAME_SANITIZE.sub("_", name)
+    if not _NAME_OK.match(candidate):
+        candidate = f"_{candidate}"
+    return candidate
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    formatted = repr(float(value))
+    return formatted[:-2] if formatted.endswith(".0") else formatted
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _help_for(name: str) -> str:
+    from repro.obs import METRICS  # lazy: the registry lives in the package root
+
+    spec = METRICS.get(name)
+    if spec is not None:
+        return spec[1]
+    return f"autocomp metric {name}"
+
+
+def _render_histogram(lines: list[str], base: str, hist: Histogram) -> None:
+    cumulative = 0
+    for bound, count in zip(hist.bounds, hist.counts):
+        cumulative += count
+        lines.append(
+            f'{base}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+        )
+    cumulative += hist.counts[-1]
+    lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(f"{base}_sum {_format_value(hist.total)}")
+    lines.append(f"{base}_count {hist.count}")
+
+
+def render_prometheus(telemetry: Telemetry) -> str:
+    """Render the whole sink as Prometheus text exposition format.
+
+    Counters render as ``counter``, series as a ``gauge`` holding the most
+    recent value, histograms as full ``_bucket``/``_sum``/``_count``
+    families.  Name collisions after sanitisation (two dotted names
+    mapping to one Prometheus name, or a histogram whose family names
+    collide with a counter) are skipped with an explanatory comment rather
+    than emitting an invalid exposition.
+    """
+    snap = telemetry.snapshot()
+    lines: list[str] = []
+    emitted: set[str] = set()
+
+    def claim(*names: str) -> bool:
+        if any(n in emitted for n in names):
+            return False
+        emitted.update(names)
+        return True
+
+    for name in sorted(snap["counters"]):
+        base = prom_name(name)
+        if not claim(base):
+            lines.append(f"# skipped duplicate metric name {base} (from {name})")
+            continue
+        lines.append(f"# HELP {base} {_escape_help(_help_for(name))}")
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base} {_format_value(snap['counters'][name])}")
+
+    for name in sorted(snap["series"]):
+        times, values = snap["series"][name]
+        base = prom_name(name)
+        if not claim(base):
+            lines.append(f"# skipped duplicate metric name {base} (from {name})")
+            continue
+        lines.append(f"# HELP {base} {_escape_help(_help_for(name))}")
+        lines.append(f"# TYPE {base} gauge")
+        last = values[-1] if values else math.nan
+        lines.append(f"{base} {_format_value(last)}")
+
+    for name in sorted(snap["histograms"]):
+        hist = snap["histograms"][name]
+        base = prom_name(name)
+        family = (base, f"{base}_bucket", f"{base}_sum", f"{base}_count")
+        if not claim(*family):
+            lines.append(f"# skipped duplicate metric name {base} (from {name})")
+            continue
+        lines.append(f"# HELP {base} {_escape_help(_help_for(name))}")
+        lines.append(f"# TYPE {base} histogram")
+        _render_histogram(lines, base, hist)
+
+    return "\n".join(lines) + "\n"
+
+
+def _atomic_write(path: str, text: str) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        stream.write(text)
+    os.replace(tmp, path)
+
+
+class MetricsExporter:
+    """Periodically snapshot a telemetry sink (and tracer) to files.
+
+    Runs a daemon thread that calls :meth:`export_once` every
+    ``interval_s`` seconds; :meth:`stop` performs one final export so the
+    on-disk state always reflects the shutdown moment.  Also usable
+    one-shot (construct, call :meth:`export_once`) without starting the
+    thread.
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        out_dir: str,
+        tracer=None,
+        interval_s: float = 10.0,
+        status_fn: Callable[[], dict] | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"export interval must be positive, got {interval_s}")
+        self.telemetry = telemetry
+        self.out_dir = out_dir
+        self.tracer = tracer
+        self.interval_s = interval_s
+        self.status_fn = status_fn
+        self.exports = 0
+        self.export_errors = 0
+        self._clock = clock
+        self._snapshots: deque[dict] = deque(maxlen=SNAPSHOT_RING)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # --- paths ----------------------------------------------------------------
+
+    @property
+    def prom_path(self) -> str:
+        return os.path.join(self.out_dir, "metrics.prom")
+
+    @property
+    def jsonl_path(self) -> str:
+        return os.path.join(self.out_dir, "metrics.jsonl")
+
+    @property
+    def trace_jsonl_path(self) -> str:
+        return os.path.join(self.out_dir, "trace.jsonl")
+
+    @property
+    def trace_chrome_path(self) -> str:
+        return os.path.join(self.out_dir, "trace.chrome.json")
+
+    @property
+    def status_path(self) -> str:
+        return os.path.join(self.out_dir, "status.json")
+
+    # --- exporting ------------------------------------------------------------
+
+    def export_once(self) -> dict[str, str]:
+        """Write every export file now; returns ``{kind: path}``."""
+        os.makedirs(self.out_dir, exist_ok=True)
+        written: dict[str, str] = {}
+
+        _atomic_write(self.prom_path, render_prometheus(self.telemetry))
+        written["prom"] = self.prom_path
+
+        snap = self.telemetry.snapshot()
+        self._snapshots.append(
+            {
+                "ts": self._clock(),
+                "counters": snap["counters"],
+                "series_last": {
+                    name: (values[-1] if values else None)
+                    for name, (_, values) in snap["series"].items()
+                },
+                "histograms": {
+                    name: hist.summary()
+                    for name, hist in snap["histograms"].items()
+                },
+            }
+        )
+        _atomic_write(
+            self.jsonl_path,
+            "".join(
+                json.dumps(_json_safe(entry), sort_keys=True) + "\n"
+                for entry in self._snapshots
+            ),
+        )
+        written["jsonl"] = self.jsonl_path
+
+        if self.tracer is not None:
+            self.tracer.dump_jsonl(self.trace_jsonl_path)
+            self.tracer.dump_chrome(self.trace_chrome_path)
+            written["trace_jsonl"] = self.trace_jsonl_path
+            written["trace_chrome"] = self.trace_chrome_path
+
+        if self.status_fn is not None:
+            status = self.status_fn()
+            _atomic_write(
+                self.status_path,
+                json.dumps(_json_safe(status), indent=2, sort_keys=True) + "\n",
+            )
+            written["status"] = self.status_path
+
+        self.exports += 1
+        return written
+
+    # --- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the periodic export thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="autocomp-metrics-exporter", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the thread and write one final export (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=max(5.0, self.interval_s * 2))
+            self._thread = None
+        try:
+            self.export_once()
+        except OSError:
+            self.export_errors += 1
+
+    def __enter__(self) -> "MetricsExporter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.export_once()
+            except OSError:
+                # Disk hiccups must not kill the export cadence.
+                self.export_errors += 1
+
+
+def _json_safe(value):
+    """Recursively replace non-finite floats (JSON has no NaN/Inf)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value

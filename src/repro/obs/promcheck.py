@@ -1,0 +1,231 @@
+"""Strict Prometheus text-exposition checker.
+
+CI runs this over the exporter's ``metrics.prom`` dump so a malformed
+exposition (bad metric name, non-cumulative histogram buckets, missing
+``+Inf`` bucket, duplicate samples, samples before their ``# TYPE``) fails
+the workflow instead of silently breaking whoever scrapes the daemon.
+
+Checks enforced, beyond basic line syntax:
+
+- metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; label names match
+  ``[a-zA-Z_][a-zA-Z0-9_]*``; label values are double-quoted with valid
+  escapes; sample values parse as floats (``NaN``/``+Inf``/``-Inf`` ok).
+- at most one ``# TYPE`` per metric family, and it must precede the
+  family's first sample; ``# TYPE`` values are the known Prometheus kinds.
+- histogram families expose ``_bucket`` with an ``le`` label, buckets are
+  cumulative (non-decreasing by ascending ``le``), the last bucket is
+  ``le="+Inf"``, and ``_count`` equals the ``+Inf`` bucket; ``_sum`` and
+  ``_count`` are present.
+- no duplicate (name, label-set) sample.
+
+Run as a module::
+
+    python -m repro.obs.promcheck metrics.prom [more.prom ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+__all__ = ["check_exposition", "main"]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$"
+)
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(raw: str) -> float | None:
+    if raw in ("NaN", "+Inf", "Inf"):
+        return math.nan if raw == "NaN" else math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _parse_labels(raw: str, lineno: int, errors: list[str]) -> dict[str, str] | None:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_PAIR.match(raw, pos)
+        if match is None:
+            errors.append(f"line {lineno}: malformed label block {raw!r}")
+            return None
+        name = match.group("name")
+        if name in labels:
+            errors.append(f"line {lineno}: duplicate label {name!r}")
+            return None
+        labels[name] = match.group("value")
+        pos = match.end()
+    return labels
+
+
+def _family_of(name: str) -> str:
+    """The family a sample belongs to (strips histogram/summary suffixes)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_exposition(text: str) -> list[str]:
+    """Validate exposition ``text``; returns a list of error strings."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    seen_samples: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    family_sampled: set[str] = set()
+    # histogram bookkeeping: family -> {"buckets": [(le, value)], "sum": v, "count": v}
+    histograms: dict[str, dict] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    errors.append(f"line {lineno}: malformed TYPE comment")
+                    continue
+                name, kind = parts[2], parts[3].strip()
+                if not _METRIC_NAME.match(name):
+                    errors.append(f"line {lineno}: invalid metric name {name!r} in TYPE")
+                if kind not in _TYPES:
+                    errors.append(f"line {lineno}: unknown TYPE {kind!r} for {name}")
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                if name in family_sampled:
+                    errors.append(f"line {lineno}: TYPE for {name} after its samples")
+                types[name] = kind
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 3 or not _METRIC_NAME.match(parts[2]):
+                    errors.append(f"line {lineno}: malformed HELP comment")
+            # other comments are legal and ignored
+            continue
+
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample line {line!r}")
+            continue
+        name = match.group("name")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            errors.append(
+                f"line {lineno}: invalid sample value {match.group('value')!r}"
+            )
+            continue
+        labels = _parse_labels(match.group("labels") or "", lineno, errors)
+        if labels is None:
+            continue
+        for label in labels:
+            if not _LABEL_NAME.match(label):
+                errors.append(f"line {lineno}: invalid label name {label!r}")
+
+        family = _family_of(name)
+        declared = types.get(family)
+        if declared is None and name in types:
+            family, declared = name, types[name]
+        family_sampled.add(family)
+        family_sampled.add(name)
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {name}{labels!r}")
+        seen_samples.add(key)
+
+        if declared == "histogram":
+            state = histograms.setdefault(
+                family, {"buckets": [], "sum": None, "count": None}
+            )
+            if name == f"{family}_bucket":
+                if "le" not in labels:
+                    errors.append(f"line {lineno}: {name} sample missing le label")
+                    continue
+                bound = _parse_value(labels["le"])
+                if bound is None or math.isnan(bound):
+                    errors.append(
+                        f"line {lineno}: invalid le bound {labels['le']!r}"
+                    )
+                    continue
+                state["buckets"].append((bound, value, lineno))
+            elif name == f"{family}_sum":
+                state["sum"] = value
+            elif name == f"{family}_count":
+                state["count"] = value
+            elif name == family:
+                errors.append(
+                    f"line {lineno}: bare sample {name} in histogram family"
+                )
+
+    for family, state in sorted(histograms.items()):
+        buckets = state["buckets"]
+        if not buckets:
+            errors.append(f"histogram {family}: no _bucket samples")
+            continue
+        bounds = [b for b, _, _ in buckets]
+        if bounds != sorted(bounds):
+            errors.append(f"histogram {family}: le bounds not ascending")
+        if not math.isinf(bounds[-1]):
+            errors.append(f"histogram {family}: missing le=\"+Inf\" bucket")
+        counts = [v for _, v, _ in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            errors.append(f"histogram {family}: bucket counts not cumulative")
+        if state["count"] is None:
+            errors.append(f"histogram {family}: missing _count")
+        elif math.isinf(bounds[-1]) and counts[-1] != state["count"]:
+            errors.append(
+                f"histogram {family}: _count {state['count']} != "
+                f"+Inf bucket {counts[-1]}"
+            )
+        if state["sum"] is None:
+            errors.append(f"histogram {family}: missing _sum")
+
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="strictly validate Prometheus text exposition files"
+    )
+    parser.add_argument("paths", nargs="+", help="exposition files to check")
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                text = stream.read()
+        except OSError as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        errors = check_exposition(text)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            samples = sum(
+                1
+                for line in text.splitlines()
+                if line.strip() and not line.startswith("#")
+            )
+            print(f"{path}: OK ({samples} samples)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

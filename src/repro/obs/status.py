@@ -1,0 +1,156 @@
+"""Read back an observability directory: ``python -m repro.obs.status <dir>``.
+
+The daemon's :class:`~repro.obs.exporter.MetricsExporter` leaves a
+self-describing directory behind (``status.json``, ``metrics.prom``,
+``metrics.jsonl``, ``trace.jsonl``); this module is the operator's view of
+it — a one-screen summary of what the daemon was doing at its last export,
+without attaching to the process.
+
+Exit code 0 when ``status.json`` is present and parseable, 1 otherwise —
+so the CLI doubles as a liveness probe for the export pipeline itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+__all__ = ["load_status_dir", "format_status", "main"]
+
+
+def load_status_dir(path: str) -> dict:
+    """Collect everything readable from an exporter output directory.
+
+    Returns a dict with ``status`` (parsed ``status.json`` or None),
+    ``metrics_prom`` (sample-line count or None), ``snapshots`` (line
+    count of ``metrics.jsonl``), ``last_snapshot`` (parsed last line),
+    ``trace_spans`` (line count of ``trace.jsonl``), and ``errors``.
+    """
+    out: dict = {
+        "dir": path,
+        "status": None,
+        "metrics_prom": None,
+        "snapshots": 0,
+        "last_snapshot": None,
+        "trace_spans": 0,
+        "errors": [],
+    }
+    status_path = os.path.join(path, "status.json")
+    try:
+        with open(status_path, "r", encoding="utf-8") as stream:
+            out["status"] = json.load(stream)
+    except FileNotFoundError:
+        out["errors"].append(f"missing {status_path}")
+    except (OSError, ValueError) as exc:
+        out["errors"].append(f"unreadable {status_path}: {exc}")
+
+    prom_path = os.path.join(path, "metrics.prom")
+    try:
+        with open(prom_path, "r", encoding="utf-8") as stream:
+            out["metrics_prom"] = sum(
+                1
+                for line in stream
+                if line.strip() and not line.startswith("#")
+            )
+    except OSError:
+        pass
+
+    jsonl_path = os.path.join(path, "metrics.jsonl")
+    try:
+        with open(jsonl_path, "r", encoding="utf-8") as stream:
+            last = None
+            for line in stream:
+                if line.strip():
+                    out["snapshots"] += 1
+                    last = line
+            if last is not None:
+                try:
+                    out["last_snapshot"] = json.loads(last)
+                except ValueError:
+                    out["errors"].append(f"corrupt last line in {jsonl_path}")
+    except OSError:
+        pass
+
+    trace_path = os.path.join(path, "trace.jsonl")
+    try:
+        with open(trace_path, "r", encoding="utf-8") as stream:
+            out["trace_spans"] = sum(1 for line in stream if line.strip())
+    except OSError:
+        pass
+
+    return out
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_status(loaded: dict) -> str:
+    """Render :func:`load_status_dir` output as a one-screen report."""
+    lines = [f"observability dir: {loaded['dir']}"]
+    status = loaded.get("status")
+    if status:
+        for key in (
+            "owner",
+            "running",
+            "cycles_run",
+            "cycle_errors",
+            "cycle_in_flight",
+            "overlap_skips",
+            "interval_s",
+        ):
+            if key in status:
+                lines.append(f"  {key}: {_fmt(status[key])}")
+        held = status.get("held_locks")
+        if held is not None:
+            lines.append(f"  held_locks: {', '.join(held) if held else '(none)'}")
+        summaries = status.get("histograms") or {}
+        if summaries:
+            lines.append("  last-export histogram summaries:")
+            for name in sorted(summaries):
+                s = summaries[name]
+                lines.append(
+                    f"    {name}: count={_fmt(s.get('count'))}"
+                    f" p50={_fmt(s.get('p50'))} p95={_fmt(s.get('p95'))}"
+                    f" p99={_fmt(s.get('p99'))} max={_fmt(s.get('max'))}"
+                )
+    else:
+        lines.append("  (no status.json)")
+    lines.append(
+        f"  exports: {loaded['snapshots']} snapshots,"
+        f" {_fmt(loaded['metrics_prom'])} prometheus samples,"
+        f" {loaded['trace_spans']} trace spans"
+    )
+    for error in loaded["errors"]:
+        lines.append(f"  ERROR: {error}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="summarise an AutoComp observability directory"
+    )
+    parser.add_argument("dir", help="exporter output directory")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the raw collected dict as JSON"
+    )
+    args = parser.parse_args(argv)
+    loaded = load_status_dir(args.dir)
+    if args.json:
+        print(json.dumps(loaded, indent=2, sort_keys=True, default=str))
+    else:
+        print(format_status(loaded))
+    return 1 if loaded["status"] is None else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

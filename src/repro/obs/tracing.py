@@ -1,0 +1,330 @@
+"""Structured spans for the AutoComp control plane.
+
+One daemon cycle produces one trace shaped like the control loop itself::
+
+    cycle
+    ├── observe
+    │   ├── shard (coordinator-side, one per shard)
+    │   │   ├── observe   (worker-side, possibly another process)
+    │   │   └── decide    (worker-side, when decide ships with the spec)
+    │   └── …
+    ├── decide             (global/local selection on the coordinator)
+    └── act
+        └── rewrite        (one per scheduled compaction job)
+
+The coordinator owns a :class:`Tracer`.  Spans opened on the coordinator
+thread nest implicitly via a thread-local stack; work that happens on pool
+threads or in worker processes parents explicitly through a
+:class:`SpanContext` — a picklable (trace_id, span_id) pair that rides
+inside ``ShardWorkSpec`` across the process boundary.  Workers record
+their spans with the dependency-free :class:`SpanRecorder`, ship them back
+inside ``ShardCycleResult.spans``, and the coordinator stitches them into
+the live trace with :meth:`Tracer.adopt` — one trace, correct parentage,
+wall-clock times from each side's own ``time.time()``.
+
+Finished traces dump as JSONL (one span per line) and as Chrome
+``trace_event`` JSON, which Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing`` open directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "Tracer",
+    "make_span",
+]
+
+# itertools.count.__next__ is atomic under the GIL, so ids need no lock.
+_id_counter = itertools.count(1)
+# Per-process random salt, re-drawn after fork (a forked child inherits
+# the parent's counter position, so salt alone keeps their ids disjoint).
+_id_salt = {"pid": None, "salt": 0}
+
+
+def _new_id() -> str:
+    """A process-unique 16-hex-char id (per-process salt + counter)."""
+    salt = _id_salt
+    pid = os.getpid()
+    if salt["pid"] != pid:
+        salt["salt"] = int.from_bytes(os.urandom(4), "big") << 32
+        salt["pid"] = pid
+    return f"{salt['salt'] | (next(_id_counter) & 0xFFFFFFFF):016x}"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The picklable coordinates of a span: enough to parent under it.
+
+    This is what crosses the process boundary inside ``ShardWorkSpec`` —
+    the worker never sees the coordinator's :class:`Tracer`, only the
+    (trace_id, span_id) pair its own spans should hang from.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One timed operation; ``start_s``/``end_s`` are epoch seconds."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    start_s: float = 0.0
+    end_s: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    pid: int = 0
+    tid: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+
+    def to_chrome_event(self) -> dict:
+        """A Chrome ``trace_event`` complete event (``ph: "X"``, µs)."""
+        return {
+            "name": self.name,
+            "cat": "autocomp",
+            "ph": "X",
+            "ts": self.start_s * 1e6,
+            "dur": self.duration_s * 1e6,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": {
+                "trace_id": self.trace_id,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                **self.attrs,
+            },
+        }
+
+
+def make_span(
+    name: str,
+    parent: "Span | SpanContext | None",
+    start_s: float,
+    end_s: float,
+    **attrs,
+) -> Span:
+    """Build a finished span in one shot (for per-item hot paths).
+
+    Cheaper than a begin/end pair when the caller already holds both
+    timestamps; the result still needs :meth:`Tracer.adopt` (or a worker's
+    result list) to land in a trace.
+    """
+    ctx = _resolve_parent(parent)
+    return Span(
+        name=name,
+        trace_id=ctx.trace_id if ctx else _new_id(),
+        span_id=_new_id(),
+        parent_id=ctx.span_id if ctx else None,
+        start_s=start_s,
+        end_s=end_s,
+        attrs=attrs,
+        pid=os.getpid(),
+        tid=threading.get_ident() & 0xFFFFFFFF,
+    )
+
+
+def _resolve_parent(parent: "Span | SpanContext | None") -> SpanContext | None:
+    if parent is None:
+        return None
+    if isinstance(parent, Span):
+        return parent.context
+    return parent
+
+
+class Tracer:
+    """Thread-safe span factory and collector for one coordinator process.
+
+    Spans started without an explicit ``parent`` nest under the innermost
+    open span *on the calling thread* (each thread has its own stack, so
+    pool threads never steal the coordinator's cycle span by accident —
+    cross-thread work passes a parent context explicitly).  ``detached=True``
+    skips the stack entirely: the span parents where told but never
+    becomes an implicit parent itself, which is what asynchronous jobs
+    (simulator-driven rewrites) need.
+    """
+
+    def __init__(self, clock=time.time) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+
+    # --- span lifecycle -------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> SpanContext | None:
+        """Context of the innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1].context if stack else None
+
+    def begin(
+        self,
+        name: str,
+        parent: Span | SpanContext | None = None,
+        detached: bool = False,
+        **attrs,
+    ) -> Span:
+        """Open a span; it must later be passed to :meth:`end`."""
+        ctx = _resolve_parent(parent) or self.current()
+        span = Span(
+            name=name,
+            trace_id=ctx.trace_id if ctx else _new_id(),
+            span_id=_new_id(),
+            parent_id=ctx.span_id if ctx else None,
+            start_s=self._clock(),
+            attrs=attrs,  # the **kwargs dict is already fresh per call
+            pid=os.getpid(),
+            tid=threading.get_ident() & 0xFFFFFFFF,
+        )
+        if not detached:
+            self._stack().append(span)
+        return span
+
+    def end(self, span: Span, **attrs) -> Span:
+        """Close ``span``, stamp its end time, and collect it."""
+        span.end_s = self._clock()
+        if attrs:
+            span.attrs.update(attrs)
+        stack = self._stack()
+        # Identity search (dataclass __eq__ would deep-compare attrs);
+        # the common case is ending the innermost span.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is span:
+                del stack[i]
+                break
+        with self._lock:
+            self._finished.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Span | SpanContext | None = None,
+        detached: bool = False,
+        **attrs,
+    ) -> Iterator[Span]:
+        """``with tracer.span("observe"): …`` — begin/end with cleanup."""
+        opened = self.begin(name, parent=parent, detached=detached, **attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def adopt(self, spans: Iterable[Span]) -> None:
+        """Stitch remotely recorded spans (e.g. worker-side) into the trace."""
+        incoming = [s for s in spans if isinstance(s, Span)]
+        if not incoming:
+            return
+        with self._lock:
+            self._finished.extend(incoming)
+
+    # --- reading / dumping ----------------------------------------------------
+
+    def finished(self) -> list[Span]:
+        """All collected spans, oldest first (a copy)."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        """Drop collected spans (open spans on thread stacks are kept)."""
+        with self._lock:
+            self._finished.clear()
+
+    def dump_jsonl(self, path: str) -> str:
+        """Write one span per line as JSON; atomic replace. Returns path."""
+        lines = [json.dumps(span.to_dict(), sort_keys=True) for span in self.finished()]
+        _atomic_write(path, "\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    def dump_chrome(self, path: str) -> str:
+        """Write Chrome ``trace_event`` JSON (Perfetto-openable); atomic."""
+        payload = {
+            "displayTimeUnit": "ms",
+            "traceEvents": [span.to_chrome_event() for span in self.finished()],
+        }
+        _atomic_write(path, json.dumps(payload))
+        return path
+
+
+class SpanRecorder:
+    """Worker-side span recording under a fixed parent context.
+
+    Process workers cannot (and should not) hold the coordinator's
+    :class:`Tracer`; they get a :class:`SpanContext` inside the work spec,
+    record their phase spans with this recorder, and return
+    :attr:`spans` inside the (picklable) cycle result for the coordinator
+    to :meth:`Tracer.adopt`.  Spans recorded sequentially on one worker
+    naturally carry non-overlapping wall-clock intervals.
+    """
+
+    def __init__(self, context: SpanContext, clock=time.time) -> None:
+        self.context = context
+        self.spans: list[Span] = []
+        self._clock = clock
+
+    @contextmanager
+    def span(self, name: str, parent: Span | SpanContext | None = None, **attrs) -> Iterator[Span]:
+        ctx = _resolve_parent(parent) or self.context
+        span = Span(
+            name=name,
+            trace_id=ctx.trace_id,
+            span_id=_new_id(),
+            parent_id=ctx.span_id,
+            start_s=self._clock(),
+            attrs=attrs,  # the **kwargs dict is already fresh per call
+            pid=os.getpid(),
+            tid=threading.get_ident() & 0xFFFFFFFF,
+        )
+        try:
+            yield span
+        finally:
+            span.end_s = self._clock()
+            self.spans.append(span)
+
+
+def _atomic_write(path: str, text: str) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        stream.write(text)
+    os.replace(tmp, path)

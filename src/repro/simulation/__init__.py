@@ -12,18 +12,26 @@ from repro.simulation.events import Event, EventQueue
 from repro.simulation.rng import derive_rng, derive_seed
 from repro.simulation.simulator import Simulator
 from repro.simulation.taps import FLEET_EVENT_KINDS, TapBus
-from repro.simulation.telemetry import MetricSeries, ScopedTelemetry, Telemetry
+from repro.simulation.telemetry import (
+    Histogram,
+    MetricSeries,
+    ScopedTelemetry,
+    Telemetry,
+    exponential_bounds,
+)
 
 __all__ = [
     "Event",
     "EventQueue",
     "FLEET_EVENT_KINDS",
+    "Histogram",
     "MetricSeries",
     "ScopedTelemetry",
     "SimClock",
     "Simulator",
     "TapBus",
     "Telemetry",
+    "exponential_bounds",
     "derive_rng",
     "derive_seed",
 ]

@@ -1,0 +1,240 @@
+"""Tests for structured spans: Tracer, SpanRecorder, dumps and ids."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import threading
+
+from repro.obs.tracing import Span, SpanContext, SpanRecorder, Tracer, make_span
+from repro.obs.tracing import _id_salt, _new_id
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestIds:
+    def test_ids_are_unique_and_well_formed(self):
+        ids = {_new_id() for _ in range(10_000)}
+        assert len(ids) == 10_000
+        for an_id in list(ids)[:10]:
+            assert len(an_id) == 16
+            int(an_id, 16)  # hex
+
+    def test_salt_redrawn_when_pid_changes(self):
+        # A forked child inherits the counter position; the per-pid salt is
+        # what keeps child ids disjoint from the parent's.  Simulate the
+        # fork by invalidating the cached pid.
+        _new_id()
+        old_salt = _id_salt["salt"]
+        _id_salt["pid"] = -1
+        fresh = _new_id()
+        assert _id_salt["pid"] == os.getpid()
+        assert int(fresh, 16) >> 32 == _id_salt["salt"] >> 32
+        # 32 random bits: a collision with the old salt is vanishingly
+        # unlikely, and equality would mean the redraw never happened.
+        assert _id_salt["salt"] != old_salt or old_salt == 0
+
+
+class TestSpan:
+    def test_duration_never_negative(self):
+        span = Span("x", trace_id="t", span_id="s", start_s=10.0, end_s=9.0)
+        assert span.duration_s == 0.0
+
+    def test_context_round_trip(self):
+        span = Span("x", trace_id="t", span_id="s")
+        ctx = span.context
+        assert ctx == SpanContext(trace_id="t", span_id="s")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_to_dict_and_chrome_event(self):
+        span = Span(
+            "observe",
+            trace_id="t",
+            span_id="s",
+            parent_id="p",
+            start_s=1.0,
+            end_s=1.5,
+            attrs={"shard": 3},
+            pid=42,
+            tid=7,
+        )
+        as_dict = span.to_dict()
+        assert as_dict["duration_s"] == 0.5
+        assert as_dict["attrs"] == {"shard": 3}
+        event = span.to_chrome_event()
+        assert event["ph"] == "X"
+        assert event["ts"] == 1.0e6
+        assert event["dur"] == 0.5e6
+        assert event["args"]["shard"] == 3
+        assert event["args"]["parent_id"] == "p"
+
+
+class TestTracer:
+    def test_nesting_via_thread_local_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("cycle") as cycle:
+            with tracer.span("observe") as observe:
+                assert tracer.current().span_id == observe.span_id
+            with tracer.span("act") as act:
+                pass
+        assert tracer.current() is None
+        spans = {s.name: s for s in tracer.finished()}
+        assert spans["observe"].parent_id == cycle.span_id
+        assert spans["act"].parent_id == cycle.span_id
+        assert spans["cycle"].parent_id is None
+        assert len({s.trace_id for s in spans.values()}) == 1
+
+    def test_explicit_parent_beats_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        other = SpanContext(trace_id="T", span_id="S")
+        with tracer.span("cycle"):
+            with tracer.span("child", parent=other) as child:
+                assert child.trace_id == "T"
+                assert child.parent_id == "S"
+
+    def test_detached_span_never_becomes_implicit_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("cycle") as cycle:
+            job = tracer.begin("rewrite", detached=True)
+            assert job.parent_id == cycle.span_id
+            # The open detached span must not capture siblings.
+            with tracer.span("observe") as observe:
+                assert observe.parent_id == cycle.span_id
+            tracer.end(job)
+
+    def test_end_records_attrs_and_duration(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.begin("x", items=3)
+        clock.advance(2.0)
+        tracer.end(span, success=True)
+        [finished] = tracer.finished()
+        assert finished.duration_s == 2.0
+        assert finished.attrs == {"items": 3, "success": True}
+
+    def test_per_thread_stacks_are_independent(self):
+        tracer = Tracer(clock=FakeClock())
+        seen = {}
+
+        def worker():
+            # The coordinator's open span must not leak into this thread.
+            seen["parent"] = tracer.current()
+            with tracer.span("pool-work") as span:
+                seen["span"] = span
+
+        with tracer.span("cycle"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["parent"] is None
+        assert seen["span"].parent_id is None
+
+    def test_adopt_stitches_and_filters_non_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        remote = Span("w", trace_id="T", span_id="W")
+        tracer.adopt([remote, None, "junk"])
+        assert tracer.finished() == [remote]
+
+    def test_clear_keeps_open_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        open_span = tracer.begin("cycle")
+        with tracer.span("observe"):
+            pass
+        tracer.clear()
+        assert tracer.finished() == []
+        tracer.end(open_span)
+        assert [s.name for s in tracer.finished()] == ["cycle"]
+
+    def test_dump_jsonl_and_chrome(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("cycle", shard=1):
+            pass
+        jsonl = tracer.dump_jsonl(str(tmp_path / "trace.jsonl"))
+        with open(jsonl, encoding="utf-8") as stream:
+            lines = [json.loads(line) for line in stream if line.strip()]
+        assert len(lines) == 1
+        assert lines[0]["name"] == "cycle"
+
+        chrome = tracer.dump_chrome(str(tmp_path / "trace.chrome.json"))
+        with open(chrome, encoding="utf-8") as stream:
+            payload = json.load(stream)
+        assert payload["traceEvents"][0]["name"] == "cycle"
+        assert payload["traceEvents"][0]["ph"] == "X"
+
+    def test_dump_empty_trace_writes_empty_file(self, tmp_path):
+        path = Tracer().dump_jsonl(str(tmp_path / "empty.jsonl"))
+        with open(path, encoding="utf-8") as stream:
+            assert stream.read() == ""
+
+
+class TestMakeSpan:
+    def test_one_shot_construction(self):
+        parent = SpanContext(trace_id="T", span_id="P")
+        span = make_span("rewrite", parent, 1.0, 2.0, key="db.t0")
+        assert span.trace_id == "T"
+        assert span.parent_id == "P"
+        assert span.duration_s == 1.0
+        assert span.attrs == {"key": "db.t0"}
+        assert span.pid == os.getpid()
+
+    def test_orphan_starts_its_own_trace(self):
+        span = make_span("x", None, 0.0, 1.0)
+        assert span.parent_id is None
+        assert span.trace_id != ""
+
+    def test_span_parent_accepted(self):
+        parent = make_span("parent", None, 0.0, 2.0)
+        child = make_span("child", parent, 0.5, 1.0)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+
+class TestSpanRecorder:
+    def test_records_under_fixed_context(self):
+        clock = FakeClock()
+        ctx = SpanContext(trace_id="T", span_id="SHARD")
+        recorder = SpanRecorder(ctx, clock=clock)
+        with recorder.span("observe", files=9):
+            clock.advance(1.0)
+        with recorder.span("decide"):
+            clock.advance(0.5)
+        observe, decide = recorder.spans
+        assert observe.trace_id == decide.trace_id == "T"
+        assert observe.parent_id == decide.parent_id == "SHARD"
+        assert observe.attrs == {"files": 9}
+        # Sequential work on one worker: non-overlapping wall clock.
+        assert observe.end_s <= decide.start_s
+
+    def test_explicit_parent_override(self):
+        recorder = SpanRecorder(SpanContext(trace_id="T", span_id="S"))
+        inner_parent = SpanContext(trace_id="T", span_id="INNER")
+        with recorder.span("sub", parent=inner_parent):
+            pass
+        assert recorder.spans[0].parent_id == "INNER"
+
+    def test_spans_pickle_for_the_result_ride_home(self):
+        recorder = SpanRecorder(SpanContext(trace_id="T", span_id="S"))
+        with recorder.span("observe"):
+            pass
+        restored = pickle.loads(pickle.dumps(recorder.spans))
+        assert restored == recorder.spans
+
+    def test_exception_still_closes_span(self):
+        recorder = SpanRecorder(SpanContext(trace_id="T", span_id="S"))
+        try:
+            with recorder.span("observe"):
+                raise RuntimeError("worker blew up")
+        except RuntimeError:
+            pass
+        assert len(recorder.spans) == 1
+        assert recorder.spans[0].end_s >= recorder.spans[0].start_s
