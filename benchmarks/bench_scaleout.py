@@ -26,11 +26,15 @@ overhead.
 
 With ``--connector lst`` the same worker-mode comparison runs over the
 *realistic* catalog path instead of the vectorised fleet model: a
-:class:`~repro.core.connectors.LstConnector` over live simulated tables,
-exporting frozen :class:`~repro.catalog.snapshot.CatalogObservationSlice`
-shard work, with ``selection="local"`` so process cycles exercise
-worker-side decide — and a payload measurement comparing the shipped-back
-bytes/candidates with decide in the worker vs on the coordinator.
+:class:`~repro.core.connectors.LstConnector` over live simulated tables
+with realistic per-table file populations, shipping shard work over the
+negotiated :class:`~repro.core.transport.WorkerTransport` (columnar
+shared-memory statistics arrays by default, ``--transport pickle`` for
+the legacy per-object path), with ``selection="local"`` so process
+cycles exercise worker-side decide.  Two extra tables accompany it: a
+pickle-vs-columnar transport comparison on identical process fleets,
+and a payload measurement comparing the shipped-back bytes/candidates
+with decide in the worker vs on the coordinator.
 
 Run as a script::
 
@@ -57,6 +61,8 @@ import pickle
 import statistics
 import time
 
+from repro.core.traits import Trait
+from repro.core.workers import burn_cpu
 from repro.fleet import (
     AutoCompStrategy,
     FleetConfig,
@@ -72,6 +78,18 @@ TOP_K = 10
 #: that observation dominates the cycle (the regime process workers exist
 #: for), small enough that smoke runs stay CI-sized.
 OBSERVE_COST = 100
+
+#: Default per-candidate CPU units for the LST worker-mode comparison
+#: (``--connector lst``).  The simulated catalog hands observation a
+#: ready-made size list, so the per-candidate statistics-collection cost a
+#: production connector pays (manifest parsing, column-stat decoding —
+#: milliseconds per table) is emulated by :class:`ObserveCostTrait`;
+#: 600 units is ~0.3ms per observed candidate, still conservative.
+LST_OBSERVE_COST = 600
+
+#: Steady-state file sizes for the LST catalog: mostly small files below
+#: the 512 MiB default target plus some already-compacted ones at it.
+LST_SIZE_MIX = (8 * MiB, 24 * MiB, 64 * MiB, 200 * MiB, 512 * MiB)
 
 
 def _banner(title: str, claim: str) -> str:
@@ -254,53 +272,102 @@ def measure_tracing_overhead(
     return statistics.median(pair[True] / pair[False] for pair in pairs)
 
 
+class ObserveCostTrait(Trait):
+    """Deterministic per-candidate CPU burn emulating real observation cost.
+
+    The simulated catalog hands observation a ready-made file-size list,
+    so the statistics-collection work a production connector pays per
+    candidate (manifest parsing, column-stat decoding) is absent.  This
+    trait burns :func:`~repro.core.workers.burn_cpu` rounds keyed on the
+    candidate's file count — bit-identical across the per-object and
+    columnar paths — and stores the checksum as an inert trait value (the
+    policy's objectives only read the two named OpenHouse traits).  Thread
+    workers serialize the burn on the GIL; process workers spread it.
+    """
+
+    name = "observe_cost_checksum"
+
+    def __init__(self, units: int) -> None:
+        self.units = units
+
+    def compute(self, statistics) -> float:
+        return float(burn_cpu(self.units, str(statistics.file_count).encode()))
+
+    def compute_columnar(self, block):
+        return [
+            float(burn_cpu(self.units, str(int(count)).encode()))
+            for count in block.column("file_count")
+        ]
+
+
 def _build_lst_catalog(tables: int, seed: int):
-    """A deterministic catalog: two tenants, mixed partitioned/flat tables."""
+    """A deterministic catalog: two tenants, mixed partitioned/flat tables.
+
+    Tables carry realistic file populations — 80–240 files each, sizes
+    mostly below the 512 MiB compaction target with some already at it —
+    so observation rows, worker transports and statistics all see
+    production-shaped inputs rather than toy three-file tables.
+    """
     from repro.catalog import Catalog
     from repro.lst import Field, MonthTransform, PartitionField, PartitionSpec, Schema
 
     catalog = Catalog()
     schema = Schema.of(Field("id", "long"), Field("event_date", "date"))
     monthly = PartitionSpec.of(PartitionField("event_date", MonthTransform()))
-    catalog.create_database("tenant0", quota_objects=tables * 200)
+    catalog.create_database("tenant0", quota_objects=tables * 2000)
     catalog.create_database("tenant1")
     for i in range(tables):
         db = f"tenant{i % 2}"
-        files = 3 + (i * 7 + seed) % 6
+        files = 80 + (i * 37 + seed) % 160
         if i % 4 == 0:
             table = catalog.create_table(f"{db}.part{i:04d}", schema, spec=monthly)
             partitions = [(0,), (1,)]
         else:
             table = catalog.create_table(f"{db}.flat{i:04d}", schema)
             partitions = [()]
-        _append_files(table, partitions, files)
+        _append_files(table, partitions, files, salt=i)
     return catalog
 
 
-def _append_files(table, partitions, files_per_partition, file_size=8 * MiB):
+def _append_files(table, partitions, files_per_partition, salt=0):
     txn = table.new_append()
     for partition in partitions:
-        for _ in range(files_per_partition):
-            txn.add_file(file_size, partition=partition)
+        for j in range(files_per_partition):
+            size = LST_SIZE_MIX[(j + salt) % len(LST_SIZE_MIX)]
+            txn.add_file(size, partition=partition)
     txn.commit()
 
 
 def _lst_daily_writes(catalog, day: int) -> None:
-    """Dirty a deterministic rotating ~10% of the tables, then advance a day."""
+    """Dirty a deterministic rotating half of the tables, then advance a day.
+
+    Half the fleet ingests daily (streaming tenants), half sits warm in
+    the incremental cache — so cycles exercise both the miss path (fresh
+    observation) and the hit path (cached candidates crossing the worker
+    transport).
+    """
     names = sorted(str(ident) for ident in catalog.list_tables())
-    dirty = max(len(names) // 10, 1)
+    dirty = max(len(names) // 2, 1)
     for offset in range(dirty):
         table = catalog.load_table(names[(day * dirty + offset) % len(names)])
         partition = (0,) if table.spec.is_partitioned else ()
-        _append_files(table, [partition], 2)
+        _append_files(table, [partition], 4, salt=day + offset)
     catalog.clock.advance_by(DAY)
 
 
-def _lst_pipeline(catalog, n_shards, workers, max_workers=None, worker_decide=None):
+def _lst_pipeline(
+    catalog,
+    n_shards,
+    workers,
+    max_workers=None,
+    worker_decide=None,
+    transport=None,
+    observe_cost=0,
+):
     from repro.core import IndexedCandidateCache, openhouse_sharded_pipeline
     from repro.engine import Cluster
 
-    return openhouse_sharded_pipeline(
+    pipeline = openhouse_sharded_pipeline(
         catalog,
         Cluster("maint", executors=2),
         n_shards=n_shards,
@@ -308,47 +375,77 @@ def _lst_pipeline(catalog, n_shards, workers, max_workers=None, worker_decide=No
         selection="local",
         workers=workers,
         worker_decide=worker_decide,
+        transport=transport,
         max_workers=max_workers,
         k=TOP_K,
         min_table_age_s=0.0,
     )
+    if observe_cost:
+        # Shards share one registry; the burn trait rides the same
+        # transport as the built-ins (pickled registry or columnar matrix).
+        pipeline.shards[0].traits.register(ObserveCostTrait(observe_cost))
+    return pipeline
 
 
-def measure_lst_worker_modes(tables: int, n_shards: int, days: int, seed: int) -> dict:
-    """Thread- vs process-mode sharded cycles over the live-catalog connector.
+def _interleaved_lst_cycles(runs: list[tuple], days: int) -> tuple[dict, dict]:
+    """Run ``1 + days`` daily cycles for each configuration, interleaved.
 
-    Unlike the fleet rows, LST observation is real per-table Python work
-    (file listing, policy lookup, statistics from raw sizes), so this is
-    the paper-shaped workload; ``selection="local"`` lets process cycles
-    run worker-side decide (the default), so the comparison covers the
-    full in-worker OODA path.
+    Returns per-configuration cycle latencies (first warm-up cycle
+    discarded) and per-cycle selection tuples.
     """
-    runs = []
-    for mode in ("threads", "processes"):
-        catalog = _build_lst_catalog(tables, seed)
-        pipeline = _lst_pipeline(catalog, n_shards, mode, max_workers=n_shards)
-        runs.append((mode, catalog, pipeline))
-
-    latencies: dict[str, list[float]] = {mode: [] for mode, _, _ in runs}
-    selections: dict[str, list[tuple]] = {mode: [] for mode, _, _ in runs}
+    latencies: dict[str, list[float]] = {name: [] for name, _, _ in runs}
+    selections: dict[str, list[tuple]] = {name: [] for name, _, _ in runs}
     gc.collect()
     gc.disable()
     try:
         for cycle in range(1 + days):  # first cycle warms caches + pools
-            for mode, catalog, pipeline in runs:
+            for name, catalog, pipeline in runs:
                 start = time.perf_counter()
                 sharded = pipeline.run_cycle(now=catalog.clock.now)
                 elapsed = time.perf_counter() - start
-                selections[mode].append(
+                selections[name].append(
                     tuple(str(key) for key in sharded.report.selected)
                 )
                 _lst_daily_writes(catalog, cycle)
                 if cycle > 0:
-                    latencies[mode].append(elapsed)
+                    latencies[name].append(elapsed)
     finally:
         gc.enable()
         for _, _, pipeline in runs:
             pipeline.close()
+    return latencies, selections
+
+
+def measure_lst_worker_modes(
+    tables: int,
+    n_shards: int,
+    days: int,
+    seed: int,
+    observe_cost: int,
+    transport: str | None = None,
+) -> dict:
+    """Thread- vs process-mode sharded cycles over the live-catalog connector.
+
+    Unlike the fleet rows, LST observation is real per-table Python work
+    (file listing, policy lookup, statistics from raw sizes — plus the
+    :class:`ObserveCostTrait` emulation of production statistics
+    collection), so this is the paper-shaped workload; ``selection="local"``
+    lets process cycles run worker-side decide (the default), so the
+    comparison covers the full in-worker OODA path.
+    """
+    runs = []
+    for mode in ("threads", "processes"):
+        catalog = _build_lst_catalog(tables, seed)
+        pipeline = _lst_pipeline(
+            catalog,
+            n_shards,
+            mode,
+            max_workers=n_shards,
+            transport=transport if mode == "processes" else None,
+            observe_cost=observe_cost,
+        )
+        runs.append((mode, catalog, pipeline))
+    latencies, selections = _interleaved_lst_cycles(runs, days)
 
     thread_latency = statistics.median(latencies["threads"])
     process_latency = statistics.median(latencies["processes"])
@@ -360,6 +457,43 @@ def measure_lst_worker_modes(tables: int, n_shards: int, days: int, seed: int) -
         },
         "identical_selections": selections["threads"] == selections["processes"],
         "selected_total": sum(len(day) for day in selections["threads"]),
+    }
+
+
+def measure_lst_transport_modes(
+    tables: int, n_shards: int, days: int, seed: int, observe_cost: int
+) -> dict:
+    """Legacy pickle vs columnar transport, both on process workers.
+
+    Same fleet, same cycles, same worker mode — the only variable is how
+    shard work crosses the process boundary: per-object pickled snapshot
+    slices (``transport="pickle"``) or flat shared-memory statistics
+    arrays with stats-only deltas (``transport="columnar"``, the
+    negotiated default).  Selections must be byte-identical.
+    """
+    runs = []
+    for transport in ("pickle", "columnar"):
+        catalog = _build_lst_catalog(tables, seed)
+        pipeline = _lst_pipeline(
+            catalog,
+            n_shards,
+            "processes",
+            max_workers=n_shards,
+            transport=transport,
+            observe_cost=observe_cost,
+        )
+        runs.append((transport, catalog, pipeline))
+    latencies, selections = _interleaved_lst_cycles(runs, days)
+
+    pickle_latency = statistics.median(latencies["pickle"])
+    columnar_latency = statistics.median(latencies["columnar"])
+    return {
+        "pickle": {"latency_s": pickle_latency, "speedup": 1.0},
+        "columnar": {
+            "latency_s": columnar_latency,
+            "speedup": pickle_latency / columnar_latency,
+        },
+        "identical_selections": selections["pickle"] == selections["columnar"],
     }
 
 
@@ -466,8 +600,16 @@ def main() -> int:
     parser.add_argument(
         "--observe-cost",
         type=int,
-        default=OBSERVE_COST,
-        help="per-candidate CPU units for the worker-mode comparison",
+        default=None,
+        help="per-candidate CPU units for the worker-mode comparison "
+        f"(default: {OBSERVE_COST} fleet, {LST_OBSERVE_COST} lst)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=["pickle", "columnar"],
+        default=None,
+        help="pin the worker transport for the LST worker-mode comparison "
+        "(default: negotiated, i.e. columnar for process workers)",
     )
     parser.add_argument(
         "--connector",
@@ -490,6 +632,9 @@ def main() -> int:
     shard_counts = [2] if args.smoke else [1, 2, 4, 8]
     worker_shards = 2 if args.smoke else 4
     cores = os.cpu_count() or 1
+    observe_cost = (
+        args.observe_cost if args.observe_cost is not None else OBSERVE_COST
+    )
 
     print(
         _banner(
@@ -507,10 +652,10 @@ def main() -> int:
     if args.workers is not None:
         print(
             f"\nworker modes — {worker_shards} shards, observe cost "
-            f"{args.observe_cost} units/candidate (CPU-bound observe):"
+            f"{observe_cost} units/candidate (CPU-bound observe):"
         )
         worker_rows = measure_worker_modes(
-            tables, worker_shards, days, args.seed, args.observe_cost
+            tables, worker_shards, days, args.seed, observe_cost
         )
         _print_rows(worker_rows)
         print(
@@ -519,11 +664,11 @@ def main() -> int:
         )
 
     tracing_overhead = measure_tracing_overhead(
-        tables, worker_shards, days, args.seed, args.observe_cost
+        tables, worker_shards, days, args.seed, observe_cost
     )
     print(
         f"\ntracing overhead — tracer-on vs tracer-off interleaved cycles "
-        f"(observe cost {args.observe_cost}): {tracing_overhead:.3f}x "
+        f"(observe cost {observe_cost}): {tracing_overhead:.3f}x "
         f"(budget: <1.05x)"
     )
 
@@ -594,25 +739,45 @@ def main() -> int:
 
 
 def main_lst(args) -> int:
-    """The ``--connector lst`` flow: live-catalog worker modes + payload."""
-    tables = args.tables or (120 if args.smoke else 400)
+    """The ``--connector lst`` flow: worker modes, transports, payload."""
+    tables = args.tables or (240 if args.smoke else 400)
     days = args.days or (2 if args.smoke else 5)
     n_shards = 2 if args.smoke else 4
     cores = os.cpu_count() or 1
+    observe_cost = (
+        args.observe_cost if args.observe_cost is not None else LST_OBSERVE_COST
+    )
 
     print(
         _banner(
             f"Scale-out control plane — LST catalog connector, {tables} tables",
-            "Realistic catalog path on process workers: snapshot export, "
-            "worker-side decide (selection='local'), O(selected) return "
-            "payload; selections must be identical across worker modes",
+            "Realistic catalog path on process workers: columnar shared-memory "
+            "transport, worker-side decide (selection='local'), O(selected) "
+            "return payload; selections must be identical across worker modes "
+            "and transports",
         )
     )
-    rows = measure_lst_worker_modes(tables, n_shards, days, args.seed)
+    print(
+        f"\nworker modes — {n_shards} shards, observe cost {observe_cost} "
+        f"units/candidate, transport {args.transport or 'negotiated'}:"
+    )
+    rows = measure_lst_worker_modes(
+        tables, n_shards, days, args.seed, observe_cost, args.transport
+    )
     _print_rows(rows)
     print(
         "worker-mode selections: "
         + ("identical" if rows["identical_selections"] else "DIVERGED")
+    )
+
+    print(f"\nworker transports — process workers, {n_shards} shards:")
+    transports = measure_lst_transport_modes(
+        tables, n_shards, days, args.seed, observe_cost
+    )
+    _print_rows(transports)
+    print(
+        "transport selections: "
+        + ("identical" if transports["identical_selections"] else "DIVERGED")
     )
 
     payload = measure_lst_payload(tables, n_shards, args.seed)
@@ -627,13 +792,33 @@ def main_lst(args) -> int:
     failures = []
     if not rows["identical_selections"]:
         failures.append("LST process-mode selections diverged from thread mode")
+    if not transports["identical_selections"]:
+        failures.append("LST columnar-transport selections diverged from pickle")
     if worker["bytes"] >= coordinator["bytes"]:
         failures.append("worker-side decide did not shrink the return payload")
+    if not args.smoke:
+        transport_speedup = transports["columnar"]["speedup"]
+        if transport_speedup < 1.0:
+            failures.append(
+                f"columnar transport {transport_speedup:.2f}x vs pickle — "
+                "below the 1.0x floor"
+            )
+        worker_speedup = rows["processes"]["speedup"]
+        if cores >= 4:
+            if worker_speedup < 1.0:
+                failures.append(
+                    f"LST process-worker speedup {worker_speedup:.2f}x — "
+                    "process mode must not lose to threads"
+                )
+        else:
+            print(f"(worker speedup assertion skipped: only {cores} CPU core(s))")
 
     if args.json:
         payload_metrics = {
             "lst_worker_speedup": rows["processes"]["speedup"],
             "lst_modes_identical": int(rows["identical_selections"]),
+            "lst_transport_speedup": transports["columnar"]["speedup"],
+            "lst_transports_identical": int(transports["identical_selections"]),
             "lst_selected_total": rows["selected_total"],
             "lst_returned_coordinator_decide": coordinator["candidates"],
             "lst_returned_worker_decide": worker["candidates"],
@@ -648,6 +833,8 @@ def main_lst(args) -> int:
                 "shards": n_shards,
                 "smoke": args.smoke,
                 "cores": cores,
+                "observe_cost": observe_cost,
+                "transport": args.transport or "negotiated",
             },
             "metrics": payload_metrics,
         }

@@ -28,6 +28,13 @@ Metrics present in the run but absent from the baseline are informational
 only; metrics promised by the baseline but missing from the run fail the
 gate (a silently dropped metric is itself a regression).
 
+A metric spec may carry ``min_cores``: the check applies only when the
+run's ``config.cores`` is at least that many, and is reported as skipped
+otherwise.  This keeps hardware-dependent floors honest — e.g. the
+process-vs-thread worker speedup needs real cores to parallelise across,
+so its ``min`` floor binds on multi-core CI runners without producing
+false regressions on single-core sandboxes.
+
 Baselines also pin the bench ``config`` keys that make runs comparable
 (tables, days, seed, smoke …).  A run whose config differs on a pinned
 key fails with an explicit mismatch — comparing a full run against a
@@ -110,10 +117,19 @@ def check(current: dict, baseline: dict) -> list[str]:
         for line in mismatched:
             print(f"config {line}  MISMATCH")
         return failures
+    cores = current_config.get("cores", 1)
     for name, spec in sorted(baseline_metrics.items()):
         if name not in current_metrics:
             failures.append(f"{name}: promised by baseline but missing from run")
             print(f"{name:<30} {'<missing>':>14}  {'':<34} REGRESSION")
+            continue
+        min_cores = spec.get("min_cores")
+        if min_cores is not None and cores < min_cores:
+            print(
+                f"{name:<30} {current_metrics[name]:>14.6g}  "
+                f"{'needs >= ' + str(min_cores) + ' cores, run has ' + str(cores):<34} "
+                "skipped"
+            )
             continue
         ok, line = compare(name, current_metrics[name], spec)
         print(line)

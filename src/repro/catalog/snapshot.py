@@ -60,6 +60,69 @@ def build_candidate_statistics(
     )
 
 
+def build_candidate_statistics_batch(
+    columns: dict,
+    sizes: list | None = None,
+    size_offsets: list | None = None,
+) -> list:
+    """Vectorised batch twin of :func:`build_candidate_statistics`.
+
+    The columnar worker transport (:mod:`repro.core.columnar`) hands this
+    per-field scalar lists (already materialised from its int64/float64
+    arrays via ``tolist()``, so every value is an exact Python scalar) and
+    optionally the concatenated file-size list with per-candidate offsets.
+    Statistics come from the trusted
+    :meth:`~repro.core.candidates.CandidateStatistics.build_unchecked`
+    constructor — the aggregates were computed by exact integer array
+    sums, making each row value-identical to a
+    :func:`build_candidate_statistics` call over the same inputs.
+
+    Args:
+        columns: name → per-candidate list for every scalar
+            :class:`~repro.core.candidates.CandidateStatistics` field
+            (``file_count`` … ``quota_utilization``).
+        sizes: all candidates' file sizes concatenated, or None when the
+            source tracks no per-file detail (rows then carry empty
+            ``file_sizes``).
+        size_offsets: ``n + 1`` offsets delimiting candidate ``i``'s sizes
+            as ``sizes[size_offsets[i]:size_offsets[i + 1]]``.
+    """
+    from repro.core.candidates import CandidateStatistics
+
+    build = CandidateStatistics.build_unchecked
+    file_count = columns["file_count"]
+    total_bytes = columns["total_bytes"]
+    small_count = columns["small_file_count"]
+    small_bytes = columns["small_file_bytes"]
+    target = columns["target_file_size"]
+    partitions = columns["partition_count"]
+    deletes = columns["delete_file_count"]
+    created = columns["created_at"]
+    modified = columns["last_modified_at"]
+    quota = columns["quota_utilization"]
+    out = []
+    for i in range(len(file_count)):
+        file_sizes: tuple = ()
+        if sizes is not None:
+            file_sizes = tuple(sizes[size_offsets[i] : size_offsets[i + 1]])
+        out.append(
+            build(
+                file_count=file_count[i],
+                total_bytes=total_bytes[i],
+                small_file_count=small_count[i],
+                small_file_bytes=small_bytes[i],
+                target_file_size=target[i],
+                partition_count=partitions[i],
+                created_at=created[i],
+                last_modified_at=modified[i],
+                quota_utilization=quota[i],
+                file_sizes=file_sizes,
+                delete_file_count=deletes[i],
+            )
+        )
+    return out
+
+
 @dataclass(frozen=True)
 class CatalogObservationSlice:
     """Frozen per-candidate observation inputs for a set of catalog keys.

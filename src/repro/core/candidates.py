@@ -78,6 +78,16 @@ class CandidateKey:
     def __hash__(self) -> int:
         return self._hash  # type: ignore[attr-defined]
 
+    def __reduce__(self):
+        # Pickle only the five identity fields and rebuild through
+        # __init__: the memoised strings/hash roughly double the wire size
+        # of a key, and shard specs/results ship thousands of them per
+        # cycle.  The memos are recomputed by __post_init__ on load.
+        return (
+            CandidateKey,
+            (self.database, self.table, self.scope, self.partition, self.snapshot_id),
+        )
+
     @property
     def qualified_table(self) -> str:
         """``database.table``."""
@@ -176,6 +186,9 @@ class CandidateStatistics:
         created_at: float,
         last_modified_at: float,
         quota_utilization: float,
+        *,
+        file_sizes: tuple[int, ...] = (),
+        delete_file_count: int = 0,
     ) -> "CandidateStatistics":
         """Trusted fast-path constructor for vectorised connectors.
 
@@ -184,8 +197,9 @@ class CandidateStatistics:
         validated arrays — building statistics is the per-candidate floor
         of a fleet-scale observe cycle, and the frozen-dataclass
         constructor costs ~3x this path.  The result is indistinguishable
-        from a normally constructed instance with empty ``file_sizes`` /
-        ``custom``.
+        from a normally constructed instance with empty ``custom``; the
+        keyword-only ``file_sizes`` / ``delete_file_count`` let columnar
+        transports rebuild full-fidelity statistics without re-validation.
         """
         stats = object.__new__(cls)
         object.__setattr__(
@@ -197,9 +211,9 @@ class CandidateStatistics:
                 "small_file_count": small_file_count,
                 "small_file_bytes": small_file_bytes,
                 "target_file_size": target_file_size,
-                "file_sizes": (),
+                "file_sizes": file_sizes,
                 "partition_count": partition_count,
-                "delete_file_count": 0,
+                "delete_file_count": delete_file_count,
                 "created_at": created_at,
                 "last_modified_at": last_modified_at,
                 "quota_utilization": quota_utilization,

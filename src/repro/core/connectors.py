@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import abc
 import threading
+import warnings
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.snapshot import CatalogObservationSlice, build_candidate_statistics
@@ -57,6 +58,8 @@ class Connector(abc.ABC):
     #: contract process-mode shard workers require.  Connectors whose
     #: observation reads live, unpicklable state (e.g. a catalog of open
     #: tables) leave this False and stay on the thread-pool fallback.
+    #: Superseded by :meth:`worker_transport_kinds` (kept one release for
+    #: introspection compatibility).
     supports_worker_observe = False
 
     @abc.abstractmethod
@@ -120,11 +123,88 @@ class Connector(abc.ABC):
     # --- process-mode shard-worker contract ---------------------------------
     #
     # The scale-out control plane's process workers cannot touch this
-    # connector's live state; instead the coordinator asks it to (a) resolve
-    # cache hits locally and snapshot the miss inputs into a picklable
-    # spec, then (b) merge the worker's result — candidates plus a cache
-    # delta — back in.  Only connectors declaring
-    # ``supports_worker_observe`` implement the pair.
+    # connector's live state; instead the coordinator drives a
+    # :class:`~repro.core.transport.WorkerTransport` obtained from
+    # :meth:`worker_transport`, which (a) resolves cache hits locally and
+    # snapshots the miss inputs into a picklable spec, then (b) merges the
+    # worker's result — candidates or a trait matrix, plus a cache delta —
+    # back in.  The export/merge/apply method trio below is the *pickle*
+    # encoding of that contract; third-party connectors implementing only
+    # the trio are wrapped into a deprecated
+    # :class:`~repro.core.transport.LegacyPickleTransport`.
+
+    def worker_transport_kinds(self) -> tuple[str, ...]:
+        """Transport kinds this connector speaks, in preference order.
+
+        Empty means no process-worker support (thread-pool fallback).
+        The base implementation detects the legacy method trio and
+        advertises ``("pickle",)`` for it; connectors with native
+        transport support override this alongside
+        :meth:`worker_transport`.
+        """
+        from repro.core.transport import LEGACY_WORKER_METHODS
+
+        overridden = any(
+            getattr(type(self), name, None) is not getattr(Connector, name)
+            for name in LEGACY_WORKER_METHODS
+        )
+        return ("pickle",) if overridden else ()
+
+    def worker_transport(self, kind: str | None = None):
+        """Build the :class:`~repro.core.transport.WorkerTransport` to use.
+
+        Args:
+            kind: requested transport kind, or None for the connector's
+                preferred one.
+
+        Returns:
+            A transport instance, or None when this connector cannot feed
+            process workers at all.
+
+        Raises:
+            ValidationError: when ``kind`` is requested but not spoken.
+
+        The base implementation only serves the deprecation shim: a
+        subclass that overrode the legacy method trio (and nothing else)
+        gets a :class:`~repro.core.transport.LegacyPickleTransport` plus a
+        :class:`DeprecationWarning` pointing at this method.
+        """
+        kinds = self.worker_transport_kinds()
+        if not kinds:
+            return None
+        if kind is not None and kind not in kinds:
+            raise ValidationError(
+                f"{type(self).__name__} does not speak the {kind!r} worker "
+                f"transport (supported: {kinds})"
+            )
+        from repro.core.transport import LegacyPickleTransport
+
+        warnings.warn(
+            f"{type(self).__name__} implements the legacy worker-observe "
+            "method trio (export_shard_work/merge_shard_result/"
+            "apply_shard_delta); override Connector.worker_transport to "
+            "return a WorkerTransport instead — the implicit adapter will "
+            "be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return LegacyPickleTransport(self)
+
+    def store_worker_observations(self, delta, candidates: list[Candidate]) -> None:
+        """Absorb worker observations (rebuilt coordinator-side) into the cache.
+
+        The columnar transport's delta path: ``candidates`` are position-
+        aligned with ``delta`` and already oriented.  Candidate-reusing
+        caches store the candidates themselves, statistics caches their
+        statistics.
+        """
+        cache = self.stats_cache
+        if cache is None:
+            return
+        if self.reuses_candidates:
+            cache.apply_delta(delta, candidates)
+        else:
+            cache.apply_delta(delta, [c.statistics for c in candidates])
 
     def export_shard_work(self, keys: list[CandidateKey], shard_index: int, traits):
         """Split ``keys`` into local hits and a picklable miss spec.
@@ -216,6 +296,21 @@ class LstConnector(Connector):
     #: :class:`~repro.catalog.snapshot.CatalogObservationSlice`, so this
     #: connector can feed process-mode shard workers.
     supports_worker_observe = True
+
+    def worker_transport_kinds(self) -> tuple[str, ...]:
+        return ("columnar", "pickle")
+
+    def worker_transport(self, kind: str | None = None):
+        from repro.core.transport import ColumnarTransport, PickleTransport
+
+        if kind in (None, "columnar"):
+            return ColumnarTransport(self)
+        if kind == "pickle":
+            return PickleTransport(self)
+        raise ValidationError(
+            f"LstConnector does not speak the {kind!r} worker transport "
+            f"(supported: {self.worker_transport_kinds()})"
+        )
 
     def __init__(
         self,
@@ -543,15 +638,57 @@ class LstConnector(Connector):
         )
         return placed, spec
 
-    def apply_shard_delta(self, result) -> None:
-        """Replay a worker result's cache delta into whichever cache kind is wired."""
-        from repro.core.workers import WORK_SPEC_VERSION
+    def export_columnar(
+        self, keys: list[CandidateKey], shard_index: int, traits
+    ) -> tuple[list[Candidate | None], "object | None"]:
+        """Columnar export: the same hit rule, misses packed as flat arrays.
 
-        if result.version != WORK_SPEC_VERSION:
-            raise ValidationError(
-                f"shard result version {result.version} != {WORK_SPEC_VERSION} "
-                "(coordinator and workers must run the same build)"
-            )
+        The hit pass *is* :meth:`_split_hits` and the miss rows come from
+        :meth:`_observation_row` — identical inputs to every other
+        observation path — but instead of per-key tuples the file sizes
+        land in one concatenated int64 array (with offsets) inside a
+        shared-memory block, scalar aggregates precomputed by exact
+        integer cumulative sums.  The coordinator retains zero-copy views
+        of the same block to rebuild the worker's candidates on merge.
+        """
+        from repro.core.columnar import ColumnarMissBlock
+        from repro.core.workers import ShardWorkSpec
+
+        now = self.catalog.clock.now
+        placed, miss_keys, miss_slots, miss_tokens, _ = self._split_hits(keys, now)
+        if not miss_keys:
+            return placed, None
+        rows = [self._observation_row(key) for key in miss_keys]
+        block = ColumnarMissBlock.from_sizes(
+            size_lists=[row[0] for row in rows],
+            targets=[row[1] for row in rows],
+            partition_counts=[row[2] for row in rows],
+            delete_file_counts=[row[3] for row in rows],
+            created_at=[row[4] for row in rows],
+            last_modified_at=[row[5] for row in rows],
+            quota_utilization=[row[6] for row in rows],
+        )
+        spec = ShardWorkSpec(
+            shard_index=shard_index,
+            keys=tuple(miss_keys),
+            columns={},
+            slots=tuple(miss_slots),
+            tokens=tuple(miss_tokens),
+            target_file_size=1,  # unused: the block carries per-key targets
+            now=now,
+            traits=traits,
+            snapshot=block,
+            transport="columnar",
+        )
+        return placed, spec
+
+    def apply_shard_delta(self, result) -> None:
+        """Replay a worker result's cache delta into whichever cache kind is wired.
+
+        Version compatibility is the pool handshake's job
+        (:meth:`~repro.core.workers.WorkerPool.negotiate`), not a
+        per-result check.
+        """
         cache = self.stats_cache
         if cache is None:
             return

@@ -240,6 +240,18 @@ class AutoCompPipeline:
             report.candidates_generated = len(keys)
         return keys
 
+    def worker_transport(self, kind: str | None = None):
+        """This pipeline's :class:`~repro.core.transport.WorkerTransport`.
+
+        Delegates to
+        :meth:`~repro.core.connectors.Connector.worker_transport`.  The
+        sharded control plane builds each shard's transport through this
+        hook (rather than reaching into the connector directly), so
+        pipeline subclasses can interpose on how their shard's work
+        crosses the process boundary.
+        """
+        return self.connector.worker_transport(kind)
+
     def observe_orient(
         self, keys: list[CandidateKey], now: float, report: CycleReport | None = None
     ) -> list[Candidate]:

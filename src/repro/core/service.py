@@ -148,6 +148,7 @@ def openhouse_sharded_pipeline(
     selection: str = "global",
     workers: str = "threads",
     worker_decide: bool | None = None,
+    transport: str | None = None,
     max_workers: int | None = None,
     telemetry=None,
     tracer=None,
@@ -171,8 +172,10 @@ def openhouse_sharded_pipeline(
         stats_cache: optional shared incremental-observation cache
             (:class:`~repro.core.statscache.StatsCache` or
             :class:`~repro.core.statscache.IndexedCandidateCache`).
-        selection / workers / worker_decide / max_workers: forwarded to
-            :class:`~repro.core.sharding.ShardedPipeline`.
+        selection / workers / worker_decide / transport / max_workers:
+            forwarded to :class:`~repro.core.sharding.ShardedPipeline`
+            (``transport=None`` negotiates the columnar shared-memory
+            encoding, which the LST connector speaks).
         telemetry: fleet-level metric sink (defaults to the catalog's).
         tracer: optional :class:`~repro.obs.tracing.Tracer` installed on
             the sharded pipeline (and thus every shard), so cycles emit
@@ -216,6 +219,7 @@ def openhouse_sharded_pipeline(
         selection=selection,
         workers=workers,
         worker_decide=worker_decide,
+        transport=transport,
         max_workers=max_workers,
         telemetry=telemetry if telemetry is not None else catalog.telemetry,
         tracer=tracer,

@@ -44,7 +44,7 @@ from repro.core.pipeline import AutoCompPipeline, CycleReport
 from repro.core.ranking import RankingPolicy
 from repro.core.selection import AllSelector, BudgetSelector, Selector, TopKSelector
 from repro.core.workers import (
-    ShardDecideSpec,
+    TRANSPORT_KINDS,
     ShardDecision,
     WorkerPool,
     process_workers_available,
@@ -171,9 +171,9 @@ class ShardedPipeline:
             default: a persistent thread pool, works with any connector,
             overlaps numpy-released work), ``"processes"`` (a persistent
             process pool for true multi-core CPU-bound observation; every
-            shard connector must declare
-            :attr:`~repro.core.connectors.Connector.supports_worker_observe`,
-            i.e. be able to export picklable shard work) or ``"auto"``
+            shard connector must provide a
+            :class:`~repro.core.transport.WorkerTransport`, i.e. be able
+            to export shippable shard work) or ``"auto"``
             (probe threads then processes once each, then pick per cycle
             whichever mode's observed observe-phase wall time is lower —
             with hysteresis, so a mode must beat the incumbent by
@@ -192,6 +192,18 @@ class ShardedPipeline:
             cache warmth for unselected dirty tables (their observations
             die with the worker).  Reports stay byte-identical either
             way.
+        transport: the worker-transport kind process-mode cycles use to
+            ship shard work (one of
+            :data:`~repro.core.workers.TRANSPORT_KINDS`).  ``None``
+            (default) negotiates the best kind every shard connector
+            advertises: ``"columnar"`` — flat arrays in shared memory out,
+            trait matrices and selection references back — when all
+            shards speak it, else ``"pickle"`` (per-object encoding).
+            The :class:`~repro.core.workers.WorkerPool` additionally
+            verifies, once per pool, that the worker side runs the same
+            spec version and transport before any spec ships.  Thread and
+            inline cycles never ship, so the knob only affects process
+            cycles; reports stay byte-identical across transports.
         max_workers: pool width; defaults to
             ``min(len(shards), cpu_count)``; 1 runs shards inline.
         auto_hysteresis: relative improvement the non-incumbent mode must
@@ -229,6 +241,7 @@ class ShardedPipeline:
         merge_order: str = "generation",
         workers: str = "threads",
         worker_decide: bool | None = None,
+        transport: str | None = None,
         max_workers: int | None = None,
         auto_hysteresis: float = 0.2,
         auto_probe_interval: int = 16,
@@ -269,21 +282,54 @@ class ShardedPipeline:
         self.selector = selector if selector is not None else self.shards[0].selector
         self.generation = generation if generation is not None else self.shards[0].generation
         self.selection = selection
-        worker_observe_capable = all(
-            shard.connector.supports_worker_observe for shard in self.shards
-        )
+        worker_kinds = [
+            tuple(shard.connector.worker_transport_kinds()) for shard in self.shards
+        ]
+        worker_observe_capable = all(worker_kinds)
         if workers == "processes" and not worker_observe_capable:
             unsupported = [
                 type(shard.connector).__name__
-                for shard in self.shards
-                if not shard.connector.supports_worker_observe
+                for shard, kinds in zip(self.shards, worker_kinds)
+                if not kinds
             ]
             raise ValidationError(
                 "workers='processes' needs every shard connector to "
-                "support worker observation (export picklable shard "
-                f"work); these do not: {sorted(set(unsupported))}. "
+                "provide a worker transport (override "
+                "Connector.worker_transport, or keep the legacy "
+                "worker-observe method trio); these do not: "
+                f"{sorted(set(unsupported))}. "
                 "Use the thread-pool fallback (workers='threads')."
             )
+        if transport is not None:
+            if transport not in TRANSPORT_KINDS:
+                raise ValidationError(
+                    f"unknown worker transport {transport!r}; "
+                    f"expected one of {TRANSPORT_KINDS}"
+                )
+            unsupported = [
+                type(shard.connector).__name__
+                for shard, kinds in zip(self.shards, worker_kinds)
+                if kinds and transport not in kinds
+            ]
+            if unsupported and workers != "threads":
+                raise ValidationError(
+                    f"worker transport {transport!r} is not spoken by every "
+                    f"shard connector: {sorted(set(unsupported))} "
+                    "(connectors advertise their kinds via "
+                    "worker_transport_kinds)"
+                )
+            self.transport = transport
+        elif worker_observe_capable and all(
+            "columnar" in kinds for kinds in worker_kinds
+        ):
+            self.transport = "columnar"
+        else:
+            self.transport = "pickle"
+        #: Per-shard transports, created lazily on the first process-mode
+        #: cycle (so thread-only pipelines never trigger the legacy
+        #: connector deprecation shim) and memoised for the pipeline's
+        #: lifetime.
+        self._transports: list = [None] * len(self.shards)
         self.workers = workers
         self.worker_decide = worker_decide
         self.auto_hysteresis = auto_hysteresis
@@ -360,6 +406,10 @@ class ShardedPipeline:
         for pool in self._pools.values():
             pool.close(timeout=timeout)
         self._pools.clear()
+        for transport in self._transports:
+            if transport is not None:
+                transport.close()
+        self._transports = [None] * len(self.shards)
 
     def _pool(self, mode: str) -> WorkerPool:
         """The persistent pool for ``mode`` (created on first use)."""
@@ -367,6 +417,15 @@ class ShardedPipeline:
         if pool is None:
             pool = self._pools[mode] = WorkerPool(mode=mode, max_workers=self.max_workers)
         return pool
+
+    def _transport_for(self, shard_index: int, pool: WorkerPool):
+        """Shard ``shard_index``'s memoised worker transport, bound to ``pool``."""
+        transport = self._transports[shard_index]
+        if transport is None:
+            transport = self.shards[shard_index].worker_transport(self.transport)
+            self._transports[shard_index] = transport
+        transport.bind_pool(pool)
+        return transport
 
     def __enter__(self) -> "ShardedPipeline":
         return self
@@ -674,18 +733,20 @@ class ShardedPipeline:
     ) -> tuple[list[list[Candidate]], list[float], list[ShardDecision | None]]:
         """Observe/orient (and optionally decide) on the process pool.
 
-        Per shard: the *coordinator* resolves cache hits and snapshots the
-        misses into a picklable :class:`~repro.core.workers.ShardWorkSpec`;
-        a *worker process* builds statistics and traits for the misses;
-        the coordinator merges the result — filling the miss holes and
-        replaying the worker's cache delta so invalidation tokens survive
-        the round trip — then runs the (cheap) filter passes locally.
-        When worker-side decide is active (``selection="local"``), the
-        spec additionally carries the shard's policy, split selector,
-        filter chains and resolved hits; the worker then returns only its
-        decision and the selected candidates.  Every value is produced by
-        the same code paths as thread mode, so the modes' cycle reports
-        are byte-identical.
+        Per shard: the *coordinator* resolves cache hits and packs the
+        misses into a shippable :class:`~repro.core.workers.ShardWorkSpec`
+        through the shard's negotiated
+        :class:`~repro.core.transport.WorkerTransport` (per-object pickles
+        or columnar shared-memory arrays); a *worker process* builds
+        statistics and traits for the misses; the coordinator merges the
+        result — filling the miss holes and replaying the worker's cache
+        delta so invalidation tokens survive the round trip — then runs
+        the (cheap) filter passes locally.  When worker-side decide is
+        active (``selection="local"``), the spec additionally carries the
+        shard's policy, split selector, filter chains and resolved hits;
+        the worker then returns only its decision and the selection.
+        Every value is produced by the same code paths as thread mode, so
+        the modes' (and transports') cycle reports are byte-identical.
 
         Shards with no misses skip the pool entirely (their wall time is
         the local hit-resolution cost, effectively the thread-mode number
@@ -695,7 +756,8 @@ class ShardedPipeline:
         A worker failure mid-cycle cancels and drains every outstanding
         shard future before surfacing a :class:`~repro.errors.WorkerError`
         (with the worker's exception chained), so no shard work is left
-        in flight behind a half-begun cycle.
+        in flight behind a half-begun cycle; transport resources (columnar
+        shared-memory segments) are released either way.
         """
         observe_wall = [0.0] * len(self.shards)
         decisions: list[ShardDecision | None] = [None] * len(self.shards)
@@ -704,10 +766,19 @@ class ShardedPipeline:
         futures = {}
         per_shard: list[list[Candidate]] = []
         pool = self._pool("processes")
+        # Contract handshake, verified once per pool (cached): the worker
+        # side must speak the same spec version and transport kind before
+        # any spec ships; raises WorkerError naming both sides otherwise.
+        pool.negotiate(self.transport)
+        transports = [
+            self._transport_for(i, pool) for i in range(len(self.shards))
+        ]
         tracer = self._tracer
         # One coordinator-side "shard" span per shard covers export →
         # worker round trip → merge; its context ships inside the spec so
-        # the worker's observe/decide spans stitch under it.
+        # the worker's observe/decide spans stitch under it, and the
+        # coordinator-side encode/decode walls land in "pack"/"unpack"
+        # child spans plus the pack_wall_s/unpack_wall_s histograms.
         shard_spans: list = [None] * len(self.shards)
         shard_index = 0
         try:
@@ -718,29 +789,42 @@ class ShardedPipeline:
                         detached=True,
                         shard=shard_index,
                         mode="processes",
+                        transport=self.transport,
                         keys=len(shard_keys[shard_index]),
                     )
-                start = time.perf_counter()
-                placed, spec = shard.connector.export_shard_work(
-                    shard_keys[shard_index], shard_index, shard.traits
-                )
-                if spec is not None and decide_active:
-                    assert self._local_selectors is not None
-                    spec = dataclasses.replace(
-                        spec,
-                        decide=ShardDecideSpec(
-                            policy=shard.policy,
-                            selector=self._local_selectors[shard_index],
-                            stats_filters=tuple(shard.stats_filters),
-                            trait_filters=tuple(shard.trait_filters),
-                            hits=tuple(placed),
-                        ),
+                transport = transports[shard_index]
+                pack_span = (
+                    tracer.begin(
+                        "pack", parent=shard_spans[shard_index], detached=True
                     )
+                    if tracer is not None
+                    else None
+                )
+                start = time.perf_counter()
+                try:
+                    placed, spec = transport.export(
+                        shard_keys[shard_index], shard_index, shard.traits
+                    )
+                    if spec is not None and decide_active:
+                        assert self._local_selectors is not None
+                        spec = transport.attach_decide(
+                            spec,
+                            placed,
+                            shard.policy,
+                            self._local_selectors[shard_index],
+                            shard.stats_filters,
+                            shard.trait_filters,
+                        )
+                finally:
+                    pack_wall = time.perf_counter() - start
+                    if pack_span is not None:
+                        tracer.end(pack_span)
+                self.telemetry.observe("autocomp.hist.pack_wall_s", pack_wall)
                 if spec is not None and shard_spans[shard_index] is not None:
                     spec = dataclasses.replace(
                         spec, trace=shard_spans[shard_index].context
                     )
-                observe_wall[shard_index] = time.perf_counter() - start
+                observe_wall[shard_index] = pack_wall
                 placed_specs.append((placed, spec))
                 if spec is not None:
                     # Submit immediately: shard 0's workers compute while
@@ -749,17 +833,21 @@ class ShardedPipeline:
             returned = 0
             for shard_index, shard in enumerate(self.shards):
                 placed, spec = placed_specs[shard_index]
+                transport = transports[shard_index]
                 if spec is None:
                     candidates = [c for c in placed if c is not None]
                 elif spec.decide is not None:
                     result = futures.pop(shard_index).result()
                     self._adopt_worker_spans(result)
                     observe_wall[shard_index] += result.observe_wall_s
-                    returned += len(result.decision.selected)
-                    start = time.perf_counter()
-                    shard.connector.apply_shard_delta(result)
-                    observe_wall[shard_index] += time.perf_counter() - start
-                    decisions[shard_index] = result.decision
+                    unpack_wall, decision = self._timed_unpack(
+                        tracer,
+                        shard_spans[shard_index],
+                        lambda: transport.merge_decision(spec, placed, result),
+                    )
+                    observe_wall[shard_index] += unpack_wall
+                    returned += len(decision.selected)
+                    decisions[shard_index] = decision
                     per_shard.append([])  # the decision replaces the survivors
                     self._end_shard_span(shard_spans, shard_index)
                     continue
@@ -767,10 +855,13 @@ class ShardedPipeline:
                     result = futures.pop(shard_index).result()
                     self._adopt_worker_spans(result)
                     observe_wall[shard_index] += result.observe_wall_s
-                    returned += len(result.candidates)
-                    start = time.perf_counter()
-                    candidates = shard.connector.merge_shard_result(placed, result)
-                    observe_wall[shard_index] += time.perf_counter() - start
+                    returned += len(spec.keys)
+                    unpack_wall, candidates = self._timed_unpack(
+                        tracer,
+                        shard_spans[shard_index],
+                        lambda: transport.merge(spec, placed, result),
+                    )
+                    observe_wall[shard_index] += unpack_wall
                 candidates = shard.orient(
                     candidates, now, shard_reports[shard_index], only_missing=True
                 )
@@ -790,10 +881,34 @@ class ShardedPipeline:
                 f"shard {shard_index} failed mid-cycle ({exc}); cancelled or "
                 f"drained {len(outstanding)} outstanding shard task(s)"
             ) from exc
+        finally:
+            # Release shared transport resources (columnar shm segments)
+            # whether the cycle merged or failed; release is idempotent,
+            # and the error path has already drained the futures that
+            # read them.
+            for (_, spec), transport in zip(placed_specs, transports):
+                transport.release(spec)
         # Return-payload accounting: with worker-side decide this is
         # O(selected) instead of O(shard candidates).
         self.telemetry.record("autocomp.fleet.returned_candidates", now, returned)
         return per_shard, observe_wall, decisions
+
+    def _timed_unpack(self, tracer, shard_span, merge):
+        """Run one transport merge under an "unpack" span + histogram."""
+        span = (
+            tracer.begin("unpack", parent=shard_span, detached=True)
+            if tracer is not None
+            else None
+        )
+        start = time.perf_counter()
+        try:
+            merged = merge()
+        finally:
+            wall = time.perf_counter() - start
+            if span is not None:
+                tracer.end(span)
+        self.telemetry.observe("autocomp.hist.unpack_wall_s", wall)
+        return wall, merged
 
     def _adopt_worker_spans(self, result) -> None:
         """Stitch a worker result's spans into the coordinator trace."""

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.core.candidates import Candidate, CandidateStatistics
 from repro.errors import ValidationError
 
@@ -71,11 +73,57 @@ class Trait(abc.ABC):
         compute = self.compute
         return [float(compute(s)) for s in statistics]
 
+    def compute_columnar(self, block: "ColumnarBlock") -> "np.ndarray | None":
+        """Trait values straight from a columnar statistics block.
+
+        The columnar worker transport ships shard statistics as flat numpy
+        arrays (:mod:`repro.core.columnar`); traits that can evaluate over
+        those arrays without materialising ``CandidateStatistics`` objects
+        return a float64 vector here — **bit-identical** to calling
+        :meth:`compute` per candidate, because byte-identity of cycle
+        reports across worker modes depends on it.  Returning ``None``
+        (the default, and what built-ins do when ``compute`` was
+        overridden) makes the transport fall back to per-object
+        evaluation for the whole registry.
+        """
+        return None
+
 
 def _compute_overridden(trait: Trait, base: type) -> bool:
     """True when ``trait.compute`` differs from ``base.compute`` — via a
     subclass *or* an instance attribute (both must disable batch fast paths)."""
     return "compute" in trait.__dict__ or type(trait).compute is not base.compute
+
+
+class ColumnarBlock:
+    """Structural protocol traits read in :meth:`Trait.compute_columnar`.
+
+    Implemented by :class:`repro.core.columnar.ColumnarMissBlock`; defined
+    here (abstractly) so traits never import the transport layer.
+
+    * ``len(block)`` — number of candidates.
+    * ``column(name)`` — one scalar statistic per candidate as an int64 or
+      float64 array; names follow :class:`CandidateStatistics` fields.
+    * ``flat_sizes()`` — ``(sizes_f64, offsets)`` where ``sizes_f64`` is
+      every candidate's file sizes concatenated (float64) and ``offsets``
+      has ``n + 1`` entries delimiting candidate *i* as
+      ``sizes_f64[offsets[i]:offsets[i + 1]]``; ``None`` when the block
+      carries no per-file detail (e.g. fleet catalogs).
+    * ``repeated_targets()`` — each candidate's float64 target repeated
+      per file, aligned with ``flat_sizes()``; ``None`` likewise.
+    """
+
+    def __len__(self) -> int:  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+    def column(self, name: str) -> np.ndarray:  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+    def flat_sizes(self):  # pragma: no cover - protocol stub
+        raise NotImplementedError
+
+    def repeated_targets(self):  # pragma: no cover - protocol stub
+        raise NotImplementedError
 
 
 class FileCountReductionTrait(Trait):
@@ -97,6 +145,11 @@ class FileCountReductionTrait(Trait):
             return super().compute_batch(statistics)  # honour overridden compute()
         return [float(s.small_file_count) for s in statistics]
 
+    def compute_columnar(self, block: ColumnarBlock) -> np.ndarray | None:
+        if _compute_overridden(self, FileCountReductionTrait):
+            return None
+        return block.column("small_file_count").astype(np.float64)
+
 
 class RelativeFileCountReductionTrait(Trait):
     """ΔF_c as a fraction of the candidate's file count.
@@ -112,6 +165,17 @@ class RelativeFileCountReductionTrait(Trait):
         if statistics.file_count == 0:
             return 0.0
         return statistics.small_file_count / statistics.file_count
+
+    def compute_columnar(self, block: ColumnarBlock) -> np.ndarray | None:
+        if _compute_overridden(self, RelativeFileCountReductionTrait):
+            return None
+        files = block.column("file_count")
+        small = block.column("small_file_count")
+        out = np.zeros(len(block), dtype=np.float64)
+        # File counts stay far below 2**53, so int64 → float64 division
+        # matches Python's correctly-rounded int / int exactly.
+        np.divide(small, files, out=out, where=files > 0)
+        return out
 
 
 class FileEntropyTrait(Trait):
@@ -131,13 +195,40 @@ class FileEntropyTrait(Trait):
     def compute(self, statistics: CandidateStatistics) -> float:
         if statistics.file_count == 0:
             return 0.0
+        sizes = statistics.file_sizes
+        if not sizes:
+            return 0.0
+        # Vectorised and canonical: the columnar worker transport evaluates
+        # the same element-wise terms over each shard's concatenated size
+        # array and reduces contiguous per-candidate slices, which is
+        # bit-identical to this (np.add.reduce pairwise order depends only
+        # on segment length) — keeping cycle reports byte-identical across
+        # transports.
         target = float(statistics.target_file_size)
-        total = 0.0
-        for size in statistics.file_sizes:
-            if size < target:
-                shortfall = (target - size) / target
-                total += shortfall * shortfall
-        return total
+        arr = np.asarray(sizes, dtype=np.float64)
+        shortfall = (target - arr) / target
+        terms = np.where(arr < target, shortfall * shortfall, 0.0)
+        return float(np.add.reduce(terms))
+
+    def compute_columnar(self, block: ColumnarBlock) -> np.ndarray | None:
+        if _compute_overridden(self, FileEntropyTrait):
+            return None
+        flat = block.flat_sizes()
+        if flat is None:
+            # No per-file detail (fleet-style catalogs): compute() sees an
+            # empty file_sizes tuple and yields 0.0 for every candidate.
+            return np.zeros(len(block), dtype=np.float64)
+        sizes, offsets = flat
+        targets = block.repeated_targets()
+        shortfall = (targets - sizes) / targets
+        terms = np.where(sizes < targets, shortfall * shortfall, 0.0)
+        out = np.zeros(len(block), dtype=np.float64)
+        bounds = offsets.tolist()
+        for i in range(len(block)):
+            lo, hi = bounds[i], bounds[i + 1]
+            if hi > lo:
+                out[i] = np.add.reduce(terms[lo:hi])
+        return out
 
 
 class ComputeCostTrait(Trait):
@@ -176,6 +267,15 @@ class ComputeCostTrait(Trait):
         throughput = self.rewrite_bytes_per_hour
         return [memory * (s.small_file_bytes / throughput) for s in statistics]
 
+    def compute_columnar(self, block: ColumnarBlock) -> np.ndarray | None:
+        if _compute_overridden(self, ComputeCostTrait):
+            return None
+        # Same operation order as compute(): bytes / throughput first,
+        # then × memory — float arithmetic is not associative.
+        return self.executor_memory_gb * (
+            block.column("small_file_bytes") / self.rewrite_bytes_per_hour
+        )
+
 
 class SmallFileBytesTrait(Trait):
     """Bytes sitting in small files — a benefit proxy for IO-bound goals."""
@@ -186,6 +286,11 @@ class SmallFileBytesTrait(Trait):
     def compute(self, statistics: CandidateStatistics) -> float:
         return float(statistics.small_file_bytes)
 
+    def compute_columnar(self, block: ColumnarBlock) -> np.ndarray | None:
+        if _compute_overridden(self, SmallFileBytesTrait):
+            return None
+        return block.column("small_file_bytes").astype(np.float64)
+
 
 class DeleteFileCountTrait(Trait):
     """Merge-on-read delete files in force — read-amplification pressure."""
@@ -195,6 +300,11 @@ class DeleteFileCountTrait(Trait):
 
     def compute(self, statistics: CandidateStatistics) -> float:
         return float(statistics.delete_file_count)
+
+    def compute_columnar(self, block: ColumnarBlock) -> np.ndarray | None:
+        if _compute_overridden(self, DeleteFileCountTrait):
+            return None
+        return block.column("delete_file_count").astype(np.float64)
 
 
 class TraitRegistry:
@@ -276,3 +386,29 @@ class TraitRegistry:
             name = trait.name
             for candidate, value in zip(todo, trait.compute_batch(statistics)):
                 candidate.traits[name] = value
+
+    def compute_columnar_matrix(self, block: ColumnarBlock) -> np.ndarray | None:
+        """Every registered trait over a columnar block, as an (n, k) matrix.
+
+        Column *j* holds trait ``names()[j]``.  Returns ``None`` — telling
+        the columnar transport to fall back to per-object annotation —
+        when any trait lacks a columnar path, declines it (overridden
+        ``compute``), or customises ``annotate``; partial fast paths would
+        have to interleave with per-object evaluation anyway, so the
+        fallback is all-or-nothing.
+        """
+        traits = list(self._traits.values())
+        if any(
+            "annotate" in trait.__dict__ or type(trait).annotate is not Trait.annotate
+            for trait in traits
+        ):
+            return None
+        columns = []
+        for trait in traits:
+            column = trait.compute_columnar(block)
+            if column is None:
+                return None
+            columns.append(np.asarray(column, dtype=np.float64))
+        if not columns:
+            return np.zeros((len(block), 0), dtype=np.float64)
+        return np.column_stack(columns)

@@ -62,7 +62,7 @@ from repro.core.filters import CandidateFilter, apply_filters
 from repro.core.ranking import RankingPolicy
 from repro.core.selection import Selector
 from repro.core.traits import TraitRegistry
-from repro.errors import ValidationError
+from repro.errors import ValidationError, WorkerError
 
 #: Supported shard-worker execution modes.  ``threads`` is the default —
 #: it needs no picklable connector snapshot and works on every platform;
@@ -77,7 +77,18 @@ WORKER_MODES = ("threads", "processes")
 #: Version 3 added span propagation: ``ShardWorkSpec.trace`` carries the
 #: coordinator's span context in, ``ShardCycleResult.spans`` carries the
 #: worker-side observe/decide spans back.
-WORK_SPEC_VERSION = 3
+#: Version 4 added transport negotiation: specs/results carry a
+#: ``transport`` kind, the columnar payloads
+#: (:mod:`repro.core.columnar`) replace per-object pickling, worker-side
+#: decide ships stats-only deltas for *all* misses (full cache warmth),
+#: and version checks moved into the :meth:`WorkerPool.negotiate`
+#: handshake.
+WORK_SPEC_VERSION = 4
+
+#: Worker transport kinds this build speaks, in preference order.
+#: ``columnar`` ships shard payloads as flat arrays in shared memory
+#: (:mod:`repro.core.columnar`); ``pickle`` ships per-candidate objects.
+TRANSPORT_KINDS = ("columnar", "pickle")
 
 #: Column names a :class:`ShardWorkSpec` snapshot must carry — exactly the
 #: per-candidate inputs of
@@ -93,6 +104,26 @@ SPEC_COLUMNS = (
     "last_modified_at",
     "quota_utilization",
 )
+
+
+@dataclass(frozen=True)
+class TransportContract:
+    """One side's worker contract: spec/result version + spoken transports.
+
+    The coordinator's :meth:`WorkerPool.negotiate` compares its own
+    contract against one fetched from a live worker before the first spec
+    ships — the single handshake that replaced per-object ``version:``
+    field checks (mixed-version pools after an upgrade must fail loudly,
+    with both sides named, not corrupt caches one result at a time).
+    """
+
+    version: int
+    transports: tuple[str, ...]
+
+
+def describe_contract() -> TransportContract:
+    """This build's worker contract (module-level: pools must pickle it)."""
+    return TransportContract(version=WORK_SPEC_VERSION, transports=TRANSPORT_KINDS)
 
 
 def process_workers_available() -> bool:
@@ -161,6 +192,12 @@ class ShardDecideSpec:
             with ``None`` holes at the spec's miss positions — the worker
             fills the holes with its own observations, so rank/select see
             the exact candidate set the coordinator would have.
+        hits_payload: columnar alternative to ``hits``
+            (:class:`repro.core.columnar.ColumnarHitPayload`): the same
+            generation-order list shipped as scalar statistic arrays plus
+            the already-computed trait matrix, so hit ``Candidate``
+            objects never cross the boundary.  Mutually exclusive with a
+            non-empty ``hits``.
     """
 
     policy: RankingPolicy
@@ -168,6 +205,7 @@ class ShardDecideSpec:
     stats_filters: tuple[CandidateFilter, ...] = ()
     trait_filters: tuple[CandidateFilter, ...] = ()
     hits: tuple = ()
+    hits_payload: object | None = None
 
 
 @dataclass
@@ -218,6 +256,10 @@ class ShardWorkSpec:
             its observe/decide spans under it and ships them back in
             :attr:`ShardCycleResult.spans` so per-process timings stitch
             into one coordinator trace.
+        transport: which :data:`TRANSPORT_KINDS` encoding this spec uses.
+            ``columnar`` specs carry a
+            :class:`repro.core.columnar.ColumnarMissBlock` snapshot and
+            return trait matrices instead of candidate objects.
     """
 
     shard_index: int
@@ -232,10 +274,16 @@ class ShardWorkSpec:
     snapshot: object | None = None
     decide: ShardDecideSpec | None = None
     trace: object | None = None
+    transport: str = "pickle"
     version: int = WORK_SPEC_VERSION
 
     def __post_init__(self) -> None:
         n = len(self.keys)
+        if self.transport not in TRANSPORT_KINDS:
+            raise ValidationError(
+                f"unknown worker transport {self.transport!r}; "
+                f"expected one of {TRANSPORT_KINDS}"
+            )
         if self.snapshot is not None:
             if len(self.snapshot) != n:  # type: ignore[arg-type]
                 raise ValidationError(
@@ -259,7 +307,15 @@ class ShardWorkSpec:
                 f"shard work spec slots/tokens must both have {n} rows"
             )
         if self.decide is not None:
-            holes = sum(1 for c in self.decide.hits if c is None)
+            payload = self.decide.hits_payload
+            if payload is not None:
+                if self.decide.hits:
+                    raise ValidationError(
+                        "decide spec carries both object hits and a hits payload"
+                    )
+                holes = payload.total - len(payload.keys)  # type: ignore[attr-defined]
+            else:
+                holes = sum(1 for c in self.decide.hits if c is None)
             if holes != n:
                 raise ValidationError(
                     f"decide spec carries {holes} miss holes for {n} miss keys"
@@ -286,6 +342,11 @@ class ShardCycleResult:
         spans: worker-side :class:`repro.obs.tracing.Span` records (only
             when the spec carried a ``trace`` context); the coordinator
             adopts them into its tracer.
+        transport: echo of the spec's transport kind.
+        columnar: the stats-only answer of a columnar-transport worker
+            (:class:`repro.core.columnar.ColumnarResultPayload`) —
+            ``candidates`` stays empty and the coordinator rebuilds them
+            from its retained observation arrays plus this trait matrix.
     """
 
     shard_index: int
@@ -294,6 +355,8 @@ class ShardCycleResult:
     decision: ShardDecision | None = None
     observe_wall_s: float = 0.0
     spans: list = field(default_factory=list)
+    transport: str = "pickle"
+    columnar: object | None = None
     version: int = WORK_SPEC_VERSION
 
 
@@ -389,6 +452,143 @@ def _decide_in_worker(
     return decision, delta_candidates, delta
 
 
+def _observe_columnar(spec: ShardWorkSpec):
+    """Columnar observe/orient: trait matrix straight from the miss block.
+
+    Returns ``(trait_names, matrix, observed)`` where ``observed`` is
+    ``None`` on the vectorised path and the per-object fallback's
+    candidate list (already oriented) when any registered trait lacks a
+    columnar implementation — custom traits keep working, they just pay
+    object construction worker-side.
+    """
+    from repro.core.columnar import matrix_from_candidates
+
+    block = spec.snapshot
+    cost = spec.observe_cost
+    if cost:
+        for key in spec.keys:
+            burn_cpu(cost, str(key).encode("utf-8"))
+    names = tuple(spec.traits.names())
+    matrix = spec.traits.compute_columnar_matrix(block)  # type: ignore[arg-type]
+    if matrix is not None:
+        return names, matrix, None
+    statistics = block.statistics_batch()  # type: ignore[attr-defined]
+    observed = [
+        Candidate(key=key, statistics=stats)
+        for key, stats in zip(spec.keys, statistics)
+    ]
+    spec.traits.annotate_all(observed)
+    return names, matrix_from_candidates(observed, names), observed
+
+
+def _decide_columnar(spec: ShardWorkSpec, names: tuple, matrix, observed):
+    """Worker-side decide over columnar payloads; no candidates cross back.
+
+    The same filter → orient → filter → rank → select sequence as
+    :func:`_decide_in_worker`, over transient worker-local candidates:
+    misses rebuilt from the block's scalars with traits pre-assigned from
+    the matrix, hits rebuilt from the spec's
+    :class:`~repro.core.columnar.ColumnarHitPayload` (or taken verbatim
+    from object hits).  The answer is counts plus *references* into the
+    coordinator's own candidate lists — and a cache delta covering every
+    miss, so process-mode caches stay exactly as warm as thread-mode ones.
+    """
+    from repro.core.columnar import ColumnarResultPayload
+
+    decide = spec.decide
+    assert decide is not None
+    if observed is None:
+        statistics = spec.snapshot.statistics_batch(  # type: ignore[attr-defined]
+            include_sizes=False
+        )
+        rows = matrix.tolist()
+        observed = [
+            Candidate(key=key, statistics=stats, traits=dict(zip(names, row)))
+            for key, stats, row in zip(spec.keys, statistics, rows)
+        ]
+    if decide.hits_payload is not None:
+        placed = decide.hits_payload.build()  # type: ignore[attr-defined]
+    else:
+        placed = list(decide.hits)
+    ref_of: dict[int, tuple] = {}
+    for j, candidate in enumerate(observed):
+        ref_of[id(candidate)] = ("miss", j)
+    for position, candidate in enumerate(placed):
+        if candidate is not None:
+            ref_of[id(candidate)] = ("hit", position)
+    fill = iter(observed)
+    candidates = [c if c is not None else next(fill) for c in placed]
+    survivors = apply_filters(list(decide.stats_filters), candidates, spec.now)
+    after_stats = len(survivors)
+    spec.traits.annotate_all(survivors, only_missing=True)
+    survivors = apply_filters(list(decide.trait_filters), survivors, spec.now)
+    after_traits = len(survivors)
+    ranked = decide.policy.rank(survivors)
+    selected = decide.selector.select(ranked)
+    decision = ShardDecision(
+        after_stats_filters=after_stats,
+        after_trait_filters=after_traits,
+        ranked=len(ranked),
+        selected=[],
+    )
+    payload = ColumnarResultPayload(
+        trait_names=names,
+        matrix=matrix,
+        selected=tuple(ref_of[id(c)] for c in selected),
+        scores=tuple(c.score for c in selected),
+    )
+    return decision, payload
+
+
+def _run_columnar(spec: ShardWorkSpec, recorder, start: float) -> ShardCycleResult:
+    """Columnar-transport half of :func:`run_shard_work`."""
+    from repro.core.columnar import ColumnarResultPayload
+
+    try:
+        if recorder is not None:
+            with recorder.span("observe", shard=spec.shard_index, keys=len(spec.keys)):
+                names, matrix, observed = _observe_columnar(spec)
+        else:
+            names, matrix, observed = _observe_columnar(spec)
+        # Every miss rides the delta: the coordinator rebuilds all of them
+        # from its retained arrays, so nothing observed here is re-observed
+        # next cycle (the pickle decide path's warmth loss does not apply).
+        delta = CacheDelta(slots=spec.slots, tokens=spec.tokens, stored_at=spec.now)
+        if spec.decide is None:
+            return ShardCycleResult(
+                shard_index=spec.shard_index,
+                candidates=[],
+                cache_delta=delta,
+                observe_wall_s=time.perf_counter() - start,
+                spans=recorder.spans if recorder is not None else [],
+                transport="columnar",
+                columnar=ColumnarResultPayload(trait_names=names, matrix=matrix),
+            )
+        if recorder is not None:
+            with recorder.span("decide", shard=spec.shard_index):
+                decision, payload = _decide_columnar(spec, names, matrix, observed)
+        else:
+            decision, payload = _decide_columnar(spec, names, matrix, observed)
+        return ShardCycleResult(
+            shard_index=spec.shard_index,
+            candidates=[],
+            cache_delta=delta,
+            decision=decision,
+            observe_wall_s=time.perf_counter() - start,
+            spans=recorder.spans if recorder is not None else [],
+            transport="columnar",
+            columnar=payload,
+        )
+    finally:
+        # Drop this process's segment mappings; the coordinator owns the
+        # segments and unlinks them when it releases the spec.
+        snapshot = spec.snapshot
+        if snapshot is not None and hasattr(snapshot, "close"):
+            snapshot.close()
+        if spec.decide is not None and spec.decide.hits_payload is not None:
+            spec.decide.hits_payload.close()  # type: ignore[attr-defined]
+
+
 def run_shard_work(spec: ShardWorkSpec) -> ShardCycleResult:
     """Worker entry point: observe + orient (+ optionally decide) one spec.
 
@@ -399,10 +599,20 @@ def run_shard_work(spec: ShardWorkSpec) -> ShardCycleResult:
     the foundation of the modes' byte-identical cycle reports.
     """
     if spec.version != WORK_SPEC_VERSION:
-        raise ValidationError(
-            f"shard work spec version {spec.version} != {WORK_SPEC_VERSION} "
-            "(coordinator and workers must run the same build)"
+        # Backstop only: WorkerPool.negotiate performs the real handshake
+        # before any spec ships, so hitting this means a pool skipped it.
+        raise WorkerError(
+            f"shard work spec version {spec.version} != worker "
+            f"{WORK_SPEC_VERSION}; the transport handshake "
+            "(WorkerPool.negotiate) must run before specs ship"
         )
+    if spec.transport == "columnar":
+        recorder = None
+        if spec.trace is not None:
+            from repro.obs.tracing import SpanRecorder
+
+            recorder = SpanRecorder(spec.trace)
+        return _run_columnar(spec, recorder, time.perf_counter())
     recorder = None
     if spec.trace is not None:
         from repro.obs.tracing import SpanRecorder
@@ -481,6 +691,8 @@ class WorkerPool:
         self._executor: Executor | None = None
         self._finalizer: weakref.finalize | None = None
         self._futures: list[Future] = []
+        self._contract: TransportContract | None = None
+        self._resources: dict[int, object] = {}
 
     @property
     def started(self) -> bool:
@@ -505,6 +717,54 @@ class WorkerPool:
             self._executor = executor
             self._finalizer = weakref.finalize(self, _shutdown_executor, executor)
         return executor
+
+    def negotiate(self, transport: str) -> TransportContract:
+        """Handshake the worker contract; the pool's one version check.
+
+        Fetches :func:`describe_contract` from a live worker (threads
+        share the interpreter, so their contract is by construction the
+        local one) and verifies both sides run the same spec version and
+        both speak ``transport``.  Cached until :meth:`close` — one round
+        trip per pool lifetime, not per cycle.
+
+        Raises:
+            WorkerError: naming both sides' versions and transports on
+                any mismatch — the single failure point that replaced
+                per-object ``version:`` field checks.
+        """
+        local = describe_contract()
+        remote = self._contract
+        if remote is None:
+            if self.mode == "processes":
+                remote = self.submit(describe_contract).result()
+            else:
+                remote = local
+            self._contract = remote
+        if (
+            remote.version != local.version
+            or transport not in remote.transports
+            or transport not in local.transports
+        ):
+            raise WorkerError(
+                f"worker transport handshake failed for {transport!r}: "
+                f"coordinator speaks v{local.version} {local.transports}, "
+                f"workers speak v{remote.version} {remote.transports}"
+            )
+        return remote
+
+    def track_resource(self, resource: object) -> None:
+        """Register a disposable (``dispose()``-bearing) shared resource.
+
+        The columnar transport parks its live shared-memory blocks here so
+        :meth:`close` can unlink anything a crashed worker or an
+        interrupted cycle left behind — segments must never outlive the
+        pool.
+        """
+        self._resources[id(resource)] = resource
+
+    def untrack_resource(self, resource: object) -> None:
+        """Drop a resource released through the normal per-cycle path."""
+        self._resources.pop(id(resource), None)
 
     def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
         """Submit one task (spawning the executor on first use)."""
@@ -560,13 +820,17 @@ class WorkerPool:
         """
         executor, self._executor = self._executor, None
         futures, self._futures = self._futures, []
+        resources, self._resources = self._resources, {}
+        self._contract = None
         if executor is None:
+            self._dispose_resources(resources)
             return
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
         if timeout is None:
             executor.shutdown(wait=True)
+            self._dispose_resources(resources)
             return
         pending = [f for f in futures if not f.done()]
         for future in pending:
@@ -587,6 +851,17 @@ class WorkerPool:
             if child.is_alive():
                 child.kill()
                 child.join(timeout=1.0)
+        self._dispose_resources(resources)
+
+    @staticmethod
+    def _dispose_resources(resources: dict[int, object]) -> None:
+        # After workers are down: unlinking first could yank a segment out
+        # from under a straggler mid-read.
+        for resource in resources.values():
+            try:
+                resource.dispose()  # type: ignore[attr-defined]
+            except Exception:
+                pass  # best-effort cleanup must not mask the close itself
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -29,12 +29,7 @@ from repro.core.scheduling import (
     PreparedJob,
 )
 from repro.core.statscache import IndexedCandidateCache
-from repro.core.workers import (
-    WORK_SPEC_VERSION,
-    ShardCycleResult,
-    ShardWorkSpec,
-    burn_cpu,
-)
+from repro.core.workers import ShardCycleResult, ShardWorkSpec, burn_cpu
 from repro.errors import ValidationError
 from repro.fleet.model import FleetModel
 from repro.units import DAY
@@ -89,6 +84,21 @@ class FleetConnector(Connector):
     #: Observation state is exportable as picklable column slices, so this
     #: connector can feed process-mode shard workers.
     supports_worker_observe = True
+
+    def worker_transport_kinds(self) -> tuple[str, ...]:
+        return ("columnar", "pickle")
+
+    def worker_transport(self, kind: str | None = None):
+        from repro.core.transport import ColumnarTransport, PickleTransport
+
+        if kind in (None, "columnar"):
+            return ColumnarTransport(self)
+        if kind == "pickle":
+            return PickleTransport(self)
+        raise ValidationError(
+            f"FleetConnector does not speak the {kind!r} worker transport "
+            f"(supported: {self.worker_transport_kinds()})"
+        )
 
     def __init__(
         self,
@@ -403,19 +413,69 @@ class FleetConnector(Connector):
         )
         return placed, spec
 
+    def export_columnar(
+        self, keys: list[CandidateKey], shard_index: int, traits
+    ) -> tuple[list[Candidate | None], ShardWorkSpec | None]:
+        """Columnar export: the same hit rule, miss columns as int64/float64 arrays.
+
+        The observe-view slice that :meth:`export_shard_work` ships as
+        per-column tuples lands in one shared-memory block instead; the
+        fleet model tracks no per-file sizes, so the block carries scalar
+        columns only and rebuilt statistics have empty ``file_sizes`` —
+        exactly like every other fleet observation path.
+        """
+        from repro.core.columnar import ColumnarMissBlock
+
+        model = self.model
+        now = float(model.day) * DAY
+        view = model.observe_view()
+        indices = self._resolve_indices(keys)
+        placed, miss_keys, miss_indices, _ = self._split_cache_hits(
+            keys, indices, view, now
+        )
+        if not miss_keys:
+            return placed, None
+        sliced = view.take(miss_indices)
+        n = len(miss_keys)
+        target = model.config.target_file_size
+        block = ColumnarMissBlock.from_columns(
+            {
+                "file_count": sliced.files,
+                "total_bytes": sliced.total_bytes,
+                "small_file_count": sliced.small_files,
+                "small_file_bytes": sliced.small_bytes,
+                "target_file_size": [target] * n,
+                "created_at": sliced.created_s,
+                "last_modified_at": sliced.modified_s,
+                "quota_utilization": sliced.quota,
+            },
+            n,
+        )
+        spec = ShardWorkSpec(
+            shard_index=shard_index,
+            keys=tuple(miss_keys),
+            columns={},
+            slots=tuple(miss_indices),
+            tokens=tuple(sliced.versions),
+            target_file_size=target,
+            now=now,
+            traits=traits,
+            observe_cost=self.observe_cost,
+            snapshot=block,
+            transport="columnar",
+        )
+        return placed, spec
+
     def apply_shard_delta(self, result: ShardCycleResult) -> None:
         """Replay a worker result's cache delta (no hole filling).
 
         Applying the delta is what keeps process-mode cycles incremental:
         the worker's freshness tokens land in the coordinator's cache, so
         the next cycle's hit pass sees the observation as if it had
-        happened here.
+        happened here.  Version compatibility is the pool handshake's job
+        (:meth:`~repro.core.workers.WorkerPool.negotiate`), not a
+        per-result check.
         """
-        if result.version != WORK_SPEC_VERSION:
-            raise ValidationError(
-                f"shard result version {result.version} != {WORK_SPEC_VERSION} "
-                "(coordinator and workers must run the same build)"
-            )
         if self.stats_cache is not None:
             self.stats_cache.apply_delta(result.cache_delta, result.candidates)
 

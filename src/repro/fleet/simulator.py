@@ -232,6 +232,10 @@ class ShardedAutoCompStrategy(CompactionStrategy):
         worker_decide: ship the decide phase into process workers for
             local selection (see
             :class:`~repro.core.sharding.ShardedPipeline`).
+        transport: worker-transport kind for process cycles (``None``
+            negotiates; the fleet connector speaks both ``"columnar"``
+            and ``"pickle"`` — see
+            :class:`~repro.core.sharding.ShardedPipeline`).
         max_workers: worker-pool width (see
             :class:`~repro.core.sharding.ShardedPipeline`).
         observe_cost: per-candidate CPU units emulating real statistics-
@@ -257,6 +261,7 @@ class ShardedAutoCompStrategy(CompactionStrategy):
         selection: str = "global",
         workers: str = "threads",
         worker_decide: bool | None = None,
+        transport: str | None = None,
         max_workers: int | None = None,
         observe_cost: int = 0,
         telemetry: Telemetry | None = None,
@@ -296,6 +301,7 @@ class ShardedAutoCompStrategy(CompactionStrategy):
             merge_order="any",
             workers=workers,
             worker_decide=worker_decide,
+            transport=transport,
             max_workers=max_workers,
             telemetry=telemetry,
         )

@@ -489,7 +489,7 @@ class BaseTable(abc.ABC):
     def live_files(self) -> list[DataFile]:
         """Live data files (empty list for a never-written table)."""
         snap = self.current_snapshot()
-        return sorted(snap.live_files, key=lambda f: f.file_id) if snap else []
+        return list(snap.ordered_files) if snap else []
 
     def partitions(self) -> list[tuple]:
         """Distinct partitions with live files."""
@@ -546,7 +546,7 @@ class BaseTable(abc.ABC):
         if snap is None:
             return ScanPlan(files=(), delete_files=(), manifests_read=0)
         if partitions is None:
-            files = tuple(sorted(snap.live_files, key=lambda f: f.file_id))
+            files = snap.ordered_files
         else:
             wanted = set(partitions)
             files = tuple(

@@ -11,6 +11,7 @@ identical to manifest reachability in Iceberg.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.lst.files import DataFile, DeleteFile
 
@@ -46,6 +47,16 @@ class Snapshot:
     manifest_paths: tuple[str, ...] = ()
     exclusive_metadata_paths: tuple[str, ...] = ()
     summary: dict[str, int] = field(default_factory=dict)
+
+    @cached_property
+    def ordered_files(self) -> tuple[DataFile, ...]:
+        """Live data files in deterministic (``file_id``) order.
+
+        Snapshots are immutable, so every observation of the same version
+        shares one sort instead of re-sorting per read — observation is
+        the hottest per-file path in the control plane.
+        """
+        return tuple(sorted(self.live_files, key=lambda f: f.file_id))
 
     @property
     def data_file_count(self) -> int:

@@ -80,6 +80,8 @@ METRICS: dict[str, tuple[str, str]] = {
     "autocomp.gbhr": ("series", "GB-hours consumed per committed job"),
     # --- histograms (fixed-bucket distributions) ------------------------------
     "autocomp.hist.observe_wall_s": ("histogram", "Observe-phase wall seconds"),
+    "autocomp.hist.pack_wall_s": ("histogram", "Worker-transport encode (export/pack) wall seconds per shard"),
+    "autocomp.hist.unpack_wall_s": ("histogram", "Worker-transport decode (merge/unpack) wall seconds per shard"),
     "autocomp.hist.decide_wall_s": ("histogram", "Decide-phase wall seconds"),
     "autocomp.hist.act_wall_s": ("histogram", "Act-phase wall seconds"),
     "autocomp.hist.cycle_wall_s": ("histogram", "Full-cycle wall seconds"),

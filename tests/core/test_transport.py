@@ -1,0 +1,199 @@
+"""Unit tests for the WorkerTransport connector API.
+
+Covers the three contracts the transport redesign introduced:
+
+* **legacy shim** — connectors implementing the pre-transport method trio
+  (``export_shard_work``/``merge_shard_result``/``apply_shard_delta``)
+  keep working through :class:`~repro.core.transport.LegacyPickleTransport`
+  behind a :class:`DeprecationWarning`;
+* **handshake** — :meth:`~repro.core.workers.WorkerPool.negotiate` is the
+  pool's single version check, raising one
+  :class:`~repro.core.workers.WorkerError` that names both sides;
+* **segment lifecycle** — shared-memory blocks tracked with a pool never
+  outlive it, whether the pool closes normally or a worker crashed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import warnings
+
+import pytest
+
+from repro.core.columnar import ColumnarMissBlock
+from repro.core.connectors import Connector
+from repro.core.transport import LegacyPickleTransport
+from repro.core.workers import (
+    TRANSPORT_KINDS,
+    WORK_SPEC_VERSION,
+    TransportContract,
+    WorkerError,
+    WorkerPool,
+    process_workers_available,
+)
+from repro.errors import ValidationError
+
+
+class _LegacyTrioConnector(Connector):
+    """A third-party connector from before the WorkerTransport protocol."""
+
+    supports_worker_observe = True
+
+    def list_candidates(self, strategy: str = "table"):
+        return []
+
+    def collect_statistics(self, key):
+        raise NotImplementedError
+
+    def export_shard_work(self, keys, shard_index, traits):
+        return [], None
+
+    def merge_shard_result(self, placed, result):
+        return []
+
+    def apply_shard_delta(self, result):
+        return None
+
+
+class _PlainConnector(Connector):
+    """No worker-observe support at all: thread-pool fallback territory."""
+
+    def list_candidates(self, strategy: str = "table"):
+        return []
+
+    def collect_statistics(self, key):
+        raise NotImplementedError
+
+
+class TestLegacyShim:
+    def test_legacy_trio_is_wrapped_with_deprecation_warning(self):
+        connector = _LegacyTrioConnector()
+        assert connector.worker_transport_kinds() == ("pickle",)
+        with pytest.warns(DeprecationWarning, match="worker_transport"):
+            transport = connector.worker_transport()
+        assert isinstance(transport, LegacyPickleTransport)
+        assert transport.kind == "pickle"
+        assert transport.connector is connector
+
+    def test_plain_connector_yields_no_transport_and_no_warning(self):
+        connector = _PlainConnector()
+        assert connector.worker_transport_kinds() == ()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert connector.worker_transport() is None
+
+    def test_unsupported_kind_is_rejected_before_the_shim_engages(self):
+        with pytest.raises(ValidationError, match="columnar"):
+            _LegacyTrioConnector().worker_transport("columnar")
+
+
+class TestHandshake:
+    def test_thread_pool_negotiates_the_local_contract(self):
+        with WorkerPool(mode="threads") as pool:
+            contract = pool.negotiate("pickle")
+            assert contract == TransportContract(
+                version=WORK_SPEC_VERSION, transports=TRANSPORT_KINDS
+            )
+
+    @pytest.mark.skipif(
+        not process_workers_available(), reason="process workers need fork"
+    )
+    def test_process_pool_handshake_round_trips_through_a_worker(self):
+        with WorkerPool(mode="processes", max_workers=1) as pool:
+            contract = pool.negotiate("columnar")
+            assert contract.version == WORK_SPEC_VERSION
+            assert "columnar" in contract.transports
+            # Cached: the second call must not cost another round trip.
+            assert pool.negotiate("pickle") is contract
+
+    def test_version_mismatch_raises_one_error_naming_both_sides(self):
+        pool = WorkerPool(mode="threads")
+        try:
+            # Simulate workers answering with an older build's contract.
+            pool._contract = TransportContract(
+                version=WORK_SPEC_VERSION - 1, transports=("pickle",)
+            )
+            with pytest.raises(WorkerError) as excinfo:
+                pool.negotiate("pickle")
+            message = str(excinfo.value)
+            assert f"v{WORK_SPEC_VERSION}" in message  # coordinator side
+            assert f"v{WORK_SPEC_VERSION - 1}" in message  # worker side
+            assert "pickle" in message and "columnar" in message
+        finally:
+            pool.close()
+
+    def test_unspoken_transport_raises_with_both_vocabularies(self):
+        pool = WorkerPool(mode="threads")
+        try:
+            pool._contract = TransportContract(
+                version=WORK_SPEC_VERSION, transports=("pickle",)
+            )
+            with pytest.raises(WorkerError, match="handshake"):
+                pool.negotiate("columnar")
+        finally:
+            pool.close()
+
+
+def _shm_block() -> ColumnarMissBlock:
+    """A miss block forced onto shared memory (``min_shm_bytes=0``)."""
+    n = 4
+    return ColumnarMissBlock.from_sizes(
+        [tuple(range(1, 401))] * n,
+        targets=[512] * n,
+        partition_counts=[1] * n,
+        delete_file_counts=[0] * n,
+        created_at=[0.0] * n,
+        last_modified_at=[1.0] * n,
+        quota_utilization=[0.5] * n,
+        min_shm_bytes=0,
+    )
+
+
+def _segment_path(block: ColumnarMissBlock) -> str:
+    name = block._block._shm_name
+    assert name, "block should be shm-backed"
+    return os.path.join("/dev/shm", name.lstrip("/"))
+
+
+def _sigkill_self() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestSegmentLifecycle:
+    def test_pool_close_unlinks_tracked_segments(self):
+        block = _shm_block()
+        assert block.backing == "shm"
+        path = _segment_path(block)
+        pool = WorkerPool(mode="threads")
+        pool.track_resource(block)
+        assert os.path.exists(path)
+        pool.close()
+        assert not os.path.exists(path)
+
+    def test_untracked_segments_are_left_alone(self):
+        block = _shm_block()
+        path = _segment_path(block)
+        pool = WorkerPool(mode="threads")
+        pool.track_resource(block)
+        pool.untrack_resource(block)  # the normal per-cycle release path
+        pool.close()
+        assert os.path.exists(path)
+        block.dispose()
+        assert not os.path.exists(path)
+
+    @pytest.mark.skipif(
+        not process_workers_available(), reason="process workers need fork"
+    )
+    def test_worker_crash_still_unlinks_segments(self):
+        block = _shm_block()
+        path = _segment_path(block)
+        pool = WorkerPool(mode="processes", max_workers=1)
+        try:
+            pool.track_resource(block)
+            future = pool.submit(_sigkill_self)
+            with pytest.raises(Exception):
+                future.result(timeout=60)
+        finally:
+            pool.close()
+        assert not os.path.exists(path)

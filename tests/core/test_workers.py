@@ -205,8 +205,10 @@ class TestShardWorkContracts:
             revived.custom["x"] = 1.0  # stays frozen after the round trip
 
     def test_worker_rejects_foreign_contract_version(self):
+        from repro.errors import WorkerError
+
         spec = dataclasses.replace(_spec(), version=WORK_SPEC_VERSION + 1)
-        with pytest.raises(ValidationError):
+        with pytest.raises(WorkerError, match="handshake"):
             run_shard_work(spec)
 
     def test_worker_output_matches_inline_observation(self):
@@ -436,7 +438,13 @@ class TestWorkerFailureHandling:
         model = FleetModel(FleetConfig(initial_tables=120, seed=6))
         model.step_day()
         with ShardedAutoCompStrategy(
-            model, n_shards=3, k=5, workers="processes", max_workers=2
+            model,
+            n_shards=3,
+            k=5,
+            workers="processes",
+            max_workers=2,
+            # Pin the pickle transport: the poison patches its export hook.
+            transport="pickle",
         ) as strategy:
             pipeline = strategy.pipeline
             victim = pipeline.shards[1].connector
@@ -464,7 +472,12 @@ class TestWorkerFailureHandling:
         model = FleetModel(FleetConfig(initial_tables=80, seed=7))
         model.step_day()
         with ShardedAutoCompStrategy(
-            model, n_shards=2, k=5, workers="processes", max_workers=2
+            model,
+            n_shards=2,
+            k=5,
+            workers="processes",
+            max_workers=2,
+            transport="pickle",
         ) as strategy:
             pipeline = strategy.pipeline
             victim = pipeline.shards[0].connector

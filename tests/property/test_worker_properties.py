@@ -247,6 +247,52 @@ class TestLstConnectorModeEquivalence:
                 _lst_daily_writes(catalog_t, day)
                 _lst_daily_writes(catalog_p, day)
 
+    @pytest.mark.parametrize("transport", ["pickle", "columnar"])
+    def test_lst_cycles_byte_identical_across_execution_matrix(self, transport):
+        """Inline, thread-pool and process-pool cycles must produce
+        byte-identical cycle reports whichever negotiated transport ships
+        the process-mode work — the pickled report blobs themselves are
+        compared, so even float bit patterns must agree."""
+        from repro.core import IndexedCandidateCache, openhouse_sharded_pipeline
+        from repro.engine import Cluster
+
+        variants = [
+            ("threads", 1, None),  # max_workers=1: effectively inline
+            ("threads", 2, None),
+            ("processes", 2, transport),
+        ]
+        catalogs, pipelines = [], []
+        for workers, width, kind in variants:
+            catalog = _build_lst_catalog()
+            catalogs.append(catalog)
+            pipelines.append(
+                openhouse_sharded_pipeline(
+                    catalog,
+                    Cluster("maint", executors=2),
+                    n_shards=2,
+                    stats_cache=IndexedCandidateCache(),
+                    selection="local",
+                    workers=workers,
+                    worker_decide=True,
+                    transport=kind,
+                    max_workers=width,
+                    k=6,
+                    min_table_age_s=0.0,
+                )
+            )
+        try:
+            for day in range(3):
+                blobs = [
+                    pickle.dumps(_report_fields(p.run_cycle(now=c.clock.now)))
+                    for p, c in zip(pipelines, catalogs)
+                ]
+                assert blobs[0] == blobs[1] == blobs[2], f"diverged on day {day}"
+                for catalog in catalogs:
+                    _lst_daily_writes(catalog, day)
+        finally:
+            for pipeline in pipelines:
+                pipeline.close()
+
     def test_lst_process_cycles_stay_incremental(self):
         from repro.core import IndexedCandidateCache, openhouse_sharded_pipeline
         from repro.engine import Cluster
