@@ -1,0 +1,300 @@
+"""Self-driving policy plane: closed-loop promote / guard / rollback bench.
+
+The paper's self-driving claim is that AutoComp can *operate its own
+policy*: shadow-evaluate a candidate pool against recorded history,
+promote only statistically-clear winners, watch the promotion through a
+guard window of live cycles, and roll back on regression — all without
+an operator in the loop.  This bench drives the full loop end to end on
+a live catalog:
+
+1. **converge** — the store boots on a deliberate dud policy (its
+   small-file floor filters every candidate, so it compacts nothing)
+   with a pool of real challengers; an :class:`~repro.core.daemon.AutoCompDaemon`
+   churns a drifting ingest workload while its
+   :class:`~repro.core.promoter.PolicyPromoter` ticks.  The promoter
+   must promote a challenger, hold it through the guard window, and
+   land STABLE on a non-dud policy within a fixed cycle budget;
+2. **no churn under guard** — every promoter tick taken while the store
+   is in its guard window must decide ``guard_wait``: promotions on top
+   of an unproven promotion are forbidden (gated exact-zero);
+3. **rollback** — with a healthy baseline banked, the dud is promoted
+   back (an operator override through the same audited
+   :meth:`~repro.core.promoter.PolicyStore.promote` path); the guarded
+   live cycles degrade, and the promoter must auto-roll-back to the
+   previous winner;
+4. **audit** — :func:`~repro.core.promoter.verify_promotions` replays
+   the full promotion history (promote → guard pass → promote →
+   rollback) against the store and must find zero violations.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_promoter.py [--smoke]
+        [--json BENCH_promoter.json]
+
+``--smoke`` shrinks the fleet to CI size; ``--json`` writes the measured
+metrics for the CI perf-regression gate
+(``benchmarks/check_regression.py``).  The loop is seed-deterministic:
+promotion counts, versions and convergence cycles are gated exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.catalog import Catalog
+from repro.core import (
+    AutoCompDaemon,
+    AutoCompService,
+    LockManager,
+    PolicyPromoter,
+    PolicyStore,
+    openhouse_pipeline,
+    verify_promotions,
+)
+from repro.engine import Cluster
+from repro.lst import Field, MonthTransform, PartitionField, PartitionSpec, Schema
+from repro.replay import PolicyVariant
+from repro.units import HOUR, MiB
+
+
+def _banner(title: str, claim: str) -> str:
+    line = "=" * 78
+    return f"\n{line}\n{title}\n{claim}\n{line}"
+
+
+def build_fleet(tables: int) -> Catalog:
+    """A fresh catalog with ``tables`` fragmented tables, aged past filters."""
+    catalog = Catalog()
+    catalog.create_database("db")
+    schema = Schema.of(Field("id", "long"), Field("event_date", "date"))
+    spec = PartitionSpec.of(PartitionField("event_date", MonthTransform()))
+    for i in range(tables):
+        table = catalog.create_table(f"db.t{i:03d}", schema, spec=spec)
+        txn = table.new_append()
+        for _ in range(6):
+            txn.add_file(8 * MiB, partition=(0,))
+        txn.commit()
+    catalog.clock.advance_by(2 * HOUR)
+    return catalog
+
+
+def churn(catalog: Catalog, cycle: int) -> None:
+    """One hour of drifting ingest: file count and size wander with time.
+
+    The drift keeps the workload from being a single repeated pattern —
+    the shadow evaluations rank the pool against genuinely shifting
+    history — while staying fully deterministic (no RNG).
+    """
+    files = 3 + cycle % 3
+    size = (2 + (cycle * 2) % 5) * MiB
+    for table in catalog.database("db").tables.values():
+        txn = table.new_append()
+        for _ in range(files):
+            txn.add_file(size, partition=(0,))
+        txn.commit()
+    catalog.clock.advance_by(HOUR)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-sized fleet")
+    parser.add_argument("--tables", type=int, default=None, help="fleet size override")
+    parser.add_argument(
+        "--converge-budget",
+        type=int,
+        default=10,
+        help="max live cycles the promoter gets to land STABLE off the dud",
+    )
+    parser.add_argument("--seed", type=int, default=20250730)
+    parser.add_argument("--json", default=None, help="write measured metrics here")
+    args = parser.parse_args(argv)
+
+    tables = args.tables or (4 if args.smoke else 12)
+    guard_cycles = 2
+    budget = args.converge_budget
+    print(
+        _banner(
+            f"Self-driving policy — promote / guard / rollback loop, "
+            f"{tables}-table fleet",
+            f"Target: converge off the dud boot policy within {budget} cycles; "
+            f"zero promotions under guard; injected degradation rolls back; "
+            f"audit replays clean",
+        )
+    )
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        catalog = build_fleet(tables)
+        pipeline = openhouse_pipeline(
+            catalog, Cluster("maint", executors=3), min_table_age_s=0.0
+        )
+        service = AutoCompService(pipeline)
+        locks = LockManager(os.path.join(tmp, "locks"), stale_after_s=30.0)
+        store = PolicyStore(os.path.join(tmp, "policy"))
+        # The boot variant's small-file floor filters every candidate:
+        # zero realised efficiency, so any real challenger is a clear win.
+        dud = PolicyVariant(name="dud", k=10, min_small_files=500)
+        pool = [
+            dud,
+            PolicyVariant(name="eager-k25", k=25),
+            PolicyVariant(name="steady-k10", k=10),
+            PolicyVariant(name="lazy-k2", k=2),
+        ]
+        store.initialize(dud, pool=pool)
+        promoter = PolicyPromoter(
+            store, guard_cycles=guard_cycles, min_history_cycles=2
+        )
+        daemon = AutoCompDaemon(
+            service, locks, interval_s=3600.0, promoter=promoter
+        )
+
+        guard_violations = 0
+        healthy_baseline: dict | None = None
+        cycles_to_converge = 0
+        eval_wall = time.perf_counter()
+
+        def tick(cycle: int) -> dict | None:
+            """One promoter tick, with the no-churn-under-guard check."""
+            nonlocal guard_violations
+            state_before = store.state
+            decision = daemon.run_promoter_once()
+            if decision is not None:
+                print(f"  cycle {cycle:>2}: [{state_before}] {decision['action']}", end="")
+                if decision["action"] == "promote":
+                    print(f" {decision['over']} -> {decision['variant']}", end="")
+                print()
+            if state_before == "GUARD" and (decision or {}).get("action") != "guard_wait":
+                guard_violations += 1
+            return decision
+
+        daemon.start()
+        try:
+            print("phase 1: converge off the dud boot policy")
+            for cycle in range(1, budget + 1):
+                churn(catalog, cycle)
+                daemon.run_once()
+                if (
+                    store.state == "STABLE"
+                    and store.active.name != "dud"
+                    and promoter.guard_passes >= 1
+                ):
+                    cycles_to_converge = cycle
+                    healthy_baseline = (promoter.last_decision or {}).get("metrics")
+                    break
+                tick(cycle)
+            winner = store.active.name
+            converged = cycles_to_converge > 0
+            print(
+                f"converged on {winner!r} in {cycles_to_converge} cycles"
+                if converged
+                else f"NO CONVERGENCE within {budget} cycles (state {store.state})"
+            )
+            if not converged:
+                failures.append(f"promoter did not converge within {budget} cycles")
+
+            print("\nphase 2: operator promotes the dud back — guard must roll back")
+            rollback_cycles = 0
+            if converged and healthy_baseline:
+                store.promote(
+                    dud,
+                    guard={
+                        "cycles": guard_cycles,
+                        "baseline": healthy_baseline,
+                        "shadow": {"winner": 0.0, "active": 0.0},
+                    },
+                )
+                for cycle in range(1, 2 * guard_cycles + 3):
+                    churn(catalog, budget + cycle)
+                    daemon.run_once()
+                    if promoter.rollbacks >= 1:
+                        rollback_cycles = cycle
+                        break
+                    tick(budget + cycle)
+            rolled_back = promoter.rollbacks == 1
+            if rolled_back:
+                evidence = (promoter.last_decision or {}).get("degraded", [])
+                print(
+                    f"rolled back to {store.active.name!r} after "
+                    f"{rollback_cycles} guarded cycles: {'; '.join(evidence)}"
+                )
+            else:
+                failures.append("injected degradation did not trigger a rollback")
+            if store.state != "STABLE":
+                failures.append(f"loop ended in state {store.state}, not STABLE")
+            if store.active.name != winner:
+                failures.append(
+                    f"rollback restored {store.active.name!r}, expected {winner!r}"
+                )
+        finally:
+            daemon.stop()
+        wall_s = time.perf_counter() - eval_wall
+
+        if guard_violations:
+            failures.append(
+                f"{guard_violations} promoter tick(s) promoted under an open guard"
+            )
+
+        summary = verify_promotions(store.store_dir)
+        print(
+            f"\naudit replay: {summary.promotions} promotions, "
+            f"{summary.rollbacks} rollbacks, {summary.guard_passes} guard passes, "
+            f"{len(summary.violations)} violations"
+        )
+        for violation in summary.violations:
+            failures.append(f"promotion audit: {violation}")
+
+        telemetry = pipeline.telemetry
+        tracked_version = telemetry.series("autocomp.promoter.active_version").last()
+        if tracked_version != store.version:
+            failures.append(
+                f"telemetry tracks version {tracked_version}, store is at "
+                f"{store.version}"
+            )
+
+        if args.json:
+            payload = {
+                "bench": "promoter",
+                "config": {
+                    "tables": tables,
+                    "guard_cycles": guard_cycles,
+                    "converge_budget": budget,
+                    "pool": len(pool),
+                    "seed": args.seed,
+                    "smoke": args.smoke,
+                    "cores": os.cpu_count() or 1,
+                },
+                "metrics": {
+                    "converged": int(converged),
+                    "cycles_to_converge": cycles_to_converge,
+                    "guard_violations": guard_violations,
+                    "rollback_cycles": rollback_cycles,
+                    "promotions": summary.promotions,
+                    "rollbacks": summary.rollbacks,
+                    "guard_passes": summary.guard_passes,
+                    "audit_violations": len(summary.violations),
+                    "final_version": store.version,
+                    "shadow_evals": promoter.shadow_evals,
+                    "loop_wall_s": wall_s,
+                },
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"\nwrote metrics to {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,16 @@ throughout the soak — and the final ``metrics.prom`` must round-trip
 through the strict Prometheus checker (:mod:`repro.obs.promcheck`), so
 the soak also proves the exporter stays valid under concurrent load.
 
+Alpha also carries the self-driving policy plane: a
+:class:`~repro.core.promoter.PolicyPromoter` over a durable
+:class:`~repro.core.promoter.PolicyStore` ticks on its own cadence
+thread while cycles, ingest and the injected failures are all running.
+The soak fails unless the promoter actually shadow-evaluated under load
+and the full promotion history replays clean
+(:func:`~repro.core.promoter.verify_promotions`) — promotions and
+rollbacks are allowed (the workload is adversarial), inconsistency is
+not.
+
 Run as a script::
 
     PYTHONPATH=src python benchmarks/soak_daemon.py [--duration 60]
@@ -50,14 +60,18 @@ from repro.core import (
     AutoCompDaemon,
     AutoCompService,
     LockManager,
+    PolicyPromoter,
+    PolicyStore,
     openhouse_pipeline,
     verify_audit,
+    verify_promotions,
 )
 from repro.core.locks import LOCK_SUFFIX
 from repro.engine import Cluster
 from repro.lst import Field, MonthTransform, PartitionField, PartitionSpec, Schema
 from repro.obs.promcheck import check_exposition
 from repro.obs.tracing import Tracer
+from repro.replay import PolicyVariant
 from repro.units import HOUR, MiB
 
 
@@ -114,6 +128,19 @@ def main(argv=None) -> int:
     spill_path = os.path.join(workdir, "history.spill.jsonl")
 
     obs_dir = args.obs_dir or os.path.join(workdir, "obs")
+    # Alpha's self-driving policy plane: durable store, a boot policy
+    # matching the constructed pipeline plus two live challengers.
+    store = PolicyStore(os.path.join(workdir, "policy"))
+    boot = PolicyVariant(name="boot-k10", k=10)
+    store.initialize(
+        boot,
+        pool=[
+            boot,
+            PolicyVariant(name="eager-k25", k=25),
+            PolicyVariant(name="lazy-k5", k=5),
+        ],
+    )
+    promoter = PolicyPromoter(store, guard_cycles=3, min_history_cycles=2)
     alpha = build_daemon(
         catalog,
         lock_dir,
@@ -124,6 +151,8 @@ def main(argv=None) -> int:
         tracer=Tracer(),
         obs_dir=obs_dir,
         export_interval_s=max(args.interval * 4, 0.5),
+        promoter=promoter,
+        promoter_interval_s=max(args.interval * 10, 0.5),
     )
     alpha.service.enable_history(segment_cycles=4, max_segments=4)
     beta = build_daemon(catalog, lock_dir, owner="beta", interval_s=args.interval)
@@ -165,6 +194,7 @@ def main(argv=None) -> int:
     elapsed = time.monotonic() - started
 
     summary = verify_audit(lock_dir)
+    promotion_summary = verify_promotions(store.store_dir)
     leftover_locks = [
         name for name in os.listdir(lock_dir) if name.endswith(LOCK_SUFFIX)
     ]
@@ -202,6 +232,14 @@ def main(argv=None) -> int:
         "prom_errors": prom_errors,
         "trace_spans": trace_spans,
         "obs_dir": obs_dir,
+        "promoter_steps": alpha.promoter_steps,
+        "promoter_errors": alpha.promoter_errors,
+        "shadow_evals": promoter.shadow_evals,
+        "promotions": promoter.promotions,
+        "rollbacks": promoter.rollbacks,
+        "guard_passes": promoter.guard_passes,
+        "policy_version": store.version,
+        "promotion_violations": promotion_summary.violations,
     }
     if args.json:
         with open(args.json, "w", encoding="utf-8") as stream:
@@ -229,13 +267,24 @@ def main(argv=None) -> int:
         failures.append("metrics exporter never exported")
     if trace_spans == 0:
         failures.append("tracer produced no spans across the whole soak")
+    if promoter.shadow_evals == 0:
+        failures.append("promoter never shadow-evaluated under load")
+    if alpha.promoter_errors:
+        failures.append(f"{alpha.promoter_errors} promoter step(s) raised")
+    if promotion_summary.violations:
+        failures.append(
+            f"promotion audit violations: {promotion_summary.violations}"
+        )
     if failures:
         print("SOAK FAILED:", "; ".join(failures), file=sys.stderr)
         return 1
     print(
         f"SOAK OK: {alpha.cycles_run + beta.cycles_run} cycles, "
         f"{summary.compact_commits} commits, {summary.contends} lock contentions, "
-        f"{beta.cycle_errors} injected errors survived, audit clean"
+        f"{beta.cycle_errors} injected errors survived, "
+        f"{promoter.shadow_evals} shadow evals "
+        f"({promoter.promotions} promoted, {promoter.rollbacks} rolled back), "
+        f"audits clean"
     )
     return 0
 

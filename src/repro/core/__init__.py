@@ -17,9 +17,13 @@ The OODA-structured automatic-compaction framework (§3–§5):
   picklable work contracts) and :mod:`repro.core.statscache` (incremental
   observation);
 * **daemonization** — :mod:`repro.core.daemon` (scheduled multi-tenant
-  cycles with crash-safe resume), :mod:`repro.core.locks` (per-table lock
-  files + audit) and :mod:`repro.core.fairness` (per-database admission
-  quotas).
+  cycles with crash-safe resume), :mod:`repro.core.cron` (calendar
+  cadence specs), :mod:`repro.core.locks` (per-table lock files + audit)
+  and :mod:`repro.core.fairness` (per-database admission quotas);
+* **self-driving policy** — :mod:`repro.core.promoter` (crash-safe
+  :class:`~repro.core.promoter.PolicyStore` + guarded
+  :class:`~repro.core.promoter.PolicyPromoter` shadow-evaluate /
+  promote / watch / roll-back loop).
 """
 
 from repro.core.candidates import (
@@ -29,6 +33,7 @@ from repro.core.candidates import (
     CandidateStatistics,
 )
 from repro.core.connectors import Connector, LstConnector
+from repro.core.cron import CronSchedule, as_schedule
 from repro.core.daemon import AutoCompDaemon, ResumableStateMachine
 from repro.core.fairness import AdmissionController
 from repro.core.locks import (
@@ -68,6 +73,15 @@ from repro.core.pareto import (
     ParetoObjective,
     knee_point,
     pareto_front,
+)
+from repro.core.promoter import (
+    PolicyPromoter,
+    PolicyStore,
+    PromotionSummary,
+    apply_variant,
+    read_promotions,
+    replay_promotions,
+    verify_promotions,
 )
 from repro.core.weight_learning import WeightLearner
 from repro.core.scheduling import (
@@ -142,6 +156,7 @@ __all__ = [
     "ConcurrentScheduler",
     "Connector",
     "CostFrugalOptimizer",
+    "CronSchedule",
     "CycleReport",
     "DeleteFileCountTrait",
     "ExecutionBackend",
@@ -169,6 +184,9 @@ __all__ = [
     "ParetoObjective",
     "PartitionSerialScheduler",
     "PeriodicTrigger",
+    "PolicyPromoter",
+    "PolicyStore",
+    "PromotionSummary",
     "QuiescenceFilter",
     "QuotaAwareWeightedSumPolicy",
     "RandomSearchOptimizer",
@@ -195,6 +213,8 @@ __all__ = [
     "WeightLearner",
     "WeightedSumPolicy",
     "WorkerPool",
+    "apply_variant",
+    "as_schedule",
     "knee_point",
     "min_max_normalize",
     "openhouse_pipeline",
@@ -202,8 +222,11 @@ __all__ = [
     "pareto_front",
     "process_workers_available",
     "read_audit",
+    "read_promotions",
+    "replay_promotions",
     "run_shard_work",
     "shard_for_key",
     "split_selector",
     "verify_audit",
+    "verify_promotions",
 ]

@@ -6,7 +6,14 @@ service; :class:`AutoCompDaemon` is that run-forever layer over
 
 * **cadence** — a background thread fires ``service.run_cycle`` every
   ``interval_s`` wall-clock seconds, anchored to cycle *completion* (a
-  long cycle delays the next tick instead of stacking overdue firings);
+  long cycle delays the next tick instead of stacking overdue firings),
+  or on a cron-style calendar schedule
+  (:class:`~repro.core.cron.CronSchedule`, ``schedule="30 3 * * *"``);
+* **self-driving policy** — an optional
+  :class:`~repro.core.promoter.PolicyPromoter` ticks on its own cadence
+  thread (``promoter_interval_s`` / ``promoter_schedule``),
+  shadow-evaluating the candidate pool and promoting winners behind the
+  guard window, with its state surfaced under ``status()["promoter"]``;
 * **concurrency safety** — before any selected candidate executes, the
   daemon's act gates run: an optional
   :class:`~repro.core.fairness.AdmissionController` applies per-database
@@ -46,6 +53,7 @@ import threading
 import time
 
 from repro.core.candidates import Candidate
+from repro.core.cron import as_schedule
 from repro.core.fairness import AdmissionController
 from repro.core.locks import LockManager, lock_slug
 from repro.core.scheduling import CompactionTask, ExecutionResult
@@ -224,7 +232,26 @@ class AutoCompDaemon:
             instance coordinating on this catalog.
         admission: optional per-database fairness quotas applied before
             lock acquisition each cycle.
-        interval_s: wall-clock seconds between scheduled cycles.
+        interval_s: wall-clock seconds between scheduled cycles (ignored
+            for scheduling when ``schedule`` is set, but still bounds the
+            scheduler-thread join at :meth:`stop`).
+        schedule: optional cron-style calendar cadence for compaction
+            cycles — a ``"m h dom mon dow"`` spec string (parsed by
+            :class:`~repro.core.cron.CronSchedule`) or any object with a
+            ``next_after(ts) -> float`` method.  Calendar-anchored: a
+            cycle that overruns the next boundary skips to the following
+            one instead of stacking firings.
+        promoter: optional
+            :class:`~repro.core.promoter.PolicyPromoter`; :meth:`start`
+            attaches it to the service (policy-store seam, history ring,
+            guard hooks) and drives :meth:`~repro.core.promoter.PolicyPromoter.step`
+            on its own cadence thread.
+        promoter_interval_s: fixed seconds between promoter steps
+            (defaults to ``interval_s`` when no ``promoter_schedule``) —
+            shadow evaluation is usually much rarer than compaction, so
+            set this longer in production.
+        promoter_schedule: cron-style cadence for promoter steps, same
+            forms as ``schedule``; overrides ``promoter_interval_s``.
         spill_path: when set, :meth:`stop` spills the service's history
             ring here (and :meth:`start` restores it when the file
             exists), so ``evaluate_recent`` sees the same history across
@@ -245,6 +272,8 @@ class AutoCompDaemon:
         cycles_run: scheduled + manual cycles completed by this instance.
         cycle_errors: cycles that raised (logged to telemetry and
             swallowed — a daemon must outlive one bad cycle).
+        promoter_steps: promoter ticks completed by this instance.
+        promoter_errors: promoter ticks that raised and were survived.
     """
 
     def __init__(
@@ -253,6 +282,10 @@ class AutoCompDaemon:
         locks: LockManager,
         admission: AdmissionController | None = None,
         interval_s: float = 60.0,
+        schedule=None,
+        promoter=None,
+        promoter_interval_s: float | None = None,
+        promoter_schedule=None,
         spill_path: str | os.PathLike | None = None,
         drain_timeout_s: float = 30.0,
         tracer=None,
@@ -261,6 +294,8 @@ class AutoCompDaemon:
     ) -> None:
         if interval_s <= 0:
             raise ValidationError("interval_s must be positive")
+        if promoter_interval_s is not None and promoter_interval_s <= 0:
+            raise ValidationError("promoter_interval_s must be positive")
         if drain_timeout_s <= 0:
             raise ValidationError("drain_timeout_s must be positive")
         if export_interval_s <= 0:
@@ -269,6 +304,12 @@ class AutoCompDaemon:
         self.locks = locks
         self.admission = admission
         self.interval_s = interval_s
+        self.schedule = as_schedule(schedule)
+        self.promoter = promoter
+        self.promoter_interval_s = (
+            promoter_interval_s if promoter_interval_s is not None else interval_s
+        )
+        self.promoter_schedule = as_schedule(promoter_schedule)
         self.spill_path = os.fspath(spill_path) if spill_path is not None else None
         self.drain_timeout_s = drain_timeout_s
         self.tracer = tracer
@@ -276,9 +317,12 @@ class AutoCompDaemon:
         self.export_interval_s = export_interval_s
         self.cycles_run = 0
         self.cycle_errors = 0
+        self.promoter_steps = 0
+        self.promoter_errors = 0
         self.reclaimed_on_start: list[str] = []
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._promoter_thread: threading.Thread | None = None
         self._started = False
         self._cycle_mutex = threading.Lock()
         self._status_server = None
@@ -374,6 +418,10 @@ class AutoCompDaemon:
         self.reclaimed_on_start = self.locks.recover_stale()
         if self.spill_path is not None and os.path.exists(self.spill_path):
             self.service.restore_history(self.spill_path)
+        if self.promoter is not None:
+            # Before the first cycle: attach wires the policy-store seam
+            # (and history taps) the cycle will resolve the policy through.
+            self.promoter.attach(self.service)
         self._install_gates()
         self.locks.start_heartbeat()
         if self.exporter is not None:
@@ -382,13 +430,58 @@ class AutoCompDaemon:
         thread = threading.Thread(target=self._loop, name="autocomp-daemon", daemon=True)
         self._thread = thread
         thread.start()
+        if self.promoter is not None:
+            promoter_thread = threading.Thread(
+                target=self._promoter_loop, name="autocomp-promoter", daemon=True
+            )
+            self._promoter_thread = promoter_thread
+            promoter_thread.start()
         return self
 
+    def _next_delay(self, schedule, interval_s: float) -> float:
+        """Seconds until the next firing under the given cadence."""
+        if schedule is None:
+            return interval_s
+        now = time.time()
+        return max(schedule.next_after(now) - now, 0.0)
+
     def _loop(self) -> None:
-        # wait() starts after run_once returns: completion-anchored
-        # cadence, matching the service's simulator attachment semantics.
-        while not self._stop.wait(self.interval_s):
+        # Fixed interval: wait() starts after run_once returns —
+        # completion-anchored cadence, matching the service's simulator
+        # attachment semantics.  Cron: the delay is recomputed after each
+        # cycle, so an overrunning cycle skips to the next calendar
+        # boundary instead of stacking overdue firings.
+        while not self._stop.wait(self._next_delay(self.schedule, self.interval_s)):
             self.run_once()
+
+    def _promoter_loop(self) -> None:
+        delay = lambda: self._next_delay(  # noqa: E731
+            self.promoter_schedule, self.promoter_interval_s
+        )
+        while not self._stop.wait(delay()):
+            self.run_promoter_once()
+
+    def run_promoter_once(self) -> dict | None:
+        """One promoter tick now (also the promoter-thread body).
+
+        A raising step is counted and swallowed, like a raising cycle —
+        the daemon must outlive a bad shadow evaluation.  Returns the
+        promoter's decision dict, or None (no promoter / step raised).
+        """
+        if self.promoter is None:
+            return None
+        self.promoter.attach(self.service)  # idempotent for the same service
+        try:
+            decision = self.promoter.step(now=self._now())
+        except Exception:
+            self.promoter_errors += 1
+            self.promoter.step_errors += 1
+            telemetry = self._telemetry()
+            if telemetry is not None:
+                telemetry.increment("autocomp.promoter.step_errors")
+            return None
+        self.promoter_steps += 1
+        return decision
 
     def run_once(self) -> object | None:
         """Run one daemon cycle now (also the scheduler-thread body).
@@ -445,10 +538,11 @@ class AutoCompDaemon:
                 for name, hist in snapshot()["histograms"].items()
                 if name.startswith("autocomp.hist.")
             }
-        return {
+        status = {
             "owner": self.locks.owner,
             "running": self._started,
             "interval_s": self.interval_s,
+            "schedule": str(self.schedule) if self.schedule is not None else None,
             "cycles_run": self.cycles_run,
             "cycle_errors": self.cycle_errors,
             "cycle_in_flight": self._cycle_mutex.locked(),
@@ -457,6 +551,19 @@ class AutoCompDaemon:
             "reclaimed_on_start": list(self.reclaimed_on_start),
             "histograms": histograms,
         }
+        if self.promoter is not None:
+            status["promoter"] = {
+                **self.promoter.status(),
+                "steps_run": self.promoter_steps,
+                "step_errors": self.promoter_errors,
+                "interval_s": self.promoter_interval_s,
+                "schedule": (
+                    str(self.promoter_schedule)
+                    if self.promoter_schedule is not None
+                    else None
+                ),
+            }
+        return status
 
     def serve_status(self, host: str = "127.0.0.1", port: int = 0):
         """Start (and return) an HTTP server for ``/status`` + ``/metrics``.
@@ -493,6 +600,11 @@ class AutoCompDaemon:
         if self._thread is not None:
             self._thread.join(timeout=self.interval_s + self.drain_timeout_s)
             self._thread = None
+        if self._promoter_thread is not None:
+            # The wait() wakes on the stop event; only an in-flight shadow
+            # evaluation keeps the thread alive, bounded by the drain.
+            self._promoter_thread.join(timeout=self.drain_timeout_s)
+            self._promoter_thread = None
         close = getattr(self.service.pipeline, "close", None)
         if close is not None:
             close(timeout=self.drain_timeout_s if drain else 0.001)

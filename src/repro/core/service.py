@@ -235,6 +235,12 @@ class AutoCompService:
             :class:`~repro.core.sharding.ShardedPipeline` (notifications
             are routed to the owning shard's connector either way).
         interval_s: periodic cycle spacing.
+        policy_store: optional
+            :class:`~repro.core.promoter.PolicyStore`; when set, every
+            cycle first syncs the pipeline to the store's *active* variant
+            (see :meth:`use_policy_store`), so the live policy is resolved
+            through the policy plane instead of staying frozen at
+            construction.
 
     Attributes:
         reports: accumulated cycle reports.
@@ -242,9 +248,23 @@ class AutoCompService:
             optimize-after-write hooks since the last cycle; exposed so
             deployments can prioritise or short-circuit observation for
             recently written tables.
+        cycle_hooks: callables invoked with each finished cycle's report
+            (the merged fleet report for sharded pipelines is passed
+            as-is, wrapped in its
+            :class:`~repro.core.sharding.ShardedCycleReport`).  Unlike the
+            pipeline's ``feedback_hooks`` — which fire per shard on a
+            sharded plane — these fire exactly once per service cycle,
+            which is what the
+            :class:`~repro.core.promoter.PolicyPromoter`'s guard window
+            needs.
     """
 
-    def __init__(self, pipeline: AutoCompPipeline, interval_s: float = 24 * HOUR) -> None:
+    def __init__(
+        self,
+        pipeline: AutoCompPipeline,
+        interval_s: float = 24 * HOUR,
+        policy_store=None,
+    ) -> None:
         self.pipeline = pipeline
         self.interval_s = interval_s
         self.reports: list[CycleReport] = []
@@ -252,11 +272,46 @@ class AutoCompService:
         #: Scheduled firings skipped because the previous cycle was still
         #: running (see :meth:`attach`'s overlap guard).
         self.overlap_skips = 0
+        self.cycle_hooks: list = []
+        self.policy_store = None
+        self._applied_policy_version: int | None = None
         self._inbox_lock = threading.Lock()
         self._in_cycle = False
         self._trigger: PeriodicTrigger | None = None
         self._history = None
         self._history_taps = None
+        if policy_store is not None:
+            self.use_policy_store(policy_store)
+
+    def use_policy_store(self, store) -> "AutoCompService":
+        """Resolve the live policy through ``store`` from the next cycle on.
+
+        The read side of the policy-plane seam: at the top of every
+        :meth:`run_cycle`, the store's version is compared against the
+        last applied one and, when it moved (a promotion or rollback —
+        possibly made by another process sharing the store directory),
+        the active variant is applied to the pipeline via
+        :func:`~repro.core.promoter.apply_variant`.  Returns self.
+        """
+        self.policy_store = store
+        self._applied_policy_version = None
+        return self
+
+    def _sync_policy(self) -> None:
+        store = self.policy_store
+        if store is None:
+            return
+        version = store.version
+        if version is None or version == self._applied_policy_version:
+            return
+        variant = store.active
+        if variant is not None:
+            # Imported lazily only to keep import time lean; promoter is a
+            # core module (replay types inside it are themselves lazy).
+            from repro.core.promoter import apply_variant
+
+            apply_variant(self.pipeline, variant)
+        self._applied_policy_version = version
 
     def notify(self, key: CandidateKey) -> None:
         """Inbox endpoint for decoupled optimize-after-write hooks.
@@ -283,6 +338,7 @@ class AutoCompService:
         the fresh inbox (served next cycle) instead of being cleared
         unprocessed or invalidated twice.
         """
+        self._sync_policy()
         with self._inbox_lock:
             pending, self.notifications = self.notifications, []
         for key in dict.fromkeys(pending):
@@ -294,6 +350,8 @@ class AutoCompService:
             self._in_cycle = False
         self.reports.append(report)
         self._publish_cycle(report, now if simulator is None else simulator.now)
+        for hook in self.cycle_hooks:
+            hook(report)
         return report
 
     def cycle_in_flight(self) -> bool:

@@ -59,6 +59,14 @@ METRICS: dict[str, tuple[str, str]] = {
     "autocomp.service.overlap_skips": ("counter", "Notification-triggered cycles skipped while one was in flight"),
     "autocomp.admission.admitted": ("counter", "Candidates admitted by the fairness controller"),
     "autocomp.admission.deferred": ("counter", "Candidates deferred by the fairness controller"),
+    # --- policy-plane (promoter) counters / series ----------------------------
+    "autocomp.promoter.shadow_evals": ("counter", "Shadow evaluations of the candidate pool"),
+    "autocomp.promoter.promotions": ("counter", "Policy promotions committed (guard window opened)"),
+    "autocomp.promoter.rollbacks": ("counter", "Guarded promotions rolled back on metric degradation"),
+    "autocomp.promoter.guard_passes": ("counter", "Guard windows closed with the promoted policy confirmed"),
+    "autocomp.promoter.holds": ("counter", "Promoter ticks that held the active policy (no clear winner / guard open)"),
+    "autocomp.promoter.step_errors": ("counter", "Promoter ticks that raised and were survived"),
+    "autocomp.promoter.active_version": ("series", "Active policy-store version over time"),
     # --- lock-manager counters (mirror the audit-log events) ------------------
     "autocomp.locks.acquire": ("counter", "Lock acquisitions (audit event: acquire)"),
     "autocomp.locks.release": ("counter", "Lock releases (audit event: release)"),
@@ -88,6 +96,7 @@ METRICS: dict[str, tuple[str, str]] = {
     "autocomp.hist.lock_wait_s": ("histogram", "Lock-manager acquire wait seconds"),
     "autocomp.hist.rewrite_bytes": ("histogram", "Bytes rewritten per committed compaction job"),
     "autocomp.hist.cache_hit_ratio": ("histogram", "Stats-cache hit ratio per fleet cycle"),
+    "autocomp.hist.promoter_eval_wall_s": ("histogram", "Shadow-evaluation wall seconds per promoter tick"),
     "autocomp.hist.admission_admitted": ("histogram", "Candidates admitted per admission decision"),
     "autocomp.hist.admission_deferred": ("histogram", "Candidates deferred per admission decision"),
 }

@@ -261,6 +261,18 @@ class CatalogReplayer:
             if run_cycles
             else None
         )
+        try:
+            return self._drive_workload(catalog, pipeline, variant, perturb, run_cycles)
+        finally:
+            # Sharded variants (n_shards > 1) own worker pools; release
+            # them per replay so sweeps never strand threads.
+            close = getattr(pipeline, "close", None)
+            if close is not None:
+                close()
+
+    def _drive_workload(
+        self, catalog, pipeline, variant: PolicyVariant, perturb, run_cycles: bool
+    ) -> ReplayResult:
         result = ReplayResult(variant=variant)
         markers = 0
         files_initial_pending = True
@@ -272,7 +284,9 @@ class CatalogReplayer:
 
         def run_cycle(now: float) -> None:
             report = pipeline.run_cycle(now=now)
-            if not isinstance(report, CycleReport):  # pragma: no cover - defensive
+            if not isinstance(report, CycleReport):
+                # Sharded variants return a ShardedCycleReport; the merged
+                # fleet report is the replay's unit of comparison.
                 report = report.report
             result.reports.append(report)
 

@@ -5,7 +5,8 @@ scheduling analyses of online merge compaction (PAPERS.md) additionally ask
 "which policy wins if the workload *shifts*".  A :class:`Perturbation`
 deterministically rescales the recorded workload before replay, so one
 trace yields a family of counterfactual workloads — more tables writing,
-heavier ingest — without re-running the source system:
+heavier ingest, one tenant outgrowing the rest — without re-running the
+source system:
 
 * ``growth_scale`` multiplies *how much is written*: per-class file-count
   deltas in fleet ``day`` events, and the added-file list of catalog
@@ -13,7 +14,14 @@ heavier ingest — without re-running the source system:
   count, preserving order so replays stay deterministic);
 * ``ingest_scale`` multiplies *how large the writes are*: applied to the
   fleet file-count deltas as a byte proxy (fleet bytes derive from counts)
-  and to per-file sizes in catalog commits.
+  and to per-file sizes in catalog commits;
+* ``database_scales`` skews *who* grows: a per-database multiplier layered
+  on top of ``growth_scale`` for catalog commits, so shadow evaluation
+  (:class:`~repro.core.promoter.PolicyPromoter`) can model one tenant's
+  growth outpacing the fleet before promoting a policy;
+* ``class_scales`` skews *what* grows in fleet traces: per-table-class
+  (``tiny`` / ``mid`` / ``large``) multipliers on the day-event deltas,
+  modelling e.g. a small-file explosion without touching large tables.
 
 Scaling is plain integer arithmetic — no RNG — so a perturbed replay is
 exactly as deterministic as an unperturbed one, and the
@@ -35,10 +43,31 @@ from dataclasses import dataclass
 
 from repro.errors import ValidationError
 
+#: Fleet table classes a ``class_scales`` mapping may name.
+TABLE_CLASSES = ("tiny", "mid", "large")
+
 
 def _scale_count(count: int, factor: float) -> int:
     """Deterministic non-negative integer scaling (round-half-up)."""
     return max(0, int(count * factor + 0.5))
+
+
+def _normalize_scales(scales, what: str, allowed=None) -> tuple:
+    """A mapping (or item tuple) of scale factors → sorted item tuple.
+
+    Sorted tuples keep the dataclass hashable/picklable and make equal
+    mappings compare equal regardless of insertion order — perturbations
+    are part of what-if cache keys and cross process boundaries.
+    """
+    items = dict(scales)
+    for key, factor in items.items():
+        if allowed is not None and key not in allowed:
+            raise ValidationError(
+                f"unknown {what} key {key!r}; expected one of {allowed}"
+            )
+        if not isinstance(factor, (int, float)) or factor <= 0:
+            raise ValidationError(f"{what}[{key!r}] must be a positive number")
+    return tuple(sorted((str(key), float(factor)) for key, factor in items.items()))
 
 
 @dataclass(frozen=True)
@@ -49,37 +78,77 @@ class Perturbation:
         growth_scale: multiplier on the number of files written
             (must be > 0; 1.0 = unchanged).
         ingest_scale: multiplier on written byte volume (> 0).
+        database_scales: per-database growth multipliers for catalog
+            commits, layered on ``growth_scale`` (a mapping like
+            ``{"logs": 4.0}``; databases not named are unscaled).  Models
+            tenant growth skew.
+        class_scales: per-table-class multipliers for fleet ``day``
+            events, keys from :data:`TABLE_CLASSES` (a mapping like
+            ``{"tiny": 3.0}``).  Layered on the global scales.
     """
 
     growth_scale: float = 1.0
     ingest_scale: float = 1.0
+    database_scales: tuple = ()
+    class_scales: tuple = ()
 
     def __post_init__(self) -> None:
         if self.growth_scale <= 0:
             raise ValidationError("growth_scale must be positive")
         if self.ingest_scale <= 0:
             raise ValidationError("ingest_scale must be positive")
+        # Accept mappings at construction; store canonical sorted tuples
+        # (frozen dataclass: assign through object.__setattr__).
+        object.__setattr__(
+            self,
+            "database_scales",
+            _normalize_scales(self.database_scales, "database_scales"),
+        )
+        object.__setattr__(
+            self,
+            "class_scales",
+            _normalize_scales(self.class_scales, "class_scales", allowed=TABLE_CLASSES),
+        )
 
     @property
     def is_identity(self) -> bool:
         """Whether this perturbation changes nothing."""
-        return self.growth_scale == 1.0 and self.ingest_scale == 1.0
+        return (
+            self.growth_scale == 1.0
+            and self.ingest_scale == 1.0
+            and all(factor == 1.0 for _, factor in self.database_scales)
+            and all(factor == 1.0 for _, factor in self.class_scales)
+        )
+
+    def _database_factor(self, database: str | None) -> float:
+        for key, factor in self.database_scales:
+            if key == database:
+                return factor
+        return 1.0
+
+    def _class_factor(self, table_class: str) -> float:
+        for key, factor in self.class_scales:
+            if key == table_class:
+                return factor
+        return 1.0
 
     def transform_day(self, event: dict) -> dict:
         """A fleet ``day`` event with scaled per-class file deltas.
 
-        Fleet byte deltas are derived from file counts, so both scales act
-        on the counts (their product is the effective byte multiplier).
+        Fleet byte deltas are derived from file counts, so both global
+        scales act on the counts (their product is the effective byte
+        multiplier), further skewed per class by ``class_scales``.
         """
         if self.is_identity:
             return event
-        factor = self.growth_scale * self.ingest_scale
-        return {
-            **event,
-            "tiny": [_scale_count(c, factor) for c in event["tiny"]],
-            "mid": [_scale_count(c, factor) for c in event["mid"]],
-            "large": [_scale_count(c, factor) for c in event["large"]],
-        }
+        base = self.growth_scale * self.ingest_scale
+        scaled = {}
+        for table_class in TABLE_CLASSES:
+            factor = base * self._class_factor(table_class)
+            scaled[table_class] = [
+                _scale_count(c, factor) for c in event[table_class]
+            ]
+        return {**event, **scaled}
 
     def transform_commit(self, event: dict) -> dict:
         """A catalog ``table_commit`` event with a rescaled file delta.
@@ -87,14 +156,17 @@ class Perturbation:
         Rewrite (``replace``) commits pass through untouched — they are
         the *policy's* output, not workload, and what-if replay skips them
         anyway.  Added files are size-scaled by ``ingest_scale`` and
-        count-scaled by ``growth_scale`` (cyclic replication / prefix
-        truncation); removals and delete files are preserved verbatim.
+        count-scaled by ``growth_scale`` times the commit's database
+        factor (cyclic replication / prefix truncation — replicated files
+        keep their recorded sizes, so a tenant's byte volume scales with
+        its file count); removals and delete files are preserved verbatim.
         """
         if self.is_identity or event.get("op") == "replace":
             return event
         added = event["added"]
-        if self.growth_scale != 1.0 and added:
-            target = max(1, _scale_count(len(added), self.growth_scale))
+        growth = self.growth_scale * self._database_factor(event.get("database"))
+        if growth != 1.0 and added:
+            target = max(1, _scale_count(len(added), growth))
             added = [added[i % len(added)] for i in range(target)]
         if self.ingest_scale != 1.0:
             added = [

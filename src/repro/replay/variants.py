@@ -16,7 +16,7 @@ what-if run crowns best is byte-for-byte the policy a deployment would run.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 from repro.core.filters import MinSmallFileCountFilter, QuiescenceFilter
 from repro.core.pipeline import AutoCompPipeline
@@ -61,9 +61,12 @@ class PolicyVariant:
             it as "every Nth recorded cycle marker".
         scheduler: ``sequential`` or ``concurrent`` (chain-grouped
             :class:`~repro.core.scheduling.ConcurrentScheduler`).
-        n_shards: >1 runs the variant behind the sharded control plane
-            with a shared incremental-observation cache (fleet replay
-            only; catalog what-if replays unsharded).
+        n_shards: >1 runs the variant behind the sharded control plane —
+            with a shared incremental-observation cache for fleet replay,
+            and through
+            :func:`~repro.core.service.openhouse_sharded_pipeline` for
+            catalog replay (global selection keeps sharded cycle reports
+            byte-identical to unsharded ones).
         generation: candidate-generation strategy for catalog replay
             (``table`` / ``partition`` / ``hybrid`` — the §6 strategy
             axis).  Fleet replay is always table-scoped and ignores it.
@@ -115,6 +118,27 @@ class PolicyVariant:
     def renamed(self, name: str) -> "PolicyVariant":
         """A copy under a different name."""
         return replace(self, name=name)
+
+    # --- serde (the PolicyStore's durable format) -------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe mapping of every knob (all fields are scalars).
+
+        The :class:`~repro.core.promoter.PolicyStore` persists variants in
+        this form; :meth:`from_dict` round-trips it exactly.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyVariant":
+        """Rebuild a variant from :meth:`to_dict` output.
+
+        Unknown keys are ignored (a store written by a newer build with
+        extra knobs still loads); missing keys fall back to the dataclass
+        defaults.  Validation reruns in ``__post_init__``.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
     # --- factories -------------------------------------------------------------
 
@@ -184,7 +208,7 @@ class PolicyVariant:
 
     def build_catalog_pipeline(
         self, catalog, compaction_cluster, cost_model=None
-    ) -> AutoCompPipeline:
+    ) -> AutoCompPipeline | ShardedPipeline:
         """A runnable OpenHouse-shaped pipeline over a live (or replayed) catalog.
 
         The catalog analogue of :meth:`build_pipeline`, built through
@@ -193,12 +217,18 @@ class PolicyVariant:
         deployment would run.  Recording a live run driven through this
         same factory (with synchronous cycles) is what makes
         record → replay byte-identity hold for catalog traces.
-        """
-        from repro.core.service import openhouse_pipeline
 
-        pipeline = openhouse_pipeline(
-            catalog,
-            compaction_cluster,
+        With ``n_shards > 1`` the variant runs behind
+        :func:`~repro.core.service.openhouse_sharded_pipeline` (global
+        selection, single-threaded inline shard workers), so shadow
+        evaluation can exercise the sharded deployment shape offline.
+        Global selection re-merges and ranks shard survivors at the fleet
+        level, so sharded replays stay byte-identical to unsharded ones —
+        the property ``tests/replay`` pins.  Callers owning the pipeline's
+        lifetime should ``close()`` sharded instances (the catalog
+        replayer does).
+        """
+        kwargs = dict(
             cost_model=cost_model,
             generation=self.generation,
             k=self.k,
@@ -209,6 +239,25 @@ class PolicyVariant:
             quiesce_s=self.quiesce_days * DAY,
             scheduler=self.build_scheduler(),
         )
+        if self.n_shards > 1:
+            from repro.core.service import openhouse_sharded_pipeline
+
+            pipeline = openhouse_sharded_pipeline(
+                catalog,
+                compaction_cluster,
+                n_shards=self.n_shards,
+                workers="threads",
+                max_workers=1,
+                **kwargs,
+            )
+            if self.ranking == "quota_aware":
+                for shard in pipeline.shards:
+                    shard.policy = QuotaAwareWeightedSumPolicy()
+                pipeline.policy = pipeline.shards[0].policy
+            return pipeline
+        from repro.core.service import openhouse_pipeline
+
+        pipeline = openhouse_pipeline(catalog, compaction_cluster, **kwargs)
         if self.ranking == "quota_aware":
             pipeline.policy = QuotaAwareWeightedSumPolicy()
         return pipeline

@@ -1,22 +1,37 @@
 """Subprocess harness for the daemon crash-recovery suite.
 
-Runs an :class:`~repro.core.daemon.AutoCompDaemon` backfill over a fresh
-fragmented fleet, journaling every compacted unit to ``journal.log`` in
-the work directory (one fsynced line per compaction, written while the
-unit's lock is held and its state is ``RUNNING``).  ``--slow`` inserts a
-sleep between the journal line and the unit's ``COMPLETE`` transition —
-the window the recovery test aims its ``SIGKILL`` at.
+Two modes, selected by ``--mode``:
 
-The lock directory, state-machine directory and journal all live under
-``--workdir`` and persist across invocations; the catalog itself is
-rebuilt fresh each run (it is in-memory), which is exactly the point:
-only the durable state machine prevents a restarted run from
-re-compacting units the killed run already finished.
+``backfill`` (default)
+    Runs an :class:`~repro.core.daemon.AutoCompDaemon` backfill over a
+    fresh fragmented fleet, journaling every compacted unit to
+    ``journal.log`` in the work directory (one fsynced line per
+    compaction, written while the unit's lock is held and its state is
+    ``RUNNING``).  ``--slow`` inserts a sleep between the journal line
+    and the unit's ``COMPLETE`` transition — the window the recovery
+    test aims its ``SIGKILL`` at.
+
+``promoter``
+    Runs a daemon with a :class:`~repro.core.promoter.PolicyPromoter`
+    over a durable :class:`~repro.core.promoter.PolicyStore` under
+    ``--workdir/policy``: live cycles to record history, one promoter
+    step (the boot variant is a deliberate dud, so a challenger always
+    wins), one more cycle to close the guard window.  The store's
+    ``promote_hook`` journals ``promote_window:<variant>`` and then
+    sleeps ``--slow`` seconds — the gap between the promotion's audit
+    intent line and the ``active.json`` flip, which is where the
+    recovery test lands its ``SIGKILL``.
+
+The lock directory, state-machine / policy-store directories and journal
+all live under ``--workdir`` and persist across invocations; the catalog
+itself is rebuilt fresh each run (it is in-memory), which is exactly the
+point: only the durable state prevents a restarted run from redoing (or
+losing) what the killed run already committed.
 
 Invoked by tests as ``python -m tests.integration.daemon_harness`` (or by
-path) with ``PYTHONPATH`` covering ``src`` and the repo root.  On a
-completed drain it writes ``done.json`` (the final state counts) and
-prints the same JSON to stdout.
+path) with ``PYTHONPATH`` covering ``src`` and the repo root.  On
+completion both modes write ``done.json`` and print the same JSON to
+stdout.
 """
 
 from __future__ import annotations
@@ -51,43 +66,43 @@ def build_fleet(tables: int, files_per_table: int):
     return catalog, keys
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workdir", required=True, help="durable state home")
-    parser.add_argument("--tables", type=int, default=12)
-    parser.add_argument("--files-per-table", type=int, default=6)
-    parser.add_argument(
-        "--slow",
-        type=float,
-        default=0.0,
-        help="seconds to sleep per unit between journal write and COMPLETE",
-    )
-    parser.add_argument("--chunk-size", type=int, default=1)
-    args = parser.parse_args(argv)
+def journal_writer(workdir):
+    """An O_APPEND + fsync line writer: durable before any kill window opens."""
+    journal_path = os.path.join(workdir, "journal.log")
 
+    def journal(line: str) -> None:
+        fd = os.open(journal_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (line + "\n").encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    return journal
+
+
+def finish(workdir, payload: dict) -> int:
+    with open(os.path.join(workdir, "done.json"), "w", encoding="utf-8") as stream:
+        json.dump(payload, stream)
+    print(json.dumps(payload))
+    return 0
+
+
+def run_backfill(args) -> int:
     from repro.core import AutoCompDaemon, AutoCompService, LockManager
     from repro.core.service import openhouse_pipeline
     from repro.engine import Cluster
 
     workdir = args.workdir
-    os.makedirs(workdir, exist_ok=True)
     catalog, keys = build_fleet(args.tables, args.files_per_table)
     pipeline = openhouse_pipeline(catalog, Cluster("maint", executors=3))
     service = AutoCompService(pipeline)
     locks = LockManager(os.path.join(workdir, "locks"), stale_after_s=30.0)
     daemon = AutoCompDaemon(service, locks)
-
-    journal_path = os.path.join(workdir, "journal.log")
+    journal = journal_writer(workdir)
 
     def journal_then_stall(unit: str) -> None:
-        # O_APPEND + fsync: the line is durable before the kill window
-        # opens, so the test can trust journal counts across a SIGKILL.
-        fd = os.open(journal_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, (unit + "\n").encode("utf-8"))
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        journal(unit)
         if args.slow > 0:
             time.sleep(args.slow)
 
@@ -97,10 +112,102 @@ def main(argv=None) -> int:
         chunk_size=args.chunk_size,
         unit_hook=journal_then_stall,
     )
-    with open(os.path.join(workdir, "done.json"), "w", encoding="utf-8") as stream:
-        json.dump(counts, stream)
-    print(json.dumps(counts))
-    return 0
+    return finish(workdir, counts)
+
+
+def run_promoter(args) -> int:
+    from repro.core import (
+        AutoCompDaemon,
+        AutoCompService,
+        LockManager,
+        PolicyPromoter,
+        PolicyStore,
+        verify_promotions,
+    )
+    from repro.core.service import openhouse_pipeline
+    from repro.engine import Cluster
+    from repro.replay import PolicyVariant
+    from repro.units import HOUR, MiB
+
+    workdir = args.workdir
+    catalog, _keys = build_fleet(args.tables, args.files_per_table)
+    pipeline = openhouse_pipeline(
+        catalog, Cluster("maint", executors=3), min_table_age_s=0.0
+    )
+    service = AutoCompService(pipeline)
+    locks = LockManager(os.path.join(workdir, "locks"), stale_after_s=30.0)
+    store = PolicyStore(os.path.join(workdir, "policy"))
+    recovered = store.recovered_action  # what (if anything) a restart resolved
+    # The boot variant's small-file floor filters every candidate, so a
+    # real challenger beats it deterministically at the first shadow eval.
+    dud = PolicyVariant(name="dud", k=10, min_small_files=500)
+    store.initialize(
+        dud,
+        pool=[dud, PolicyVariant(name="k10", k=10), PolicyVariant(name="k2", k=2)],
+    )
+    journal = journal_writer(workdir)
+
+    def promote_window(op: str, variant_name: str) -> None:
+        # Between the audit intent line and the active.json flip: exactly
+        # the window a kill -9 must leave recoverable.
+        journal(f"{op}_window:{variant_name}")
+        if args.slow > 0:
+            time.sleep(args.slow)
+
+    store.promote_hook = promote_window
+    promoter = PolicyPromoter(store, guard_cycles=1, min_history_cycles=1)
+    daemon = AutoCompDaemon(service, locks, interval_s=3600.0, promoter=promoter)
+
+    def churn_cycle() -> None:
+        for table in catalog.database("db").tables.values():
+            txn = table.new_append()
+            for _ in range(4):
+                txn.add_file(4 * MiB, partition=(0,))
+            txn.commit()
+        catalog.clock.advance_by(HOUR)
+        daemon.run_once()
+
+    daemon.start()
+    try:
+        for _ in range(2):
+            churn_cycle()  # record enough history to shadow-evaluate
+        decision = daemon.run_promoter_once()
+        churn_cycle()  # one productive cycle closes the 1-cycle guard window
+    finally:
+        daemon.stop()
+    summary = verify_promotions(store.store_dir)
+    return finish(
+        workdir,
+        {
+            "recovered": recovered,
+            "decision": decision,
+            "snapshot": store.snapshot(),
+            "violations": summary.violations,
+            "promotions": summary.promotions,
+            "rollbacks": summary.rollbacks,
+            "guard_passes": summary.guard_passes,
+        },
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", required=True, help="durable state home")
+    parser.add_argument("--mode", choices=("backfill", "promoter"), default="backfill")
+    parser.add_argument("--tables", type=int, default=12)
+    parser.add_argument("--files-per-table", type=int, default=6)
+    parser.add_argument(
+        "--slow",
+        type=float,
+        default=0.0,
+        help="seconds to stall inside the kill window (per unit, or per promotion)",
+    )
+    parser.add_argument("--chunk-size", type=int, default=1)
+    args = parser.parse_args(argv)
+    os.makedirs(args.workdir, exist_ok=True)
+    if args.mode == "promoter":
+        return run_promoter(args)
+    return run_backfill(args)
 
 
 if __name__ == "__main__":

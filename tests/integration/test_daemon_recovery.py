@@ -26,7 +26,7 @@ HARNESS = os.path.join(os.path.dirname(__file__), "daemon_harness.py")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 
-def launch(workdir, tables: int, slow: float = 0.0) -> subprocess.Popen:
+def launch(workdir, tables: int, slow: float = 0.0, mode: str = "backfill") -> subprocess.Popen:
     env = dict(os.environ)
     src = os.path.join(REPO_ROOT, "src")
     env["PYTHONPATH"] = os.pathsep.join(
@@ -38,6 +38,8 @@ def launch(workdir, tables: int, slow: float = 0.0) -> subprocess.Popen:
             HARNESS,
             "--workdir",
             os.fspath(workdir),
+            "--mode",
+            mode,
             "--tables",
             str(tables),
             "--slow",
@@ -51,8 +53,8 @@ def launch(workdir, tables: int, slow: float = 0.0) -> subprocess.Popen:
     )
 
 
-def run_to_completion(workdir, tables: int) -> dict:
-    proc = launch(workdir, tables=tables)
+def run_to_completion(workdir, tables: int, mode: str = "backfill") -> dict:
+    proc = launch(workdir, tables=tables, mode=mode)
     stdout, stderr = proc.communicate(timeout=120)
     assert proc.returncode == 0, f"harness failed:\n{stderr}"
     return json.loads(stdout.strip().splitlines()[-1])
@@ -76,6 +78,17 @@ def wait_for_journal(proc, workdir, n: int, timeout: float = 60.0) -> None:
             pytest.fail(f"harness exited early:\n{proc.stderr.read()}")
         time.sleep(0.02)
     pytest.fail(f"journal never reached {n} lines")
+
+
+def wait_for_journal_line(proc, workdir, needle: str, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if any(needle in line for line in journal_lines(workdir)):
+            return
+        if proc.poll() is not None:
+            pytest.fail(f"harness exited early:\n{proc.stderr.read()}")
+        time.sleep(0.02)
+    pytest.fail(f"journal never contained {needle!r}")
 
 
 def lock_files(workdir) -> list[str]:
@@ -158,3 +171,56 @@ class TestKillDashNine:
         assert summary.reclaims == len(leftover_locks)
         assert summary.double_compactions == {}
         assert summary.compact_commits >= self.TABLES
+
+
+class TestKillMidPromotion:
+    """SIGKILL lands between a promotion's audit intent and the policy flip."""
+
+    def kill_mid_promotion(self, tmp_path) -> None:
+        proc = launch(tmp_path, tables=6, slow=30.0, mode="promoter")
+        try:
+            wait_for_journal_line(proc, tmp_path, "promote_window:")
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+            proc.stdout.close()
+            proc.stderr.close()
+
+    def test_reopened_store_aborts_the_dangling_intent(self, tmp_path):
+        from repro.core import PolicyStore, verify_promotions
+
+        self.kill_mid_promotion(tmp_path)
+        store = PolicyStore(tmp_path / "policy")
+        # The flip never happened, so recovery aborts the intent: the
+        # active policy is still the boot variant at version 1, STABLE.
+        assert store.recovered_action.startswith("aborted promote")
+        assert store.version == 1
+        assert store.state == "STABLE"
+        assert store.snapshot()["active"] == "dud"
+        summary = verify_promotions(tmp_path / "policy")
+        assert summary.violations == []
+        assert summary.promotions == 0
+
+    def test_restarted_daemon_promotes_after_the_crash(self, tmp_path):
+        from repro.core import verify_promotions
+
+        self.kill_mid_promotion(tmp_path)
+        done = run_to_completion(tmp_path, tables=6, mode="promoter")
+        # The fresh run recovered the dangling intent itself...
+        assert done["recovered"].startswith("aborted promote")
+        # ...then shadow-evaluated and promoted for real.
+        assert done["decision"]["action"] == "promote"
+        assert done["decision"]["over"] == "dud"
+        assert done["snapshot"]["state"] == "STABLE"
+        assert done["snapshot"]["active"] != "dud"
+        assert done["violations"] == []
+        assert done["promotions"] == 1 and done["guard_passes"] == 1
+        # The full history — abort included — replays clean after the fact.
+        assert verify_promotions(tmp_path / "policy").violations == []
+
+    def test_clean_promoter_run_needs_no_recovery(self, tmp_path):
+        done = run_to_completion(tmp_path, tables=6, mode="promoter")
+        assert done["recovered"] is None
+        assert done["decision"]["action"] == "promote"
+        assert done["violations"] == []
+        assert done["guard_passes"] == 1

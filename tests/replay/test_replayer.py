@@ -98,6 +98,20 @@ class TestWhatIfReplay:
         assert baseline.reports == []
         assert baseline.files_final > baseline.files_initial
 
+    def test_class_scaled_perturbation_grows_only_that_class(self, trace_text):
+        from repro.replay import Perturbation
+
+        plain = TraceReplayer(io.StringIO(trace_text)).replay_baseline()
+        tiny_storm = TraceReplayer(io.StringIO(trace_text)).replay_baseline(
+            perturb=Perturbation(class_scales={"tiny": 3.0})
+        )
+        assert tiny_storm.files_final > plain.files_final
+        # Deterministic under the same skew.
+        again = TraceReplayer(io.StringIO(trace_text)).replay_baseline(
+            perturb=Perturbation(class_scales={"tiny": 3.0})
+        )
+        assert again.files_final == tiny_storm.files_final
+
 
 class TestFleetSnapshotRestore:
     def test_restore_round_trips_full_state(self):
