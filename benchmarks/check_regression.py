@@ -48,13 +48,17 @@ Usage::
 
 ``--write-baseline PATH`` writes a baseline skeleton from the current run
 (exact for integer metrics, ``min_ratio`` 0.5 for floats) for maintainers
-to hand-tune when intentionally moving a baseline.
+to hand-tune when intentionally moving a baseline.  The skeleton is
+written atomically (tmp + ``os.replace`` — baselines are committed gate
+inputs, and ``repro.lint``'s RL002 enforces the idiom for every durable
+file in the tree).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 #: Supported comparison kinds.
@@ -155,9 +159,15 @@ def write_baseline(current: dict, path: str) -> None:
         if key != "cores"  # machine-shaped, never pinned
     }
     payload = {"bench": current.get("bench"), "config": config, "metrics": metrics}
-    with open(path, "w", encoding="utf-8") as handle:
+    # Write-then-rename: baselines are committed gate inputs, and a crash
+    # mid-dump must not leave a torn half-baseline behind.
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
     print(f"wrote baseline skeleton to {path}")
 
 

@@ -107,12 +107,23 @@ class Connector(abc.ABC):
         Returns ``{"id", "hits", "misses", "expirations"}`` (``id`` is the
         cache object's identity, letting the sharded plane deduplicate
         shards that share one cache), or None when the connector carries
-        no cache.  Works for any cache exposing ``hits``/``misses``
-        counters, so new connectors get hit-ratio metrics for free.
+        no cache.  Prefers the cache's ``counters_snapshot()`` (one locked
+        read of all counters) so a concurrent lookup cannot tear the
+        sample; falls back to attribute reads for caches without it, so
+        new connectors get hit-ratio metrics for free.
         """
         cache = self.stats_cache
         if cache is None:
             return None
+        snapshot = getattr(cache, "counters_snapshot", None)
+        if callable(snapshot):
+            counters = snapshot()
+            return {
+                "id": id(cache),
+                "hits": float(counters.get("hits", 0)),
+                "misses": float(counters.get("misses", 0)),
+                "expirations": float(counters.get("expirations", 0)),
+            }
         return {
             "id": id(cache),
             "hits": float(getattr(cache, "hits", 0)),
@@ -348,7 +359,11 @@ class LstConnector(Connector):
         return self._dense
 
     def _dense_index(self, key: CandidateKey) -> int:
-        index = self._index_of.get(key)
+        # Double-checked locking: dict reads are atomic under the GIL and
+        # an interned index is immutable once assigned, so the unlocked
+        # first probe can only miss (never misread) — the locked re-check
+        # closes the insert race.
+        index = self._index_of.get(key)  # repro-lint: disable=RL001 -- double-checked locking; entries are write-once and re-checked under the lock
         if index is None:
             with self._intern_lock:
                 index = self._index_of.get(key)
@@ -445,7 +460,11 @@ class LstConnector(Connector):
         if self.stats_cache is None:
             return
         if self._dense:
-            for index in self._indices_by_table.get(key.qualified_table, ()):
+            # Snapshot the index list under the intern lock so a
+            # concurrent _dense_index() append cannot race the iteration.
+            with self._intern_lock:
+                indices = list(self._indices_by_table.get(key.qualified_table, ()))
+            for index in indices:
                 self.stats_cache.invalidate_index(index)
         else:
             self.stats_cache.invalidate(key)

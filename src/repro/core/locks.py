@@ -313,7 +313,9 @@ class LockManager:
 
     def is_stale(self, info: LockInfo) -> bool:
         """Whether a lock file is reclaimable (dead pid or stale heartbeat)."""
-        if info.key in self._held:
+        with self._mutex:
+            held_by_us = info.key in self._held
+        if held_by_us:
             return False  # never reclaim our own
         try:
             mtime = os.path.getmtime(info.path)

@@ -92,10 +92,12 @@ class StatsCache:
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CandidateKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(
         self, key: CandidateKey, now: float = 0.0, token: object | None = None
@@ -215,8 +217,25 @@ class StatsCache:
     @property
     def hit_rate(self) -> float:
         """Hits over total lookups (0 when nothing was looked up)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """All four counters read atomically under the lock.
+
+        A caller sampling ``hits``/``misses``/... attribute-by-attribute can
+        interleave with a concurrent lookup and report a torn state (e.g.
+        a hit counted but not yet its lookup); telemetry paths should use
+        this instead.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "expirations": self.expirations,
+            }
 
 
 class IndexedCandidateCache:
@@ -271,13 +290,14 @@ class IndexedCandidateCache:
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return sum(1 for c in self._candidates if c is not None)
+        with self._lock:
+            return sum(1 for c in self._candidates if c is not None)
 
     def ensure_capacity(self, count: int) -> None:
         """Grow the slot arrays to hold indices ``0..count-1`` (thread-safe)."""
         # Lock-free fast path: _stored_at is extended *last* under the
         # lock, so its length bounds all three lists from below.
-        if count <= len(self._stored_at):
+        if count <= len(self._stored_at):  # repro-lint: disable=RL001 -- append-only growth; _stored_at extended last under the lock bounds all three lists from below
             return
         with self._lock:
             grow = count - len(self._candidates)
@@ -306,17 +326,17 @@ class IndexedCandidateCache:
     @property
     def candidates(self) -> list[Candidate | None]:
         """Slot storage: the cached candidate per index (None = empty)."""
-        return self._candidates
+        return self._candidates  # repro-lint: disable=RL001 -- bulk accessor hands out the live storage; shards own disjoint slices
 
     @property
     def tokens(self) -> list[int]:
         """Slot storage: freshness token each entry was stored under."""
-        return self._tokens
+        return self._tokens  # repro-lint: disable=RL001 -- bulk accessor hands out the live storage; shards own disjoint slices
 
     @property
     def stored_ats(self) -> list[float]:
         """Slot storage: observation time of each entry (for TTL)."""
-        return self._stored_at
+        return self._stored_at  # repro-lint: disable=RL001 -- bulk accessor hands out the live storage; shards own disjoint slices
 
     def get(self, index: int, now: float = 0.0, token: int = 0) -> Candidate | None:
         """The cached candidate at ``index``, or None on a miss.
@@ -330,19 +350,22 @@ class IndexedCandidateCache:
         shared counters are updated under the lock — the slot accesses
         themselves need none, because shards own disjoint slices.
         """
-        if index >= len(self._candidates):
+        # Slot accesses below are deliberately lock-free: shards own
+        # disjoint index slices (see the class docstring), so no two
+        # threads ever touch the same slot.
+        if index >= len(self._candidates):  # repro-lint: disable=RL001 -- shards own disjoint slices; lists only grow
             with self._lock:
                 self.misses += 1
             return None
-        candidate = self._candidates[index]
+        candidate = self._candidates[index]  # repro-lint: disable=RL001 -- shards own disjoint slices
         if (
             candidate is None
-            or not 0 <= token - self._tokens[index] <= self.version_slack
-            or now - self._stored_at[index] >= self.ttl_s
+            or not 0 <= token - self._tokens[index] <= self.version_slack  # repro-lint: disable=RL001 -- shards own disjoint slices
+            or now - self._stored_at[index] >= self.ttl_s  # repro-lint: disable=RL001 -- shards own disjoint slices
         ):
             expired = candidate is not None
             if expired:
-                self._candidates[index] = None
+                self._candidates[index] = None  # repro-lint: disable=RL001 -- shards own disjoint slices
             with self._lock:
                 if expired:
                     self.expirations += 1
@@ -355,9 +378,9 @@ class IndexedCandidateCache:
     def put(self, index: int, candidate: Candidate, now: float = 0.0, token: int = 0) -> None:
         """Store ``candidate`` at ``index`` under freshness ``token``."""
         self.ensure_capacity(index + 1)
-        self._candidates[index] = candidate
-        self._tokens[index] = token
-        self._stored_at[index] = now
+        self._candidates[index] = candidate  # repro-lint: disable=RL001 -- shards own disjoint slices; growth is locked in ensure_capacity
+        self._tokens[index] = token  # repro-lint: disable=RL001 -- shards own disjoint slices
+        self._stored_at[index] = now  # repro-lint: disable=RL001 -- shards own disjoint slices
 
     def apply_delta(self, delta, candidates: list[Candidate]) -> int:
         """Merge a shard worker's :class:`~repro.core.workers.CacheDelta`.
@@ -382,9 +405,9 @@ class IndexedCandidateCache:
 
     def invalidate_index(self, index: int) -> bool:
         """Write-event eviction; returns whether an entry existed."""
-        if index >= len(self._candidates) or self._candidates[index] is None:
+        if index >= len(self._candidates) or self._candidates[index] is None:  # repro-lint: disable=RL001 -- shards own disjoint slices; lists only grow
             return False
-        self._candidates[index] = None
+        self._candidates[index] = None  # repro-lint: disable=RL001 -- shards own disjoint slices
         with self._lock:
             self.invalidations += 1
         return True
@@ -403,5 +426,21 @@ class IndexedCandidateCache:
     @property
     def hit_rate(self) -> float:
         """Hits over total lookups (0 when nothing was looked up)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """All four counters read atomically under the lock.
+
+        Mirrors :meth:`StatsCache.counters_snapshot` so telemetry code can
+        duck-type over either cache kind without risking a torn
+        attribute-by-attribute read.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "expirations": self.expirations,
+            }

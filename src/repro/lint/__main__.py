@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.lint [options] paths...``."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Finding and severity primitives for the ``repro.lint`` analyzer.
+
+A :class:`Finding` is one violation of one rule at one source location.
+Findings are plain data so the CLI can render them as human-readable lines
+or JSON without the rules knowing about output formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+#: Finding severities, in increasing order of CI impact.  ``error``
+#: findings fail the run; ``warning`` findings are reported (and fail only
+#: under ``--strict``).
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = field(default="", compare=False)
+
+    def to_dict(self, include_hint: bool = False) -> dict:
+        """JSON-ready mapping (``hint`` included only when requested)."""
+        payload = asdict(self)
+        if not include_hint:
+            payload.pop("hint")
+        return payload
+
+    def render(self, show_hint: bool = False) -> str:
+        """``path:line:col: RLxxx [severity] message`` (+ optional hint)."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+        if show_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable order for reports: path, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))

@@ -1,0 +1,34 @@
+"""Rule registry for ``repro.lint``.
+
+Every rule class registers here with a stable id; :func:`all_rules`
+returns one fresh instance of each (rules carry cross-file state, so they
+must never be shared between runs).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import Rule
+from repro.lint.rules.rl001_locks import LockDisciplineRule
+from repro.lint.rules.rl002_atomic import AtomicWriteRule
+from repro.lint.rules.rl003_contracts import ContractDriftRule
+from repro.lint.rules.rl004_metrics import MetricsRegistryRule
+from repro.lint.rules.rl005_determinism import ReplayDeterminismRule
+from repro.lint.rules.rl006_lifecycle import ResourceLifecycleRule
+
+#: Registered rule classes, in id order.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    LockDisciplineRule,
+    AtomicWriteRule,
+    ContractDriftRule,
+    MetricsRegistryRule,
+    ReplayDeterminismRule,
+    ResourceLifecycleRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """One fresh instance of every registered rule."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+__all__ = ["RULE_CLASSES", "Rule", "all_rules"]

@@ -1,0 +1,252 @@
+"""RL006 — resource lifecycle: owners of OS-backed resources close them.
+
+**Invariant (PRs 3/6/8).** Shared-memory segments, worker pools and
+executors outlive the Python objects that reference them: a leaked
+``multiprocessing.shared_memory.SharedMemory`` segment persists in
+``/dev/shm`` after the process dies, an unclosed ``WorkerPool`` orphans
+child processes (the PR 6 bugfix sweep), and an unclosed executor leaks
+threads.  The codebase's discipline is explicit ownership:
+
+* a **class** that stores such a resource on ``self`` must define a
+  teardown method (``close``/``stop``/``shutdown``/``__exit__``) — and the
+  pool additionally registers finalizers for SIGKILL'd-owner cleanup;
+* a **call site** that creates one must either use it as a context
+  manager, call its teardown in the same scope (``try/finally``, pytest
+  fixture teardown after ``yield``), hand it to a tracked-lifetime seam
+  (``track_resource``, ``weakref.finalize``, ``contextlib.closing``,
+  ``ExitStack``), store it on ``self`` (ownership moves to the class), or
+  return/yield it (ownership moves to the caller).
+
+**What the rule does.** Flags (a) classes assigning a known resource
+constructor to an attribute without any teardown method, and (b) function
+scopes that construct a resource and do none of the above with it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, dotted_name, self_attr
+
+#: Constructors whose results own an OS-backed resource.
+RESOURCE_CONSTRUCTORS = frozenset(
+    {
+        "SharedMemory",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "WorkerPool",
+    }
+)
+
+#: Methods that count as a teardown definition on an owning class.
+_TEARDOWN_METHODS = frozenset({"close", "stop", "shutdown", "__exit__"})
+
+#: Attribute calls on the bound name that count as releasing it.
+_RELEASING_CALLS = frozenset(
+    {"close", "stop", "shutdown", "unlink", "terminate", "join"}
+)
+
+#: Callee names that take over the resource's lifetime.
+_TRACKING_CALLEES = (
+    "track_resource",
+    "finalize",
+    "addfinalizer",
+    "closing",
+    "enter_context",
+    "callback",
+    "register",
+    "push",
+)
+
+
+def _ctor_name(call: ast.Call) -> str | None:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    last = name.split(".")[-1]
+    return last if last in RESOURCE_CONSTRUCTORS else None
+
+
+class _Scope:
+    """One function (or module) body, nested scopes excluded."""
+
+    def __init__(self, node: ast.AST, name: str) -> None:
+        self.node = node
+        self.name = name
+        self.statements = node.body if isinstance(node.body, list) else [node.body]
+
+    def walk(self):
+        # Top-level statements that are themselves defs/classes belong to
+        # their own scope — expanding them here would double-report.
+        stack = [
+            stmt
+            for stmt in self.statements
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        while stack:
+            current = stack.pop()
+            yield current
+            for child in ast.iter_child_nodes(current):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+                ):
+                    continue
+                stack.append(child)
+
+
+class ResourceLifecycleRule(Rule):
+    rule_id = "RL006"
+    title = "resource lifecycle: OS-backed resource created without a release path"
+    severity = "error"
+    hint = (
+        "Use the resource as a context manager, close it in a try/finally "
+        "(or after a fixture's yield), register it with track_resource/"
+        "weakref.finalize/contextlib.closing, or store it on self in a class "
+        "that defines close()/stop()."
+    )
+
+    def check_file(self, ctx, project) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        # (a) classes owning resources must define a teardown method.
+        for cls in [n for n in ast.walk(ctx.tree) if isinstance(n, ast.ClassDef)]:
+            yield from self._check_class(ctx, cls)
+        # (b) call-site ownership in every function/module scope.
+        scopes = [_Scope(ctx.tree, "<module>")]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(_Scope(node, node.name))
+        for scope in scopes:
+            yield from self._check_scope(ctx, scope)
+
+    def _check_class(self, ctx, cls: ast.ClassDef) -> Iterable[Finding]:
+        method_names = {
+            stmt.name
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if method_names & _TEARDOWN_METHODS:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and _ctor_name(node.value)
+                ):
+                    for target in node.targets:
+                        if self_attr(target):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"{cls.name} stores a "
+                                f"{_ctor_name(node.value)} on self but defines "
+                                "no close()/stop()/shutdown()/__exit__ teardown",
+                            )
+                            return
+
+    def _check_scope(self, ctx, scope: _Scope) -> Iterable[Finding]:
+        creations: list[tuple[ast.Call, str, str | None]] = []  # call, ctor, bound name
+        in_with: set[int] = set()
+        released: set[str] = set()
+        transferred: set[str] = set()
+        for node in scope.walk():
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    for sub in ast.walk(expr):
+                        if isinstance(sub, ast.Call) and _ctor_name(sub):
+                            in_with.add(id(sub))
+                    if item.optional_vars is None and isinstance(expr, ast.Name):
+                        released.add(expr.id)  # `with pool:` on an existing name
+                    if isinstance(expr, ast.Call):
+                        # closing(pool), ExitStack().enter_context(pool), with pool:
+                        for arg in expr.args:
+                            if isinstance(arg, ast.Name):
+                                transferred.add(arg.id)
+                    if isinstance(expr, ast.Name):
+                        released.add(expr.id)
+            elif isinstance(node, ast.Call):
+                callee = dotted_name(node.func) or ""
+                last = callee.split(".")[-1]
+                if isinstance(node.func, ast.Attribute):
+                    owner = node.func.value
+                    if isinstance(owner, ast.Name) and last in _RELEASING_CALLS:
+                        released.add(owner.id)
+                if last in _TRACKING_CALLEES:
+                    for arg in node.args:
+                        for sub in ast.walk(arg):
+                            if isinstance(sub, ast.Name):
+                                transferred.add(sub.id)
+                            elif isinstance(sub, ast.Call) and _ctor_name(sub):
+                                in_with.add(id(sub))  # lifetime handed over
+            elif isinstance(node, (ast.Return, ast.Expr)):
+                value = node.value
+                if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                    value = value.value
+                if isinstance(value, ast.Name):
+                    transferred.add(value.id)
+                elif isinstance(value, ast.Tuple):
+                    for element in value.elts:
+                        if isinstance(element, ast.Name):
+                            transferred.add(element.id)
+
+        for node in scope.walk():
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                ctor = _ctor_name(node.value)
+                if not ctor:
+                    continue
+                bound = None
+                to_self = False
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound = target.id
+                    elif self_attr(target) or isinstance(target, ast.Attribute):
+                        to_self = True
+                if to_self:
+                    continue  # class ownership: the class-level check governs
+                creations.append((node.value, ctor, bound))
+            elif isinstance(node, ast.Call) and _ctor_name(node):
+                parent_handled = id(node) in in_with
+                if not parent_handled and not self._is_assigned(node, scope):
+                    creations.append((node, _ctor_name(node), None))
+
+        seen: set[int] = set()
+        for call, ctor, bound in creations:
+            if id(call) in seen:
+                continue
+            seen.add(id(call))
+            if id(call) in in_with:
+                continue
+            if bound is not None and (bound in released or bound in transferred):
+                continue
+            if bound is None and self._is_argument(call, scope):
+                continue  # ownership passed to the callee
+            yield self.finding(
+                ctx,
+                call,
+                f"{ctor} created in {scope.name}() with no release path "
+                "(no with/close/track_resource/finalize, not returned)",
+            )
+
+    def _is_assigned(self, call: ast.Call, scope: _Scope) -> bool:
+        for node in scope.walk():
+            if isinstance(node, ast.Assign) and node.value is call:
+                return True
+        return False
+
+    def _is_argument(self, call: ast.Call, scope: _Scope) -> bool:
+        for node in scope.walk():
+            if isinstance(node, ast.Call) and (
+                call in node.args
+                or any(kw.value is call for kw in node.keywords)
+            ):
+                return True
+        return False

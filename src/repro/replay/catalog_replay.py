@@ -170,7 +170,7 @@ class CatalogReplayer:
                 # add_deletes takes the delete file's partition from the
                 # first reference; order a matching one first when present.
                 references.sort(
-                    key=lambda f: (f.partition != partition, f.file_id)
+                    key=lambda f, p=partition: (f.partition != p, f.file_id)
                 )
                 txn.add_deletes(size, references)
         elif op == "replace":

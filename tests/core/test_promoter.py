@@ -193,7 +193,7 @@ class TestCrashRecovery:
         store = PolicyStore(tmp_path)
         store.initialize(ACTIVE)
         store._audit("promote_intent", to_version=2, variant="eager", from_variant="boot")
-        with open(os.path.join(tmp_path, "active.json"), "w") as stream:
+        with open(os.path.join(tmp_path, "active.json"), "w") as stream:  # repro-lint: disable=RL002 -- deliberately torn write: the test simulates a crashed non-atomic writer
             stream.write('{"version": 2, "sta')  # kill -9 mid-rewrite... of a non-atomic writer
         reopened = PolicyStore(tmp_path)
         assert reopened.recovered_action.startswith("aborted promote")

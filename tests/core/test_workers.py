@@ -68,9 +68,9 @@ def _spec(n: int = 3, observe_cost: int = 0) -> ShardWorkSpec:
 class TestWorkerPool:
     def test_rejects_unknown_mode_and_bad_width(self):
         with pytest.raises(ValidationError):
-            WorkerPool(mode="fibers")
+            WorkerPool(mode="fibers")  # repro-lint: disable=RL006 -- constructor validation raises before any resource is acquired
         with pytest.raises(ValidationError):
-            WorkerPool(max_workers=0)
+            WorkerPool(max_workers=0)  # repro-lint: disable=RL006 -- constructor validation raises before any resource is acquired
 
     def test_threads_run_closures_in_order(self):
         with WorkerPool(mode="threads", max_workers=2) as pool:

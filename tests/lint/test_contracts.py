@@ -1,0 +1,151 @@
+"""RL003: the contract manifest pins the worker wire contract to
+``WORK_SPEC_VERSION`` — editing a contract dataclass without bumping the
+constant fails the lint, and regeneration is idempotent."""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+
+from repro.lint import run_lint
+from repro.lint.rules.rl003_contracts import (
+    DEFAULT_MANIFEST,
+    extract_contracts,
+    manifest_payload,
+    write_manifest,
+)
+
+WORKERS_FIXTURE = """
+from dataclasses import dataclass
+
+WORK_SPEC_VERSION = {version}
+
+
+@dataclass(frozen=True)
+class ShardWorkSpec:
+    shard_index: int
+    n_shards: int
+{extra_field}
+
+@dataclass(frozen=True)
+class CacheDelta:
+    slots: tuple
+    tokens: tuple
+"""
+
+COLUMNAR_FIXTURE = """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ColumnarMissBlock:
+    file_sizes: list
+"""
+
+
+def write_tree(tmp_path, version=4, extra_field=""):
+    workers = tmp_path / "workers.py"
+    columnar = tmp_path / "columnar.py"
+    workers.write_text(
+        textwrap.dedent(
+            WORKERS_FIXTURE.format(version=version, extra_field=extra_field)
+        ),
+        encoding="utf-8",
+    )
+    columnar.write_text(textwrap.dedent(COLUMNAR_FIXTURE), encoding="utf-8")
+    return [workers, columnar]
+
+
+def generate_manifest(tmp_path, files):
+    trees = [
+        (str(path), ast.parse(path.read_text(encoding="utf-8")))
+        for path in files
+    ]
+    manifest = tmp_path / "contracts.json"
+    write_manifest(extract_contracts(trees), manifest)
+    return manifest
+
+
+def lint_contracts(files, manifest):
+    findings, _ = run_lint(
+        files, select=["RL003"], contracts_manifest=manifest
+    )
+    return findings
+
+
+def test_clean_tree_matches_its_manifest(tmp_path):
+    files = write_tree(tmp_path)
+    manifest = generate_manifest(tmp_path, files)
+    assert lint_contracts(files, manifest) == []
+
+
+def test_field_added_without_version_bump_fails(tmp_path):
+    files = write_tree(tmp_path)
+    manifest = generate_manifest(tmp_path, files)
+    files = write_tree(tmp_path, extra_field="    sneaky_new_field: float\n")
+    findings = lint_contracts(files, manifest)
+    assert [f.rule_id for f in findings] == ["RL003"]
+    assert "ShardWorkSpec" in findings[0].message
+    assert "WORK_SPEC_VERSION" in findings[0].message
+
+
+def test_field_added_with_version_bump_asks_for_regeneration(tmp_path):
+    files = write_tree(tmp_path)
+    manifest = generate_manifest(tmp_path, files)
+    files = write_tree(
+        tmp_path, version=5, extra_field="    sneaky_new_field: float\n"
+    )
+    findings = lint_contracts(files, manifest)
+    assert [f.rule_id for f in findings] == ["RL003"]
+    assert "regenerate" in findings[0].message
+    # After regenerating, the tree is clean again at the new version.
+    manifest = generate_manifest(tmp_path, files)
+    assert lint_contracts(files, manifest) == []
+
+
+def test_missing_manifest_is_reported(tmp_path):
+    files = write_tree(tmp_path)
+    findings = lint_contracts(files, tmp_path / "nope.json")
+    assert [f.rule_id for f in findings] == ["RL003"]
+    assert "emit-contracts" in findings[0].message
+
+
+def test_class_removed_without_regeneration_fails(tmp_path):
+    files = write_tree(tmp_path)
+    manifest = generate_manifest(tmp_path, files)
+    (tmp_path / "columnar.py").write_text(
+        "from dataclasses import dataclass\n", encoding="utf-8"
+    )
+    findings = lint_contracts(files, manifest)
+    assert [f.rule_id for f in findings] == ["RL003"]
+    assert "ColumnarMissBlock" in findings[0].message
+
+
+def test_regeneration_is_idempotent(tmp_path):
+    files = write_tree(tmp_path)
+    manifest = generate_manifest(tmp_path, files)
+    first = manifest.read_bytes()
+    generate_manifest(tmp_path, files)
+    assert manifest.read_bytes() == first
+
+
+def test_committed_manifest_matches_the_real_tree():
+    """The committed contracts.json regenerates byte-identically.
+
+    Guards the satellite requirement directly: if someone edits a worker
+    contract dataclass, this test fails alongside RL003 until the
+    manifest is regenerated (and the version bumped).
+    """
+    repo_src = DEFAULT_MANIFEST.parent.parent.parent  # src/
+    sources = [
+        repo_src / "repro" / "core" / "workers.py",
+        repo_src / "repro" / "core" / "columnar.py",
+    ]
+    trees = [
+        (str(path), ast.parse(path.read_text(encoding="utf-8")))
+        for path in sources
+    ]
+    regenerated = manifest_payload(extract_contracts(trees))
+    committed = json.loads(DEFAULT_MANIFEST.read_text(encoding="utf-8"))
+    assert regenerated == committed

@@ -1,0 +1,96 @@
+"""Suppression directives: inline and file-wide disables, justification
+text, and the RL007 unused-suppression check that keeps them honest."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import run_lint
+from repro.lint.suppressions import parse_suppressions
+
+BAD_CLASS = """
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self):
+        with self._lock:
+            self.total += 1
+
+    def peek(self):
+        return self.total{suffix}
+"""
+
+
+def lint(tmp_path, source, **kwargs):
+    target = tmp_path / "mod.py"
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    findings, _ = run_lint([target], **kwargs)
+    return findings
+
+
+def test_inline_disable_suppresses_the_finding(tmp_path):
+    source = BAD_CLASS.format(
+        suffix="  # repro-lint: disable=RL001 -- benign approximate read"
+    )
+    assert lint(tmp_path, source, select=["RL001"]) == []
+
+
+def test_unsuppressed_finding_still_fires(tmp_path):
+    findings = lint(tmp_path, BAD_CLASS.format(suffix=""), select=["RL001"])
+    assert [f.rule_id for f in findings] == ["RL001"]
+
+
+def test_directive_for_another_rule_does_not_suppress(tmp_path):
+    source = BAD_CLASS.format(suffix="  # repro-lint: disable=RL005")
+    findings = lint(tmp_path, source, select=["RL001", "RL005"])
+    rule_ids = sorted(f.rule_id for f in findings)
+    # The RL001 finding survives, and the pointless RL005 directive is
+    # itself reported as unused.
+    assert rule_ids == ["RL001", "RL007"]
+
+
+def test_file_wide_disable_covers_every_line(tmp_path):
+    source = "# repro-lint: file-disable=RL001\n" + BAD_CLASS.format(suffix="")
+    assert lint(tmp_path, source, select=["RL001"]) == []
+
+
+def test_unused_suppression_reports_rl007(tmp_path):
+    source = BAD_CLASS.format(suffix="") + (
+        "\nHARMLESS = 1  # repro-lint: disable=RL002\n"
+    )
+    findings = lint(tmp_path, source, select=["RL001", "RL002"])
+    by_rule = {f.rule_id for f in findings}
+    assert by_rule == {"RL001", "RL007"}
+    unused = next(f for f in findings if f.rule_id == "RL007")
+    assert "RL002" in unused.message
+    assert unused.severity == "warning"
+
+
+def test_unused_suppressions_of_unselected_rules_are_not_judged(tmp_path):
+    # A partial (--select) run cannot tell whether another rule's
+    # directive is stale, so it must not flag it.
+    source = BAD_CLASS.format(suffix="") + (
+        "\nHARMLESS = 1  # repro-lint: disable=RL002\n"
+    )
+    findings = lint(tmp_path, source, select=["RL001"])
+    assert [f.rule_id for f in findings] == ["RL001"]
+
+
+def test_multiple_ids_in_one_directive(tmp_path):
+    suppressions = parse_suppressions(
+        "x = 1  # repro-lint: disable=RL001,RL005 -- both fine here\n"
+    )
+    assert suppressions.directives[0].rule_ids == ("RL001", "RL005")
+    assert suppressions.is_suppressed("RL005", 1)
+    assert suppressions.unused() == [(1, "RL001")]
+
+
+def test_directive_inside_string_literal_is_ignored(tmp_path):
+    suppressions = parse_suppressions(
+        'text = "# repro-lint: disable=RL001"\n'
+    )
+    assert suppressions.directives == []

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+from typing import ClassVar
 
 import pytest
 
@@ -186,7 +187,7 @@ class TestOfflinePriors:
 
         class _Report:
             cycle_index = 0
-            results = [_Result()]
+            results: ClassVar = [_Result()]
 
         learner.observe(_Report())
         assert learner.updates, "prior-seeded learner should adapt immediately"
